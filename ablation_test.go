@@ -1,0 +1,136 @@
+// Ablation benchmarks: each design decision from DESIGN.md §6 with
+// its alternative, so the cost/benefit of the paper's choices is
+// measurable in isolation. Network latency is zeroed; the benchmarks
+// isolate processing and routing costs (the latency effects of each
+// choice are measured by experiments E4, E5, E9).
+package udr
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locator"
+	"repro/internal/replication"
+	"repro/internal/se"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+// benchReadLoop drives FE reads against a UDR.
+func benchReadLoop(b *testing.B, net *simnet.Network, u *core.UDR, profiles []*subscriber.Profile) {
+	b.Helper()
+	site := u.Sites()[0]
+	sess := core.NewSession(net, simnet.MakeAddr(site, "abl-fe"), site, core.PolicyFE)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := profiles[i%len(profiles)]
+		if _, err := sess.Exec(ctx, core.ExecReq{
+			Identity: subscriber.Identity{Type: subscriber.MSISDN, Value: p.MSISDNVal},
+			Ops:      []se.TxnOp{{Kind: se.TxnGet}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWriteLoop drives PS writes against a UDR.
+func benchWriteLoop(b *testing.B, net *simnet.Network, u *core.UDR, profiles []*subscriber.Profile) {
+	b.Helper()
+	site := u.Sites()[0]
+	sess := core.NewSession(net, simnet.MakeAddr(site, "abl-ps"), site, core.PolicyPS)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := profiles[i%len(profiles)]
+		if _, err := sess.Exec(ctx, core.ExecReq{
+			Identity: subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal},
+			Ops: []se.TxnOp{{Kind: se.TxnModify, Mods: []store.Mod{{
+				Kind: store.ModReplace, Attr: subscriber.AttrArea, Vals: []string{"b"},
+			}}}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationReplicationFactor sweeps RF 1..3: the cost of the
+// paper's geographic redundancy on the write path (each extra copy is
+// one more background shipping stream).
+func BenchmarkAblationReplicationFactor(b *testing.B) {
+	for rf := 1; rf <= 3; rf++ {
+		b.Run(fmt.Sprintf("rf=%d", rf), func(b *testing.B) {
+			net, u, profiles := benchUDR(b, 300, func(c *core.Config) {
+				c.ReplicationFactor = rf
+			})
+			benchWriteLoop(b, net, u, profiles)
+		})
+	}
+}
+
+// BenchmarkAblationSlaveReads compares the §3.3.2 decision (FE slave
+// reads on) against master-only routing on the read path.
+func BenchmarkAblationSlaveReads(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		b.Run(fmt.Sprintf("slaveReads=%v", on), func(b *testing.B) {
+			net, u, profiles := benchUDR(b, 300, func(c *core.Config) {
+				c.FESlaveReads = on
+			})
+			benchReadLoop(b, net, u, profiles)
+		})
+	}
+}
+
+// BenchmarkAblationLocatorMode compares provisioned maps (§3.3.1)
+// against cached maps with a warm cache; the cold-miss fan-out cost
+// is measured by E9.
+func BenchmarkAblationLocatorMode(b *testing.B) {
+	for _, mode := range []locator.Mode{locator.Provisioned, locator.Cached} {
+		b.Run(mode.String(), func(b *testing.B) {
+			net, u, profiles := benchUDR(b, 300, func(c *core.Config) {
+				c.LocatorMode = mode
+			})
+			// Warm the cached stage so the steady state is measured.
+			site := u.Sites()[0]
+			sess := core.NewSession(net, simnet.MakeAddr(site, "warm"), site, core.PolicyFE)
+			ctx := context.Background()
+			for _, p := range profiles {
+				sess.Exec(ctx, core.ExecReq{
+					Identity: subscriber.Identity{Type: subscriber.MSISDN, Value: p.MSISDNVal},
+					Ops:      []se.TxnOp{{Kind: se.TxnGet}},
+				})
+			}
+			benchReadLoop(b, net, u, profiles)
+		})
+	}
+}
+
+// BenchmarkAblationDurability sweeps the §5 durability levels on the
+// write path with zero network latency, isolating the coordination
+// overhead (latency effects are E4/E12's subject).
+func BenchmarkAblationDurability(b *testing.B) {
+	for _, d := range []replication.Durability{replication.Async, replication.DualSeq, replication.SyncAll} {
+		b.Run(d.String(), func(b *testing.B) {
+			net, u, profiles := benchUDR(b, 300, func(c *core.Config) {
+				c.Durability = d
+			})
+			benchWriteLoop(b, net, u, profiles)
+		})
+	}
+}
+
+// BenchmarkAblationMultiMaster compares the paper's master/slave
+// write path against §5's multi-master (local-replica) write path.
+func BenchmarkAblationMultiMaster(b *testing.B) {
+	for _, mm := range []bool{false, true} {
+		b.Run(fmt.Sprintf("multiMaster=%v", mm), func(b *testing.B) {
+			net, u, profiles := benchUDR(b, 300, func(c *core.Config) {
+				c.MultiMaster = mm
+			})
+			benchWriteLoop(b, net, u, profiles)
+		})
+	}
+}

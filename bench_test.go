@@ -1,0 +1,271 @@
+// Benchmarks regenerating the paper's figures and quantitative
+// claims. Each BenchmarkE* target runs the corresponding experiment
+// (the same code `cmd/udrbench -run=<id>` prints in full); the
+// remaining benchmarks measure the primitive costs the experiments
+// build on. See EXPERIMENTS.md for the experiment ↔ paper index.
+package udr
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/chash"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ldap"
+	"repro/internal/locator"
+	"repro/internal/se"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+// benchExperiment runs one experiment per iteration in quick mode.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(ctx, id, experiments.Options{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passed() {
+			b.Fatalf("%s failed:\n%s", id, rep)
+		}
+	}
+}
+
+func BenchmarkE1Resilience(b *testing.B)   { benchExperiment(b, "E1") }
+func BenchmarkE2Provisioning(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE3Partition(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4Replication(b *testing.B)  { benchExperiment(b, "E4") }
+func BenchmarkE5SlaveReads(b *testing.B)   { benchExperiment(b, "E5") }
+func BenchmarkE6PSReads(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7Capacity(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8Locator(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9ScaleOut(b *testing.B)     { benchExperiment(b, "E9") }
+func BenchmarkE10Batch(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11MultiMaster(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkE12Durability(b *testing.B)  { benchExperiment(b, "E12") }
+func BenchmarkE13Latency(b *testing.B)     { benchExperiment(b, "E13") }
+func BenchmarkE14FiveNines(b *testing.B)   { benchExperiment(b, "E14") }
+func BenchmarkE15Procedures(b *testing.B)  { benchExperiment(b, "E15") }
+
+// --- Primitive benchmarks -------------------------------------------
+
+// BenchmarkStoreCommit measures one single-row transaction commit on
+// a storage element's store: the §2.3 "fast" requirement's inner
+// loop (E13's excluding-network query cost).
+func BenchmarkStoreCommit(b *testing.B) {
+	st := store.New("bench")
+	entry := store.Entry{"msisdn": {"34600000001"}, "active": {"TRUE"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := st.Begin(store.ReadCommitted)
+		txn.Put(fmt.Sprintf("sub-%d", i%10000), entry)
+		if _, err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreRead measures the committed-read path.
+func BenchmarkStoreRead(b *testing.B) {
+	st := store.New("bench")
+	for i := 0; i < 10000; i++ {
+		txn := st.Begin(store.ReadCommitted)
+		txn.Put(fmt.Sprintf("sub-%d", i), store.Entry{"v": {"1"}})
+		txn.Commit()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := st.GetCommitted(fmt.Sprintf("sub-%d", i%10000)); !ok {
+			b.Fatal("missing row")
+		}
+	}
+}
+
+// BenchmarkLocatorMapLookup measures the O(log N) identity-location
+// map at 100k subscribers (E8's left column).
+func BenchmarkLocatorMapLookup(b *testing.B) {
+	stage := locator.NewStage("x", locator.Provisioned, true)
+	const n = 100000
+	ids := make([]subscriber.Identity, n)
+	for i := 0; i < n; i++ {
+		ids[i] = subscriber.Identity{Type: subscriber.IMSI, Value: fmt.Sprintf("21401%09d", i)}
+		stage.PutProfile(ids[i:i+1], locator.Placement{SubscriberID: "s", Partition: "p"})
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stage.Lookup(ctx, ids[i%n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocatorHashLookup measures the O(1) consistent-hashing
+// alternative (E8's right column).
+func BenchmarkLocatorHashLookup(b *testing.B) {
+	h := locator.NewHashLocator([]string{"p-0", "p-1", "p-2", "p-3"})
+	ctx := context.Background()
+	ids := make([]subscriber.Identity, 1000)
+	for i := range ids {
+		ids[i] = subscriber.Identity{Type: subscriber.IMSI, Value: fmt.Sprintf("21401%09d", i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Lookup(ctx, ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBTreeSet measures ordered-index insertion.
+func BenchmarkBTreeSet(b *testing.B) {
+	m := btree.New[int]()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Set(fmt.Sprintf("key-%09d", i%200000), i)
+	}
+}
+
+// BenchmarkChashLocate measures raw ring lookup.
+func BenchmarkChashLocate(b *testing.B) {
+	r := chash.New(128)
+	for i := 0; i < 16; i++ {
+		r.Add(fmt.Sprintf("p-%d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Locate(fmt.Sprintf("key-%d", i))
+	}
+}
+
+// BenchmarkLDAPEncodeDecode measures one LDAP search-request
+// round-trip through the BER codec (the northbound wire cost per op
+// behind E7's LDAP-server throughput model).
+func BenchmarkLDAPEncodeDecode(b *testing.B) {
+	msg := &ldap.Message{ID: 1, Op: &ldap.SearchRequest{
+		BaseDN: "ou=subscribers,dc=udr",
+		Scope:  ldap.ScopeWholeSubtree,
+		Filter: ldap.And(ldap.Eq("objectClass", "udrSubscription"), ldap.Eq("msisdn", "34600000001")),
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := msg.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ldap.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchUDR builds a zero-latency three-site UDR for end-to-end path
+// benchmarks.
+func benchUDR(b *testing.B, subs int, mutate ...func(*core.Config)) (*simnet.Network, *core.UDR, []*subscriber.Profile) {
+	b.Helper()
+	net := simnet.New(simnet.Config{Seed: 1})
+	cfg := core.DefaultConfig()
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	u, err := core.New(net, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(u.Stop)
+	gen := subscriber.NewGenerator(u.Sites()...)
+	profiles := make([]*subscriber.Profile, subs)
+	for i := range profiles {
+		profiles[i] = gen.Profile(i)
+		if err := u.SeedDirect(profiles[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := u.WaitReplication(ctx); err != nil {
+		b.Fatal(err)
+	}
+	return net, u, profiles
+}
+
+// BenchmarkFEReadPath measures the full FE read path (session → PoA →
+// locator → SE) with network latency zeroed, isolating processing
+// cost.
+func BenchmarkFEReadPath(b *testing.B) {
+	net, u, profiles := benchUDR(b, 1000)
+	site := u.Sites()[0]
+	sess := core.NewSession(net, simnet.MakeAddr(site, "bench-fe"), site, core.PolicyFE)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := profiles[i%len(profiles)]
+		if _, err := sess.Exec(ctx, core.ExecReq{
+			Identity: subscriber.Identity{Type: subscriber.MSISDN, Value: p.MSISDNVal},
+			Ops:      []se.TxnOp{{Kind: se.TxnGet}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPSWritePath measures the provisioning write path
+// (master-routed modify) with network latency zeroed.
+func BenchmarkPSWritePath(b *testing.B) {
+	net, u, profiles := benchUDR(b, 1000)
+	site := u.Sites()[0]
+	sess := core.NewSession(net, simnet.MakeAddr(site, "bench-ps"), site, core.PolicyPS)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := profiles[i%len(profiles)]
+		if _, err := sess.Exec(ctx, core.ExecReq{
+			Identity: subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal},
+			Ops: []se.TxnOp{{Kind: se.TxnModify, Mods: []store.Mod{{
+				Kind: store.ModReplace, Attr: subscriber.AttrArea, Vals: []string{"bench"},
+			}}}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicationApply measures slave-side ordered apply.
+func BenchmarkReplicationApply(b *testing.B) {
+	master := store.New("m")
+	slave := store.New("s")
+	slave.SetRole(store.Slave)
+	recs := make([]*store.CommitRecord, b.N)
+	for i := 0; i < b.N; i++ {
+		txn := master.Begin(store.ReadCommitted)
+		txn.Put(fmt.Sprintf("k-%d", i%10000), store.Entry{"v": {"1"}})
+		rec, err := txn.Commit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs[i] = rec
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := slave.ApplyReplicated(recs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command provision bulk-provisions synthetic subscriptions into a
+// running udrd over the LDAP interface, using the transaction
+// grouping extended operations — the provisioning-system flow of
+// §2.4, runnable against a real socket.
+//
+// Usage:
+//
+//	provision -addr localhost:3890 -n 500 -start 1000
+//	provision -batch             # one LDAP transaction per subscription
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/ldap"
+	"repro/internal/subscriber"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:3890", "udrd LDAP address")
+		n       = flag.Int("n", 100, "subscriptions to provision")
+		start   = flag.Int("start", 100000, "first subscriber index")
+		regions = flag.String("regions", "eu-south,eu-north,americas", "home regions (comma separated)")
+		batch   = flag.Bool("batch", true, "group each subscription's writes in an LDAP transaction")
+	)
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatalf("provision: %v", err)
+	}
+	c := ldap.NewClient(conn)
+	defer c.Unbind()
+	if r, err := c.Bind("cn=ps", "x"); err != nil || r.Code != ldap.ResultSuccess {
+		log.Fatalf("provision: bind: %v %v", r, err)
+	}
+
+	gen := subscriber.NewGenerator(splitTrim(*regions)...)
+	begin := time.Now()
+	failed := 0
+	for i := 0; i < *n; i++ {
+		prof := gen.Profile(*start + i)
+		entry := prof.ToEntry()
+		attrs := make(map[string][]string, len(entry))
+		for k, v := range entry {
+			attrs[k] = v
+		}
+
+		if *batch {
+			if r, err := c.TxnBegin(); err != nil || r.Code != ldap.ResultSuccess {
+				log.Fatalf("provision: txn begin: %v %v", r, err)
+			}
+		}
+		r, err := c.Add(subscriber.DN(prof.ID), attrs)
+		if err != nil {
+			log.Fatalf("provision: add: %v", err)
+		}
+		if *batch {
+			r, err = c.TxnCommit()
+			if err != nil {
+				log.Fatalf("provision: txn commit: %v", err)
+			}
+		}
+		if r.Code != ldap.ResultSuccess {
+			failed++
+			fmt.Printf("provision: %s failed: %v %s\n", prof.ID, r.Code, r.Message)
+		}
+	}
+	elapsed := time.Since(begin)
+	fmt.Printf("provision: %d/%d subscriptions in %v (%.0f/s), %d failed\n",
+		*n-failed, *n, elapsed.Round(time.Millisecond),
+		float64(*n)/elapsed.Seconds(), failed)
+}
+
+func splitTrim(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if trimmed := strings.TrimSpace(part); trimmed != "" {
+			out = append(out, trimmed)
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Command udrctl is an LDAP command-line client for a running udrd:
+// the operator's view onto the UDR's northbound interface.
+//
+// Usage:
+//
+//	udrctl -addr localhost:3890 search '(msisdn=34600000001)'
+//	udrctl get sub-00000001
+//	udrctl compare sub-00000001 active TRUE
+//	udrctl set sub-00000001 barPremium TRUE
+//	udrctl delete sub-00000001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/ldap"
+	"repro/internal/subscriber"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: udrctl [-addr host:port] <command> [args]
+
+commands:
+  status                      topology status (partitions, replicas, roles)
+  search <filter>             subtree search, e.g. '(msisdn=34600000001)'
+  get <subscriber-id>         base-object read by DN
+  compare <id> <attr> <val>   LDAP compare
+  set <id> <attr> <val>       replace one attribute
+  delete <subscriber-id>      remove the subscription
+`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:3890", "udrd LDAP address")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatalf("udrctl: %v", err)
+	}
+	c := ldap.NewClient(conn)
+	defer c.Unbind()
+	if r, err := c.Bind("cn=udrctl", "x"); err != nil || r.Code != ldap.ResultSuccess {
+		log.Fatalf("udrctl: bind: %v %v", r, err)
+	}
+
+	switch args[0] {
+	case "status":
+		text, r, err := c.Status()
+		exitOn(r, err)
+		fmt.Print(text)
+	case "search":
+		if len(args) != 2 {
+			usage()
+		}
+		filter, err := parseFilter(args[1])
+		if err != nil {
+			log.Fatalf("udrctl: %v", err)
+		}
+		entries, res, err := c.Search(&ldap.SearchRequest{
+			BaseDN: subscriber.BaseDN,
+			Scope:  ldap.ScopeWholeSubtree,
+			Filter: filter,
+		})
+		exitOn(res, err)
+		for _, e := range entries {
+			printEntry(e)
+		}
+	case "get":
+		if len(args) != 2 {
+			usage()
+		}
+		entries, res, err := c.Search(&ldap.SearchRequest{
+			BaseDN: subscriber.DN(args[1]),
+			Scope:  ldap.ScopeBaseObject,
+			Filter: ldap.Present(subscriber.AttrObjectClass),
+		})
+		exitOn(res, err)
+		for _, e := range entries {
+			printEntry(e)
+		}
+	case "compare":
+		if len(args) != 4 {
+			usage()
+		}
+		r, err := c.Compare(subscriber.DN(args[1]), args[2], args[3])
+		if err != nil {
+			log.Fatalf("udrctl: %v", err)
+		}
+		fmt.Println(r.Code)
+		if r.Code != ldap.ResultCompareTrue && r.Code != ldap.ResultCompareFalse {
+			os.Exit(1)
+		}
+	case "set":
+		if len(args) != 4 {
+			usage()
+		}
+		r, err := c.Modify(subscriber.DN(args[1]), []ldap.Change{
+			{Op: ldap.ChangeReplace, Attr: args[2], Vals: []string{args[3]}},
+		})
+		exitOn(r, err)
+		fmt.Println("modified", args[1])
+	case "delete":
+		if len(args) != 2 {
+			usage()
+		}
+		r, err := c.Delete(subscriber.DN(args[1]))
+		exitOn(r, err)
+		fmt.Println("deleted", args[1])
+	default:
+		usage()
+	}
+}
+
+func exitOn(r ldap.Result, err error) {
+	if err != nil {
+		log.Fatalf("udrctl: %v", err)
+	}
+	if r.Code != ldap.ResultSuccess {
+		log.Fatalf("udrctl: %v: %s", r.Code, r.Message)
+	}
+}
+
+func printEntry(e ldap.SearchEntry) {
+	fmt.Printf("dn: %s\n", e.DN)
+	attrs := make([]string, 0, len(e.Attrs))
+	for a := range e.Attrs {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		for _, v := range e.Attrs[a] {
+			fmt.Printf("%s: %s\n", a, v)
+		}
+	}
+	fmt.Println()
+}
+
+// parseFilter parses the simple "(attr=value)" filter shape udrctl
+// supports (equality and presence).
+func parseFilter(s string) (ldap.Filter, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return ldap.Filter{}, fmt.Errorf("filter must look like (attr=value), got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	attr, value, ok := strings.Cut(body, "=")
+	if !ok || attr == "" {
+		return ldap.Filter{}, fmt.Errorf("filter must look like (attr=value), got %q", s)
+	}
+	if value == "*" {
+		return ldap.Present(attr), nil
+	}
+	return ldap.Eq(attr, value), nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/ldap"
+)
+
+func TestParseFilterEquality(t *testing.T) {
+	f, err := parseFilter("(msisdn=34600000001)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != ldap.FilterEquality || f.Attr != "msisdn" || f.Value != "34600000001" {
+		t.Fatalf("filter = %+v", f)
+	}
+}
+
+func TestParseFilterPresence(t *testing.T) {
+	f, err := parseFilter("(objectClass=*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != ldap.FilterPresent || f.Attr != "objectClass" {
+		t.Fatalf("filter = %+v", f)
+	}
+}
+
+func TestParseFilterTrimsSpace(t *testing.T) {
+	if _, err := parseFilter("  (imsi=1)  "); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFilterErrors(t *testing.T) {
+	for _, bad := range []string{"", "msisdn=1", "(msisdn)", "(=1)", "(novalue"} {
+		if _, err := parseFilter(bad); err == nil {
+			t.Errorf("parseFilter(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseFilterValueWithEquals(t *testing.T) {
+	f, err := parseFilter("(impu=sip:+34=6@x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Value != "sip:+34=6@x" {
+		t.Fatalf("value = %q", f.Value)
+	}
+}

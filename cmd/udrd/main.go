@@ -1,0 +1,107 @@
+// Command udrd runs a User Data Repository network function and
+// serves its UDC-mandated LDAP northbound interface over TCP.
+//
+// The UDR (three sites by default, the paper's Figure 2 layout) runs
+// in-process over the simulated multi-national backbone; the LDAP
+// listener bridges real TCP clients onto a PoA session. Seed
+// subscribers with -subs, pick the served PoA with -poa-site, and
+// point cmd/udrctl or cmd/provision at the listener.
+//
+// Usage:
+//
+//	udrd -addr :3890 -subs 1000
+//	udrd -sites eu-south,eu-north,americas -poa-site americas -policy fe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/ldap"
+	"repro/internal/simnet"
+	"repro/internal/subscriber"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":3890", "TCP listen address for the LDAP interface")
+		sites    = flag.String("sites", "eu-south,eu-north,americas", "comma-separated site names")
+		sesPer   = flag.Int("se-per-site", 1, "storage elements per site")
+		rf       = flag.Int("rf", 3, "replication factor (copies per partition)")
+		subs     = flag.Int("subs", 100, "synthetic subscribers to seed")
+		poaSite  = flag.String("poa-site", "", "site whose PoA serves the LDAP interface (default: first site)")
+		policy   = flag.String("policy", "ps", "session policy behind the LDAP interface: fe or ps")
+		walDir   = flag.String("wal-dir", "", "enable disk persistence under this directory")
+		multiMas = flag.Bool("multi-master", false, "enable §5 multi-master mode")
+	)
+	flag.Parse()
+
+	siteNames := strings.Split(*sites, ",")
+	cfg := core.Config{ReplicationFactor: *rf, FESlaveReads: true, MultiMaster: *multiMas, WALDir: *walDir}
+	for _, s := range siteNames {
+		cfg.Sites = append(cfg.Sites, core.SiteSpec{Name: strings.TrimSpace(s), SEs: *sesPer, PartitionsPerSE: 1})
+	}
+
+	network := simnet.New(simnet.DefaultConfig())
+	u, err := core.New(network, cfg)
+	if err != nil {
+		log.Fatalf("udrd: %v", err)
+	}
+	defer u.Stop()
+
+	gen := subscriber.NewGenerator(u.Sites()...)
+	for i := 0; i < *subs; i++ {
+		if err := u.SeedDirect(gen.Profile(i)); err != nil {
+			log.Fatalf("udrd: seeding: %v", err)
+		}
+	}
+
+	served := *poaSite
+	if served == "" {
+		served = u.Sites()[0]
+	}
+	pol := core.PolicyPS
+	if strings.EqualFold(*policy, "fe") {
+		pol = core.PolicyFE
+	}
+	session := core.NewSession(network, simnet.MakeAddr(served, "ldap-bridge"), served, pol)
+	server := ldap.NewServer(core.NewLDAPBackend(session).WithTopology(u))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("udrd: %v", err)
+	}
+	defer ln.Close()
+
+	fmt.Printf("udrd: UDR NF up — %d sites, %d partitions, %d elements, RF=%d\n",
+		len(u.Sites()), len(u.Partitions()), len(u.Elements()), *rf)
+	for _, partID := range u.Partitions() {
+		p, _ := u.Partition(partID)
+		var replicas []string
+		for _, r := range p.Replicas {
+			replicas = append(replicas, string(r.Addr))
+		}
+		fmt.Printf("udrd:   %-16s home=%-10s replicas=%s\n", p.ID, p.HomeSite, strings.Join(replicas, ","))
+	}
+	fmt.Printf("udrd: %d subscribers seeded; LDAP (%s policy, PoA %s) on %s\n",
+		*subs, pol, served, ln.Addr())
+
+	go func() {
+		if err := server.Serve(ln); err != nil {
+			log.Printf("udrd: ldap server: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("udrd: shutting down")
+	server.Close()
+}

@@ -1,0 +1,92 @@
+// Partition: the paper's central trade-off, live. A backbone
+// partition isolates one site; front-end reads keep working
+// everywhere (slave copies), while provisioning writes fail on the
+// side that cannot reach the partition master — consistency over
+// availability (§3.2, §4.1).
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	udr "repro"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	network := udr.NewNetwork(udr.DefaultNetConfig())
+	u, err := udr.New(network, udr.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer u.Stop()
+
+	// Seed one subscriber per region.
+	gen := udr.NewGenerator(u.Sites()...)
+	var profiles []*udr.Profile
+	for i := 0; i < 3; i++ {
+		p := gen.Profile(i)
+		if err := u.SeedDirect(p); err != nil {
+			log.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	if err := u.WaitReplication(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	isolated := u.Sites()[0]
+	fe := udr.NewSession(network, udr.Addr(isolated+"/fe"), isolated, udr.PolicyFE)
+	ps := udr.NewSession(network, udr.Addr(isolated+"/ps"), isolated, udr.PolicyPS)
+
+	exercise := func(label string) {
+		fmt.Printf("--- %s ---\n", label)
+		for _, p := range profiles {
+			_, _, role, rerr := fe.ReadProfile(ctx, udr.MSISDN(p.MSISDNVal))
+			readState := fmt.Sprintf("ok (via %s copy)", role)
+			if rerr != nil {
+				readState = "FAILED: " + rerr.Error()
+			}
+			_, werr := ps.Exec(ctx, udr.ExecReq{
+				Identity: udr.IMSI(p.IMSIVal),
+				Ops:      touchOps(),
+			})
+			writeState := "ok"
+			if werr != nil {
+				if errors.Is(werr, udr.ErrMasterUnreachable) {
+					writeState = "FAILED: master unreachable (C over A)"
+				} else {
+					writeState = "FAILED: " + werr.Error()
+				}
+			}
+			fmt.Printf("  %s (home %-10s)  FE read: %-22s  PS write: %s\n",
+				p.ID, p.HomeRegion, readState, writeState)
+		}
+	}
+
+	exercise("healthy network")
+
+	fmt.Printf("\n*** backbone partition: %s isolated from the other sites ***\n\n", isolated)
+	network.Partition([]string{isolated})
+	exercise("during partition (observed from " + isolated + ")")
+
+	network.Heal()
+	fmt.Println("\n*** partition healed ***")
+	fmt.Println()
+	exercise("after heal")
+
+	fmt.Println("\nThe paper's conclusion (§3.6): the UDR is PA/EL for front-end")
+	fmt.Println("transactions but PC/EC for provisioning transactions.")
+}
+
+func touchOps() []udr.TxnOp {
+	return []udr.TxnOp{{
+		Kind: udr.TxnModify,
+		Mods: []udr.Mod{{Kind: udr.ModReplace, Attr: "area", Vals: []string{"touched"}}},
+	}}
+}

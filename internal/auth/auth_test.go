@@ -1,0 +1,139 @@
+package auth
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(t *testing.T) [KeyLen]byte {
+	t.Helper()
+	k, err := ParseKey("000102030405060708090a0b0c0d0e0f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestParseKey(t *testing.T) {
+	if _, err := ParseKey("zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if _, err := ParseKey("0001"); !errors.Is(err, ErrBadKey) {
+		t.Fatal("short key accepted")
+	}
+	k, err := ParseKey(strings.Repeat("ab", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k[0] != 0xab || k[15] != 0xab {
+		t.Fatalf("key = %x", k)
+	}
+}
+
+func TestGenerateVerifyRoundTrip(t *testing.T) {
+	k := testKey(t)
+	rand := Challenge(42)
+	const sqn = 100
+	v := GenerateVector(k, rand, sqn, [AmfLen]byte{0x80, 0x00})
+
+	got, err := VerifyAUTN(k, v.RAND, v.AUTN, sqn-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sqn {
+		t.Fatalf("recovered SQN = %d, want %d", got, sqn)
+	}
+}
+
+func TestVectorComponentsDiffer(t *testing.T) {
+	k := testKey(t)
+	v := GenerateVector(k, Challenge(1), 1, [AmfLen]byte{})
+	// The derivation offsets must make the outputs distinct.
+	if string(v.CK[:]) == string(v.IK[:]) {
+		t.Fatal("CK == IK")
+	}
+	if string(v.XRES[:]) == string(v.CK[:ResLen]) {
+		t.Fatal("XRES == CK prefix")
+	}
+}
+
+func TestMACFailureOnWrongKey(t *testing.T) {
+	k := testKey(t)
+	k2 := k
+	k2[0] ^= 0xFF
+	v := GenerateVector(k, Challenge(7), 50, [AmfLen]byte{})
+	if _, err := VerifyAUTN(k2, v.RAND, v.AUTN, 49); !errors.Is(err, ErrMACFailure) {
+		t.Fatalf("err = %v, want MAC failure", err)
+	}
+}
+
+func TestMACFailureOnTamperedAUTN(t *testing.T) {
+	k := testKey(t)
+	v := GenerateVector(k, Challenge(7), 50, [AmfLen]byte{})
+	v.AUTN[10] ^= 0x01 // flip a MAC bit
+	if _, err := VerifyAUTN(k, v.RAND, v.AUTN, 49); !errors.Is(err, ErrMACFailure) {
+		t.Fatalf("err = %v, want MAC failure", err)
+	}
+}
+
+func TestSyncFailureOnReplay(t *testing.T) {
+	k := testKey(t)
+	v := GenerateVector(k, Challenge(7), 50, [AmfLen]byte{})
+	// USIM has already seen SQN 50: replay must be rejected.
+	if _, err := VerifyAUTN(k, v.RAND, v.AUTN, 50); !errors.Is(err, ErrSyncFailure) {
+		t.Fatalf("err = %v, want sync failure", err)
+	}
+	// Far-future SQN (beyond the window) also rejected.
+	vFuture := GenerateVector(k, Challenge(8), 50+sqnDelta+1, [AmfLen]byte{})
+	if _, err := VerifyAUTN(k, vFuture.RAND, vFuture.AUTN, 50); !errors.Is(err, ErrSyncFailure) {
+		t.Fatalf("err = %v, want sync failure", err)
+	}
+}
+
+func TestSQNEncodingBounds(t *testing.T) {
+	for _, sqn := range []uint64{0, 1, MaxSQN, MaxSQN + 5} {
+		b := sqnBytes(sqn)
+		got := sqnFromBytes(b)
+		if got != sqn&MaxSQN {
+			t.Fatalf("sqn %d round-tripped to %d", sqn, got)
+		}
+	}
+}
+
+func TestChallengeDeterministicDistinct(t *testing.T) {
+	if Challenge(1) != Challenge(1) {
+		t.Fatal("challenge not deterministic")
+	}
+	if Challenge(1) == Challenge(2) {
+		t.Fatal("challenges collide")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	k := testKey(t)
+	f := func(seed uint64, sqn32 uint32, amf [2]byte) bool {
+		sqn := uint64(sqn32) + 1 // >= 1 so highestSeen=sqn-1 is valid
+		v := GenerateVector(k, Challenge(seed), sqn, amf)
+		got, err := VerifyAUTN(k, v.RAND, v.AUTN, sqn-1)
+		return err == nil && got == sqn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentKeysDifferentVectorsProperty(t *testing.T) {
+	f := func(a, b [16]byte, seed uint64) bool {
+		if a == b {
+			return true
+		}
+		va := GenerateVector(a, Challenge(seed), 1, [AmfLen]byte{})
+		vb := GenerateVector(b, Challenge(seed), 1, [AmfLen]byte{})
+		return va.XRES != vb.XRES
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

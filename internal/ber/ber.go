@@ -1,0 +1,351 @@
+// Package ber implements the subset of ASN.1 Basic Encoding Rules
+// needed by the UDR's LDAP northbound interface (§1: the UDR "is
+// mandated to support an LDAP-based interface").
+//
+// A BER element is modelled as a Packet tree: constructed packets hold
+// children, primitive packets hold raw bytes. Only definite-length
+// encoding is produced; both short- and long-form lengths are parsed.
+package ber
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Class is the BER tag class.
+type Class byte
+
+// Tag classes.
+const (
+	ClassUniversal   Class = 0x00
+	ClassApplication Class = 0x40
+	ClassContext     Class = 0x80
+	ClassPrivate     Class = 0xC0
+)
+
+// Universal tags used by LDAP.
+const (
+	TagBoolean     = 0x01
+	TagInteger     = 0x02
+	TagOctetString = 0x04
+	TagNull        = 0x05
+	TagEnumerated  = 0x0A
+	TagSequence    = 0x10
+	TagSet         = 0x11
+)
+
+// ErrTruncated is returned when input ends mid-element.
+var ErrTruncated = errors.New("ber: truncated element")
+
+// MaxElementSize bounds a single element to guard servers against
+// hostile length headers.
+const MaxElementSize = 16 << 20
+
+// Packet is one BER element.
+type Packet struct {
+	Class       Class
+	Constructed bool
+	Tag         int
+	Value       []byte    // primitive contents
+	Children    []*Packet // constructed contents
+}
+
+// NewSequence returns an empty universal SEQUENCE.
+func NewSequence() *Packet {
+	return &Packet{Class: ClassUniversal, Constructed: true, Tag: TagSequence}
+}
+
+// NewConstructed returns an empty constructed packet with the given
+// class and tag (used for LDAP APPLICATION and context tags).
+func NewConstructed(class Class, tag int) *Packet {
+	return &Packet{Class: class, Constructed: true, Tag: tag}
+}
+
+// NewPrimitive returns a primitive packet with raw contents.
+func NewPrimitive(class Class, tag int, value []byte) *Packet {
+	return &Packet{Class: class, Tag: tag, Value: value}
+}
+
+// NewBoolean returns a universal BOOLEAN.
+func NewBoolean(v bool) *Packet {
+	b := byte(0x00)
+	if v {
+		b = 0xFF
+	}
+	return NewPrimitive(ClassUniversal, TagBoolean, []byte{b})
+}
+
+// NewInteger returns a universal INTEGER.
+func NewInteger(v int64) *Packet {
+	return NewPrimitive(ClassUniversal, TagInteger, encodeInt(v))
+}
+
+// NewEnumerated returns a universal ENUMERATED.
+func NewEnumerated(v int64) *Packet {
+	return NewPrimitive(ClassUniversal, TagEnumerated, encodeInt(v))
+}
+
+// NewString returns a universal OCTET STRING.
+func NewString(s string) *Packet {
+	return NewPrimitive(ClassUniversal, TagOctetString, []byte(s))
+}
+
+// NewNull returns a universal NULL.
+func NewNull() *Packet { return NewPrimitive(ClassUniversal, TagNull, nil) }
+
+// Append adds children to a constructed packet and returns it.
+func (p *Packet) Append(children ...*Packet) *Packet {
+	p.Children = append(p.Children, children...)
+	return p
+}
+
+// Bool decodes a BOOLEAN packet.
+func (p *Packet) Bool() (bool, error) {
+	if len(p.Value) != 1 {
+		return false, fmt.Errorf("ber: boolean with %d content bytes", len(p.Value))
+	}
+	return p.Value[0] != 0, nil
+}
+
+// Int decodes an INTEGER or ENUMERATED packet.
+func (p *Packet) Int() (int64, error) {
+	if len(p.Value) == 0 || len(p.Value) > 8 {
+		return 0, fmt.Errorf("ber: integer with %d content bytes", len(p.Value))
+	}
+	v := int64(0)
+	if p.Value[0]&0x80 != 0 {
+		v = -1 // sign-extend
+	}
+	for _, b := range p.Value {
+		v = v<<8 | int64(b)
+	}
+	return v, nil
+}
+
+// Str returns the contents as a string.
+func (p *Packet) Str() string { return string(p.Value) }
+
+// Child returns the i-th child, or nil when out of range, so callers
+// can chain lookups and check once.
+func (p *Packet) Child(i int) *Packet {
+	if i < 0 || i >= len(p.Children) {
+		return nil
+	}
+	return p.Children[i]
+}
+
+func encodeInt(v int64) []byte {
+	// Minimal two's-complement encoding.
+	n := 1
+	for m := v >> 8; m != 0 && m != -1; m >>= 8 {
+		n++
+	}
+	// Need an extra byte if the sign bit doesn't match.
+	if v > 0 && (v>>(8*uint(n-1)))&0x80 != 0 {
+		n++
+	}
+	if v < 0 && (v>>(8*uint(n-1)))&0x80 == 0 {
+		n++
+	}
+	out := make([]byte, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = byte(v)
+		v >>= 8
+	}
+	return out
+}
+
+func encodeLength(n int) []byte {
+	if n < 0x80 {
+		return []byte{byte(n)}
+	}
+	var tmp [8]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte(n)
+		n >>= 8
+	}
+	out := make([]byte, 0, 1+len(tmp)-i)
+	out = append(out, byte(0x80|(len(tmp)-i)))
+	return append(out, tmp[i:]...)
+}
+
+func encodeTag(class Class, constructed bool, tag int) []byte {
+	b := byte(class)
+	if constructed {
+		b |= 0x20
+	}
+	if tag < 0x1F {
+		return []byte{b | byte(tag)}
+	}
+	// High-tag-number form (not used by LDAP but supported for
+	// completeness).
+	out := []byte{b | 0x1F}
+	var tmp [8]byte
+	i := len(tmp)
+	for tag > 0 {
+		i--
+		tmp[i] = byte(tag & 0x7F)
+		tag >>= 7
+	}
+	for j := i; j < len(tmp); j++ {
+		b := tmp[j]
+		if j != len(tmp)-1 {
+			b |= 0x80
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Encode serializes the packet tree.
+func (p *Packet) Encode() []byte {
+	var content []byte
+	if p.Constructed {
+		for _, c := range p.Children {
+			content = append(content, c.Encode()...)
+		}
+	} else {
+		content = p.Value
+	}
+	out := encodeTag(p.Class, p.Constructed, p.Tag)
+	out = append(out, encodeLength(len(content))...)
+	return append(out, content...)
+}
+
+// Parse decodes one element from buf, returning the element and the
+// remaining bytes.
+func Parse(buf []byte) (*Packet, []byte, error) {
+	p, n, err := parseElem(buf)
+	if err != nil {
+		return nil, buf, err
+	}
+	return p, buf[n:], nil
+}
+
+func parseElem(buf []byte) (*Packet, int, error) {
+	if len(buf) < 2 {
+		return nil, 0, ErrTruncated
+	}
+	b := buf[0]
+	class := Class(b & 0xC0)
+	constructed := b&0x20 != 0
+	tag := int(b & 0x1F)
+	idx := 1
+	if tag == 0x1F {
+		tag = 0
+		for {
+			if idx >= len(buf) {
+				return nil, 0, ErrTruncated
+			}
+			c := buf[idx]
+			idx++
+			tag = tag<<7 | int(c&0x7F)
+			if c&0x80 == 0 {
+				break
+			}
+			if tag > 1<<24 {
+				return nil, 0, errors.New("ber: tag too large")
+			}
+		}
+	}
+	if idx >= len(buf) {
+		return nil, 0, ErrTruncated
+	}
+	length := int(buf[idx])
+	idx++
+	if length&0x80 != 0 {
+		nbytes := length & 0x7F
+		if nbytes == 0 {
+			return nil, 0, errors.New("ber: indefinite length unsupported")
+		}
+		if nbytes > 4 {
+			return nil, 0, errors.New("ber: length too large")
+		}
+		if idx+nbytes > len(buf) {
+			return nil, 0, ErrTruncated
+		}
+		length = 0
+		for i := 0; i < nbytes; i++ {
+			length = length<<8 | int(buf[idx])
+			idx++
+		}
+	}
+	if length > MaxElementSize {
+		return nil, 0, errors.New("ber: element exceeds size limit")
+	}
+	if idx+length > len(buf) {
+		return nil, 0, ErrTruncated
+	}
+	content := buf[idx : idx+length]
+	p := &Packet{Class: class, Constructed: constructed, Tag: tag}
+	if constructed {
+		rest := content
+		for len(rest) > 0 {
+			child, n, err := parseElem(rest)
+			if err != nil {
+				return nil, 0, err
+			}
+			p.Children = append(p.Children, child)
+			rest = rest[n:]
+		}
+	} else {
+		p.Value = append([]byte(nil), content...)
+	}
+	return p, idx + length, nil
+}
+
+// ReadElement reads exactly one BER element from r, using the length
+// header to frame it (the standard LDAP framing technique).
+func ReadElement(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, 2)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	buf := append([]byte(nil), hdr...)
+	// Skip high-tag-number bytes.
+	if hdr[0]&0x1F == 0x1F {
+		one := make([]byte, 1)
+		// hdr[1] was the first tag byte; keep reading until the
+		// continuation bit clears, then read the length byte.
+		b := hdr[1]
+		for b&0x80 != 0 {
+			if _, err := io.ReadFull(r, one); err != nil {
+				return nil, err
+			}
+			b = one[0]
+			buf = append(buf, b)
+		}
+		if _, err := io.ReadFull(r, one); err != nil {
+			return nil, err
+		}
+		buf = append(buf, one[0])
+	}
+	lengthByte := buf[len(buf)-1]
+	length := int(lengthByte)
+	if lengthByte&0x80 != 0 {
+		nbytes := int(lengthByte & 0x7F)
+		if nbytes == 0 || nbytes > 4 {
+			return nil, errors.New("ber: unsupported length form")
+		}
+		lb := make([]byte, nbytes)
+		if _, err := io.ReadFull(r, lb); err != nil {
+			return nil, err
+		}
+		buf = append(buf, lb...)
+		length = 0
+		for _, b := range lb {
+			length = length<<8 | int(b)
+		}
+	}
+	if length > MaxElementSize {
+		return nil, errors.New("ber: element exceeds size limit")
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return append(buf, body...), nil
+}

@@ -1,0 +1,237 @@
+package ber
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, p *Packet) *Packet {
+	t.Helper()
+	buf := p.Encode()
+	got, rest, err := Parse(buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("Parse left %d bytes", len(rest))
+	}
+	return got
+}
+
+func TestIntegerRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 127, 128, -128, -129, 255, 256,
+		1<<31 - 1, -(1 << 31), 1<<62 - 1, -(1 << 62)} {
+		got := roundTrip(t, NewInteger(v))
+		n, err := got.Int()
+		if err != nil {
+			t.Fatalf("Int(%d): %v", v, err)
+		}
+		if n != v {
+			t.Fatalf("round trip %d -> %d", v, n)
+		}
+	}
+}
+
+func TestIntegerMinimalEncoding(t *testing.T) {
+	// 127 fits in one byte, 128 needs two (sign bit).
+	if got := len(NewInteger(127).Value); got != 1 {
+		t.Fatalf("127 encoded in %d bytes", got)
+	}
+	if got := len(NewInteger(128).Value); got != 2 {
+		t.Fatalf("128 encoded in %d bytes", got)
+	}
+	if got := len(NewInteger(-128).Value); got != 1 {
+		t.Fatalf("-128 encoded in %d bytes", got)
+	}
+}
+
+func TestBooleanRoundTrip(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		got := roundTrip(t, NewBoolean(v))
+		b, err := got.Bool()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != v {
+			t.Fatalf("round trip %v -> %v", v, b)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "hello", "uid=sub-1,ou=subscribers,dc=udr",
+		string(make([]byte, 200))} {
+		got := roundTrip(t, NewString(s))
+		if got.Str() != s {
+			t.Fatalf("round trip %q -> %q", s, got.Str())
+		}
+	}
+}
+
+func TestLongFormLength(t *testing.T) {
+	// > 127 bytes of content forces long-form length.
+	s := string(bytes.Repeat([]byte("x"), 300))
+	got := roundTrip(t, NewString(s))
+	if got.Str() != s {
+		t.Fatal("long-form round trip failed")
+	}
+}
+
+func TestSequenceNesting(t *testing.T) {
+	p := NewSequence().Append(
+		NewInteger(7),
+		NewSequence().Append(NewString("inner"), NewBoolean(true)),
+		NewEnumerated(3),
+	)
+	got := roundTrip(t, p)
+	if len(got.Children) != 3 {
+		t.Fatalf("children = %d", len(got.Children))
+	}
+	inner := got.Child(1)
+	if len(inner.Children) != 2 || inner.Child(0).Str() != "inner" {
+		t.Fatalf("inner = %+v", inner)
+	}
+	n, _ := got.Child(2).Int()
+	if n != 3 {
+		t.Fatalf("enumerated = %d", n)
+	}
+}
+
+func TestApplicationAndContextClasses(t *testing.T) {
+	p := NewConstructed(ClassApplication, 3).Append(
+		NewPrimitive(ClassContext, 7, []byte("objectClass")),
+	)
+	got := roundTrip(t, p)
+	if got.Class != ClassApplication || got.Tag != 3 {
+		t.Fatalf("class/tag = %v/%d", got.Class, got.Tag)
+	}
+	c := got.Child(0)
+	if c.Class != ClassContext || c.Tag != 7 || string(c.Value) != "objectClass" {
+		t.Fatalf("context child = %+v", c)
+	}
+}
+
+func TestChildOutOfRange(t *testing.T) {
+	p := NewSequence()
+	if p.Child(0) != nil || p.Child(-1) != nil {
+		t.Fatal("Child out of range should be nil")
+	}
+}
+
+func TestHighTagNumber(t *testing.T) {
+	p := NewPrimitive(ClassContext, 100, []byte("x"))
+	got := roundTrip(t, p)
+	if got.Tag != 100 {
+		t.Fatalf("tag = %d", got.Tag)
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	full := NewSequence().Append(NewString("hello")).Encode()
+	for i := 1; i < len(full); i++ {
+		if _, _, err := Parse(full[:i]); err == nil {
+			t.Fatalf("Parse of %d/%d bytes should fail", i, len(full))
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, _, err := Parse(nil); err == nil {
+		t.Fatal("Parse(nil) should fail")
+	}
+}
+
+func TestBadInt(t *testing.T) {
+	p := NewPrimitive(ClassUniversal, TagInteger, nil)
+	if _, err := p.Int(); err == nil {
+		t.Fatal("zero-length integer should fail")
+	}
+	p = NewPrimitive(ClassUniversal, TagInteger, make([]byte, 9))
+	if _, err := p.Int(); err == nil {
+		t.Fatal("9-byte integer should fail")
+	}
+}
+
+func TestBadBool(t *testing.T) {
+	p := NewPrimitive(ClassUniversal, TagBoolean, []byte{1, 2})
+	if _, err := p.Bool(); err == nil {
+		t.Fatal("2-byte boolean should fail")
+	}
+}
+
+func TestReadElement(t *testing.T) {
+	p := NewSequence().Append(NewInteger(1), NewString("abc"))
+	buf := p.Encode()
+	// Two elements back to back; ReadElement must frame exactly one.
+	double := append(append([]byte(nil), buf...), buf...)
+	r := bytes.NewReader(double)
+	one, err := ReadElement(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, buf) {
+		t.Fatal("ReadElement returned wrong framing")
+	}
+	two, err := ReadElement(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(two, buf) {
+		t.Fatal("second ReadElement returned wrong framing")
+	}
+}
+
+func TestReadElementLongForm(t *testing.T) {
+	s := string(bytes.Repeat([]byte("y"), 500))
+	buf := NewString(s).Encode()
+	got, err := ReadElement(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("long-form ReadElement mismatch")
+	}
+}
+
+func TestReadElementTruncated(t *testing.T) {
+	buf := NewString("hello world").Encode()
+	if _, err := ReadElement(bytes.NewReader(buf[:3])); err == nil {
+		t.Fatal("truncated ReadElement should fail")
+	}
+}
+
+func TestIntRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		p, rest, err := Parse(NewInteger(v).Encode())
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		n, err := p.Int()
+		return err == nil && n == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		p, rest, err := Parse(NewString(s).Encode())
+		return err == nil && len(rest) == 0 && p.Str() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseGarbageNeverPanicsProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		// Must not panic; errors are fine.
+		Parse(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

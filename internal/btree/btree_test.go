@@ -1,0 +1,256 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	m := New[int]()
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if _, ok := m.Get("x"); ok {
+		t.Fatal("Get on empty tree found something")
+	}
+	if m.Delete("x") {
+		t.Fatal("Delete on empty tree reported true")
+	}
+	if _, _, ok := m.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, _, ok := m.Max(); ok {
+		t.Fatal("Max on empty tree")
+	}
+	if m.Height() != 0 {
+		t.Fatalf("Height = %d", m.Height())
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	m := New[int]()
+	if !m.Set("a", 1) {
+		t.Fatal("first Set should report insert")
+	}
+	if m.Set("a", 2) {
+		t.Fatal("second Set should report replace")
+	}
+	v, ok := m.Get("a")
+	if !ok || v != 2 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestManyInsertionsSorted(t *testing.T) {
+	m := NewDegree[int](3) // small degree forces splits
+	const n = 1000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		m.Set(fmt.Sprintf("key-%06d", i), i)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	var got []string
+	m.Ascend(func(k string, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("Ascend visited %d keys", len(got))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("Ascend order not sorted")
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%06d", i)
+		v, ok := m.Get(k)
+		if !ok || v != i {
+			t.Fatalf("Get(%s) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	m := NewDegree[int](3)
+	const n = 500
+	for i := 0; i < n; i++ {
+		m.Set(fmt.Sprintf("k%05d", i), i)
+	}
+	perm := rand.New(rand.NewSource(2)).Perm(n)
+	for _, i := range perm {
+		k := fmt.Sprintf("k%05d", i)
+		if !m.Delete(k) {
+			t.Fatalf("Delete(%s) = false", k)
+		}
+		if _, ok := m.Get(k); ok {
+			t.Fatalf("Get(%s) found deleted key", k)
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", m.Len())
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	m := NewDegree[int](3)
+	for i := 0; i < 100; i++ {
+		m.Set(fmt.Sprintf("k%03d", i), i)
+	}
+	if m.Delete("missing") {
+		t.Fatal("Delete(missing) = true")
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	m := New[int]()
+	for _, k := range []string{"m", "a", "z", "q"} {
+		m.Set(k, 0)
+	}
+	k, _, _ := m.Min()
+	if k != "a" {
+		t.Fatalf("Min = %q", k)
+	}
+	k, _, _ = m.Max()
+	if k != "z" {
+		t.Fatalf("Max = %q", k)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	m := NewDegree[int](3)
+	for i := 0; i < 100; i++ {
+		m.Set(fmt.Sprintf("k%03d", i), i)
+	}
+	var got []int
+	m.AscendRange("k010", "k020", func(k string, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("AscendRange = %v", got)
+	}
+}
+
+func TestAscendRangeEarlyStop(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 50; i++ {
+		m.Set(fmt.Sprintf("k%03d", i), i)
+	}
+	count := 0
+	m.Ascend(func(k string, v int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestAscendPrefix(t *testing.T) {
+	m := New[int]()
+	m.Set("IMSI:1", 1)
+	m.Set("IMSI:2", 2)
+	m.Set("MSISDN:1", 3)
+	var got []string
+	m.AscendPrefix("IMSI:", func(k string, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2 || got[0] != "IMSI:1" || got[1] != "IMSI:2" {
+		t.Fatalf("AscendPrefix = %v", got)
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	m := New[int]() // degree 32
+	for i := 0; i < 100000; i++ {
+		m.Set(fmt.Sprintf("key-%08d", i), i)
+	}
+	// With degree 32, 100k keys must fit in very few levels.
+	if h := m.Height(); h < 2 || h > 5 {
+		t.Fatalf("Height = %d for 100k keys, want 2..5", h)
+	}
+}
+
+func TestDegreeClamped(t *testing.T) {
+	m := NewDegree[int](1) // clamps to 2
+	for i := 0; i < 100; i++ {
+		m.Set(fmt.Sprintf("k%03d", i), i)
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+// TestAgainstMapProperty drives random operations against a Go map
+// oracle.
+func TestAgainstMapProperty(t *testing.T) {
+	type op struct {
+		Del bool
+		Key uint8
+	}
+	f := func(ops []op) bool {
+		m := NewDegree[int](3)
+		oracle := map[string]int{}
+		for i, o := range ops {
+			k := fmt.Sprintf("k%03d", o.Key)
+			if o.Del {
+				inOracle := false
+				if _, ok := oracle[k]; ok {
+					inOracle = true
+					delete(oracle, k)
+				}
+				if m.Delete(k) != inOracle {
+					return false
+				}
+			} else {
+				_, existed := oracle[k]
+				oracle[k] = i
+				if m.Set(k, i) == existed {
+					return false
+				}
+			}
+		}
+		if m.Len() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			got, ok := m.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		// Iteration must be sorted and complete.
+		var keys []string
+		m.Ascend(func(k string, _ int) bool {
+			keys = append(keys, k)
+			return true
+		})
+		return len(keys) == len(oracle) && sort.StringsAreSorted(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGet100k(b *testing.B) {
+	m := New[int]()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		m.Set(fmt.Sprintf("key-%08d", i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(fmt.Sprintf("key-%08d", i%n))
+	}
+}

@@ -1,0 +1,167 @@
+package chash
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRing(t *testing.T) {
+	r := New(64)
+	if got := r.Locate("key"); got != "" {
+		t.Fatalf("Locate on empty ring = %q", got)
+	}
+	if got := r.LocateN("key", 2); got != nil {
+		t.Fatalf("LocateN on empty ring = %v", got)
+	}
+	if r.Size() != 0 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+}
+
+func TestSingleMemberOwnsEverything(t *testing.T) {
+	r := New(64)
+	r.Add("only")
+	for i := 0; i < 100; i++ {
+		if got := r.Locate(fmt.Sprintf("key-%d", i)); got != "only" {
+			t.Fatalf("Locate = %q, want only", got)
+		}
+	}
+}
+
+func TestLocateDeterministic(t *testing.T) {
+	r := New(64)
+	for _, m := range []string{"a", "b", "c"} {
+		r.Add(m)
+	}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if r.Locate(k) != r.Locate(k) {
+			t.Fatalf("Locate(%q) not deterministic", k)
+		}
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	r := New(16)
+	r.Add("a")
+	r.Add("a")
+	if r.Size() != 1 {
+		t.Fatalf("Size = %d after duplicate add", r.Size())
+	}
+	if len(r.hashes) != 16 {
+		t.Fatalf("virtual nodes = %d, want 16", len(r.hashes))
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := New(64)
+	r.Add("a")
+	r.Add("b")
+	r.Remove("a")
+	if r.Size() != 1 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	for i := 0; i < 50; i++ {
+		if got := r.Locate(fmt.Sprintf("key-%d", i)); got != "b" {
+			t.Fatalf("Locate after remove = %q", got)
+		}
+	}
+	r.Remove("missing") // no-op
+}
+
+func TestMinimalDisruption(t *testing.T) {
+	// Consistent hashing's defining property: adding a member moves
+	// only a fraction of keys.
+	r := New(128)
+	members := []string{"a", "b", "c", "d"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	const keys = 2000
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.Locate(k)
+	}
+	r.Add("e")
+	moved := 0
+	for k, owner := range before {
+		got := r.Locate(k)
+		if got != owner {
+			if got != "e" {
+				t.Fatalf("key %q moved to %q, not the new member", k, got)
+			}
+			moved++
+		}
+	}
+	// Expect roughly 1/5 of keys to move; allow wide tolerance.
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("moved %d of %d keys; expected ~%d", moved, keys, keys/5)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	r := New(256)
+	members := []string{"a", "b", "c", "d"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		counts[r.Locate(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %s owns %.0f%% of keys; want roughly 25%%", m, share*100)
+		}
+	}
+}
+
+func TestLocateN(t *testing.T) {
+	r := New(64)
+	for _, m := range []string{"a", "b", "c"} {
+		r.Add(m)
+	}
+	got := r.LocateN("some-key", 2)
+	if len(got) != 2 {
+		t.Fatalf("LocateN = %v", got)
+	}
+	if got[0] == got[1] {
+		t.Fatalf("LocateN returned duplicate members: %v", got)
+	}
+	if got[0] != r.Locate("some-key") {
+		t.Fatal("first of LocateN should equal Locate")
+	}
+	all := r.LocateN("some-key", 10)
+	if len(all) != 3 {
+		t.Fatalf("LocateN clamped = %v", all)
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	r := New(8)
+	for _, m := range []string{"c", "a", "b"} {
+		r.Add(m)
+	}
+	ms := r.Members()
+	if len(ms) != 3 || ms[0] != "a" || ms[2] != "c" {
+		t.Fatalf("Members = %v", ms)
+	}
+}
+
+func TestLocateAlwaysReturnsMemberProperty(t *testing.T) {
+	r := New(64)
+	for _, m := range []string{"m0", "m1", "m2", "m3", "m4"} {
+		r.Add(m)
+	}
+	valid := map[string]bool{"m0": true, "m1": true, "m2": true, "m3": true, "m4": true}
+	f := func(key string) bool {
+		return valid[r.Locate(key)]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

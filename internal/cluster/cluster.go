@@ -1,0 +1,222 @@
+// Package cluster models the blade cluster that hosts one site of the
+// UDR NF (§3.4): blades carrying storage-element processes
+// (RAM-hungry) and stateless LDAP server processes (CPU-hungry)
+// behind an L4 balancer that realizes the site's point of access.
+//
+// The package provides both the structural model (blade accounting,
+// scale-up limits) and the paper's §3.5 capacity arithmetic, which
+// experiment E7 reproduces and cross-checks against scaled-down
+// measured throughput.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/se"
+)
+
+// The paper's §3.5 capacity constants (full scale, state-of-the-art
+// hardware as of 2014).
+const (
+	// PaperSubsPerSE: a 2-blade SE holds up to 2e6 average-profile
+	// subscribers (§3.5).
+	PaperSubsPerSE = 2_000_000
+	// PaperMaxSEPerCluster is the artificial 16-SE limit per blade
+	// cluster used for the paper's calculations.
+	PaperMaxSEPerCluster = 16
+	// PaperMaxSEPerUDR is the 256-SE limit per UDR system.
+	PaperMaxSEPerUDR = 256
+	// PaperOpsPerLDAPServer: one LDAP server on a state-of-the-art
+	// blade supports 1e6 indexed single-subscriber read/write
+	// queries per second (§3.5).
+	PaperOpsPerLDAPServer = 1_000_000
+	// PaperMaxLDAPPerCluster is the assumed 32-LDAP-server limit per
+	// cluster.
+	PaperMaxLDAPPerCluster = 32
+	// PaperMaxClusters is the assumed 256-blade-cluster limit per
+	// UDR NF.
+	PaperMaxClusters = 256
+	// PaperClusterOps is the per-cluster ops/s figure the paper
+	// states ("36·10E+06"). Note 32 servers × 1e6 ops/s = 32e6; the
+	// paper's 36e6 does not follow from its own per-server figure —
+	// EXPERIMENTS.md discusses the discrepancy. We reproduce both.
+	PaperClusterOps = 36_000_000
+	// PaperPartitionBytes is the ~200 GB partition sizing (§2.3).
+	PaperPartitionBytes = 200 << 30
+)
+
+// CapacityRow is one row of the §3.5 capacity table E7 regenerates.
+type CapacityRow struct {
+	Label string
+	Value float64
+	Unit  string
+}
+
+// PaperCapacityModel recomputes every §3.5 capacity claim from the
+// per-element constants.
+func PaperCapacityModel() []CapacityRow {
+	subsPerCluster := float64(PaperSubsPerSE) * PaperMaxSEPerCluster
+	subsPerUDR := float64(PaperSubsPerSE) * PaperMaxSEPerUDR
+	opsPerClusterDerived := float64(PaperOpsPerLDAPServer) * PaperMaxLDAPPerCluster
+	opsPerUDRPaper := float64(PaperClusterOps) * PaperMaxClusters
+	opsPerSub := opsPerUDRPaper / subsPerUDR
+	return []CapacityRow{
+		{"subscribers per SE", PaperSubsPerSE, "subs"},
+		{"subscribers per cluster (16 SE)", subsPerCluster, "subs"},
+		{"subscribers per UDR (256 SE)", subsPerUDR, "subs"},
+		{"ops/s per LDAP server", PaperOpsPerLDAPServer, "ops/s"},
+		{"ops/s per cluster (32 LDAP, derived)", opsPerClusterDerived, "ops/s"},
+		{"ops/s per cluster (paper's stated)", PaperClusterOps, "ops/s"},
+		{"ops/s per UDR (256 clusters, paper)", opsPerUDRPaper, "ops/s"},
+		{"ops per subscriber per second", opsPerSub, "ops/sub/s"},
+	}
+}
+
+// Blade resource model: each blade offers CPU and RAM units. An SE
+// process consumes mostly RAM; an LDAP server mostly CPU. Combining
+// both kinds on one blade "offers the best resource utilization
+// chances" (§3.4.1) — the model makes that measurable.
+const (
+	bladeCPU = 100 // CPU units per blade
+	bladeRAM = 100 // RAM units per blade
+
+	seCPUPerBlade = 25 // an SE process leaves ~75% CPU free on its blades
+	seRAMPerBlade = 90 // ...but consumes nearly all RAM
+
+	ldapCPU = 45 // an LDAP server is processor-hungry
+	ldapRAM = 5
+)
+
+// Errors returned by scale-up operations.
+var (
+	// ErrNoBladeCapacity reports a cluster that cannot fit another
+	// process: the scale-up bound of §3.4.1.
+	ErrNoBladeCapacity = errors.New("cluster: no blade capacity left")
+	// ErrSELimit reports the per-cluster SE limit.
+	ErrSELimit = errors.New("cluster: SE limit reached")
+	// ErrLDAPLimit reports the per-cluster LDAP server limit.
+	ErrLDAPLimit = errors.New("cluster: LDAP server limit reached")
+)
+
+// Config sizes a cluster.
+type Config struct {
+	// Site is the geographic site this cluster serves.
+	Site string
+	// Blades in the cluster chassis.
+	Blades int
+	// MaxSE and MaxLDAP are the administrative limits (paper: 16
+	// and 32). Zero means the paper's defaults.
+	MaxSE   int
+	MaxLDAP int
+	// BladesPerSE is the SE redundancy group size (2–4, §3.4.1).
+	BladesPerSE int
+}
+
+// Cluster tracks one site's blade usage and hosted processes.
+type Cluster struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cpuUsed  int
+	ramUsed  int
+	elements []*se.Element
+	ldap     int
+}
+
+// New returns an empty cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Blades == 0 {
+		cfg.Blades = 16
+	}
+	if cfg.MaxSE == 0 {
+		cfg.MaxSE = PaperMaxSEPerCluster
+	}
+	if cfg.MaxLDAP == 0 {
+		cfg.MaxLDAP = PaperMaxLDAPPerCluster
+	}
+	if cfg.BladesPerSE == 0 {
+		cfg.BladesPerSE = 2
+	}
+	return &Cluster{cfg: cfg}
+}
+
+// Site returns the cluster's site.
+func (c *Cluster) Site() string { return c.cfg.Site }
+
+// totalCPU and totalRAM are the chassis budgets.
+func (c *Cluster) totalCPU() int { return c.cfg.Blades * bladeCPU }
+func (c *Cluster) totalRAM() int { return c.cfg.Blades * bladeRAM }
+
+// HostSE accounts for (and records) a storage element deployed on
+// this cluster. The element itself is built by the caller; the
+// cluster enforces the scale-up bounds.
+func (c *Cluster) HostSE(e *se.Element) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.elements) >= c.cfg.MaxSE {
+		return fmt.Errorf("%w (%d)", ErrSELimit, c.cfg.MaxSE)
+	}
+	cpu := seCPUPerBlade * c.cfg.BladesPerSE
+	ram := seRAMPerBlade * c.cfg.BladesPerSE
+	if c.cpuUsed+cpu > c.totalCPU() || c.ramUsed+ram > c.totalRAM() {
+		return ErrNoBladeCapacity
+	}
+	c.cpuUsed += cpu
+	c.ramUsed += ram
+	c.elements = append(c.elements, e)
+	return nil
+}
+
+// AddLDAPServers accounts for n additional LDAP server processes and
+// returns the new total. LDAP capacity growth is automatic once the
+// balancer detects the new servers (§3.4.1), so there is no handle to
+// return.
+func (c *Cluster) AddLDAPServers(n int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if c.ldap >= c.cfg.MaxLDAP {
+			return c.ldap, fmt.Errorf("%w (%d)", ErrLDAPLimit, c.cfg.MaxLDAP)
+		}
+		if c.cpuUsed+ldapCPU > c.totalCPU() || c.ramUsed+ldapRAM > c.totalRAM() {
+			return c.ldap, ErrNoBladeCapacity
+		}
+		c.cpuUsed += ldapCPU
+		c.ramUsed += ldapRAM
+		c.ldap++
+	}
+	return c.ldap, nil
+}
+
+// LDAPServers returns the hosted LDAP server count.
+func (c *Cluster) LDAPServers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ldap
+}
+
+// Elements returns the hosted storage elements.
+func (c *Cluster) Elements() []*se.Element {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*se.Element(nil), c.elements...)
+}
+
+// Utilization reports CPU and RAM usage fractions.
+func (c *Cluster) Utilization() (cpu, ram float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return float64(c.cpuUsed) / float64(c.totalCPU()),
+		float64(c.ramUsed) / float64(c.totalRAM())
+}
+
+// String summarises the cluster.
+func (c *Cluster) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("cluster{site=%s blades=%d se=%d ldap=%d cpu=%d/%d ram=%d/%d}",
+		c.cfg.Site, c.cfg.Blades, len(c.elements), c.ldap,
+		c.cpuUsed, c.totalCPU(), c.ramUsed, c.totalRAM())
+}

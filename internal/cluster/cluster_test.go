@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/se"
+	"repro/internal/simnet"
+)
+
+func TestPaperCapacityModel(t *testing.T) {
+	rows := PaperCapacityModel()
+	byLabel := map[string]float64{}
+	for _, r := range rows {
+		byLabel[r.Label] = r.Value
+	}
+	// §3.5: 16 SE × 2M = 32M subscribers per cluster.
+	if byLabel["subscribers per cluster (16 SE)"] != 32e6 {
+		t.Fatalf("cluster subs = %v", byLabel["subscribers per cluster (16 SE)"])
+	}
+	// §3.5: 256 SE × 2M = 512M subscribers per UDR.
+	if byLabel["subscribers per UDR (256 SE)"] != 512e6 {
+		t.Fatalf("UDR subs = %v", byLabel["subscribers per UDR (256 SE)"])
+	}
+	// §3.5: the paper's stated 36M/cluster and 9,216M/UDR.
+	if byLabel["ops/s per UDR (256 clusters, paper)"] != 9216e6 {
+		t.Fatalf("UDR ops = %v", byLabel["ops/s per UDR (256 clusters, paper)"])
+	}
+	// Derived (32 × 1M) differs from the paper's stated 36M — both
+	// must be present so EXPERIMENTS.md can discuss it.
+	if byLabel["ops/s per cluster (32 LDAP, derived)"] != 32e6 {
+		t.Fatalf("derived cluster ops = %v", byLabel["ops/s per cluster (32 LDAP, derived)"])
+	}
+	// §3.5: "around 18 LDAP read/write operations per subscriber per
+	// second" (9216e6 / 512e6 = 18).
+	ops := byLabel["ops per subscriber per second"]
+	if math.Abs(ops-18) > 0.01 {
+		t.Fatalf("ops/sub/s = %v, want 18", ops)
+	}
+}
+
+func TestHostSELimits(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	c := New(Config{Site: "eu", Blades: 4, MaxSE: 2, BladesPerSE: 2})
+	mk := func(id string) *se.Element {
+		return se.New(n, se.Config{ID: id, Site: "eu"})
+	}
+	if err := c.HostSE(mk("se-1")); err != nil {
+		t.Fatal(err)
+	}
+	// Second SE needs 2 more blades' RAM: 4 blades = 400 RAM,
+	// se = 180 RAM each, fits.
+	if err := c.HostSE(mk("se-2")); err != nil {
+		t.Fatal(err)
+	}
+	// Administrative limit reached.
+	if err := c.HostSE(mk("se-3")); !errors.Is(err, ErrSELimit) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(c.Elements()) != 2 {
+		t.Fatalf("elements = %d", len(c.Elements()))
+	}
+}
+
+func TestBladeRAMExhaustion(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	// 2 blades = 200 RAM; one SE takes 180, a second cannot fit.
+	c := New(Config{Site: "eu", Blades: 2, MaxSE: 16, BladesPerSE: 2})
+	if err := c.HostSE(se.New(n, se.Config{ID: "se-1", Site: "eu"})); err != nil {
+		t.Fatal(err)
+	}
+	err := c.HostSE(se.New(n, se.Config{ID: "se-2", Site: "eu"}))
+	if !errors.Is(err, ErrNoBladeCapacity) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddLDAPServers(t *testing.T) {
+	c := New(Config{Site: "eu", Blades: 16})
+	nservers, err := c.AddLDAPServers(4)
+	if err != nil || nservers != 4 {
+		t.Fatalf("add: %d %v", nservers, err)
+	}
+	if c.LDAPServers() != 4 {
+		t.Fatalf("servers = %d", c.LDAPServers())
+	}
+}
+
+func TestLDAPLimit(t *testing.T) {
+	c := New(Config{Site: "eu", Blades: 64, MaxLDAP: 3})
+	if _, err := c.AddLDAPServers(3); err != nil {
+		t.Fatal(err)
+	}
+	nservers, err := c.AddLDAPServers(1)
+	if !errors.Is(err, ErrLDAPLimit) || nservers != 3 {
+		t.Fatalf("err = %v n = %d", err, nservers)
+	}
+}
+
+func TestLDAPCPUExhaustion(t *testing.T) {
+	// 1 blade = 100 CPU; each LDAP server takes 45: two fit, the
+	// third does not.
+	c := New(Config{Site: "eu", Blades: 1, MaxLDAP: 32})
+	nservers, err := c.AddLDAPServers(3)
+	if !errors.Is(err, ErrNoBladeCapacity) || nservers != 2 {
+		t.Fatalf("err = %v n = %d", err, nservers)
+	}
+}
+
+func TestMixedUtilization(t *testing.T) {
+	// §3.4.1: combining RAM-hungry SEs and CPU-hungry LDAP servers
+	// on one cluster uses both resources; verify the model exposes
+	// the complementarity.
+	n := simnet.New(simnet.FastConfig())
+	c := New(Config{Site: "eu", Blades: 4, BladesPerSE: 2})
+	if err := c.HostSE(se.New(n, se.Config{ID: "se-1", Site: "eu"})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddLDAPServers(4); err != nil {
+		t.Fatal(err)
+	}
+	cpu, ram := c.Utilization()
+	if cpu <= 0 || cpu > 1 || ram <= 0 || ram > 1 {
+		t.Fatalf("utilization = %v/%v", cpu, ram)
+	}
+	if c.String() == "" {
+		t.Fatal("empty String()")
+	}
+
+	// Complementarity: an SE-only cluster is RAM-bound, an LDAP-only
+	// cluster is CPU-bound.
+	seOnly := New(Config{Site: "x", Blades: 4, BladesPerSE: 2})
+	if err := seOnly.HostSE(se.New(n, se.Config{ID: "se-x", Site: "x"})); err != nil {
+		t.Fatal(err)
+	}
+	cpuSE, ramSE := seOnly.Utilization()
+	if ramSE <= cpuSE {
+		t.Fatalf("SE-only cluster should be RAM-bound: cpu=%v ram=%v", cpuSE, ramSE)
+	}
+	ldapOnly := New(Config{Site: "y", Blades: 4})
+	if _, err := ldapOnly.AddLDAPServers(4); err != nil {
+		t.Fatal(err)
+	}
+	cpuL, ramL := ldapOnly.Utilization()
+	if cpuL <= ramL {
+		t.Fatalf("LDAP-only cluster should be CPU-bound: cpu=%v ram=%v", cpuL, ramL)
+	}
+}

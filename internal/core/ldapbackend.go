@@ -1,0 +1,314 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ldap"
+	"repro/internal/locator"
+	"repro/internal/se"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+// LDAPBackend adapts a UDR session to the ldap.Backend interface,
+// realizing the UDC-mandated LDAP northbound interface (§1). cmd/udrd
+// serves it over TCP; tests serve it over in-memory pipes.
+type LDAPBackend struct {
+	session *Session
+	timeout time.Duration
+	// topology, when set via WithTopology, enables the OaM status
+	// extended operation.
+	topology *UDR
+}
+
+// NewLDAPBackend returns a backend executing operations through the
+// given session (whose policy class determines routing).
+func NewLDAPBackend(session *Session) *LDAPBackend {
+	return &LDAPBackend{session: session, timeout: 2 * time.Second}
+}
+
+// WithTopology attaches the UDR so the backend can serve the OaM
+// status extended operation (the OSS consolidated view of §2.4).
+func (b *LDAPBackend) WithTopology(u *UDR) *LDAPBackend {
+	b.topology = u
+	return b
+}
+
+// Extended implements ldap.ExtendedBackend: the OaM status dump.
+func (b *LDAPBackend) Extended(name string, value []byte) (ldap.Result, []byte) {
+	if name != ldap.OIDStatus {
+		return ldap.Result{Code: ldap.ResultProtocolError, Message: "unknown extended op " + name}, nil
+	}
+	if b.topology == nil {
+		return ldap.Result{Code: ldap.ResultUnwillingToPerform, Message: "status not available on this endpoint"}, nil
+	}
+	return ldap.Result{Code: ldap.ResultSuccess}, []byte(b.statusText())
+}
+
+// statusText renders the topology as the operator-facing status dump.
+func (b *LDAPBackend) statusText() string {
+	u := b.topology
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sites: %s\n", strings.Join(u.Sites(), ", "))
+	for _, partID := range u.Partitions() {
+		part, ok := u.Partition(partID)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&sb, "partition %s home=%s\n", part.ID, part.HomeSite)
+		for i, ref := range part.Replicas {
+			role := "slave "
+			if i == 0 {
+				role = "master"
+			}
+			state := "up"
+			rows := "?"
+			if el := u.Element(ref.Element); el != nil {
+				if el.Down() {
+					state = "DOWN"
+				} else if pr := el.Replica(partID); pr != nil {
+					rows = fmt.Sprint(pr.Store.Len())
+				}
+			}
+			fmt.Fprintf(&sb, "  %s %-24s site=%-12s rows=%-8s %s\n",
+				role, ref.Element, ref.Site, rows, state)
+		}
+	}
+	return sb.String()
+}
+
+// Bind implements ldap.Backend. The reproduction accepts any
+// credentials (directory ACLs are out of the paper's scope) but
+// rejects empty DNs on non-anonymous binds for shape.
+func (b *LDAPBackend) Bind(dn, password string) ldap.Result {
+	if password != "" && dn == "" {
+		return ldap.Result{Code: ldap.ResultInvalidCredentials}
+	}
+	return ldap.Result{Code: ldap.ResultSuccess}
+}
+
+// identityFromFilter extracts the subscriber identity an equality
+// filter selects, walking AND nodes (e.g. "(&(objectClass=...)
+// (msisdn=123))").
+func identityFromFilter(f ldap.Filter) (subscriber.Identity, bool) {
+	switch f.Kind {
+	case ldap.FilterEquality:
+		switch f.Attr {
+		case subscriber.AttrIMSI:
+			return subscriber.Identity{Type: subscriber.IMSI, Value: f.Value}, true
+		case subscriber.AttrMSISDN:
+			return subscriber.Identity{Type: subscriber.MSISDN, Value: f.Value}, true
+		case subscriber.AttrIMPI:
+			return subscriber.Identity{Type: subscriber.IMPI, Value: f.Value}, true
+		case subscriber.AttrIMPU:
+			return subscriber.Identity{Type: subscriber.IMPU, Value: f.Value}, true
+		}
+	case ldap.FilterAnd:
+		for _, c := range f.Children {
+			if id, ok := identityFromFilter(c); ok {
+				return id, true
+			}
+		}
+	}
+	return subscriber.Identity{}, false
+}
+
+// Search implements ldap.Backend. Base-object searches address an
+// entry by DN; subtree searches need an identity-bearing equality
+// filter (the UDR is an indexed subscriber store, not a general
+// directory).
+func (b *LDAPBackend) Search(req *ldap.SearchRequest) ([]ldap.SearchEntry, ldap.Result) {
+	ctx, cancel := context.WithTimeout(context.Background(), b.timeout)
+	defer cancel()
+
+	var exec *ExecResp
+	var err error
+	if req.Scope == ldap.ScopeBaseObject {
+		id, perr := subscriber.ParseDN(req.BaseDN)
+		if perr != nil {
+			return nil, ldap.Result{Code: ldap.ResultNoSuchObject, Message: perr.Error()}
+		}
+		exec, err = b.session.Exec(ctx, ExecReq{
+			SubscriberID: id,
+			Partition:    "", // resolved by probing; avoid when possible
+			Identity:     subscriber.Identity{},
+			Ops:          []se.TxnOp{{Kind: se.TxnGet, Key: id}},
+		})
+	} else {
+		id, ok := identityFromFilter(req.Filter)
+		if !ok {
+			return nil, ldap.Result{
+				Code:    ldap.ResultUnwillingToPerform,
+				Message: "search filter must select a subscriber identity",
+			}
+		}
+		exec, err = b.session.Exec(ctx, ExecReq{
+			Identity: id,
+			Ops:      []se.TxnOp{{Kind: se.TxnGet}},
+		})
+	}
+	if err != nil {
+		return nil, resultFromErr(err)
+	}
+	if !exec.Results[0].Found {
+		return nil, ldap.Result{Code: ldap.ResultNoSuchObject}
+	}
+	entry := exec.Results[0].Entry
+	if !req.Filter.Matches(entry) {
+		return nil, ldap.Result{Code: ldap.ResultSuccess} // zero matches
+	}
+	attrs := projectAttrs(entry, req.Attributes, req.TypesOnly)
+	return []ldap.SearchEntry{{
+		DN:    subscriber.DN(exec.SubscriberID),
+		Attrs: attrs,
+	}}, ldap.Result{Code: ldap.ResultSuccess}
+}
+
+// projectAttrs applies the requested attribute selection.
+func projectAttrs(entry store.Entry, want []string, typesOnly bool) map[string][]string {
+	out := make(map[string][]string)
+	include := func(a string) bool {
+		if len(want) == 0 {
+			return true
+		}
+		for _, w := range want {
+			if w == a || w == "*" {
+				return true
+			}
+		}
+		return false
+	}
+	for a, vs := range entry {
+		if !include(a) {
+			continue
+		}
+		if typesOnly {
+			out[a] = nil
+		} else {
+			out[a] = append([]string(nil), vs...)
+		}
+	}
+	return out
+}
+
+// Compare implements ldap.Backend.
+func (b *LDAPBackend) Compare(dn, attr, value string) ldap.Result {
+	ctx, cancel := context.WithTimeout(context.Background(), b.timeout)
+	defer cancel()
+	id, err := subscriber.ParseDN(dn)
+	if err != nil {
+		return ldap.Result{Code: ldap.ResultNoSuchObject, Message: err.Error()}
+	}
+	exec, err := b.session.Exec(ctx, ExecReq{
+		SubscriberID: id,
+		Ops:          []se.TxnOp{{Kind: se.TxnCompare, Key: id, Attr: attr, Value: value}},
+	})
+	if err != nil {
+		return resultFromErr(err)
+	}
+	if !exec.Results[0].Found {
+		return ldap.Result{Code: ldap.ResultNoSuchObject}
+	}
+	if exec.Results[0].CompareOK {
+		return ldap.Result{Code: ldap.ResultCompareTrue}
+	}
+	return ldap.Result{Code: ldap.ResultCompareFalse}
+}
+
+// Write implements ldap.Backend: the batch executes as one
+// storage-element transaction when all DNs target the same
+// subscription's partition; otherwise it degrades to per-partition
+// transactions with no cross-SE atomicity — the honest §3.2
+// behaviour.
+func (b *LDAPBackend) Write(ops []ldap.WriteOp) ldap.Result {
+	ctx, cancel := context.WithTimeout(context.Background(), b.timeout)
+	defer cancel()
+
+	// Group ops by subscriber ID (the partition follows from it).
+	type group struct {
+		subID string
+		ops   []se.TxnOp
+	}
+	var groups []group
+	index := map[string]int{}
+	for _, w := range ops {
+		subID, err := subscriber.ParseDN(w.DN)
+		if err != nil {
+			return ldap.Result{Code: ldap.ResultNoSuchObject, Message: err.Error()}
+		}
+		var op se.TxnOp
+		switch w.Kind {
+		case ldap.WriteAdd:
+			entry := store.Entry{}
+			for a, vs := range w.Attrs {
+				entry[a] = append([]string(nil), vs...)
+			}
+			op = se.TxnOp{Kind: se.TxnPut, Key: subID, Entry: entry}
+		case ldap.WriteModify:
+			var mods []store.Mod
+			for _, c := range w.Changes {
+				kind := store.ModAdd
+				switch c.Op {
+				case ldap.ChangeReplace:
+					kind = store.ModReplace
+				case ldap.ChangeDelete:
+					kind = store.ModDelete
+				}
+				mods = append(mods, store.Mod{Kind: kind, Attr: c.Attr, Vals: c.Vals})
+			}
+			op = se.TxnOp{Kind: se.TxnModify, Key: subID, Mods: mods}
+		case ldap.WriteDelete:
+			op = se.TxnOp{Kind: se.TxnDelete, Key: subID}
+		}
+		if gi, ok := index[subID]; ok {
+			groups[gi].ops = append(groups[gi].ops, op)
+		} else {
+			index[subID] = len(groups)
+			groups = append(groups, group{subID: subID, ops: []se.TxnOp{op}})
+		}
+	}
+
+	for _, g := range groups {
+		// Adds carry no prior location mapping: route via provision
+		// when the op set is a pure add of a subscriber entry.
+		if len(g.ops) == 1 && g.ops[0].Kind == se.TxnPut {
+			if prof, err := subscriber.FromEntry(g.ops[0].Entry); err == nil {
+				if _, err := b.session.Provision(ctx, prof); err != nil {
+					return resultFromErr(err)
+				}
+				continue
+			}
+		}
+		if _, err := b.session.Exec(ctx, ExecReq{
+			SubscriberID: g.subID,
+			Ops:          g.ops,
+		}); err != nil {
+			return resultFromErr(err)
+		}
+	}
+	return ldap.Result{Code: ldap.ResultSuccess}
+}
+
+// resultFromErr maps core/network errors onto LDAP result codes.
+func resultFromErr(err error) ldap.Result {
+	switch {
+	case errors.Is(err, ErrUnknownSubscriber), errors.Is(err, locator.ErrNotFound):
+		return ldap.Result{Code: ldap.ResultNoSuchObject, Message: err.Error()}
+	case errors.Is(err, locator.ErrNotReady):
+		return ldap.Result{Code: ldap.ResultBusy, Message: err.Error()}
+	case errors.Is(err, ErrMasterUnreachable), errors.Is(err, ErrNoReplica),
+		errors.Is(err, simnet.ErrUnreachable), errors.Is(err, simnet.ErrLost):
+		return ldap.Result{Code: ldap.ResultUnavailable, Message: err.Error()}
+	case errors.Is(err, store.ErrStoreFull):
+		return ldap.Result{Code: ldap.ResultUnwillingToPerform, Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return ldap.Result{Code: ldap.ResultTimeLimitExceeded, Message: err.Error()}
+	default:
+		return ldap.Result{Code: ldap.ResultOther, Message: err.Error()}
+	}
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/locator"
+	"repro/internal/metrics"
+	"repro/internal/se"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+// Messages between client sessions and a PoA.
+
+// ExecReq executes a one-shot transaction against the subscription's
+// partition. The target is either an identity (resolved through the
+// PoA's local location stage, §3.3.1 decision 1) or a known
+// subscriber ID + partition from a previous call.
+type ExecReq struct {
+	Identity     subscriber.Identity
+	SubscriberID string
+	Partition    string
+	Ops          []se.TxnOp
+	Policy       Policy
+	ReadOnly     bool
+}
+
+// ExecResp reports the outcome.
+type ExecResp struct {
+	Results      []se.OpResult
+	CSN          uint64
+	ServedBy     simnet.Addr
+	Role         store.Role
+	Partition    string
+	SubscriberID string
+}
+
+// ProvisionReq creates a subscription (PS traffic). The placement
+// follows the profile's home region unless PartitionHint pins it
+// (selective placement, §3.5).
+type ProvisionReq struct {
+	Profile       *subscriber.Profile
+	PartitionHint string
+}
+
+// ProvisionResp reports where the subscription landed.
+type ProvisionResp struct {
+	Partition string
+	// LocatorUpdateFailures counts remote location stages that could
+	// not be updated (partitioned away); they will miss lookups for
+	// this subscription until repaired.
+	LocatorUpdateFailures int
+}
+
+// DeprovisionReq removes a subscription.
+type DeprovisionReq struct {
+	SubscriberID string
+}
+
+// DeprovisionResp reports the outcome.
+type DeprovisionResp struct {
+	LocatorUpdateFailures int
+}
+
+// LocateReq resolves an identity without touching subscriber data.
+type LocateReq struct {
+	Identity subscriber.Identity
+}
+
+// LocateResp carries the placement.
+type LocateResp struct {
+	Placement locator.Placement
+}
+
+// AccessPoint is one site's PoA: the L4-balanced LDAP server farm of
+// §3.4.1 reduced to its observable behaviour — an endpoint that
+// resolves data location locally and forwards operations to storage
+// elements, applying the per-policy routing rules.
+type AccessPoint struct {
+	u    *UDR
+	site string
+	addr simnet.Addr
+
+	mu sync.Mutex
+	// tokens models finite LDAP processing capacity: one token per
+	// LDAP server process; each op holds a token for serviceTime.
+	tokens      chan struct{}
+	serviceTime time.Duration
+
+	// Served and Failed count operations by outcome; Stale is
+	// incremented by sessions that detected a stale slave read
+	// (E5's accounting hook).
+	Served  metrics.Counter
+	Failed  metrics.Counter
+	Latency metrics.Histogram
+}
+
+func newAccessPoint(u *UDR, site string, ldapServers int) *AccessPoint {
+	ap := &AccessPoint{
+		u:           u,
+		site:        site,
+		addr:        simnet.MakeAddr(site, "poa"),
+		serviceTime: u.cfg.LDAPServiceTime,
+	}
+	if ldapServers > 0 && ap.serviceTime > 0 {
+		ap.tokens = make(chan struct{}, ldapServers)
+		for i := 0; i < ldapServers; i++ {
+			ap.tokens <- struct{}{}
+		}
+	}
+	return ap
+}
+
+// Site returns the PoA's site.
+func (ap *AccessPoint) Site() string { return ap.site }
+
+// SetLDAPServers resizes the modelled LDAP server pool (scale-up,
+// §3.4.1: the balancer detects new servers automatically).
+func (ap *AccessPoint) SetLDAPServers(n int) {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	if n <= 0 || ap.serviceTime == 0 {
+		ap.tokens = nil
+		return
+	}
+	t := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		t <- struct{}{}
+	}
+	ap.tokens = t
+}
+
+// acquire blocks until an LDAP server slot is free, then simulates
+// the per-op service time.
+func (ap *AccessPoint) acquire(ctx context.Context) (release func(), err error) {
+	ap.mu.Lock()
+	tokens := ap.tokens
+	ap.mu.Unlock()
+	if tokens == nil {
+		return func() {}, nil
+	}
+	select {
+	case <-tokens:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return func() {
+		time.AfterFunc(ap.serviceTime, func() { tokens <- struct{}{} })
+	}, nil
+}
+
+// handle is the PoA's simnet handler.
+func (ap *AccessPoint) handle(ctx context.Context, from simnet.Addr, msg any) (any, error) {
+	release, err := ap.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	start := time.Now()
+	var resp any
+	switch m := msg.(type) {
+	case ExecReq:
+		resp, err = ap.exec(ctx, m)
+	case ProvisionReq:
+		resp, err = ap.provision(ctx, m)
+	case DeprovisionReq:
+		resp, err = ap.deprovision(ctx, m)
+	case LocateReq:
+		var p locator.Placement
+		p, err = ap.locate(ctx, m.Identity)
+		resp = LocateResp{Placement: p}
+	default:
+		err = fmt.Errorf("core: PoA got unexpected %T", msg)
+	}
+	if err != nil {
+		ap.Failed.Inc()
+		return nil, err
+	}
+	ap.Served.Inc()
+	ap.Latency.Record(time.Since(start))
+	return resp, nil
+}
+
+// locate resolves an identity through the site-local stage.
+func (ap *AccessPoint) locate(ctx context.Context, id subscriber.Identity) (locator.Placement, error) {
+	stage := ap.u.Stage(ap.site)
+	if stage == nil {
+		return locator.Placement{}, errors.New("core: no location stage at " + ap.site)
+	}
+	return stage.Lookup(ctx, id)
+}
+
+// exec routes a transaction per the paper's policy table:
+//
+//	read-only + FE  → nearest replica (slave reads allowed, §3.3.2),
+//	                  fall back across replicas on failure (reads
+//	                  survive partitions that strand the master);
+//	read-only + PS  → master only (§3.3.3);
+//	writes          → master only (§3.2); in multi-master mode (§5)
+//	                  nearest replica.
+func (ap *AccessPoint) exec(ctx context.Context, req ExecReq) (ExecResp, error) {
+	partID := req.Partition
+	subID := req.SubscriberID
+	switch {
+	case subID != "" && partID == "":
+		// DN-addressed access: the subscription ID is itself an
+		// index in the location maps.
+		p, err := ap.locate(ctx, subscriber.Identity{Type: subscriber.UID, Value: subID})
+		if err != nil {
+			return ExecResp{}, err
+		}
+		partID = p.Partition
+	case subID == "":
+		p, err := ap.locate(ctx, req.Identity)
+		if err != nil {
+			return ExecResp{}, err
+		}
+		subID, partID = p.SubscriberID, p.Partition
+	}
+	part, ok := ap.u.Partition(partID)
+	if !ok {
+		return ExecResp{}, fmt.Errorf("core: unknown partition %q", partID)
+	}
+
+	// Rewrite op keys: clients address ops by subscriber; the keys
+	// are already subscriber IDs, so nothing to translate — but we
+	// validate emptiness here once.
+	for i := range req.Ops {
+		if req.Ops[i].Key == "" {
+			req.Ops[i].Key = subID
+		}
+	}
+
+	targets := ap.orderTargets(part, req)
+	txn := se.TxnReq{Partition: partID, Iso: store.ReadCommitted, Ops: req.Ops}
+
+	var lastErr error
+	for _, ref := range targets {
+		raw, err := ap.u.net.Call(ctx, ap.addr, ref.Addr, txn)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, ok := raw.(se.TxnResp)
+		if !ok {
+			return ExecResp{}, fmt.Errorf("core: unexpected SE response %T", raw)
+		}
+		return ExecResp{
+			Results:      resp.Results,
+			CSN:          resp.CSN,
+			ServedBy:     ref.Addr,
+			Role:         resp.Role,
+			Partition:    partID,
+			SubscriberID: subID,
+		}, nil
+	}
+	if len(targets) == 1 {
+		return ExecResp{}, fmt.Errorf("%w: %v", ErrMasterUnreachable, lastErr)
+	}
+	return ExecResp{}, fmt.Errorf("%w: %v", ErrNoReplica, lastErr)
+}
+
+// orderTargets returns the replicas to try, in order.
+func (ap *AccessPoint) orderTargets(part Partition, req ExecReq) []ReplicaRef {
+	master := part.Replicas[0]
+	slaveReadsOK := req.ReadOnly && req.Policy == PolicyFE && ap.u.cfg.FESlaveReads
+
+	if ap.u.cfg.MultiMaster && !req.ReadOnly {
+		// Multi-master: prefer the co-located replica for writes,
+		// then the rest (availability over consistency, §5).
+		return ap.nearestFirst(part.Replicas)
+	}
+	if slaveReadsOK {
+		// Nearest replica first (a co-located slave turns a
+		// backbone round trip into a LAN one, §3.3.2), then the
+		// remaining replicas as fallbacks.
+		return ap.nearestFirst(part.Replicas)
+	}
+	// Master only: writes (§3.2) and every PS operation (§3.3.3).
+	return []ReplicaRef{master}
+}
+
+// nearestFirst orders replicas: co-located with this PoA first, then
+// master, then the rest.
+func (ap *AccessPoint) nearestFirst(replicas []ReplicaRef) []ReplicaRef {
+	out := make([]ReplicaRef, 0, len(replicas))
+	for _, r := range replicas {
+		if r.Site == ap.site {
+			out = append(out, r)
+		}
+	}
+	for _, r := range replicas {
+		if r.Site != ap.site {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// provision creates the subscription row on the chosen partition's
+// master and updates the identity-location maps (§2.4: in a UDC
+// network the PS writes one single place, transactionally).
+func (ap *AccessPoint) provision(ctx context.Context, req ProvisionReq) (ProvisionResp, error) {
+	p := req.Profile
+	partID := req.PartitionHint
+	if partID == "" {
+		var err error
+		partID, err = ap.u.choosePartition(p.HomeRegion)
+		if err != nil {
+			return ProvisionResp{}, err
+		}
+	}
+	part, ok := ap.u.Partition(partID)
+	if !ok {
+		return ProvisionResp{}, fmt.Errorf("core: unknown partition %q", partID)
+	}
+
+	txn := se.TxnReq{
+		Partition: partID,
+		Iso:       store.ReadCommitted,
+		Ops:       []se.TxnOp{{Kind: se.TxnPut, Key: p.ID, Entry: p.ToEntry()}},
+	}
+	target := part.Master()
+	if ap.u.cfg.MultiMaster {
+		target = ap.nearestFirst(part.Replicas)[0]
+	}
+	if _, err := ap.u.net.Call(ctx, ap.addr, target.Addr, txn); err != nil {
+		return ProvisionResp{}, fmt.Errorf("%w: %v", ErrMasterUnreachable, err)
+	}
+
+	failures := ap.updateLocators(ctx, p.Identities(),
+		locator.Placement{SubscriberID: p.ID, Partition: partID}, false)
+	return ProvisionResp{Partition: partID, LocatorUpdateFailures: failures}, nil
+}
+
+// deprovision deletes the subscription row and its map entries.
+func (ap *AccessPoint) deprovision(ctx context.Context, req DeprovisionReq) (DeprovisionResp, error) {
+	// Read the profile first (master copy: this is PS traffic) so we
+	// know every identity to unmap.
+	exec, err := ap.exec(ctx, ExecReq{
+		SubscriberID: req.SubscriberID,
+		Ops:          []se.TxnOp{{Kind: se.TxnGet, Key: req.SubscriberID}},
+		Policy:       PolicyPS,
+		ReadOnly:     true,
+	})
+	if err != nil {
+		return DeprovisionResp{}, err
+	}
+	if !exec.Results[0].Found {
+		return DeprovisionResp{}, fmt.Errorf("%w: %s", ErrUnknownSubscriber, req.SubscriberID)
+	}
+	prof, err := subscriber.FromEntry(exec.Results[0].Entry)
+	if err != nil {
+		return DeprovisionResp{}, err
+	}
+	if _, err := ap.exec(ctx, ExecReq{
+		SubscriberID: req.SubscriberID,
+		Partition:    exec.Partition,
+		Ops:          []se.TxnOp{{Kind: se.TxnDelete, Key: req.SubscriberID}},
+		Policy:       PolicyPS,
+	}); err != nil {
+		return DeprovisionResp{}, err
+	}
+	failures := ap.updateLocators(ctx, prof.Identities(), locator.Placement{}, true)
+	return DeprovisionResp{LocatorUpdateFailures: failures}, nil
+}
+
+// updateLocators updates every site's identity-location maps. The
+// local stage updates in-process; remote stages are updated over the
+// backbone and may fail during partitions (counted, not fatal:
+// §3.4.2's availability consequence of state-full maps).
+func (ap *AccessPoint) updateLocators(ctx context.Context, ids []subscriber.Identity, placement locator.Placement, remove bool) (failures int) {
+	if ap.u.cfg.LocatorMode != locator.Provisioned {
+		// Cached stages learn on the fly; prime only the local one.
+		if stage := ap.u.Stage(ap.site); stage != nil {
+			if remove {
+				stage.RemoveProfile(ids)
+			} else {
+				stage.PutProfile(ids, placement)
+			}
+		}
+		return 0
+	}
+	for _, site := range ap.u.Sites() {
+		stage := ap.u.Stage(site)
+		if stage == nil {
+			continue
+		}
+		if site == ap.site {
+			if remove {
+				stage.RemoveProfile(ids)
+			} else {
+				stage.PutProfile(ids, placement)
+			}
+			continue
+		}
+		// Remote map update rides the backbone: model it as one
+		// network call to the remote locator endpoint. A dedicated
+		// message type keeps the stage handler small.
+		msg := locatorUpdate{IDs: ids, Placement: placement, Remove: remove}
+		if _, err := ap.u.net.Call(ctx, ap.addr, simnet.MakeAddr(site, "locator"), msg); err != nil {
+			failures++
+		}
+	}
+	return failures
+}
+
+// locatorUpdate is the provisioning-driven map update message.
+type locatorUpdate struct {
+	IDs       []subscriber.Identity
+	Placement locator.Placement
+	Remove    bool
+}
+
+// locatorUpdateAck acknowledges a locatorUpdate.
+type locatorUpdateAck struct{}

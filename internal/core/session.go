@@ -1,0 +1,149 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/locator"
+	"repro/internal/se"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+// Session is a client-side handle to the UDR through one point of
+// access, carrying the client's policy class. Application front-ends
+// hold PolicyFE sessions against the PoA closest to them (§3.3.2
+// decision 1); the provisioning system holds a PolicyPS session
+// co-located with a PoA (§3.3.3 decision 1).
+//
+// A Session is safe for concurrent use.
+type Session struct {
+	net    *simnet.Network
+	from   simnet.Addr
+	poa    simnet.Addr
+	policy Policy
+}
+
+// NewSession creates a session from a client address to the PoA of
+// the given site.
+func NewSession(net *simnet.Network, from simnet.Addr, poaSite string, policy Policy) *Session {
+	return &Session{
+		net:    net,
+		from:   from,
+		poa:    simnet.MakeAddr(poaSite, "poa"),
+		policy: policy,
+	}
+}
+
+// Policy returns the session's client class.
+func (s *Session) Policy() Policy { return s.policy }
+
+// PoASite returns the site of the PoA this session uses.
+func (s *Session) PoASite() string { return s.poa.Site() }
+
+// Exec runs a one-shot transaction. Target the subscription either
+// with id (identity resolution at the PoA) or subID+partition from a
+// previous response.
+func (s *Session) Exec(ctx context.Context, req ExecReq) (*ExecResp, error) {
+	req.Policy = s.policy
+	req.ReadOnly = true
+	for _, op := range req.Ops {
+		if op.Kind != se.TxnGet && op.Kind != se.TxnCompare {
+			req.ReadOnly = false
+			break
+		}
+	}
+	raw, err := s.net.Call(ctx, s.from, s.poa, req)
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := raw.(ExecResp)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected PoA response %T", raw)
+	}
+	return &resp, nil
+}
+
+// ReadProfile fetches and decodes a subscriber profile by identity.
+// It also returns the row metadata (CSN) so callers can measure
+// staleness, and the role of the serving replica.
+func (s *Session) ReadProfile(ctx context.Context, id subscriber.Identity) (*subscriber.Profile, store.Meta, store.Role, error) {
+	resp, err := s.Exec(ctx, ExecReq{
+		Identity: id,
+		Ops:      []se.TxnOp{{Kind: se.TxnGet}},
+	})
+	if err != nil {
+		return nil, store.Meta{}, 0, err
+	}
+	if !resp.Results[0].Found {
+		return nil, store.Meta{}, resp.Role, fmt.Errorf("%w: %s", ErrUnknownSubscriber, id)
+	}
+	p, err := subscriber.FromEntry(resp.Results[0].Entry)
+	if err != nil {
+		return nil, store.Meta{}, resp.Role, err
+	}
+	return p, resp.Results[0].Meta, resp.Role, nil
+}
+
+// Modify applies attribute modifications to a subscription located by
+// identity, as one transaction.
+func (s *Session) Modify(ctx context.Context, id subscriber.Identity, mods ...store.Mod) (*ExecResp, error) {
+	return s.Exec(ctx, ExecReq{
+		Identity: id,
+		Ops:      []se.TxnOp{{Kind: se.TxnModify, Mods: mods}},
+	})
+}
+
+// Provision creates a subscription (PS sessions).
+func (s *Session) Provision(ctx context.Context, p *subscriber.Profile) (*ProvisionResp, error) {
+	raw, err := s.net.Call(ctx, s.from, s.poa, ProvisionReq{Profile: p})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := raw.(ProvisionResp)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected PoA response %T", raw)
+	}
+	return &resp, nil
+}
+
+// ProvisionAt creates a subscription on a pinned partition
+// (selective placement, §3.5).
+func (s *Session) ProvisionAt(ctx context.Context, p *subscriber.Profile, partition string) (*ProvisionResp, error) {
+	raw, err := s.net.Call(ctx, s.from, s.poa, ProvisionReq{Profile: p, PartitionHint: partition})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := raw.(ProvisionResp)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected PoA response %T", raw)
+	}
+	return &resp, nil
+}
+
+// Deprovision removes a subscription.
+func (s *Session) Deprovision(ctx context.Context, subscriberID string) (*DeprovisionResp, error) {
+	raw, err := s.net.Call(ctx, s.from, s.poa, DeprovisionReq{SubscriberID: subscriberID})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := raw.(DeprovisionResp)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected PoA response %T", raw)
+	}
+	return &resp, nil
+}
+
+// Locate resolves an identity to its placement without reading data.
+func (s *Session) Locate(ctx context.Context, id subscriber.Identity) (locator.Placement, error) {
+	raw, err := s.net.Call(ctx, s.from, s.poa, LocateReq{Identity: id})
+	if err != nil {
+		return locator.Placement{}, err
+	}
+	resp, ok := raw.(LocateResp)
+	if !ok {
+		return locator.Placement{}, fmt.Errorf("core: unexpected PoA response %T", raw)
+	}
+	return resp.Placement, nil
+}

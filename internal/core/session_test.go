@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/locator"
+	"repro/internal/se"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+func TestSessionLocate(t *testing.T) {
+	net, u, profiles := testUDR(t, 3)
+	ctx := ctxT(t)
+	site := u.Sites()[0]
+	sess := NewSession(net, simnet.MakeAddr(site, "fe"), site, PolicyFE)
+
+	p := profiles[0]
+	placement, err := sess.Locate(ctx, subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placement.SubscriberID != p.ID {
+		t.Fatalf("placement = %+v", placement)
+	}
+	part, ok := u.Partition(placement.Partition)
+	if !ok || part.HomeSite != p.HomeRegion {
+		t.Fatalf("partition %s home %s, want %s", placement.Partition, part.HomeSite, p.HomeRegion)
+	}
+
+	if _, err := sess.Locate(ctx, subscriber.Identity{Type: subscriber.MSISDN, Value: "nope"}); !errors.Is(err, locator.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSessionPolicyAccessors(t *testing.T) {
+	net, u, _ := testUDR(t, 0)
+	site := u.Sites()[0]
+	fe := NewSession(net, simnet.MakeAddr(site, "fe"), site, PolicyFE)
+	ps := NewSession(net, simnet.MakeAddr(site, "ps"), site, PolicyPS)
+	if fe.Policy() != PolicyFE || ps.Policy() != PolicyPS {
+		t.Fatal("policy accessors")
+	}
+	if fe.PoASite() != site {
+		t.Fatalf("poa site = %s", fe.PoASite())
+	}
+	if PolicyFE.String() != "FE" || PolicyPS.String() != "PS" {
+		t.Fatal("policy strings")
+	}
+}
+
+func TestSessionExecByKnownPartition(t *testing.T) {
+	// A client that cached the placement from a previous response can
+	// skip identity resolution entirely.
+	net, u, profiles := testUDR(t, 3)
+	ctx := ctxT(t)
+	site := u.Sites()[0]
+	sess := NewSession(net, simnet.MakeAddr(site, "fe"), site, PolicyFE)
+	p := profiles[0]
+
+	first, err := sess.Exec(ctx, ExecReq{
+		Identity: subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal},
+		Ops:      []se.TxnOp{{Kind: se.TxnGet}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sess.Exec(ctx, ExecReq{
+		SubscriberID: first.SubscriberID,
+		Partition:    first.Partition,
+		Ops:          []se.TxnOp{{Kind: se.TxnGet, Key: first.SubscriberID}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Results[0].Found {
+		t.Fatal("partition-addressed read missed")
+	}
+}
+
+func TestSessionExecEmptyOpKeyDefaultsToSubscriber(t *testing.T) {
+	net, u, profiles := testUDR(t, 1)
+	ctx := ctxT(t)
+	site := u.Sites()[0]
+	sess := NewSession(net, simnet.MakeAddr(site, "fe"), site, PolicyFE)
+	p := profiles[0]
+	resp, err := sess.Exec(ctx, ExecReq{
+		Identity: subscriber.Identity{Type: subscriber.MSISDN, Value: p.MSISDNVal},
+		Ops:      []se.TxnOp{{Kind: se.TxnGet}}, // Key left empty
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Results[0].Found || resp.Results[0].Entry.First(subscriber.AttrID) != p.ID {
+		t.Fatalf("resp = %+v", resp.Results[0])
+	}
+}
+
+func TestSessionModifyReadBack(t *testing.T) {
+	net, u, profiles := testUDR(t, 1)
+	ctx := ctxT(t)
+	site := u.Sites()[0]
+	sess := NewSession(net, simnet.MakeAddr(site, "ps"), site, PolicyPS)
+	p := profiles[0]
+	id := subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal}
+
+	if _, err := sess.Modify(ctx, id, barReplace(subscriber.AttrBarOutgoing, "TRUE")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, role, err := sess.ReadProfile(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Services.BarOutgoing {
+		t.Fatal("modify lost")
+	}
+	if role.String() != "master" {
+		t.Fatalf("PS read served by %v", role)
+	}
+}
+
+// barReplace builds a single-attribute replace mod.
+func barReplace(attr, val string) store.Mod {
+	return store.Mod{Kind: store.ModReplace, Attr: attr, Vals: []string{val}}
+}

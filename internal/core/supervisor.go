@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Supervisor is the OSS-side availability watchdog: it polls the
+// partition table and promotes a surviving slave whenever a master's
+// element has been down longer than the grace period. Failover-driven
+// repair is what keeps per-subscriber availability at five nines when
+// elements fail (§2.3 req 3, E14).
+type Supervisor struct {
+	u        *UDR
+	interval time.Duration
+	grace    time.Duration
+
+	mu        sync.Mutex
+	downSince map[string]time.Time
+	stop      chan struct{}
+	wg        sync.WaitGroup
+
+	// Failovers counts promotions performed.
+	Failovers metrics.Counter
+}
+
+// NewSupervisor creates a watchdog polling every interval and
+// promoting after grace of continuous master downtime.
+func (u *UDR) NewSupervisor(interval, grace time.Duration) *Supervisor {
+	return &Supervisor{
+		u:         u,
+		interval:  interval,
+		grace:     grace,
+		downSince: make(map[string]time.Time),
+	}
+}
+
+// Start launches the watchdog.
+func (s *Supervisor) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.wg.Add(1)
+	go s.run(s.stop)
+}
+
+// Stop halts the watchdog.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	stop := s.stop
+	s.stop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		s.wg.Wait()
+	}
+}
+
+func (s *Supervisor) run(stop chan struct{}) {
+	defer s.wg.Done()
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.sweep()
+		}
+	}
+}
+
+// sweep checks every partition master and promotes where needed.
+func (s *Supervisor) sweep() {
+	now := time.Now()
+	for _, partID := range s.u.Partitions() {
+		part, ok := s.u.Partition(partID)
+		if !ok {
+			continue
+		}
+		el := s.u.Element(part.Master().Element)
+		if el == nil {
+			continue
+		}
+		if !el.Down() {
+			s.mu.Lock()
+			delete(s.downSince, partID)
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		since, seen := s.downSince[partID]
+		if !seen {
+			s.downSince[partID] = now
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+		if now.Sub(since) < s.grace {
+			continue
+		}
+		if _, err := s.u.Failover(partID); err == nil {
+			s.Failovers.Inc()
+			s.mu.Lock()
+			delete(s.downSince, partID)
+			s.mu.Unlock()
+		}
+	}
+}

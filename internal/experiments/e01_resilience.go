@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/se"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+func init() {
+	register("E1", "UDR survives down to one SE (full base served)",
+		"Figure 2, §2.3", runE1)
+}
+
+// runE1 reproduces the Figure 2 resilience claim: with three SEs each
+// holding one primary partition and secondary copies of the other
+// two, the UDR "can continue providing service for 100% of the
+// subscriber base as long as one PoA and one SE are reachable".
+func runE1(ctx context.Context, opts Options) (*Report, error) {
+	rep := NewReport("E1", "UDR survives down to one SE (full base served)")
+	subs, _ := sizes(opts)
+	net, u, profiles, err := buildUDR(opts, subs)
+	if err != nil {
+		return nil, err
+	}
+	defer u.Stop()
+
+	sites := u.Sites()
+	survivorSite := sites[0]
+	fe := feSession(net, survivorSite)
+
+	readable := func() int {
+		n := 0
+		for _, p := range profiles {
+			if _, _, _, err := fe.ReadProfile(ctx, subscriber.Identity{
+				Type: subscriber.MSISDN, Value: p.MSISDNVal}); err == nil {
+				n++
+			}
+		}
+		return n
+	}
+
+	rep.AddRow("phase", "SEs alive", "base readable", "base writable")
+	writable := func() int {
+		n := 0
+		ps := psSession(net, survivorSite)
+		for _, p := range profiles {
+			if _, err := ps.Exec(ctx, e1Touch(p)); err == nil {
+				n++
+			}
+		}
+		return n
+	}
+
+	r0, w0 := readable(), writable()
+	rep.AddRow("all healthy", "3", pct(r0, subs), pct(w0, subs))
+	rep.Check("healthy: 100% readable", r0 == subs)
+	rep.Check("healthy: 100% writable", w0 == subs)
+
+	// Kill the SEs of the two other sites.
+	var killed []string
+	for _, elID := range u.Elements() {
+		el := u.Element(elID)
+		if el.Site() != survivorSite {
+			el.Crash()
+			killed = append(killed, elID)
+		}
+	}
+	r1 := readable()
+	rep.AddRow("2 SEs crashed, pre-failover", "1", pct(r1, subs), "(pending failover)")
+	// Reads survive immediately: the surviving SE holds slave copies
+	// of every partition.
+	rep.Check("post-crash: reads survive on slave copies", r1 == subs)
+
+	// OSS failover promotes the surviving slaves to master.
+	for _, partID := range u.Partitions() {
+		part, _ := u.Partition(partID)
+		if el := u.Element(part.Master().Element); el.Down() {
+			if _, err := u.Failover(partID); err != nil {
+				return nil, err
+			}
+		}
+	}
+	r2, w2 := readable(), writable()
+	rep.AddRow("after failover", "1", pct(r2, subs), pct(w2, subs))
+	rep.Check("one SE serves 100% of base (reads)", r2 == subs)
+	rep.Check("one SE serves 100% of base (writes)", w2 == subs)
+
+	rep.Note("killed elements: %v; survivor site: %s", killed, survivorSite)
+	rep.Note("paper: 'the UDR from figure 2 can continue providing service for 100%% of the subscriber base as long as one PoA and one SE are reachable'")
+	return rep, nil
+}
+
+// e1Touch builds a trivial write op for a profile.
+func e1Touch(p *subscriber.Profile) core.ExecReq {
+	return core.ExecReq{
+		Identity: subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal},
+		Ops: []se.TxnOp{{Kind: se.TxnModify, Mods: []store.Mod{{
+			Kind: store.ModReplace, Attr: subscriber.AttrArea, Vals: []string{"touched"},
+		}}}},
+	}
+}

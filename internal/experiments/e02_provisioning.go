@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/locator"
+	"repro/internal/ps"
+	"repro/internal/subscriber"
+)
+
+func init() {
+	register("E2", "Provisioning: pre-UDC partial states vs UDC atomicity",
+		"Figures 3–4, §2.4", runE2)
+}
+
+// runE2 reproduces the Figure 3 vs Figure 4 contrast: pre-UDC
+// provisioning writes three nodes (HSS + 2×SLF) with no transaction
+// across them, so a mid-flow failure leaves the network inconsistent
+// and "normally ends up requiring manual intervention"; UDC
+// provisioning writes one UDR transaction — it either fully succeeds
+// or leaves nothing behind.
+func runE2(ctx context.Context, opts Options) (*Report, error) {
+	rep := NewReport("E2", "Provisioning: pre-UDC partial states vs UDC atomicity")
+	subs, _ := sizes(opts)
+	gen := subscriber.NewGenerator("eu-south", "eu-north", "americas")
+
+	// --- Pre-UDC model: inject a crash after write k for k=1,2 on a
+	// third of the flows each; the rest complete.
+	pre := ps.NewPreUDC()
+	var preOK, preFail int
+	for i := 0; i < subs; i++ {
+		prof := gen.Profile(i)
+		switch i % 3 {
+		case 0:
+			pre.FailAfter = 0 // healthy flow
+		case 1:
+			pre.FailAfter = 1 // crash after the HSS write
+		case 2:
+			pre.FailAfter = 2 // crash after the first SLF write
+		}
+		if err := pre.Provision(prof); err != nil {
+			preFail++
+		} else {
+			preOK++
+		}
+	}
+	preInconsistent := 0
+	for i := 0; i < subs; i++ {
+		if !pre.Consistent(gen.Profile(i)) {
+			preInconsistent++
+		}
+	}
+
+	// --- UDC model: the same failure rate, induced by partitioning
+	// the target region's master away mid-run. A failed provisioning
+	// transaction must leave no trace.
+	net, u, _, err := buildUDR(opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer u.Stop()
+	sites := u.Sites()
+	psSess := psSession(net, sites[0])
+	udrPS := ps.NewWithSession(sites[0], psSess)
+
+	var udcOK, udcFail, udcPartial int
+	for i := 0; i < subs; i++ {
+		prof := gen.Profile(100000 + i)
+		inducedFailure := i%3 != 0 && prof.HomeRegion != sites[0]
+		if inducedFailure {
+			net.Partition([]string{sites[0]})
+		}
+		err := udrPS.Provision(ctx, prof)
+		if inducedFailure {
+			net.Heal()
+		}
+		if err != nil {
+			udcFail++
+		} else {
+			udcOK++
+		}
+		// Consistency check: the row and the local location map must
+		// agree (both present or both absent).
+		_, _, _, rerr := psSess.ReadProfile(ctx, subscriber.Identity{Type: subscriber.IMSI, Value: prof.IMSIVal})
+		rowPresent := rerr == nil
+		_, lerr := u.Stage(sites[0]).Lookup(ctx, subscriber.Identity{Type: subscriber.IMSI, Value: prof.IMSIVal})
+		mapPresent := lerr == nil || !errors.Is(lerr, locator.ErrNotFound)
+		if rowPresent != mapPresent {
+			udcPartial++
+		}
+	}
+
+	rep.AddRow("model", "flows", "ok", "failed", "partial states (manual intervention)")
+	rep.AddRow("pre-UDC (Fig 3)", fmt.Sprint(subs), fmt.Sprint(preOK), fmt.Sprint(preFail), fmt.Sprint(preInconsistent))
+	rep.AddRow("UDC (Fig 4)", fmt.Sprint(subs), fmt.Sprint(udcOK), fmt.Sprint(udcFail), fmt.Sprint(udcPartial))
+
+	rep.Check("pre-UDC leaves partial states under failures", preInconsistent > 0)
+	rep.Check("UDC leaves zero partial states", udcPartial == 0)
+	rep.Check("both models saw failures (fair comparison)", preFail > 0 && udcFail > 0)
+	rep.Note("pre-UDC flows crash between the HSS write and the SLF writes; UDC provisioning is one storage-element transaction (§2.4)")
+	return rep, nil
+}

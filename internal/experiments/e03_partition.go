@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/se"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+func init() {
+	register("E3", "C-over-A on partition: FE reads survive, PS writes fail",
+		"Figures 5–6, §3.2, §4.1", runE3)
+}
+
+// runE3 reproduces the paper's central CAP observation (§4.1): during
+// a network partition "most transactions coming from application
+// front-ends proceed successfully since those transactions are
+// composed of mostly reads, [while] transactions coming from a PS
+// almost always fail since most provisioning transactions involve
+// writes to subscriber data".
+func runE3(ctx context.Context, opts Options) (*Report, error) {
+	rep := NewReport("E3", "C-over-A on partition: FE reads survive, PS writes fail")
+	subs, ops := sizes(opts)
+	net, u, profiles, err := buildUDR(opts, subs)
+	if err != nil {
+		return nil, err
+	}
+	defer u.Stop()
+
+	sites := u.Sites()
+	isolated := sites[0]
+	fe := feSession(net, isolated)
+	psSess := psSession(net, isolated)
+
+	runPhase := func(n int) (feOK, feFail, psOK, psFail int) {
+		for i := 0; i < n; i++ {
+			p := profiles[i%len(profiles)]
+			// FE transaction: a read (call-setup style).
+			if _, _, _, err := fe.ReadProfile(ctx, subscriber.Identity{
+				Type: subscriber.MSISDN, Value: p.MSISDNVal}); err == nil {
+				feOK++
+			} else {
+				feFail++
+			}
+			// PS transaction: a write (provisioning style).
+			if _, err := psSess.Exec(ctx, core.ExecReq{
+				Identity: subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal},
+				Ops: []se.TxnOp{{Kind: se.TxnModify, Mods: []store.Mod{{
+					Kind: store.ModReplace, Attr: subscriber.AttrSMSEnabled, Vals: []string{"TRUE"},
+				}}}},
+			}); err == nil {
+				psOK++
+			} else {
+				psFail++
+			}
+		}
+		return
+	}
+
+	rep.AddRow("phase", "FE availability", "PS write availability")
+	feOK, feFail, psOK, psFail := runPhase(ops / 3)
+	rep.AddRow("before partition", pct(feOK, feOK+feFail), pct(psOK, psOK+psFail))
+	rep.Check("pre-partition: both classes fully available", feFail == 0 && psFail == 0)
+
+	net.Partition([]string{isolated})
+	feOK2, feFail2, psOK2, psFail2 := runPhase(ops / 3)
+	rep.AddRow("during partition", pct(feOK2, feOK2+feFail2), pct(psOK2, psOK2+psFail2))
+	feAvail := float64(feOK2) / float64(feOK2+feFail2)
+	psAvail := float64(psOK2) / float64(psOK2+psFail2)
+	rep.Check("partition: FE reads fully available (slave copies)", feFail2 == 0)
+	rep.Check("partition: PS writes mostly fail (C over A)", psAvail < 0.5)
+	rep.Check("partition: FE availability >> PS availability", feAvail > psAvail)
+	// Writes to locally-mastered partitions (1 of 3 regions) still
+	// commit: PS availability ≈ 1/3.
+	rep.Note("PS write availability during partition = %.2f (expected ≈ 1/3: only the locally-mastered region accepts writes)", psAvail)
+
+	net.Heal()
+	feOK3, feFail3, psOK3, psFail3 := runPhase(ops / 3)
+	rep.AddRow("after heal", pct(feOK3, feOK3+feFail3), pct(psOK3, psOK3+psFail3))
+	rep.Check("post-heal: both classes fully available again", feFail3 == 0 && psFail3 == 0)
+
+	rep.Note("paper §3.6: the UDR is PA/EL for FE transactions but PC/EC for PS transactions")
+	return rep, nil
+}

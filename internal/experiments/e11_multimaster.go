@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/se"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+func init() {
+	register("E11", "Multi-master: availability on partition, divergence, consistency restoration",
+		"§5", runE11)
+}
+
+// runE11 reproduces the §5 evolution: "some sort of multi-master
+// operation would be very convenient so writes can be addressed to
+// more than one single replica ... Once the partition incident is
+// over, a consistency restoration process must run across the whole
+// UDR NF, trying to merge the different views into one single,
+// consistent view."
+func runE11(ctx context.Context, opts Options) (*Report, error) {
+	rep := NewReport("E11", "Multi-master: availability on partition, divergence, consistency restoration")
+
+	writeBursts := []int{4, 8, 16}
+	if opts.Quick {
+		writeBursts = []int{2, 6}
+	}
+
+	rep.AddRow("concurrent writes/side", "writes accepted (both sides)", "divergent rows pre-merge", "conflicts resolved", "converged")
+	var conflictSeries []int64
+	for _, burst := range writeBursts {
+		subs, _ := sizes(opts)
+		net, u, profiles, err := buildUDR(opts, subs, func(c *core.Config) { c.MultiMaster = true })
+		if err != nil {
+			return nil, err
+		}
+
+		sites := u.Sites()
+		isolated := sites[0]
+		// Targets mastered outside the isolated site, so the
+		// isolated-side writes land on a local (slave-role)
+		// multi-master replica.
+		var targets []*subscriber.Profile
+		for _, p := range profiles {
+			if p.HomeRegion != isolated {
+				targets = append(targets, p)
+			}
+			if len(targets) == burst {
+				break
+			}
+		}
+
+		net.Partition([]string{isolated})
+		psA := psSession(net, isolated)
+		accepted := 0
+		for i, p := range targets {
+			if _, err := psA.Exec(ctx, core.ExecReq{
+				Identity: subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal},
+				Ops: []se.TxnOp{{Kind: se.TxnModify, Mods: []store.Mod{{
+					Kind: store.ModReplace, Attr: subscriber.AttrBarPremium, Vals: []string{"TRUE"},
+				}}}},
+			}); err == nil {
+				accepted++
+			}
+			// Conflicting write on the majority side.
+			psB := psSession(net, p.HomeRegion)
+			if _, err := psB.Exec(ctx, core.ExecReq{
+				Identity: subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal},
+				Ops: []se.TxnOp{{Kind: se.TxnModify, Mods: []store.Mod{{
+					Kind: store.ModReplace, Attr: subscriber.AttrForwardUncond, Vals: []string{fmt.Sprintf("3469999%04d", i)},
+				}}}},
+			}); err == nil {
+				accepted++
+			}
+		}
+
+		// Let in-partition propagation settle, then measure
+		// divergence before restoration.
+		time.Sleep(5 * time.Millisecond)
+		divergent := countDivergent(u, targets)
+		net.Heal()
+
+		if _, err := u.RestoreAll(ctx); err != nil {
+			u.Stop()
+			return nil, err
+		}
+		stillDivergent := countDivergent(u, targets)
+
+		var conflicts int64
+		for _, elID := range u.Elements() {
+			el := u.Element(elID)
+			for _, part := range el.Partitions() {
+				conflicts += el.Replica(part).Repl.Conflicts.Value()
+			}
+		}
+		conflictSeries = append(conflictSeries, conflicts)
+
+		rep.AddRow(fmt.Sprint(burst), fmt.Sprintf("%d/%d", accepted, 2*len(targets)),
+			fmt.Sprint(divergent), fmt.Sprint(conflicts), fmt.Sprint(stillDivergent == 0))
+
+		rep.Check(fmt.Sprintf("burst %d: writes accepted on both sides", burst), accepted == 2*len(targets))
+		rep.Check(fmt.Sprintf("burst %d: views diverged during partition", burst), divergent > 0)
+		rep.Check(fmt.Sprintf("burst %d: restoration converges all replicas", burst), stillDivergent == 0)
+		rep.Check(fmt.Sprintf("burst %d: conflicts detected and resolved", burst), conflicts > 0)
+
+		// The merged view preserves the barring (safety-biased field
+		// merge) and the forwarding write (LWW on its field).
+		merged := readReplica(u, targets[0])
+		rep.Check(fmt.Sprintf("burst %d: merge keeps barring (safety bias)", burst),
+			merged.First(subscriber.AttrBarPremium) == "TRUE")
+		rep.Check(fmt.Sprintf("burst %d: merge keeps forwarding write", burst),
+			merged.First(subscriber.AttrForwardUncond) != "")
+		u.Stop()
+	}
+
+	rep.Check("conflicts grow with concurrent-write volume",
+		conflictSeries[len(conflictSeries)-1] > conflictSeries[0])
+	rep.Note("contrast with E3: identical partition, but multi-master accepts writes on both sides (availability) at the price of conflicts to merge (consistency) — exactly the CAP exchange §5 describes")
+	return rep, nil
+}
+
+// countDivergent counts targets whose replicas disagree.
+func countDivergent(u *core.UDR, targets []*subscriber.Profile) int {
+	divergent := 0
+	for _, p := range targets {
+		var entries []store.Entry
+		for _, partID := range u.Partitions() {
+			part, _ := u.Partition(partID)
+			for _, ref := range part.Replicas {
+				el := u.Element(ref.Element)
+				if el == nil {
+					continue
+				}
+				pr := el.Replica(partID)
+				if pr == nil {
+					continue
+				}
+				if e, _, ok := pr.Store.GetCommitted(p.ID); ok {
+					entries = append(entries, e)
+				}
+			}
+		}
+		for i := 1; i < len(entries); i++ {
+			if !entries[0].Equal(entries[i]) {
+				divergent++
+				break
+			}
+		}
+	}
+	return divergent
+}
+
+// readReplica returns any replica's committed entry for a profile.
+func readReplica(u *core.UDR, p *subscriber.Profile) store.Entry {
+	for _, partID := range u.Partitions() {
+		part, _ := u.Partition(partID)
+		for _, ref := range part.Replicas {
+			el := u.Element(ref.Element)
+			if el == nil {
+				continue
+			}
+			pr := el.Replica(partID)
+			if pr == nil {
+				continue
+			}
+			if e, _, ok := pr.Store.GetCommitted(p.ID); ok {
+				return e
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+func init() {
+	register("E12", "Durability tuning: commit latency per durability level",
+		"§3.1 fn 6, §5", runE12)
+}
+
+// runE12 reproduces the §5 durability-tuning discussion at the
+// storage-element level: "the latency penalty for achieving close to
+// 100% guaranteed durability is so high that some unwary service
+// providers might think it twice before going down that way" — the
+// paper's footnote 6 makes the same point about dumping transactions
+// to disk before committing.
+//
+// Levels measured here (disk axis; E4 measures the replication axis):
+//
+//	ram-only            — no disk protection at all (loses everything)
+//	periodic (paper)    — buffered WAL, interval fsync (loses the tail)
+//	dump-before-commit  — fsync per commit (loses nothing, slowest)
+func runE12(ctx context.Context, opts Options) (*Report, error) {
+	rep := NewReport("E12", "Durability tuning: commit latency per durability level")
+	commits := 300
+	if opts.Quick {
+		commits = 120
+	}
+
+	type level struct {
+		name    string
+		useWAL  bool
+		mode    wal.Mode
+		syncInt time.Duration
+	}
+	levels := []level{
+		{name: "ram-only (no disk)", useWAL: false},
+		{name: "periodic save (paper §3.1)", useWAL: true, mode: wal.Periodic, syncInt: 10 * time.Millisecond},
+		{name: "dump-before-commit (fn 6)", useWAL: true, mode: wal.SyncEveryCommit},
+	}
+
+	rep.AddRow("durability level", "commit p50", "commit p95", "commits lost on crash")
+	var p50s []time.Duration
+	for _, lv := range levels {
+		dir, err := os.MkdirTemp("", "udr-e12-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+
+		st := store.New("e12")
+		var log *wal.Log
+		if lv.useWAL {
+			log, err = wal.Open(dir, lv.mode)
+			if err != nil {
+				return nil, err
+			}
+			if lv.syncInt > 0 {
+				log.StartPeriodic(lv.syncInt)
+			}
+			st.SetCommitHook(log.Append)
+		}
+
+		var hist metrics.Histogram
+		for i := 0; i < commits; i++ {
+			txn := st.Begin(store.ReadCommitted)
+			txn.Put(fmt.Sprintf("k%06d", i), store.Entry{"v": {fmt.Sprint(i)}})
+			start := time.Now()
+			if _, err := txn.Commit(); err != nil {
+				return nil, err
+			}
+			hist.Record(time.Since(start))
+		}
+
+		// Crash: close without final sync, recover from disk.
+		lost := commits
+		if lv.useWAL {
+			log.Close()
+			recovered := store.New("e12")
+			csn, _, err := wal.Recover(dir, recovered)
+			if err != nil {
+				return nil, err
+			}
+			lost = commits - int(csn)
+		}
+
+		s := hist.Snapshot()
+		p50s = append(p50s, s.P50)
+		rep.AddRow(lv.name, s.P50.String(), s.P95.String(), fmt.Sprintf("%d/%d", lost, commits))
+
+		switch lv.mode {
+		case wal.SyncEveryCommit:
+			if lv.useWAL {
+				rep.Check("dump-before-commit loses nothing", lost == 0)
+			}
+		case wal.Periodic:
+			if lv.useWAL {
+				rep.Check("periodic save loses at most the unsynced tail", lost >= 0 && lost < commits)
+			}
+		}
+	}
+
+	// The latency ordering the paper warns about.
+	rep.Check("periodic save adds little latency over ram-only", p50s[1] < p50s[2])
+	rep.Check("full durability is the expensive end (fsync per commit)", p50s[2] > 2*p50s[0])
+	ratio := float64(p50s[2]) / float64(maxDur(p50s[0], time.Nanosecond))
+	rep.Note("dump-before-commit costs %.0fx the ram-only commit at p50 — the paper's 'would slow down storage elements too much' (fn 6)", ratio)
+	rep.Note("replication-axis durability (async / dual-in-sequence / sync-all) is measured in E4")
+	return rep, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/fe"
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("E13", "10 ms response-time target under busy-hour load",
+		"§2.3 req 4, §3.3", runE13)
+	register("E15", "LDAP operations per network procedure",
+		"§3.5 fn 8", runE15)
+}
+
+// runE13 reproduces §2.3 requirement 4: "a target average response
+// time of 10ms (excluding network delays) for index-based single
+// subscriber queries". The target is measured the way the paper
+// states it — excluding network — as the storage-element query
+// service time plus the PoA's local data-location lookup; end-to-end
+// procedure latencies under the busy-hour mix are reported alongside
+// for context.
+func runE13(ctx context.Context, opts Options) (*Report, error) {
+	rep := NewReport("E13", "10 ms response-time target under busy-hour load")
+	subs, ops := sizes(opts)
+	ops *= 2
+	net, u, profiles, err := buildUDR(opts, subs)
+	if err != nil {
+		return nil, err
+	}
+	defer u.Stop()
+
+	target := 10 * time.Millisecond
+	site := u.Sites()[0]
+
+	// (1) The paper's metric: index-based single-subscriber query,
+	// excluding network = locator resolution + SE transaction
+	// service time, measured in-process.
+	stage := u.Stage(site)
+	el := u.Element("se-" + site + "-0")
+	partID := el.Partitions()[0]
+	pr := el.Replica(partID)
+	var queryHist metrics.Histogram
+	queries := ops * 4
+	for i := 0; i < queries; i++ {
+		p := profiles[i%len(profiles)]
+		start := time.Now()
+		if _, err := stage.Lookup(ctx, subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal}); err != nil {
+			return nil, err
+		}
+		txn := pr.Store.Begin(store.ReadCommitted)
+		txn.Get(p.ID)
+		if _, err := txn.Commit(); err != nil {
+			return nil, err
+		}
+		queryHist.Record(time.Since(start))
+	}
+	qs := queryHist.Snapshot()
+	rep.AddRow("metric", "value")
+	rep.AddRow("single-subscriber query (excl. network) mean", qs.Mean.String())
+	rep.AddRow("single-subscriber query (excl. network) p99", qs.P99.String())
+	rep.AddRow("paper target (avg, excl. network)", target.String())
+	rep.Check("average query time under the 10ms target", qs.Mean < target)
+	rep.Check("even p99 query time under the 10ms target", qs.P99 < target)
+
+	// (2) End-to-end busy-hour procedures for context (these include
+	// the compressed-scale network).
+	var fes []*fe.FE
+	for _, s := range u.Sites() {
+		fes = append(fes, fe.NewWithSession(fe.HSS, s, feSession(net, s)))
+	}
+	stats := workload.Run(ctx, workload.Config{
+		Subscribers:  profiles,
+		FEs:          fes,
+		Mix:          workload.DefaultMix(),
+		RoamingRatio: 0.1,
+		Concurrency:  8,
+		Ops:          ops,
+		Seed:         opts.Seed,
+	})
+	s := stats.Latency.Snapshot()
+	rep.AddRow("busy-hour procedures issued", fmt.Sprint(stats.Issued.Value()))
+	rep.AddRow("busy-hour availability", fmt.Sprintf("%.4f", stats.Availability.Ratio()))
+	rep.AddRow("procedure latency p50 (incl. network)", s.P50.String())
+	rep.AddRow("procedure latency p95 (incl. network)", s.P95.String())
+	rep.Check("full availability under busy-hour load", stats.Availability.Ratio() == 1)
+	rep.Note("network scale ~10x compressed (backbone one-way %v); procedures span 1-5 queries and include network legs, so they exceed the per-query target by design", netConfig(opts).Backbone.Latency)
+	return rep, nil
+}
+
+// runE15 reproduces §3.5 footnote 8: "typical mobile network
+// procedures cause between 1 and 3 LDAP operations ... a single
+// typical IMS network procedure may cause 5 or 6 LDAP read/write
+// operations."
+func runE15(ctx context.Context, opts Options) (*Report, error) {
+	rep := NewReport("E15", "LDAP operations per network procedure")
+	subs, _ := sizes(opts)
+	net, u, profiles, err := buildUDR(opts, subs)
+	if err != nil {
+		return nil, err
+	}
+	defer u.Stop()
+
+	site := u.Sites()[0]
+	front := fe.NewWithSession(fe.HSS, site, feSession(net, site))
+
+	reps := 10
+	for i := 0; i < reps; i++ {
+		p := profiles[i%len(profiles)]
+		if err := front.LocationUpdate(ctx, p.IMSIVal, "mme-x", "area-x", false); err != nil {
+			return nil, err
+		}
+		if _, err := front.Authenticate(ctx, p.IMSIVal); err != nil {
+			return nil, err
+		}
+		if err := front.MOCall(ctx, p.MSISDNVal, false); err != nil && err != fe.ErrBarred {
+			return nil, err
+		}
+		if _, err := front.MTCall(ctx, p.MSISDNVal); err != nil {
+			return nil, err
+		}
+		if _, err := front.SMSDeliver(ctx, p.MSISDNVal); err != nil && err != fe.ErrBarred {
+			return nil, err
+		}
+	}
+	// IMS registration needs IMS-enabled subscriptions.
+	imsRuns := 0
+	for _, p := range profiles {
+		if p.Services.IMSEnabled && len(p.IMPUVals) > 0 {
+			if err := front.IMSRegister(ctx, p.IMPUVals[0], "scscf-x"); err != nil {
+				return nil, err
+			}
+			imsRuns++
+			if imsRuns == reps {
+				break
+			}
+		}
+	}
+
+	rep.AddRow("procedure", "ops/invocation (measured)", "paper range")
+	type row struct {
+		name  string
+		stats *fe.ProcStats
+		lo    float64
+		hi    float64
+	}
+	rows := []row{
+		{"LocationUpdate", &front.LocationUpdateStats, 1, 3},
+		{"Authenticate", &front.AuthenticateStats, 1, 3},
+		{"MOCall", &front.MOCallStats, 1, 3},
+		{"MTCall", &front.MTCallStats, 1, 3},
+		{"SMSDeliver", &front.SMSStats, 1, 3},
+		{"IMSRegister", &front.IMSRegisterStats, 5, 6},
+	}
+	for _, r := range rows {
+		got := r.stats.OpsPerInvocation()
+		rep.AddRow(r.name, fmt.Sprintf("%.1f", got), fmt.Sprintf("%.0f-%.0f", r.lo, r.hi))
+		rep.Check(fmt.Sprintf("%s within paper range", r.name), got >= r.lo && got <= r.hi)
+	}
+	rep.Note("paper fn 8: mobile procedures 1-3 LDAP ops; IMS procedures 5-6")
+	return rep, nil
+}

@@ -1,0 +1,129 @@
+// Package failure injects the faults the paper's trade-offs are
+// about: backbone partitions and glitches (§2.5, §4.1), storage
+// element crashes (§3.1), and composed failure schedules for the
+// five-nines accounting of E14.
+package failure
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/se"
+	"repro/internal/simnet"
+)
+
+// Glitch partitions the listed sites away from the rest for the given
+// duration, then heals: the "network glitch as short as 30 seconds"
+// of §4.1. It blocks for the duration.
+func Glitch(ctx context.Context, net *simnet.Network, side []string, d time.Duration) {
+	net.Partition(side)
+	defer net.Heal()
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+	}
+}
+
+// GlitchAsync runs Glitch in the background and returns a done
+// channel.
+func GlitchAsync(ctx context.Context, net *simnet.Network, side []string, d time.Duration) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Glitch(ctx, net, side, d)
+	}()
+	return done
+}
+
+// CrashFor crashes an element, waits, then recovers it. It blocks for
+// the duration and returns the recovery's replayed-record counts.
+func CrashFor(ctx context.Context, el *se.Element, d time.Duration) (map[string]int, error) {
+	el.Crash()
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+	}
+	return el.Recover()
+}
+
+// Event is one scheduled fault action.
+type Event struct {
+	// At is the offset from plan start.
+	At time.Duration
+	// Name labels the event in reports.
+	Name string
+	// Do performs the action.
+	Do func()
+}
+
+// Plan is a deterministic failure schedule.
+type Plan struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Add appends an event.
+func (p *Plan) Add(at time.Duration, name string, do func()) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.events = append(p.events, Event{At: at, Name: name, Do: do})
+	return p
+}
+
+// AddPartition schedules a partition of side at `at` healing after d.
+func (p *Plan) AddPartition(net *simnet.Network, side []string, at, d time.Duration) *Plan {
+	p.Add(at, "partition", func() { net.Partition(side) })
+	p.Add(at+d, "heal", net.Heal)
+	return p
+}
+
+// AddCrash schedules a crash of el at `at` with recovery after d.
+// Recovery errors are delivered to onRecover (nil ignores them).
+func (p *Plan) AddCrash(el *se.Element, at, d time.Duration, onRecover func(map[string]int, error)) *Plan {
+	p.Add(at, "crash "+el.ID(), el.Crash)
+	p.Add(at+d, "recover "+el.ID(), func() {
+		replayed, err := el.Recover()
+		if onRecover != nil {
+			onRecover(replayed, err)
+		}
+	})
+	return p
+}
+
+// Run fires the events at their offsets. It blocks until the last
+// event fired or ctx ended, and returns the names of fired events.
+func (p *Plan) Run(ctx context.Context) []string {
+	p.mu.Lock()
+	events := append([]Event(nil), p.events...)
+	p.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+
+	start := time.Now()
+	var fired []string
+	for _, ev := range events {
+		wait := ev.At - time.Since(start)
+		if wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return fired
+			}
+		}
+		ev.Do()
+		fired = append(fired, ev.Name)
+	}
+	return fired
+}
+
+// RunAsync runs the plan in the background; the returned channel
+// closes when done.
+func (p *Plan) RunAsync(ctx context.Context) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(ctx)
+	}()
+	return done
+}

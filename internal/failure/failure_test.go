@@ -1,0 +1,149 @@
+package failure
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/se"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+func TestGlitchPartitionsAndHeals(t *testing.T) {
+	net := simnet.New(simnet.FastConfig())
+	net.AddSite("a")
+	net.AddSite("b")
+
+	start := time.Now()
+	done := GlitchAsync(context.Background(), net, []string{"a"}, 30*time.Millisecond)
+	// Partition must be in effect promptly.
+	deadline := time.Now().Add(time.Second)
+	for !net.Partitioned("a", "b") {
+		if time.Now().After(deadline) {
+			t.Fatal("glitch never partitioned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+	if net.Partitioned("a", "b") {
+		t.Fatal("glitch did not heal")
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("glitch returned early")
+	}
+}
+
+func TestGlitchCancelledHealsEarly(t *testing.T) {
+	net := simnet.New(simnet.FastConfig())
+	net.AddSite("a")
+	net.AddSite("b")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := GlitchAsync(ctx, net, []string{"a"}, 10*time.Second)
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled glitch did not end")
+	}
+	if net.Partitioned("a", "b") {
+		t.Fatal("cancelled glitch left the partition")
+	}
+}
+
+func TestCrashFor(t *testing.T) {
+	net := simnet.New(simnet.FastConfig())
+	el := se.New(net, se.Config{
+		ID: "se-1", Site: "a",
+		WALDir: t.TempDir(), WALMode: wal.SyncEveryCommit,
+	})
+	defer el.Stop()
+	pr, err := el.AddReplica("p1", store.Master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := pr.Store.Begin(store.ReadCommitted)
+	txn.Put("k", store.Entry{"v": {"1"}})
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, err := CrashFor(context.Background(), el, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed["p1"] != 1 {
+		t.Fatalf("replayed = %v", replayed)
+	}
+	if el.Down() {
+		t.Fatal("element still down")
+	}
+}
+
+func TestPlanRunsInOrder(t *testing.T) {
+	var order []string
+	p := &Plan{}
+	p.Add(20*time.Millisecond, "second", func() { order = append(order, "second") })
+	p.Add(0, "first", func() { order = append(order, "first") })
+	fired := p.Run(context.Background())
+	if len(fired) != 2 || fired[0] != "first" || fired[1] != "second" {
+		t.Fatalf("fired = %v", fired)
+	}
+	if len(order) != 2 || order[0] != "first" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPlanContextStops(t *testing.T) {
+	p := &Plan{}
+	p.Add(0, "a", func() {})
+	p.Add(10*time.Second, "never", func() { t.Error("late event fired") })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	fired := p.Run(ctx)
+	if len(fired) != 1 || fired[0] != "a" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestPlanAddPartition(t *testing.T) {
+	net := simnet.New(simnet.FastConfig())
+	net.AddSite("a")
+	net.AddSite("b")
+	p := (&Plan{}).AddPartition(net, []string{"a"}, 0, 15*time.Millisecond)
+	done := p.RunAsync(context.Background())
+	time.Sleep(5 * time.Millisecond)
+	if !net.Partitioned("a", "b") {
+		t.Fatal("partition event did not fire")
+	}
+	<-done
+	if net.Partitioned("a", "b") {
+		t.Fatal("heal event did not fire")
+	}
+}
+
+func TestPlanAddCrash(t *testing.T) {
+	net := simnet.New(simnet.FastConfig())
+	el := se.New(net, se.Config{ID: "se-1", Site: "a"})
+	defer el.Stop()
+	el.AddReplica("p1", store.Master)
+
+	recovered := make(chan struct{})
+	p := (&Plan{}).AddCrash(el, 0, 10*time.Millisecond, func(m map[string]int, err error) {
+		if err != nil {
+			t.Errorf("recover: %v", err)
+		}
+		close(recovered)
+	})
+	p.Run(context.Background())
+	select {
+	case <-recovered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("recovery callback never fired")
+	}
+	if el.Down() {
+		t.Fatal("element still down after plan")
+	}
+}

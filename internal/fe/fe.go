@@ -1,0 +1,337 @@
+// Package fe implements the stateless application front-ends of the
+// UDC architecture (§1, §2.2): the HLR-FE and HSS-FE processes that
+// execute network procedures by reading and writing subscriber data
+// in the UDR. Each front-end holds a PolicyFE session to its nearest
+// PoA, so slave reads are allowed (§3.3.2) and the procedures below
+// observe the PA/EL behaviour of Figure 6's blue trade-off points.
+//
+// Per §3.5 footnote 8, typical mobile procedures cause 1–3 LDAP
+// operations and IMS procedures 5–6; each session Exec below is one
+// LDAP operation, and experiment E15 verifies the counts.
+package fe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/se"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+// Business outcomes (distinct from availability failures: the UDR
+// answered, the answer was "no").
+var (
+	// ErrBarred reports a call blocked by a barring flag.
+	ErrBarred = errors.New("fe: call barred")
+	// ErrInactive reports a procedure against an inactive
+	// subscription.
+	ErrInactive = errors.New("fe: subscription not active")
+	// ErrNotIMS reports IMS registration by a non-IMS subscription.
+	ErrNotIMS = errors.New("fe: subscription has no IMS service")
+)
+
+// Kind distinguishes HLR and HSS front-ends.
+type Kind int
+
+const (
+	// HLR serves circuit/packet-switched mobile procedures.
+	HLR Kind = iota
+	// HSS additionally serves IMS procedures.
+	HSS
+)
+
+// String returns the front-end kind name.
+func (k Kind) String() string {
+	if k == HSS {
+		return "HSS-FE"
+	}
+	return "HLR-FE"
+}
+
+// ProcStats aggregates per-procedure measurements for E13/E15.
+type ProcStats struct {
+	Invocations metrics.Counter
+	Ops         metrics.Counter // LDAP operations issued
+	Failures    metrics.Counter // availability failures (not business denials)
+	Latency     metrics.Histogram
+}
+
+// OpsPerInvocation returns the measured LDAP-operation cost of the
+// procedure (E15's reproduced figure).
+func (ps *ProcStats) OpsPerInvocation() float64 {
+	n := ps.Invocations.Value()
+	if n == 0 {
+		return 0
+	}
+	return float64(ps.Ops.Value()) / float64(n)
+}
+
+// FE is one application front-end instance.
+type FE struct {
+	kind    Kind
+	site    string
+	session *core.Session
+
+	// Stats per procedure name.
+	LocationUpdateStats ProcStats
+	AuthenticateStats   ProcStats
+	MOCallStats         ProcStats
+	MTCallStats         ProcStats
+	SMSStats            ProcStats
+	IMSRegisterStats    ProcStats
+
+	// StaleReads counts reads that were detectably stale (served by
+	// a slave with a lower CSN than the caller's known write).
+	StaleReads metrics.Counter
+}
+
+// New creates a front-end at site, talking to that site's PoA (there
+// is always a PoA close to any front-end, §3.3.2 decision 1).
+func New(net *simnet.Network, kind Kind, site, name string) *FE {
+	return &FE{
+		kind:    kind,
+		site:    site,
+		session: core.NewSession(net, simnet.MakeAddr(site, name), site, core.PolicyFE),
+	}
+}
+
+// NewWithSession creates a front-end over an existing session (tests
+// point it at remote PoAs).
+func NewWithSession(kind Kind, site string, session *core.Session) *FE {
+	return &FE{kind: kind, site: site, session: session}
+}
+
+// Kind returns the front-end kind.
+func (f *FE) Kind() Kind { return f.kind }
+
+// Site returns the front-end's site.
+func (f *FE) Site() string { return f.site }
+
+// Session exposes the underlying session.
+func (f *FE) Session() *core.Session { return f.session }
+
+// observe wraps a procedure body with stats accounting.
+func (f *FE) observe(ps *ProcStats, ops int64, fn func() error) error {
+	start := time.Now()
+	ps.Invocations.Inc()
+	err := fn()
+	ps.Ops.Add(ops)
+	ps.Latency.Record(time.Since(start))
+	if err != nil && !isBusinessOutcome(err) {
+		ps.Failures.Inc()
+	}
+	return err
+}
+
+func isBusinessOutcome(err error) bool {
+	return errors.Is(err, ErrBarred) || errors.Is(err, ErrInactive) || errors.Is(err, ErrNotIMS)
+}
+
+// LocationUpdate runs the location-management procedure: validate the
+// subscription, then record the new serving node and area.
+// Cost: 2 LDAP operations (read + write).
+func (f *FE) LocationUpdate(ctx context.Context, imsi, servingNode, area string, roaming bool) error {
+	return f.observe(&f.LocationUpdateStats, 2, func() error {
+		id := subscriber.Identity{Type: subscriber.IMSI, Value: imsi}
+		prof, _, _, err := f.session.ReadProfile(ctx, id)
+		if err != nil {
+			return err
+		}
+		if !prof.Active {
+			return ErrInactive
+		}
+		if roaming && prof.Services.BarRoaming {
+			return ErrBarred
+		}
+		_, err = f.session.Modify(ctx, id,
+			store.Mod{Kind: store.ModReplace, Attr: subscriber.AttrServingNode, Vals: []string{servingNode}},
+			store.Mod{Kind: store.ModReplace, Attr: subscriber.AttrArea, Vals: []string{area}},
+			store.Mod{Kind: store.ModReplace, Attr: subscriber.AttrRoaming, Vals: []string{boolStr(roaming)}},
+			store.Mod{Kind: store.ModReplace, Attr: subscriber.AttrLocUpdated,
+				Vals: []string{strconv.FormatInt(time.Now().UnixMicro(), 10)}},
+		)
+		return err
+	})
+}
+
+// Authenticate runs the authentication procedure: fetch the permanent
+// key and sequence number, derive an authentication vector for the
+// serving node, then advance the sequence number — an authentication
+// is a write! Cost: 2 LDAP operations. The returned vector is what
+// the front-end would hand to the MME/VLR.
+func (f *FE) Authenticate(ctx context.Context, imsi string) (*auth.Vector, error) {
+	var vec *auth.Vector
+	err := f.observe(&f.AuthenticateStats, 2, func() error {
+		id := subscriber.Identity{Type: subscriber.IMSI, Value: imsi}
+		prof, _, _, err := f.session.ReadProfile(ctx, id)
+		if err != nil {
+			return err
+		}
+		if !prof.Active {
+			return ErrInactive
+		}
+		key, err := auth.ParseKey(prof.AuthKeyHex)
+		if err != nil {
+			return err
+		}
+		newSQN := prof.SQN + 1
+		v := auth.GenerateVector(key, auth.Challenge(newSQN), newSQN, [auth.AmfLen]byte{})
+		// SQN advance must hit the master (it is a write); the
+		// read above may have been served by a slave.
+		if _, err := f.session.Exec(ctx, core.ExecReq{
+			Identity: id,
+			Ops: []se.TxnOp{{
+				Kind: se.TxnModify,
+				Mods: []store.Mod{{
+					Kind: store.ModReplace,
+					Attr: subscriber.AttrSQN,
+					Vals: []string{strconv.FormatUint(newSQN, 10)},
+				}},
+			}},
+		}); err != nil {
+			return err
+		}
+		vec = &v
+		return nil
+	})
+	return vec, err
+}
+
+// MOCall runs mobile-originated call setup: read the caller's profile
+// and apply barring. Cost: 1 LDAP operation.
+// premium marks a call to a premium-rate number (§3.2's pay-call
+// barring example).
+func (f *FE) MOCall(ctx context.Context, msisdn string, premium bool) error {
+	return f.observe(&f.MOCallStats, 1, func() error {
+		prof, _, _, err := f.session.ReadProfile(ctx,
+			subscriber.Identity{Type: subscriber.MSISDN, Value: msisdn})
+		if err != nil {
+			return err
+		}
+		switch {
+		case !prof.Active:
+			return ErrInactive
+		case prof.Services.BarOutgoing:
+			return ErrBarred
+		case premium && prof.Services.BarPremium:
+			return ErrBarred
+		}
+		return nil
+	})
+}
+
+// MTCall runs mobile-terminated call routing: read the callee's
+// location and forwarding state; returns the routing target (serving
+// node or forward-to number). Cost: 1 LDAP operation.
+func (f *FE) MTCall(ctx context.Context, msisdn string) (routeTo string, err error) {
+	err = f.observe(&f.MTCallStats, 1, func() error {
+		prof, _, _, rerr := f.session.ReadProfile(ctx,
+			subscriber.Identity{Type: subscriber.MSISDN, Value: msisdn})
+		if rerr != nil {
+			return rerr
+		}
+		if !prof.Active {
+			return ErrInactive
+		}
+		if fw := prof.Services.ForwardUnconditional; fw != "" {
+			routeTo = "forward:" + fw
+			return nil
+		}
+		routeTo = "node:" + prof.Location.ServingNode
+		return nil
+	})
+	return routeTo, err
+}
+
+// SMSDeliver runs short-message delivery routing: read the
+// destination's serving node. Cost: 1 LDAP operation.
+func (f *FE) SMSDeliver(ctx context.Context, msisdn string) (servingNode string, err error) {
+	err = f.observe(&f.SMSStats, 1, func() error {
+		prof, _, _, rerr := f.session.ReadProfile(ctx,
+			subscriber.Identity{Type: subscriber.MSISDN, Value: msisdn})
+		if rerr != nil {
+			return rerr
+		}
+		if !prof.Active {
+			return ErrInactive
+		}
+		if !prof.Services.SMSEnabled {
+			return ErrBarred
+		}
+		servingNode = prof.Location.ServingNode
+		return nil
+	})
+	return servingNode, err
+}
+
+// IMSRegister runs the IMS registration procedure, the heavier
+// network procedure of §3.5 footnote 8. Cost: 5 LDAP operations:
+//
+//  1. resolve the IMPU and read the service profile,
+//  2. read the IMPI authentication data,
+//  3. advance the authentication sequence number (write),
+//  4. record the S-CSCF assignment (write),
+//  5. confirm the registration state (read-back).
+func (f *FE) IMSRegister(ctx context.Context, impu, scscf string) error {
+	if f.kind != HSS {
+		return fmt.Errorf("fe: %s cannot run IMS registration", f.kind)
+	}
+	return f.observe(&f.IMSRegisterStats, 5, func() error {
+		pubID := subscriber.Identity{Type: subscriber.IMPU, Value: impu}
+		// Op 1: service profile by public identity.
+		prof, _, _, err := f.session.ReadProfile(ctx, pubID)
+		if err != nil {
+			return err
+		}
+		if !prof.Active {
+			return ErrInactive
+		}
+		if !prof.Services.IMSEnabled {
+			return ErrNotIMS
+		}
+		// Op 2: authentication data by private identity.
+		privID := subscriber.Identity{Type: subscriber.IMPI, Value: prof.IMPIVal}
+		prof2, _, _, err := f.session.ReadProfile(ctx, privID)
+		if err != nil {
+			return err
+		}
+		// Op 3: SQN advance (write).
+		if _, err := f.session.Exec(ctx, core.ExecReq{
+			Identity: privID,
+			Ops: []se.TxnOp{{
+				Kind: se.TxnModify,
+				Mods: []store.Mod{{
+					Kind: store.ModReplace,
+					Attr: subscriber.AttrSQN,
+					Vals: []string{strconv.FormatUint(prof2.SQN+1, 10)},
+				}},
+			}},
+		}); err != nil {
+			return err
+		}
+		// Op 4: S-CSCF assignment (write).
+		if _, err := f.session.Modify(ctx, pubID,
+			store.Mod{Kind: store.ModReplace, Attr: subscriber.AttrServingNode, Vals: []string{scscf}},
+		); err != nil {
+			return err
+		}
+		// Op 5: registration read-back.
+		_, _, _, err = f.session.ReadProfile(ctx, pubID)
+		return err
+	})
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "TRUE"
+	}
+	return "FALSE"
+}

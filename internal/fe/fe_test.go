@@ -1,0 +1,332 @@
+package fe
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+// rig builds a three-site UDR and one HSS front-end per site.
+type rig struct {
+	net      *simnet.Network
+	udr      *core.UDR
+	profiles []*subscriber.Profile
+	fes      map[string]*FE
+}
+
+func newRig(t *testing.T, subs int) *rig {
+	t.Helper()
+	net := simnet.New(simnet.FastConfig())
+	u, err := core.New(net, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Stop)
+
+	gen := subscriber.NewGenerator(u.Sites()...)
+	var profiles []*subscriber.Profile
+	for i := 0; i < subs; i++ {
+		p := gen.Profile(i)
+		if err := u.SeedDirect(p); err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := u.WaitReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	fes := make(map[string]*FE)
+	for _, site := range u.Sites() {
+		fes[site] = New(net, HSS, site, "hss-fe")
+	}
+	return &rig{net: net, udr: u, profiles: profiles, fes: fes}
+}
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestLocationUpdate(t *testing.T) {
+	r := newRig(t, 3)
+	ctx := ctxT(t)
+	p := r.profiles[0]
+	f := r.fes[p.HomeRegion]
+
+	if err := f.LocationUpdate(ctx, p.IMSIVal, "mme-7", "area-7", false); err != nil {
+		t.Fatal(err)
+	}
+	// The write is visible through the session.
+	prof, _, _, rerr := f.Session().ReadProfile(ctx, subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal})
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if prof.Location.ServingNode != "mme-7" || prof.Location.Area != "area-7" {
+		t.Fatalf("location = %+v", prof.Location)
+	}
+	if f.LocationUpdateStats.Invocations.Value() != 1 || f.LocationUpdateStats.Ops.Value() != 2 {
+		t.Fatalf("stats = %d/%d", f.LocationUpdateStats.Invocations.Value(), f.LocationUpdateStats.Ops.Value())
+	}
+}
+
+func TestLocationUpdateRoamingBarred(t *testing.T) {
+	r := newRig(t, 3)
+	ctx := ctxT(t)
+	p := r.profiles[0]
+	f := r.fes[p.HomeRegion]
+
+	// Bar roaming via a direct write, then attempt a roaming update.
+	ps := core.NewSession(r.net, simnet.MakeAddr(p.HomeRegion, "ps"), p.HomeRegion, core.PolicyPS)
+	if _, err := ps.Modify(ctx, subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal},
+		barMod(subscriber.AttrBarRoaming, true)); err != nil {
+		t.Fatal(err)
+	}
+	err := f.LocationUpdate(ctx, p.IMSIVal, "mme-x", "area-x", true)
+	if !errors.Is(err, ErrBarred) {
+		t.Fatalf("err = %v, want ErrBarred", err)
+	}
+	// Barring is a business outcome, not an availability failure.
+	if f.LocationUpdateStats.Failures.Value() != 0 {
+		t.Fatal("business denial counted as failure")
+	}
+}
+
+func TestAuthenticateAdvancesSQN(t *testing.T) {
+	r := newRig(t, 3)
+	ctx := ctxT(t)
+	p := r.profiles[0]
+	f := r.fes[p.HomeRegion]
+
+	// The USIM side: each vector must verify against the key with a
+	// strictly increasing SQN (freshness).
+	key, err := auth.ParseKey(p.AuthKeyHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highestSeen := uint64(0)
+	for i := 0; i < 3; i++ {
+		vec, err := f.Authenticate(ctx, p.IMSIVal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sqn, err := auth.VerifyAUTN(key, vec.RAND, vec.AUTN, highestSeen)
+		if err != nil {
+			t.Fatalf("vector %d rejected by USIM side: %v", i, err)
+		}
+		highestSeen = sqn
+	}
+	prof, _, _, err := f.Session().ReadProfile(ctx, subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.SQN != 3 {
+		t.Fatalf("SQN = %d, want 3", prof.SQN)
+	}
+	if got := f.AuthenticateStats.OpsPerInvocation(); got != 2 {
+		t.Fatalf("ops/invocation = %v", got)
+	}
+}
+
+func TestMOCallBarring(t *testing.T) {
+	r := newRig(t, 3)
+	ctx := ctxT(t)
+	p := r.profiles[0]
+	f := r.fes[p.HomeRegion]
+	ps := core.NewSession(r.net, simnet.MakeAddr(p.HomeRegion, "ps"), p.HomeRegion, core.PolicyPS)
+	id := subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal}
+
+	// Normal call passes.
+	if err := f.MOCall(ctx, p.MSISDNVal, false); err != nil {
+		t.Fatal(err)
+	}
+	// Premium barring blocks only premium calls (§3.2's example).
+	if _, err := ps.Modify(ctx, id, barMod(subscriber.AttrBarPremium, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.MOCall(ctx, p.MSISDNVal, false); err != nil {
+		t.Fatalf("non-premium call barred: %v", err)
+	}
+	if err := f.MOCall(ctx, p.MSISDNVal, true); !errors.Is(err, ErrBarred) {
+		t.Fatalf("premium call err = %v", err)
+	}
+	// Outgoing barring blocks everything.
+	if _, err := ps.Modify(ctx, id, barMod(subscriber.AttrBarOutgoing, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.MOCall(ctx, p.MSISDNVal, false); !errors.Is(err, ErrBarred) {
+		t.Fatalf("outgoing-barred call err = %v", err)
+	}
+}
+
+func TestMTCallForwarding(t *testing.T) {
+	r := newRig(t, 3)
+	ctx := ctxT(t)
+	p := r.profiles[0]
+	f := r.fes[p.HomeRegion]
+
+	if err := f.LocationUpdate(ctx, p.IMSIVal, "mme-42", "a", false); err != nil {
+		t.Fatal(err)
+	}
+	route, err := f.MTCall(ctx, p.MSISDNVal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route != "node:mme-42" {
+		t.Fatalf("route = %q", route)
+	}
+
+	ps := core.NewSession(r.net, simnet.MakeAddr(p.HomeRegion, "ps"), p.HomeRegion, core.PolicyPS)
+	if _, err := ps.Modify(ctx, subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal},
+		cfuMod("34699999999")); err != nil {
+		t.Fatal(err)
+	}
+	route, err = f.MTCall(ctx, p.MSISDNVal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route != "forward:34699999999" {
+		t.Fatalf("route = %q", route)
+	}
+}
+
+func TestSMSDeliver(t *testing.T) {
+	r := newRig(t, 3)
+	ctx := ctxT(t)
+	p := r.profiles[0]
+	f := r.fes[p.HomeRegion]
+	if err := f.LocationUpdate(ctx, p.IMSIVal, "mme-9", "a", false); err != nil {
+		t.Fatal(err)
+	}
+	node, err := f.SMSDeliver(ctx, p.MSISDNVal)
+	if err != nil || node != "mme-9" {
+		t.Fatalf("sms: %q %v", node, err)
+	}
+}
+
+func TestIMSRegister(t *testing.T) {
+	r := newRig(t, 4)
+	ctx := ctxT(t)
+	// Find an IMS-enabled subscriber (generator enables every other).
+	var p *subscriber.Profile
+	for _, cand := range r.profiles {
+		if cand.Services.IMSEnabled {
+			p = cand
+			break
+		}
+	}
+	f := r.fes[p.HomeRegion]
+	if err := f.IMSRegister(ctx, p.IMPUVals[0], "scscf-1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.IMSRegisterStats.OpsPerInvocation(); got != 5 {
+		t.Fatalf("IMS ops/invocation = %v, want 5 (paper: 5-6)", got)
+	}
+	prof, _, _, err := f.Session().ReadProfile(ctx, subscriber.Identity{Type: subscriber.IMPU, Value: p.IMPUVals[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Location.ServingNode != "scscf-1" {
+		t.Fatalf("S-CSCF = %q", prof.Location.ServingNode)
+	}
+	if prof.SQN == 0 {
+		t.Fatal("IMS registration did not advance SQN")
+	}
+}
+
+func TestIMSRegisterNonIMS(t *testing.T) {
+	r := newRig(t, 4)
+	ctx := ctxT(t)
+	var p *subscriber.Profile
+	for _, cand := range r.profiles {
+		if !cand.Services.IMSEnabled {
+			p = cand
+			break
+		}
+	}
+	f := r.fes[p.HomeRegion]
+	if err := f.IMSRegister(ctx, p.IMPUVals[0], "scscf-1"); !errors.Is(err, ErrNotIMS) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIMSRegisterOnHLRFERejected(t *testing.T) {
+	r := newRig(t, 2)
+	hlr := New(r.net, HLR, r.udr.Sites()[0], "hlr-fe")
+	if err := hlr.IMSRegister(ctxT(t), "sip:x", "scscf"); err == nil {
+		t.Fatal("HLR-FE accepted an IMS procedure")
+	}
+}
+
+func TestInactiveSubscription(t *testing.T) {
+	r := newRig(t, 3)
+	ctx := ctxT(t)
+	p := r.profiles[0]
+	f := r.fes[p.HomeRegion]
+	ps := core.NewSession(r.net, simnet.MakeAddr(p.HomeRegion, "ps"), p.HomeRegion, core.PolicyPS)
+	if _, err := ps.Modify(ctx, subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal},
+		barMod(subscriber.AttrActive, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.MOCall(ctx, p.MSISDNVal, false); !errors.Is(err, ErrInactive) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := f.Authenticate(ctx, p.IMSIVal); !errors.Is(err, ErrInactive) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAvailabilityFailureCounted(t *testing.T) {
+	r := newRig(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Pick a subscriber whose master is remote from the FE's site,
+	// then partition: the write inside LocationUpdate fails.
+	site := r.udr.Sites()[0]
+	var p *subscriber.Profile
+	for _, cand := range r.profiles {
+		if cand.HomeRegion != site {
+			p = cand
+			break
+		}
+	}
+	f := r.fes[site]
+	r.net.Partition([]string{site})
+	defer r.net.Heal()
+	err := f.LocationUpdate(ctx, p.IMSIVal, "mme-x", "a", false)
+	if err == nil {
+		t.Fatal("write through a partition succeeded")
+	}
+	if f.LocationUpdateStats.Failures.Value() != 1 {
+		t.Fatalf("failures = %d", f.LocationUpdateStats.Failures.Value())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if HLR.String() != "HLR-FE" || HSS.String() != "HSS-FE" {
+		t.Fatal("kind strings")
+	}
+}
+
+// barMod and cfuMod build attribute replacements for test setup.
+func barMod(attr string, on bool) store.Mod {
+	v := "FALSE"
+	if on {
+		v = "TRUE"
+	}
+	return store.Mod{Kind: store.ModReplace, Attr: attr, Vals: []string{v}}
+}
+
+func cfuMod(target string) store.Mod {
+	return store.Mod{Kind: store.ModReplace, Attr: subscriber.AttrForwardUncond, Vals: []string{target}}
+}

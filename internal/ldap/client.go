@@ -1,0 +1,213 @@
+package ldap
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/ber"
+)
+
+// ReadMessage reads one complete BER-framed LDAP message from r.
+func ReadMessage(r io.Reader) ([]byte, error) {
+	return ber.ReadElement(r)
+}
+
+// Client is a synchronous LDAP client over any net.Conn. It is safe
+// for concurrent use; requests are serialized on the connection.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID int64
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn, nextID: 1} }
+
+// Close terminates the connection (sending an unbind first is the
+// caller's choice via Unbind).
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends op and returns all responses bearing the same
+// message ID, stopping at the first non-SearchEntry response.
+func (c *Client) roundTrip(op any) ([]any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextID
+	c.nextID++
+	msg := &Message{ID: id, Op: op}
+	buf, err := msg.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.conn.Write(buf); err != nil {
+		return nil, err
+	}
+	var out []any
+	for {
+		raw, err := ReadMessage(c.conn)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := Decode(raw)
+		if err != nil {
+			return nil, err
+		}
+		if resp.ID != id {
+			return nil, fmt.Errorf("ldap: response ID %d for request %d", resp.ID, id)
+		}
+		out = append(out, resp.Op)
+		if _, isEntry := resp.Op.(*SearchEntry); !isEntry {
+			return out, nil
+		}
+	}
+}
+
+// Bind authenticates with a simple bind.
+func (c *Client) Bind(dn, password string) (Result, error) {
+	resp, err := c.roundTrip(&BindRequest{Version: 3, DN: dn, Password: password})
+	if err != nil {
+		return Result{}, err
+	}
+	r, ok := resp[len(resp)-1].(*BindResponse)
+	if !ok {
+		return Result{}, fmt.Errorf("ldap: unexpected bind response %T", resp[len(resp)-1])
+	}
+	return r.Result, nil
+}
+
+// Unbind notifies the server and closes the connection.
+func (c *Client) Unbind() error {
+	c.mu.Lock()
+	msg := &Message{ID: c.nextID, Op: &UnbindRequest{}}
+	c.nextID++
+	buf, err := msg.Encode()
+	if err == nil {
+		_, err = c.conn.Write(buf)
+	}
+	c.mu.Unlock()
+	cerr := c.conn.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// Search runs a search and returns the entries plus the final result.
+func (c *Client) Search(req *SearchRequest) ([]SearchEntry, Result, error) {
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	var entries []SearchEntry
+	for _, op := range resp[:len(resp)-1] {
+		e, ok := op.(*SearchEntry)
+		if !ok {
+			return nil, Result{}, fmt.Errorf("ldap: unexpected search response %T", op)
+		}
+		entries = append(entries, *e)
+	}
+	done, ok := resp[len(resp)-1].(*SearchDone)
+	if !ok {
+		return nil, Result{}, fmt.Errorf("ldap: unexpected search terminator %T", resp[len(resp)-1])
+	}
+	return entries, done.Result, nil
+}
+
+// Add creates an entry.
+func (c *Client) Add(dn string, attrs map[string][]string) (Result, error) {
+	resp, err := c.roundTrip(&AddRequest{DN: dn, Attrs: attrs})
+	if err != nil {
+		return Result{}, err
+	}
+	r, ok := resp[len(resp)-1].(*AddResponse)
+	if !ok {
+		return Result{}, fmt.Errorf("ldap: unexpected add response %T", resp[len(resp)-1])
+	}
+	return r.Result, nil
+}
+
+// Modify applies attribute changes to an entry.
+func (c *Client) Modify(dn string, changes []Change) (Result, error) {
+	resp, err := c.roundTrip(&ModifyRequest{DN: dn, Changes: changes})
+	if err != nil {
+		return Result{}, err
+	}
+	r, ok := resp[len(resp)-1].(*ModifyResponse)
+	if !ok {
+		return Result{}, fmt.Errorf("ldap: unexpected modify response %T", resp[len(resp)-1])
+	}
+	return r.Result, nil
+}
+
+// Delete removes an entry.
+func (c *Client) Delete(dn string) (Result, error) {
+	resp, err := c.roundTrip(&DelRequest{DN: dn})
+	if err != nil {
+		return Result{}, err
+	}
+	r, ok := resp[len(resp)-1].(*DelResponse)
+	if !ok {
+		return Result{}, fmt.Errorf("ldap: unexpected delete response %T", resp[len(resp)-1])
+	}
+	return r.Result, nil
+}
+
+// Compare tests an attribute value; the result code is
+// ResultCompareTrue or ResultCompareFalse on success.
+func (c *Client) Compare(dn, attr, value string) (Result, error) {
+	resp, err := c.roundTrip(&CompareRequest{DN: dn, Attr: attr, Value: value})
+	if err != nil {
+		return Result{}, err
+	}
+	r, ok := resp[len(resp)-1].(*CompareResponse)
+	if !ok {
+		return Result{}, fmt.Errorf("ldap: unexpected compare response %T", resp[len(resp)-1])
+	}
+	return r.Result, nil
+}
+
+// extendedCall runs one extended operation.
+func (c *Client) extendedCall(name string, value []byte) (Result, error) {
+	resp, err := c.roundTrip(&ExtendedRequest{Name: name, Value: value})
+	if err != nil {
+		return Result{}, err
+	}
+	r, ok := resp[len(resp)-1].(*ExtendedResponse)
+	if !ok {
+		return Result{}, fmt.Errorf("ldap: unexpected extended response %T", resp[len(resp)-1])
+	}
+	return r.Result, nil
+}
+
+// extendedCallFull runs one extended operation and returns the
+// response value as well.
+func (c *Client) extendedCallFull(name string, value []byte) (Result, []byte, error) {
+	resp, err := c.roundTrip(&ExtendedRequest{Name: name, Value: value})
+	if err != nil {
+		return Result{}, nil, err
+	}
+	r, ok := resp[len(resp)-1].(*ExtendedResponse)
+	if !ok {
+		return Result{}, nil, fmt.Errorf("ldap: unexpected extended response %T", resp[len(resp)-1])
+	}
+	return r.Result, r.Value, nil
+}
+
+// Status fetches the server's OaM status dump (udrd topology view).
+func (c *Client) Status() (string, Result, error) {
+	r, value, err := c.extendedCallFull(OIDStatus, nil)
+	return string(value), r, err
+}
+
+// TxnBegin opens a write transaction on this connection: subsequent
+// Add/Modify/Delete calls are staged server-side and executed
+// atomically by TxnCommit.
+func (c *Client) TxnBegin() (Result, error) { return c.extendedCall(OIDTxnBegin, nil) }
+
+// TxnCommit executes the staged writes as one transaction.
+func (c *Client) TxnCommit() (Result, error) { return c.extendedCall(OIDTxnCommit, nil) }
+
+// TxnAbort discards the staged writes.
+func (c *Client) TxnAbort() (Result, error) { return c.extendedCall(OIDTxnAbort, nil) }

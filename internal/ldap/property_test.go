@@ -1,0 +1,136 @@
+package ldap
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// cleanStr bounds generated strings (the codec handles arbitrary
+// bytes; the bound just keeps the test fast).
+func cleanStr(s string) string {
+	if len(s) > 64 {
+		return s[:64]
+	}
+	return s
+}
+
+func roundTripOK(op any) bool {
+	msg := &Message{ID: 9, Op: op}
+	buf, err := msg.Encode()
+	if err != nil {
+		return false
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		return false
+	}
+	return got.ID == 9 && reflect.DeepEqual(got.Op, op)
+}
+
+func TestBindRoundTripProperty(t *testing.T) {
+	f := func(dn, pw string) bool {
+		return roundTripOK(&BindRequest{Version: 3, DN: cleanStr(dn), Password: cleanStr(pw)})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchRoundTripProperty(t *testing.T) {
+	f := func(base, attr, val string, scope uint8, sizeLimit uint16, typesOnly bool) bool {
+		return roundTripOK(&SearchRequest{
+			BaseDN:    cleanStr(base),
+			Scope:     int64(scope % 3),
+			SizeLimit: int64(sizeLimit),
+			TypesOnly: typesOnly,
+			Filter:    Eq(cleanStr(attr), cleanStr(val)),
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModifyRoundTripProperty(t *testing.T) {
+	f := func(dn, attr string, vals []string, op uint8) bool {
+		if len(vals) > 8 {
+			vals = vals[:8]
+		}
+		if len(vals) == 0 {
+			vals = nil // the wire format cannot distinguish empty from nil
+		}
+		for i := range vals {
+			vals[i] = cleanStr(vals[i])
+		}
+		ch := Change{Op: ChangeOp(op % 3), Attr: cleanStr(attr), Vals: vals}
+		return roundTripOK(&ModifyRequest{DN: cleanStr(dn), Changes: []Change{ch}})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelCompareExtendedRoundTripProperty(t *testing.T) {
+	f := func(dn, attr, val, name string, payload []byte) bool {
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		if len(payload) == 0 {
+			payload = nil
+		}
+		return roundTripOK(&DelRequest{DN: cleanStr(dn)}) &&
+			roundTripOK(&CompareRequest{DN: cleanStr(dn), Attr: cleanStr(attr), Value: cleanStr(val)}) &&
+			roundTripOK(&ExtendedRequest{Name: cleanStr(name), Value: payload})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterMatchesConsistentAfterRoundTripProperty(t *testing.T) {
+	// A filter must match the same entries before and after a trip
+	// through the wire format.
+	f := func(attr, val, otherVal string) bool {
+		attr, val, otherVal = cleanStr(attr), cleanStr(val), cleanStr(otherVal)
+		if attr == "" {
+			return true
+		}
+		filter := Or(Eq(attr, val), Present("always"))
+		req := &SearchRequest{BaseDN: "dc=x", Filter: filter}
+		msg := &Message{ID: 1, Op: req}
+		buf, err := msg.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		decoded := got.Op.(*SearchRequest).Filter
+		for _, entry := range []map[string][]string{
+			{attr: {val}},
+			{attr: {otherVal}},
+			{"always": {"x"}},
+			{},
+		} {
+			if filter.Matches(entry) != decoded.Matches(entry) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		Decode(b) // errors fine, panics not
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+package ldap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// WriteKind enumerates the write operations a backend batch can hold.
+type WriteKind int
+
+// Write kinds.
+const (
+	WriteAdd WriteKind = iota
+	WriteModify
+	WriteDelete
+)
+
+// WriteOp is one write inside a backend batch. A standalone LDAP
+// Add/Modify/Delete arrives as a single-op batch; writes grouped
+// between txn-begin and txn-commit extended operations arrive
+// together, to be executed as one storage-element transaction —
+// the provisioning grouping of §2.4.
+type WriteOp struct {
+	Kind    WriteKind
+	DN      string
+	Attrs   map[string][]string // WriteAdd
+	Changes []Change            // WriteModify
+}
+
+// Backend is the directory implementation behind a Server. The UDR
+// point of access implements it over the distributed core; tests
+// implement it over a plain map.
+type Backend interface {
+	// Bind authenticates a connection.
+	Bind(dn, password string) Result
+	// Search evaluates a search request.
+	Search(req *SearchRequest) ([]SearchEntry, Result)
+	// Compare tests an attribute value.
+	Compare(dn, attr, value string) Result
+	// Write executes a batch of writes as one transaction.
+	Write(ops []WriteOp) Result
+}
+
+// ExtendedBackend is an optional Backend extension for custom
+// extended operations beyond the built-in transaction grouping (e.g.
+// the OaM status dump).
+type ExtendedBackend interface {
+	// Extended handles one extended operation and returns the result
+	// plus an optional response value.
+	Extended(name string, value []byte) (Result, []byte)
+}
+
+// Server serves the LDAP subset over any net.Listener or individual
+// net.Conn values.
+type Server struct {
+	backend Backend
+
+	mu     sync.Mutex
+	closed bool
+	lns    []net.Listener
+}
+
+// NewServer returns a server over the given backend.
+func NewServer(b Backend) *Server { return &Server{backend: b} }
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.lns = append(s.lns, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go func() { _ = s.ServeConn(conn) }()
+	}
+}
+
+// Close stops all listeners.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for _, l := range s.lns {
+		l.Close()
+	}
+}
+
+// connState tracks per-connection transaction buffering.
+type connState struct {
+	inTxn bool
+	txn   []WriteOp
+}
+
+// ServeConn processes one connection until unbind, EOF or a protocol
+// error.
+func (s *Server) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	st := &connState{}
+	for {
+		raw, err := ReadMessage(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		msg, err := Decode(raw)
+		if err != nil {
+			return err
+		}
+		if _, ok := msg.Op.(*UnbindRequest); ok {
+			return nil
+		}
+		resp, err := s.dispatch(st, msg)
+		if err != nil {
+			return err
+		}
+		for _, r := range resp {
+			buf, err := r.Encode()
+			if err != nil {
+				return err
+			}
+			if _, err := conn.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(st *connState, msg *Message) ([]*Message, error) {
+	reply := func(op any) []*Message {
+		return []*Message{{ID: msg.ID, Op: op}}
+	}
+	switch op := msg.Op.(type) {
+	case *BindRequest:
+		return reply(&BindResponse{s.backend.Bind(op.DN, op.Password)}), nil
+	case *SearchRequest:
+		entries, res := s.backend.Search(op)
+		out := make([]*Message, 0, len(entries)+1)
+		for i := range entries {
+			out = append(out, &Message{ID: msg.ID, Op: &entries[i]})
+		}
+		out = append(out, &Message{ID: msg.ID, Op: &SearchDone{res}})
+		return out, nil
+	case *CompareRequest:
+		return reply(&CompareResponse{s.backend.Compare(op.DN, op.Attr, op.Value)}), nil
+	case *AddRequest:
+		w := WriteOp{Kind: WriteAdd, DN: op.DN, Attrs: op.Attrs}
+		if st.inTxn {
+			st.txn = append(st.txn, w)
+			return reply(&AddResponse{Result{Code: ResultSuccess, Message: "staged"}}), nil
+		}
+		return reply(&AddResponse{s.backend.Write([]WriteOp{w})}), nil
+	case *ModifyRequest:
+		w := WriteOp{Kind: WriteModify, DN: op.DN, Changes: op.Changes}
+		if st.inTxn {
+			st.txn = append(st.txn, w)
+			return reply(&ModifyResponse{Result{Code: ResultSuccess, Message: "staged"}}), nil
+		}
+		return reply(&ModifyResponse{s.backend.Write([]WriteOp{w})}), nil
+	case *DelRequest:
+		w := WriteOp{Kind: WriteDelete, DN: op.DN}
+		if st.inTxn {
+			st.txn = append(st.txn, w)
+			return reply(&DelResponse{Result{Code: ResultSuccess, Message: "staged"}}), nil
+		}
+		return reply(&DelResponse{s.backend.Write([]WriteOp{w})}), nil
+	case *ExtendedRequest:
+		return reply(s.extended(st, op)), nil
+	default:
+		return reply(&ExtendedResponse{
+			Result: Result{Code: ResultProtocolError, Message: fmt.Sprintf("unsupported op %T", msg.Op)},
+		}), nil
+	}
+}
+
+func (s *Server) extended(st *connState, op *ExtendedRequest) *ExtendedResponse {
+	switch op.Name {
+	case OIDTxnBegin:
+		if st.inTxn {
+			return &ExtendedResponse{Result: Result{Code: ResultOperationsError, Message: "transaction already open"}, Name: op.Name}
+		}
+		st.inTxn = true
+		st.txn = nil
+		return &ExtendedResponse{Result: Result{Code: ResultSuccess}, Name: op.Name}
+	case OIDTxnCommit:
+		if !st.inTxn {
+			return &ExtendedResponse{Result: Result{Code: ResultOperationsError, Message: "no open transaction"}, Name: op.Name}
+		}
+		ops := st.txn
+		st.inTxn = false
+		st.txn = nil
+		res := Result{Code: ResultSuccess}
+		if len(ops) > 0 {
+			res = s.backend.Write(ops)
+		}
+		return &ExtendedResponse{Result: res, Name: op.Name}
+	case OIDTxnAbort:
+		st.inTxn = false
+		st.txn = nil
+		return &ExtendedResponse{Result: Result{Code: ResultSuccess}, Name: op.Name}
+	default:
+		if eb, ok := s.backend.(ExtendedBackend); ok {
+			res, value := eb.Extended(op.Name, op.Value)
+			return &ExtendedResponse{Result: res, Name: op.Name, Value: value}
+		}
+		return &ExtendedResponse{Result: Result{Code: ResultProtocolError, Message: "unknown extended op " + op.Name}, Name: op.Name}
+	}
+}

@@ -1,0 +1,355 @@
+// Package locator implements the UDR's data location stage (§3.3.1,
+// §3.5): the component at every point of access that resolves a
+// subscriber identity (IMSI, MSISDN, IMPU, …) to the partition — and
+// hence storage element — holding the subscriber's data, locally,
+// without long packet exchanges over the backbone.
+//
+// The paper's design uses state-full identity-location maps rather
+// than hashing because the UDR must support multiple indexes (one per
+// identity type) and selective placement of subscriber data. The maps
+// are ordered indexes, so lookup cost grows as O(log N) with the
+// subscriber count. Two management variants exist (§3.5):
+//
+//   - Provisioned: the provisioning flow writes the maps; a new stage
+//     must copy every entry from a peer before serving (availability
+//     dip on scale-out, §3.4.2).
+//   - Cached: maps are built on the fly; no dip on scale-out, but a
+//     cache miss must locate the subscriber by querying many or all
+//     storage elements.
+//
+// The package also provides the consistent-hashing alternative the
+// paper rejects, so experiment E8 can compare both.
+package locator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/chash"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/subscriber"
+)
+
+// Placement records where a subscription lives.
+type Placement struct {
+	SubscriberID string
+	Partition    string
+}
+
+// Errors returned by lookups.
+var (
+	// ErrNotFound reports an identity with no mapping.
+	ErrNotFound = errors.New("locator: identity not found")
+	// ErrNotReady reports a stage still synchronizing its maps
+	// (§3.4.2: "operations issued on the PoA realized by the new
+	// blade cluster cannot be handled" during sync).
+	ErrNotReady = errors.New("locator: location stage not ready")
+)
+
+// Locator resolves identities to placements.
+type Locator interface {
+	// Lookup resolves one identity.
+	Lookup(ctx context.Context, id subscriber.Identity) (Placement, error)
+	// PutProfile indexes a subscription under all its identities.
+	PutProfile(ids []subscriber.Identity, p Placement)
+	// RemoveProfile removes all identity mappings of a subscription.
+	RemoveProfile(ids []subscriber.Identity)
+	// SupportsSelectivePlacement reports whether the locator can pin
+	// a subscription to an arbitrary partition (§3.5's regulatory /
+	// home-region requirement).
+	SupportsSelectivePlacement() bool
+}
+
+// Mode selects how a Stage's maps are managed.
+type Mode int
+
+const (
+	// Provisioned maps are written by the provisioning flow and
+	// copied wholesale on scale-out.
+	Provisioned Mode = iota
+	// Cached maps fill on demand; misses fan out via the
+	// MissResolver.
+	Cached
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Cached {
+		return "cached"
+	}
+	return "provisioned"
+}
+
+// MissResolver locates a subscription the hard way — by asking
+// storage elements — when a cached stage misses (§3.5: "every cache
+// miss implies locating the subscriber data by querying multiple or
+// even all the SE in the system"). It returns the placement and the
+// number of SEs queried (E9 reports the fan-out cost).
+type MissResolver func(ctx context.Context, id subscriber.Identity) (Placement, int, error)
+
+// MapEntry is one identity mapping, the unit of stage-to-stage sync.
+type MapEntry struct {
+	IdentityKey string
+	Placement   Placement
+}
+
+// SyncReq asks a peer stage for its full identity-location map.
+type SyncReq struct{}
+
+// SyncResp carries the map; Entries arrive sorted by identity key.
+type SyncResp struct {
+	Entries []MapEntry
+}
+
+// Stage is one data location stage instance: the state-full
+// identity-location map of the paper. It is safe for concurrent use.
+type Stage struct {
+	site string
+	mode Mode
+
+	mu    sync.RWMutex
+	byID  *btree.Map[Placement]
+	ready bool
+
+	missResolver MissResolver
+
+	// Hits and Misses count lookups; FanOutQueries counts SE queries
+	// performed by miss resolution in cached mode.
+	Hits          metrics.Counter
+	Misses        metrics.Counter
+	FanOutQueries metrics.Counter
+}
+
+// NewStage returns a stage for the given site. Provisioned stages
+// start ready only if primed is true (the first stage of a network is
+// primed empty; later stages must sync).
+func NewStage(site string, mode Mode, primed bool) *Stage {
+	return &Stage{
+		site:  site,
+		mode:  mode,
+		byID:  btree.New[Placement](),
+		ready: primed || mode == Cached,
+	}
+}
+
+// Site returns the owning site.
+func (s *Stage) Site() string { return s.site }
+
+// Mode returns the map-management mode.
+func (s *Stage) Mode() Mode { return s.mode }
+
+// SetMissResolver installs the cached-mode miss path.
+func (s *Stage) SetMissResolver(r MissResolver) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.missResolver = r
+}
+
+// Ready reports whether the stage can serve lookups.
+func (s *Stage) Ready() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ready
+}
+
+// SetReady overrides readiness (tests and failover drills).
+func (s *Stage) SetReady(ready bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ready = ready
+}
+
+// Len returns the number of identity mappings held.
+func (s *Stage) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byID.Len()
+}
+
+// Height exposes the underlying tree height, the O(log N) factor E8
+// reports.
+func (s *Stage) Height() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byID.Height()
+}
+
+// Lookup implements Locator.
+func (s *Stage) Lookup(ctx context.Context, id subscriber.Identity) (Placement, error) {
+	s.mu.RLock()
+	if !s.ready {
+		s.mu.RUnlock()
+		return Placement{}, ErrNotReady
+	}
+	p, ok := s.byID.Get(id.String())
+	resolver := s.missResolver
+	s.mu.RUnlock()
+
+	if ok {
+		s.Hits.Inc()
+		return p, nil
+	}
+	s.Misses.Inc()
+	if s.mode == Cached && resolver != nil {
+		p, queried, err := resolver(ctx, id)
+		s.FanOutQueries.Add(int64(queried))
+		if err != nil {
+			return Placement{}, err
+		}
+		s.mu.Lock()
+		s.byID.Set(id.String(), p)
+		s.mu.Unlock()
+		return p, nil
+	}
+	return Placement{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+}
+
+// PutProfile implements Locator.
+func (s *Stage) PutProfile(ids []subscriber.Identity, p Placement) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		s.byID.Set(id.String(), p)
+	}
+}
+
+// RemoveProfile implements Locator.
+func (s *Stage) RemoveProfile(ids []subscriber.Identity) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		s.byID.Delete(id.String())
+	}
+}
+
+// SupportsSelectivePlacement implements Locator: state-full maps can
+// pin any subscription anywhere.
+func (s *Stage) SupportsSelectivePlacement() bool { return true }
+
+// Dump returns every mapping in identity-key order (sync serving).
+func (s *Stage) Dump() []MapEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]MapEntry, 0, s.byID.Len())
+	s.byID.Ascend(func(k string, p Placement) bool {
+		out = append(out, MapEntry{IdentityKey: k, Placement: p})
+		return true
+	})
+	return out
+}
+
+// Load bulk-installs mappings (sync receiving).
+func (s *Stage) Load(entries []MapEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		s.byID.Set(e.IdentityKey, e.Placement)
+	}
+}
+
+// HandleMessage serves stage-to-stage sync requests over simnet.
+func (s *Stage) HandleMessage(ctx context.Context, from simnet.Addr, msg any) (any, bool, error) {
+	switch msg.(type) {
+	case SyncReq:
+		return SyncResp{Entries: s.Dump()}, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// SyncFrom copies the full identity-location map from a peer stage
+// over the network, then marks this stage ready. This is the §3.4.2
+// scale-out procedure whose duration E9 measures; until it completes,
+// Lookup fails with ErrNotReady.
+func (s *Stage) SyncFrom(ctx context.Context, net *simnet.Network, self, peer simnet.Addr) (entries int, err error) {
+	raw, err := net.Call(ctx, self, peer, SyncReq{})
+	if err != nil {
+		return 0, fmt.Errorf("locator: sync from %s: %w", peer, err)
+	}
+	resp, ok := raw.(SyncResp)
+	if !ok {
+		return 0, fmt.Errorf("locator: unexpected sync response %T", raw)
+	}
+	s.Load(resp.Entries)
+	s.mu.Lock()
+	s.ready = true
+	s.mu.Unlock()
+	return len(resp.Entries), nil
+}
+
+// HashLocator is the consistent-hashing alternative (§3.5). Each
+// lookup hashes the identity directly onto a partition ring: O(1) in
+// the subscriber count, no per-subscriber state — but the placement
+// is dictated by the hash, so selective placement is impossible, and
+// every identity of a subscription must be inserted as its own ring
+// key ("multiple replicas being each replica indexed by a different
+// identity"), which the paper deems impractical for the UDR's
+// identity count.
+type HashLocator struct {
+	ring *chash.Ring
+
+	mu sync.RWMutex
+	// subID fixes up the subscriber ID for identities we have seen;
+	// the partition always comes from the hash.
+	subID map[string]string
+}
+
+// NewHashLocator builds a hash locator over the given partitions.
+func NewHashLocator(partitions []string) *HashLocator {
+	r := chash.New(128)
+	for _, p := range partitions {
+		r.Add(p)
+	}
+	return &HashLocator{ring: r, subID: make(map[string]string)}
+}
+
+// Lookup implements Locator in O(1) w.r.t. the subscriber count.
+func (h *HashLocator) Lookup(ctx context.Context, id subscriber.Identity) (Placement, error) {
+	part := h.ring.Locate(id.String())
+	if part == "" {
+		return Placement{}, ErrNotFound
+	}
+	h.mu.RLock()
+	sub := h.subID[id.String()]
+	h.mu.RUnlock()
+	return Placement{SubscriberID: sub, Partition: part}, nil
+}
+
+// PutProfile implements Locator. Only the subscriber-ID fix-up is
+// stored; the hash dictates the partition.
+func (h *HashLocator) PutProfile(ids []subscriber.Identity, p Placement) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, id := range ids {
+		h.subID[id.String()] = p.SubscriberID
+	}
+}
+
+// RemoveProfile implements Locator.
+func (h *HashLocator) RemoveProfile(ids []subscriber.Identity) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, id := range ids {
+		delete(h.subID, id.String())
+	}
+}
+
+// SupportsSelectivePlacement implements Locator: a hash cannot honor
+// a requested placement.
+func (h *HashLocator) SupportsSelectivePlacement() bool { return false }
+
+// PlacementFor reports where the hash would place an identity — used
+// by E8 to demonstrate that co-placement of a subscription's multiple
+// identities is not guaranteed.
+func (h *HashLocator) PlacementFor(id subscriber.Identity) string {
+	return h.ring.Locate(id.String())
+}
+
+var (
+	_ Locator = (*Stage)(nil)
+	_ Locator = (*HashLocator)(nil)
+)

@@ -1,0 +1,276 @@
+// Package ps implements the provisioning system (§2.4): the UDR
+// client that creates, modifies and removes subscriptions. A PS
+// instance is co-located with a UDR PoA (§3.3.3 decision 1) and holds
+// a PolicyPS session: reads hit master copies only, so provisioning
+// transactions never act on stale data — at the price of failing
+// whenever the master is unreachable (PC/EC, the red points of
+// Figure 6).
+//
+// The package also models batch provisioning (§3.3, §4.1): a long
+// sequence of provisioning transactions whose fate under backbone
+// glitches experiment E10 measures.
+package ps
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/se"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+// PS is one provisioning system instance.
+type PS struct {
+	session *core.Session
+	site    string
+
+	// Provisioned / Failed count provisioning transactions.
+	Provisioned metrics.Counter
+	Failed      metrics.Counter
+	// Latency tracks provisioning transaction latency.
+	Latency metrics.Histogram
+}
+
+// New creates a PS at the given site, talking to the co-located PoA.
+func New(net *simnet.Network, site, name string) *PS {
+	return &PS{
+		session: core.NewSession(net, simnet.MakeAddr(site, name), site, core.PolicyPS),
+		site:    site,
+	}
+}
+
+// NewWithSession creates a PS over an existing session.
+func NewWithSession(site string, session *core.Session) *PS {
+	return &PS{session: session, site: site}
+}
+
+// Session exposes the underlying session.
+func (p *PS) Session() *core.Session { return p.session }
+
+// Site returns the PS's site.
+func (p *PS) Site() string { return p.site }
+
+// Provision creates one subscription as a single UDR transaction
+// (the UDC simplification of Figure 4: one write target, atomic).
+func (p *PS) Provision(ctx context.Context, prof *subscriber.Profile) error {
+	start := time.Now()
+	_, err := p.session.Provision(ctx, prof)
+	p.Latency.Record(time.Since(start))
+	if err != nil {
+		p.Failed.Inc()
+		return err
+	}
+	p.Provisioned.Inc()
+	return nil
+}
+
+// Activate flips the subscription active (the shop-floor SIM
+// activation of §4.1: unattended, triggered when the user powers the
+// device).
+func (p *PS) Activate(ctx context.Context, subscriberID string) error {
+	return p.modify(ctx, subscriberID,
+		store.Mod{Kind: store.ModReplace, Attr: subscriber.AttrActive, Vals: []string{"TRUE"}})
+}
+
+// SetPremiumBarring sets or clears the hi-toll barring flag of §3.2's
+// example, reading the current profile and writing the flag in one
+// master-side transaction.
+func (p *PS) SetPremiumBarring(ctx context.Context, subscriberID string, barred bool) error {
+	val := "FALSE"
+	if barred {
+		val = "TRUE"
+	}
+	// Read + write in one storage-element transaction: PS reads are
+	// master-copy reads precisely so this pattern is safe (§3.3.3).
+	_, err := p.session.Exec(ctx, core.ExecReq{
+		SubscriberID: subscriberID,
+		Ops: []se.TxnOp{
+			{Kind: se.TxnGet, Key: subscriberID},
+			{Kind: se.TxnModify, Key: subscriberID, Mods: []store.Mod{{
+				Kind: store.ModReplace, Attr: subscriber.AttrBarPremium, Vals: []string{val},
+			}}},
+		},
+	})
+	if err != nil {
+		p.Failed.Inc()
+	}
+	return err
+}
+
+// SetCallForwarding sets the unconditional forwarding target.
+func (p *PS) SetCallForwarding(ctx context.Context, subscriberID, forwardTo string) error {
+	mod := store.Mod{Kind: store.ModReplace, Attr: subscriber.AttrForwardUncond}
+	if forwardTo != "" {
+		mod.Vals = []string{forwardTo}
+	}
+	return p.modify(ctx, subscriberID, mod)
+}
+
+// Deprovision removes a subscription.
+func (p *PS) Deprovision(ctx context.Context, subscriberID string) error {
+	start := time.Now()
+	_, err := p.session.Deprovision(ctx, subscriberID)
+	p.Latency.Record(time.Since(start))
+	if err != nil {
+		p.Failed.Inc()
+		return err
+	}
+	return nil
+}
+
+func (p *PS) modify(ctx context.Context, subscriberID string, mods ...store.Mod) error {
+	_, err := p.session.Exec(ctx, core.ExecReq{
+		SubscriberID: subscriberID,
+		Ops:          []se.TxnOp{{Kind: se.TxnModify, Key: subscriberID, Mods: mods}},
+	})
+	if err != nil {
+		p.Failed.Inc()
+	}
+	return err
+}
+
+// BatchResult reports a provisioning batch run (§4.1).
+type BatchResult struct {
+	Total     int
+	Succeeded int
+	Failed    int
+	// Aborted reports whether the batch stopped early (stop-on-error
+	// mode, the batch style that loses hours of work to a 30 s
+	// glitch).
+	Aborted bool
+	// FirstErr is the error that aborted or first failed the batch.
+	FirstErr error
+	Duration time.Duration
+}
+
+// FailureRate returns the failed fraction.
+func (r BatchResult) FailureRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Failed) / float64(r.Total)
+}
+
+// RunBatch provisions profiles sequentially, pacing one transaction
+// every interval (0 = as fast as possible). In stop-on-error mode the
+// batch aborts on the first failure, modelling §4.1's "a network
+// glitch as short as 30 seconds may cause a batch that's been running
+// for hours to fail"; otherwise it continues and reports the failed
+// subset the operator must re-apply manually.
+func (p *PS) RunBatch(ctx context.Context, profiles []*subscriber.Profile, interval time.Duration, stopOnError bool) BatchResult {
+	res := BatchResult{Total: len(profiles)}
+	start := time.Now()
+	for _, prof := range profiles {
+		if interval > 0 {
+			select {
+			case <-time.After(interval):
+			case <-ctx.Done():
+				res.Aborted = true
+				if res.FirstErr == nil {
+					res.FirstErr = ctx.Err()
+				}
+				res.Duration = time.Since(start)
+				return res
+			}
+		}
+		if err := p.Provision(ctx, prof); err != nil {
+			res.Failed++
+			if res.FirstErr == nil {
+				res.FirstErr = err
+			}
+			if stopOnError {
+				res.Aborted = true
+				break
+			}
+			continue
+		}
+		res.Succeeded++
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// ErrNodeDown is injected by the pre-UDC model's failure hook.
+var ErrNodeDown = errors.New("ps: provisioning target node down")
+
+// PreUDCNetwork models the pre-UDC provisioning landscape of
+// Figure 3: subscription data written to one HSS node and location
+// tuples written to every SLF instance, with no transaction spanning
+// them (§2.4: NF instances provide no cross-node transactionality).
+// A failure between the writes leaves the network inconsistent,
+// requiring manual intervention — the count experiment E2 compares
+// against the UDC path's zero.
+type PreUDCNetwork struct {
+	HSS  map[string]*subscriber.Profile
+	SLF1 map[string]string // identity -> HSS node address
+	SLF2 map[string]string
+
+	// FailAfter injects a crash after the n-th write of a
+	// provisioning flow (1-based); 0 disables.
+	FailAfter int
+
+	// PartialStates counts provisioning flows that ended with some
+	// but not all writes applied.
+	PartialStates metrics.Counter
+}
+
+// NewPreUDC returns an empty pre-UDC provisioning model.
+func NewPreUDC() *PreUDCNetwork {
+	return &PreUDCNetwork{
+		HSS:  make(map[string]*subscriber.Profile),
+		SLF1: make(map[string]string),
+		SLF2: make(map[string]string),
+	}
+}
+
+// Provision runs the multi-node provisioning flow. Each write is a
+// separate, unprotected step.
+func (n *PreUDCNetwork) Provision(prof *subscriber.Profile) error {
+	writes := 0
+	step := func(apply func()) error {
+		writes++
+		if n.FailAfter > 0 && writes > n.FailAfter {
+			if writes > 1 && writes <= 3 {
+				n.PartialStates.Inc()
+			}
+			return ErrNodeDown
+		}
+		apply()
+		return nil
+	}
+	// Write 1: subscription data on the HSS instance.
+	if err := step(func() { n.HSS[prof.ID] = prof }); err != nil {
+		return err
+	}
+	// Writes 2..3: identity-location tuples on every SLF instance.
+	if err := step(func() {
+		for _, id := range prof.Identities() {
+			n.SLF1[id.String()] = "hss-1"
+		}
+	}); err != nil {
+		return err
+	}
+	if err := step(func() {
+		for _, id := range prof.Identities() {
+			n.SLF2[id.String()] = "hss-1"
+		}
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Consistent reports whether the three nodes agree about a
+// subscription (fully present or fully absent).
+func (n *PreUDCNetwork) Consistent(prof *subscriber.Profile) bool {
+	_, inHSS := n.HSS[prof.ID]
+	id := prof.Identities()[0].String()
+	_, inSLF1 := n.SLF1[id]
+	_, inSLF2 := n.SLF2[id]
+	return inHSS == inSLF1 && inSLF1 == inSLF2
+}

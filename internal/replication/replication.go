@@ -1,0 +1,611 @@
+// Package replication keeps the multiple copies of every data piece
+// in sync (§3.1 decision 2, §3.2, §3.3.1).
+//
+// Master/slave mode (the paper's baseline design):
+//
+//   - Every partition has one master copy handling all writes and one
+//     or more slave copies.
+//   - The master ships committed transactions (CommitRecords) to each
+//     slave strictly in commit-sequence-number order, reproducing the
+//     master's serialization order at every slave (§3.2).
+//   - Shipping is asynchronous by default (§3.3.1 decision 2): the
+//     commit does not wait for propagation, so a master failure can
+//     lose the un-replicated tail — the durability gap E4 measures.
+//   - DualSeq and SyncAll durability levels implement the §5
+//     evolution: commit waits for one (in sequence) or all slaves.
+//
+// Multi-master mode (§5 evolution): every replica accepts writes;
+// records propagate asynchronously to peers and are merged using
+// per-row version vectors; after a partition heals, anti-entropy
+// SyncWith calls run the paper's "consistency restoration process".
+package replication
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/vclock"
+)
+
+// Durability selects how many replicas must confirm a transaction
+// before its commit returns (§5's tunable durability).
+type Durability int
+
+const (
+	// Async commits after the local apply only; replication happens
+	// in the background (§3.3.1 decision 2, the paper's default).
+	Async Durability = iota
+	// DualSeq applies the transaction in sequence to the master and
+	// its first slave, committing only when both report success
+	// (§5). If the slave is unreachable the commit fails, but the
+	// master keeps the data ("leaving just one of the replicas
+	// updated is acceptable").
+	DualSeq
+	// SyncAll waits for every slave: the Cassandra-like high end.
+	SyncAll
+)
+
+// String returns the durability level name.
+func (d Durability) String() string {
+	switch d {
+	case Async:
+		return "async"
+	case DualSeq:
+		return "dual-seq"
+	case SyncAll:
+		return "sync-all"
+	}
+	return fmt.Sprintf("Durability(%d)", int(d))
+}
+
+// ErrDurability reports a commit that could not reach its required
+// replica count.
+var ErrDurability = errors.New("replication: durability requirement not met")
+
+// Message types exchanged between replicas. They are exported so the
+// storage element's simnet handler can route them here.
+
+// ApplyMsg carries a CSN-ordered batch of commit records from master
+// to slave. Batching keeps the replication stream efficient over the
+// high-latency backbone (one round trip amortizes many commits)
+// without weakening the ordering guarantee: records inside a batch
+// are applied strictly in order.
+type ApplyMsg struct {
+	Partition string
+	Recs      []*store.CommitRecord
+}
+
+// ApplyResp acknowledges an ApplyMsg.
+type ApplyResp struct {
+	AppliedCSN uint64
+}
+
+// MMApplyMsg carries a batch of commit records between multi-master
+// peers.
+type MMApplyMsg struct {
+	Partition string
+	Recs      []*store.CommitRecord
+}
+
+// MMApplyResp acknowledges an MMApplyMsg.
+type MMApplyResp struct{}
+
+// SyncReqMsg asks a peer for every row whose version is not dominated
+// by the requester's (anti-entropy pull).
+type SyncReqMsg struct {
+	Partition string
+	Have      map[string]store.Meta
+}
+
+// RowTransfer is one row in an anti-entropy response.
+type RowTransfer struct {
+	Key   string
+	Entry store.Entry
+	Meta  store.Meta
+}
+
+// SyncRespMsg answers a SyncReqMsg.
+type SyncRespMsg struct {
+	Rows []RowTransfer
+}
+
+// Resolver merges two concurrent versions of a row (§5: "trying to
+// merge the different views into one single, consistent view"). It
+// must be deterministic and symmetric so that both replicas converge
+// without further communication.
+type Resolver interface {
+	Resolve(key string, a store.Entry, am store.Meta, b store.Entry, bm store.Meta) (store.Entry, store.Meta)
+}
+
+// Replica is one partition replica's replication state.
+type Replica struct {
+	partition string
+	node      *Node
+	store     *store.Store
+
+	mu         sync.Mutex
+	durability Durability
+	peers      []simnet.Addr
+	senders    map[simnet.Addr]*sender
+	resolver   Resolver
+
+	// Conflicts counts concurrent-write conflicts resolved in
+	// multi-master mode.
+	Conflicts metrics.Counter
+	// Shipped counts records handed to background senders.
+	Shipped metrics.Counter
+}
+
+// Node multiplexes the replication traffic of every partition replica
+// hosted by one storage element address.
+type Node struct {
+	net  *simnet.Network
+	addr simnet.Addr
+
+	mu       sync.RWMutex
+	replicas map[string]*Replica
+
+	// RetryInterval is how long a background sender waits after a
+	// failed ship before retrying (partition probing cadence).
+	RetryInterval time.Duration
+	// CallTimeout bounds each replication RPC.
+	CallTimeout time.Duration
+}
+
+// NewNode returns a replication node for the storage element at addr.
+func NewNode(net *simnet.Network, addr simnet.Addr) *Node {
+	return &Node{
+		net:           net,
+		addr:          addr,
+		replicas:      make(map[string]*Replica),
+		RetryInterval: 5 * time.Millisecond,
+		CallTimeout:   50 * time.Millisecond,
+	}
+}
+
+// Addr returns the node's network address.
+func (n *Node) Addr() simnet.Addr { return n.addr }
+
+// AddReplica registers a partition replica backed by st. The caller
+// chooses the store's role; the replica ships outbound records only
+// while the store is (multi-)master.
+func (n *Node) AddReplica(partition string, st *store.Store) *Replica {
+	r := &Replica{
+		partition: partition,
+		node:      n,
+		store:     st,
+		senders:   make(map[simnet.Addr]*sender),
+		resolver:  LWW{},
+	}
+	st.SetCommitHook(r.commitHook)
+	n.mu.Lock()
+	n.replicas[partition] = r
+	n.mu.Unlock()
+	return r
+}
+
+// Replica returns the replica for a partition, or nil.
+func (n *Node) Replica(partition string) *Replica {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.replicas[partition]
+}
+
+// Stop terminates all background senders.
+func (n *Node) Stop() {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, r := range n.replicas {
+		r.stopSenders()
+	}
+}
+
+// HandleMessage processes a replication message. It reports handled =
+// false for messages belonging to other subsystems so the storage
+// element can route them elsewhere.
+func (n *Node) HandleMessage(ctx context.Context, from simnet.Addr, msg any) (resp any, handled bool, err error) {
+	switch m := msg.(type) {
+	case ApplyMsg:
+		r := n.Replica(m.Partition)
+		if r == nil {
+			return nil, true, fmt.Errorf("replication: unknown partition %q", m.Partition)
+		}
+		for _, rec := range m.Recs {
+			if err := r.store.ApplyReplicated(rec); err != nil {
+				return nil, true, err
+			}
+		}
+		return ApplyResp{AppliedCSN: r.store.AppliedCSN()}, true, nil
+	case MMApplyMsg:
+		r := n.Replica(m.Partition)
+		if r == nil {
+			return nil, true, fmt.Errorf("replication: unknown partition %q", m.Partition)
+		}
+		for _, rec := range m.Recs {
+			r.mergeRecord(rec)
+		}
+		return MMApplyResp{}, true, nil
+	case SyncReqMsg:
+		r := n.Replica(m.Partition)
+		if r == nil {
+			return nil, true, fmt.Errorf("replication: unknown partition %q", m.Partition)
+		}
+		return r.buildSyncResp(m.Have), true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// Store returns the replica's backing store.
+func (r *Replica) Store() *store.Store { return r.store }
+
+// Partition returns the partition ID.
+func (r *Replica) Partition() string { return r.partition }
+
+// SetDurability selects the commit durability level.
+func (r *Replica) SetDurability(d Durability) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.durability = d
+}
+
+// Durability returns the current level.
+func (r *Replica) Durability() Durability {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.durability
+}
+
+// SetResolver installs the multi-master conflict resolver.
+func (r *Replica) SetResolver(res Resolver) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resolver = res
+}
+
+// SetPeers replaces the replication targets (slave addresses for a
+// master; peer masters in multi-master mode) and (re)starts their
+// background senders.
+func (r *Replica) SetPeers(peers ...simnet.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stopSendersLocked()
+	r.peers = append([]simnet.Addr(nil), peers...)
+	for _, p := range r.peers {
+		r.senders[p] = newSender(r, p)
+	}
+}
+
+// Peers returns the current replication targets.
+func (r *Replica) Peers() []simnet.Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]simnet.Addr(nil), r.peers...)
+}
+
+func (r *Replica) stopSenders() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stopSendersLocked()
+}
+
+func (r *Replica) stopSendersLocked() {
+	for a, s := range r.senders {
+		s.stop()
+		delete(r.senders, a)
+	}
+}
+
+// Lag returns, per peer, how many committed records have not yet been
+// acknowledged — the staleness window behind E5's slave reads.
+func (r *Replica) Lag() map[simnet.Addr]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	csn := r.store.CSN()
+	out := make(map[simnet.Addr]uint64, len(r.senders))
+	for a, s := range r.senders {
+		acked := s.ackedCSN()
+		if csn > acked {
+			out[a] = csn - acked
+		} else {
+			out[a] = 0
+		}
+	}
+	return out
+}
+
+// WaitCaughtUp blocks until every peer has acknowledged the master's
+// current CSN or the context expires.
+func (r *Replica) WaitCaughtUp(ctx context.Context) error {
+	target := r.store.CSN()
+	for {
+		allCaught := true
+		r.mu.Lock()
+		for _, s := range r.senders {
+			if s.ackedCSN() < target {
+				allCaught = false
+				break
+			}
+		}
+		r.mu.Unlock()
+		if allCaught {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(500 * time.Microsecond):
+		}
+	}
+}
+
+// CommitHook exposes the replica's commit processing so a storage
+// element can chain other commit-time work (WAL append) in front of
+// replication shipping.
+func (r *Replica) CommitHook(rec *store.CommitRecord) error {
+	return r.commitHook(rec)
+}
+
+// commitHook runs under the store's commit lock for every local
+// commit. It enqueues the record to every peer and, for DualSeq and
+// SyncAll, synchronously pushes to the required replicas.
+func (r *Replica) commitHook(rec *store.CommitRecord) error {
+	r.mu.Lock()
+	durability := r.durability
+	peers := append([]simnet.Addr(nil), r.peers...)
+	mm := r.store.MultiMaster()
+	// Always hand the record to background senders first so ordered
+	// delivery is preserved even for sync modes (the synchronous
+	// push below rides the same per-peer ordered queue).
+	for _, s := range r.senders {
+		s.enqueue(rec)
+	}
+	r.Shipped.Inc()
+	senders := make([]*sender, 0, len(peers))
+	for _, p := range peers {
+		if s, ok := r.senders[p]; ok {
+			senders = append(senders, s)
+		}
+	}
+	r.mu.Unlock()
+
+	if mm || durability == Async || len(senders) == 0 {
+		return nil
+	}
+
+	// Synchronous durability: wait for the required number of peers
+	// to acknowledge this CSN, in sequence (first peer first),
+	// matching §5's dual-in-sequence description.
+	need := 1
+	if durability == SyncAll {
+		need = len(senders)
+	}
+	deadline := time.Now().Add(r.node.CallTimeout)
+	for i := 0; i < need; i++ {
+		s := senders[i]
+		for s.ackedCSN() < rec.CSN {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%w: peer %s did not confirm CSN %d (%s)",
+					ErrDurability, s.peer, rec.CSN, durability)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	return nil
+}
+
+// Promote turns a slave replica into the partition master after the
+// previous master failed: the store starts accepting writes and its
+// commit sequence continues from the replication high-water mark.
+func (r *Replica) Promote(newPeers ...simnet.Addr) {
+	r.store.SetCSN(r.store.AppliedCSN())
+	r.store.SetRole(store.Master)
+	r.SetPeers(newPeers...)
+}
+
+// Demote turns the replica back into a slave (post-repair rejoin).
+func (r *Replica) Demote() {
+	r.store.SetRole(store.Slave)
+	r.SetPeers() // stop shipping
+}
+
+// mergeRecord applies a peer's record in multi-master mode using
+// version-vector dominance; concurrent versions go through the
+// resolver.
+func (r *Replica) mergeRecord(rec *store.CommitRecord) {
+	for _, op := range rec.Ops {
+		incoming := RowTransfer{
+			Key:   op.Key,
+			Entry: op.Entry,
+			Meta: store.Meta{
+				CSN:       rec.CSN,
+				WallTS:    rec.WallTS,
+				VC:        op.VC,
+				Tombstone: op.Kind == store.OpDelete,
+			},
+		}
+		r.mergeRow(incoming)
+	}
+}
+
+// mergeRow merges one incoming row version into the local store.
+func (r *Replica) mergeRow(in RowTransfer) {
+	localEntry, localMeta, exists := r.store.GetAny(in.Key)
+	if !exists {
+		r.store.PutDirect(in.Key, in.Entry, in.Meta)
+		return
+	}
+	switch localMeta.VC.Compare(in.Meta.VC) {
+	case vclock.Equal: // already have it
+		return
+	case vclock.Before: // incoming dominates
+		r.store.PutDirect(in.Key, in.Entry, in.Meta)
+	case vclock.After: // local dominates
+		return
+	default: // concurrent — true conflict
+		r.mu.Lock()
+		res := r.resolver
+		r.mu.Unlock()
+		r.Conflicts.Inc()
+		merged, mergedMeta := res.Resolve(in.Key, localEntry, localMeta, in.Entry, in.Meta)
+		mergedMeta.VC = localMeta.VC.Merge(in.Meta.VC)
+		r.store.PutDirect(in.Key, merged, mergedMeta)
+	}
+}
+
+// buildSyncResp returns every row whose local version is not known to
+// the requester (missing, newer or concurrent).
+func (r *Replica) buildSyncResp(have map[string]store.Meta) SyncRespMsg {
+	var resp SyncRespMsg
+	var keys []string
+	for k := range r.store.AllMeta() {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e, m, ok := r.store.GetAny(k)
+		if !ok {
+			continue
+		}
+		hm, known := have[k]
+		if known {
+			// Skip rows the requester already dominates.
+			if c := hm.VC.Compare(m.VC); c == vclock.Equal || c == vclock.After {
+				continue
+			}
+		}
+		resp.Rows = append(resp.Rows, RowTransfer{Key: k, Entry: e, Meta: m})
+	}
+	return resp
+}
+
+// SyncWith pulls the peer's divergent rows and merges them locally:
+// one direction of the paper's post-partition consistency
+// restoration. Run it in both directions (or twice, swapping roles)
+// to fully converge two replicas.
+func (r *Replica) SyncWith(ctx context.Context, peer simnet.Addr) (merged int, err error) {
+	req := SyncReqMsg{Partition: r.partition, Have: r.store.AllMeta()}
+	raw, err := r.node.net.Call(ctx, r.node.addr, peer, req)
+	if err != nil {
+		return 0, err
+	}
+	resp, ok := raw.(SyncRespMsg)
+	if !ok {
+		return 0, fmt.Errorf("replication: unexpected sync response %T", raw)
+	}
+	for _, row := range resp.Rows {
+		r.mergeRow(row)
+		merged++
+	}
+	return merged, nil
+}
+
+// sender ships one replica's commit records to one peer, in order.
+type sender struct {
+	r    *Replica
+	peer simnet.Addr
+
+	mu    sync.Mutex
+	queue []*store.CommitRecord
+	acked uint64
+	wake  chan struct{}
+	done  chan struct{}
+}
+
+func newSender(r *Replica, peer simnet.Addr) *sender {
+	s := &sender{
+		r:    r,
+		peer: peer,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+func (s *sender) enqueue(rec *store.CommitRecord) {
+	s.mu.Lock()
+	s.queue = append(s.queue, rec)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (s *sender) ackedCSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acked
+}
+
+func (s *sender) stop() {
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+}
+
+// maxBatch bounds the records shipped per replication round trip.
+const maxBatch = 256
+
+// run delivers queue records in order, retrying across partitions.
+// Retrying from the first unacknowledged record preserves the
+// master's serialization order at the slave (§3.2); batching
+// amortizes backbone round trips across many commits.
+func (s *sender) run() {
+	for {
+		s.mu.Lock()
+		n := len(s.queue)
+		if n > maxBatch {
+			n = maxBatch
+		}
+		batch := make([]*store.CommitRecord, n)
+		copy(batch, s.queue[:n])
+		s.mu.Unlock()
+
+		if len(batch) == 0 {
+			select {
+			case <-s.done:
+				return
+			case <-s.wake:
+				continue
+			}
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), s.r.node.CallTimeout)
+		var msg any
+		if s.r.store.MultiMaster() {
+			msg = MMApplyMsg{Partition: s.r.partition, Recs: batch}
+		} else {
+			msg = ApplyMsg{Partition: s.r.partition, Recs: batch}
+		}
+		_, err := s.r.node.net.Call(ctx, s.r.node.addr, s.peer, msg)
+		cancel()
+
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			case <-time.After(s.r.node.RetryInterval):
+			}
+			continue
+		}
+
+		last := batch[len(batch)-1]
+		s.mu.Lock()
+		s.queue = s.queue[len(batch):]
+		if last.CSN > s.acked {
+			s.acked = last.CSN
+		}
+		s.mu.Unlock()
+	}
+}

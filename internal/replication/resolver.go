@@ -1,0 +1,119 @@
+package replication
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+// LWW is the last-writer-wins resolver: the version with the higher
+// commit wall-clock timestamp survives; ties break deterministically
+// on a canonical serialization so both replicas pick the same winner.
+type LWW struct{}
+
+// Resolve implements Resolver.
+func (LWW) Resolve(key string, a store.Entry, am store.Meta, b store.Entry, bm store.Meta) (store.Entry, store.Meta) {
+	if cmpVersions(a, am, b, bm) >= 0 {
+		return a.Clone(), am
+	}
+	return b.Clone(), bm
+}
+
+// cmpVersions orders two row versions: by WallTS, then CSN, then
+// canonical content. It returns >0 when a wins, <0 when b wins.
+func cmpVersions(a store.Entry, am store.Meta, b store.Entry, bm store.Meta) int {
+	switch {
+	case am.WallTS != bm.WallTS:
+		if am.WallTS > bm.WallTS {
+			return 1
+		}
+		return -1
+	case am.CSN != bm.CSN:
+		if am.CSN > bm.CSN {
+			return 1
+		}
+		return -1
+	default:
+		return strings.Compare(canonical(a, am), canonical(b, bm))
+	}
+}
+
+// canonical renders an entry deterministically for tie-breaking.
+func canonical(e store.Entry, m store.Meta) string {
+	if m.Tombstone {
+		return "\x00tombstone"
+	}
+	keys := make([]string, 0, len(e))
+	for k := range e {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		vs := append([]string(nil), e[k]...)
+		sort.Strings(vs)
+		sb.WriteString(strings.Join(vs, ","))
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// SubscriberMerge is a field-level resolver specialized for
+// subscriber profiles, illustrating §5's consistency restoration with
+// domain knowledge instead of blunt LWW:
+//
+//   - barring flags merge with OR (safety bias: if either side barred
+//     the call type, stay barred — the paper's §3.2 example of kids
+//     dialling a hi-toll number makes the cost asymmetry clear);
+//   - the authentication sequence number takes the maximum (replaying
+//     an SQN backwards would break authentication);
+//   - location data follows the newer write (mobility is
+//     time-ordered);
+//   - everything else follows last-writer-wins.
+//
+// Deletion conflicts resolve by timestamp (LWW on existence).
+type SubscriberMerge struct{}
+
+// Resolve implements Resolver.
+func (SubscriberMerge) Resolve(key string, a store.Entry, am store.Meta, b store.Entry, bm store.Meta) (store.Entry, store.Meta) {
+	// Existence conflicts: pure LWW.
+	if am.Tombstone || bm.Tombstone {
+		return LWW{}.Resolve(key, a, am, b, bm)
+	}
+	// Non-subscriber rows fall back to LWW.
+	if a.First(subscriber.AttrObjectClass) != subscriber.ObjectClass ||
+		b.First(subscriber.AttrObjectClass) != subscriber.ObjectClass {
+		return LWW{}.Resolve(key, a, am, b, bm)
+	}
+
+	newer, newerMeta, older := a, am, b
+	if cmpVersions(a, am, b, bm) < 0 {
+		newer, newerMeta, older = b, bm, a
+	}
+	merged := newer.Clone()
+
+	// Safety-biased OR for barring flags.
+	for _, attr := range []string{
+		subscriber.AttrBarOutgoing,
+		subscriber.AttrBarPremium,
+		subscriber.AttrBarRoaming,
+	} {
+		if older.First(attr) == "TRUE" || newer.First(attr) == "TRUE" {
+			merged[attr] = []string{"TRUE"}
+		}
+	}
+
+	// Max-merge the authentication sequence number.
+	an, _ := strconv.ParseUint(newer.First(subscriber.AttrSQN), 10, 64)
+	bn, _ := strconv.ParseUint(older.First(subscriber.AttrSQN), 10, 64)
+	if bn > an {
+		merged[subscriber.AttrSQN] = []string{strconv.FormatUint(bn, 10)}
+	}
+
+	return merged, newerMeta
+}

@@ -1,0 +1,585 @@
+// Package se implements the storage element (SE), the unit of storage
+// in the UDR architecture (§2.3, §3.4.1): a shared-nothing group of
+// two to four blades holding one primary partition copy plus one or
+// two secondary copies of other partitions, all in RAM, with periodic
+// disk saves and replication endpoints.
+//
+// One Element owns several partition replicas (store.Store instances),
+// a WAL per replica, and a replication.Node. It serves three kinds of
+// traffic at a single simnet address:
+//
+//   - client transactions (TxnReq) from LDAP servers / front-ends,
+//   - replication messages from peer elements,
+//   - identity-search fan-out (FindReq) from cached location stages.
+package se
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/replication"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+	"repro/internal/wal"
+)
+
+// Errors returned to clients.
+var (
+	ErrUnknownPartition = errors.New("se: partition not hosted here")
+	ErrBadRequest       = errors.New("se: malformed request")
+)
+
+// TxnOpKind enumerates the operations a one-shot transaction may
+// carry.
+type TxnOpKind int
+
+// Transaction operation kinds.
+const (
+	TxnGet TxnOpKind = iota
+	TxnPut
+	TxnModify
+	TxnDelete
+	TxnCompare
+)
+
+// TxnOp is one operation inside a TxnReq.
+type TxnOp struct {
+	Kind  TxnOpKind
+	Key   string
+	Entry store.Entry // for TxnPut
+	Mods  []store.Mod // for TxnModify
+	Attr  string      // for TxnCompare
+	Value string      // for TxnCompare
+}
+
+// TxnReq executes a one-shot transaction against one partition
+// replica on this element. All writes apply atomically at commit;
+// reads see READ_COMMITTED state (§3.2). Transactions spanning
+// multiple elements are the client's problem — exactly as in the
+// paper, no cross-SE guarantees exist.
+type TxnReq struct {
+	Partition string
+	Iso       store.Isolation
+	Ops       []TxnOp
+}
+
+// OpResult is the per-operation outcome inside a TxnResp.
+type OpResult struct {
+	Entry     store.Entry
+	Meta      store.Meta
+	Found     bool
+	CompareOK bool
+}
+
+// TxnResp reports a transaction's results.
+type TxnResp struct {
+	Results []OpResult
+	// CSN is the commit sequence number assigned (0 for read-only).
+	CSN uint64
+	// Role echoes the serving replica's role so clients can tell a
+	// potentially stale slave read from a master read.
+	Role store.Role
+}
+
+// FindReq asks the element to search its hosted master replicas for a
+// subscription with the given identity: the expensive path behind
+// cached-locator misses (§3.5).
+type FindReq struct {
+	Identity subscriber.Identity
+}
+
+// FindResp answers a FindReq.
+type FindResp struct {
+	Found        bool
+	SubscriberID string
+	Partition    string
+}
+
+// StatusReq asks for element status (OaM poll).
+type StatusReq struct{}
+
+// ReplicaStatus describes one hosted replica.
+type ReplicaStatus struct {
+	Partition  string
+	Role       store.Role
+	Rows       int
+	CSN        uint64
+	AppliedCSN uint64
+}
+
+// StatusResp answers a StatusReq.
+type StatusResp struct {
+	ID       string
+	Site     string
+	Blades   int
+	Replicas []ReplicaStatus
+}
+
+// Config configures an Element.
+type Config struct {
+	// ID names the element (e.g. "se-eu-1").
+	ID string
+	// Site is the geographic site (blade cluster) hosting it.
+	Site string
+	// Blades is the number of blades forming the element (2–4,
+	// §3.4.1); it only feeds capacity accounting.
+	Blades int
+	// CapacityPerPartition bounds rows per hosted master partition
+	// (the scaled 2M-subscriber SE limit); 0 = unbounded.
+	CapacityPerPartition int
+	// WALDir, when non-empty, enables disk persistence under
+	// WALDir/<partition>/.
+	WALDir string
+	// WALMode selects periodic or sync-every-commit durability.
+	WALMode wal.Mode
+	// WALInterval is the periodic flush interval (default 50ms).
+	WALInterval time.Duration
+	// SnapshotInterval, when non-zero, compacts every replica's WAL
+	// into a full store snapshot on this cadence — the paper's §3.1
+	// "saves data in RAM to local persistent storage on a periodic
+	// basis" at its coarsest granularity.
+	SnapshotInterval time.Duration
+}
+
+// Element is one storage element.
+type Element struct {
+	cfg  Config
+	net  *simnet.Network
+	addr simnet.Addr
+	node *replication.Node
+
+	mu       sync.RWMutex
+	replicas map[string]*PartitionReplica
+	down     bool
+
+	snapStop chan struct{}
+	snapWG   sync.WaitGroup
+
+	// Reads / Writes count client operations served.
+	Reads  metrics.Counter
+	Writes metrics.Counter
+	// Snapshots counts completed snapshot passes.
+	Snapshots metrics.Counter
+}
+
+// PartitionReplica bundles one partition copy's moving parts.
+type PartitionReplica struct {
+	Partition string
+	Store     *store.Store
+	Repl      *replication.Replica
+	Log       *wal.Log
+}
+
+// New creates an element and registers it on the network at
+// "<site>/<id>".
+func New(net *simnet.Network, cfg Config) *Element {
+	if cfg.Blades == 0 {
+		cfg.Blades = 2
+	}
+	if cfg.WALInterval == 0 {
+		cfg.WALInterval = 50 * time.Millisecond
+	}
+	e := &Element{
+		cfg:      cfg,
+		net:      net,
+		addr:     simnet.MakeAddr(cfg.Site, cfg.ID),
+		replicas: make(map[string]*PartitionReplica),
+	}
+	e.node = replication.NewNode(net, e.addr)
+	net.Register(e.addr, e.handle)
+	if cfg.WALDir != "" && cfg.SnapshotInterval > 0 {
+		e.startSnapshotter()
+	}
+	return e
+}
+
+// startSnapshotter launches the periodic WAL-compaction pass.
+func (e *Element) startSnapshotter() {
+	e.mu.Lock()
+	if e.snapStop != nil {
+		e.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	e.snapStop = stop
+	e.mu.Unlock()
+
+	e.snapWG.Add(1)
+	go func() {
+		defer e.snapWG.Done()
+		t := time.NewTicker(e.cfg.SnapshotInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				e.SnapshotAll()
+			}
+		}
+	}()
+}
+
+// stopSnapshotter halts the periodic pass (crash or shutdown).
+func (e *Element) stopSnapshotter() {
+	e.mu.Lock()
+	stop := e.snapStop
+	e.snapStop = nil
+	e.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		e.snapWG.Wait()
+	}
+}
+
+// SnapshotAll writes a full snapshot of every replica's store and
+// truncates its WAL. It returns the number of replicas snapshotted.
+func (e *Element) SnapshotAll() int {
+	e.mu.RLock()
+	prs := make([]*PartitionReplica, 0, len(e.replicas))
+	if !e.down {
+		for _, pr := range e.replicas {
+			if pr.Log != nil {
+				prs = append(prs, pr)
+			}
+		}
+	}
+	e.mu.RUnlock()
+	n := 0
+	for _, pr := range prs {
+		if err := pr.Log.Snapshot(pr.Store); err == nil {
+			n++
+		}
+	}
+	if n > 0 {
+		e.Snapshots.Inc()
+	}
+	return n
+}
+
+// Addr returns the element's network address.
+func (e *Element) Addr() simnet.Addr { return e.addr }
+
+// ID returns the element ID.
+func (e *Element) ID() string { return e.cfg.ID }
+
+// Site returns the hosting site.
+func (e *Element) Site() string { return e.cfg.Site }
+
+// Node exposes the replication node (topology wiring).
+func (e *Element) Node() *replication.Node { return e.node }
+
+// AddReplica hosts a partition replica with the given role. The
+// returned PartitionReplica carries the store and replication handle
+// for topology wiring.
+func (e *Element) AddReplica(partition string, role store.Role) (*PartitionReplica, error) {
+	st := store.New(e.cfg.ID + "/" + partition)
+	st.SetRole(role)
+	if role == store.Master && e.cfg.CapacityPerPartition > 0 {
+		st.SetCapacity(e.cfg.CapacityPerPartition)
+	}
+	pr := &PartitionReplica{Partition: partition, Store: st}
+
+	if e.cfg.WALDir != "" {
+		l, err := wal.Open(e.cfg.WALDir+"/"+partition, e.cfg.WALMode)
+		if err != nil {
+			return nil, fmt.Errorf("se %s: %w", e.cfg.ID, err)
+		}
+		l.StartPeriodic(e.cfg.WALInterval)
+		pr.Log = l
+	}
+
+	pr.Repl = e.node.AddReplica(partition, st)
+	if pr.Log != nil {
+		// Chain WAL append in front of replication shipping: the
+		// store invokes the replica's hook, which we wrap here.
+		log := pr.Log
+		repl := pr.Repl
+		st.SetCommitHook(func(rec *store.CommitRecord) error {
+			if err := log.Append(rec); err != nil {
+				return err
+			}
+			return repl.CommitHook(rec)
+		})
+	}
+
+	e.mu.Lock()
+	e.replicas[partition] = pr
+	e.mu.Unlock()
+	return pr, nil
+}
+
+// Replica returns the hosted replica for a partition, or nil.
+func (e *Element) Replica(partition string) *PartitionReplica {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.replicas[partition]
+}
+
+// Partitions lists hosted partitions, sorted.
+func (e *Element) Partitions() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.replicas))
+	for p := range e.replicas {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Crash simulates a complete element failure (§3.1): the element
+// disappears from the network and — because data lives in RAM — all
+// store contents are dropped. WAL files survive on "disk" with only
+// their synced contents.
+func (e *Element) Crash() {
+	e.stopSnapshotter()
+	e.net.SetDown(e.addr, true)
+	e.node.Stop()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.down = true
+	for _, pr := range e.replicas {
+		if pr.Log != nil {
+			pr.Log.Close() // no final sync: unsynced tail is lost
+		}
+	}
+}
+
+// Recover restores a crashed element: stores are rebuilt from their
+// WAL directories (snapshot + redo of the synced tail) and the
+// element rejoins the network. Replication peers must be re-wired by
+// the topology owner. It returns the number of replayed commit
+// records per partition.
+func (e *Element) Recover() (map[string]int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.down {
+		return nil, errors.New("se: not crashed")
+	}
+	replayed := make(map[string]int)
+	for part, pr := range e.replicas {
+		st := store.New(e.cfg.ID + "/" + part)
+		st.SetRole(pr.Store.Role())
+		st.SetMultiMaster(pr.Store.MultiMaster())
+		if pr.Store.Role() == store.Master && e.cfg.CapacityPerPartition > 0 {
+			st.SetCapacity(e.cfg.CapacityPerPartition)
+		}
+		if e.cfg.WALDir != "" {
+			dir := e.cfg.WALDir + "/" + part
+			_, n, err := wal.Recover(dir, st)
+			if err != nil {
+				return nil, fmt.Errorf("se %s: recover %s: %w", e.cfg.ID, part, err)
+			}
+			replayed[part] = n
+			l, err := wal.Open(dir, e.cfg.WALMode)
+			if err != nil {
+				return nil, err
+			}
+			l.StartPeriodic(e.cfg.WALInterval)
+			pr.Log = l
+		}
+		pr.Store = st
+		pr.Repl = e.node.AddReplica(part, st)
+		if pr.Log != nil {
+			log, repl := pr.Log, pr.Repl
+			st.SetCommitHook(func(rec *store.CommitRecord) error {
+				if err := log.Append(rec); err != nil {
+					return err
+				}
+				return repl.CommitHook(rec)
+			})
+		}
+	}
+	e.down = false
+	e.net.SetDown(e.addr, false)
+	if e.cfg.WALDir != "" && e.cfg.SnapshotInterval > 0 {
+		// Restart the compaction pass (outside e.mu via goroutine
+		// handshake in startSnapshotter).
+		go e.startSnapshotter()
+	}
+	return replayed, nil
+}
+
+// Down reports whether the element is crashed.
+func (e *Element) Down() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.down
+}
+
+// Stop shuts the element down cleanly (final WAL sync).
+func (e *Element) Stop() {
+	e.stopSnapshotter()
+	e.node.Stop()
+	e.net.Unregister(e.addr)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, pr := range e.replicas {
+		if pr.Log != nil {
+			_ = pr.Log.Sync()
+			_ = pr.Log.Close()
+		}
+	}
+}
+
+// handle is the element's simnet handler.
+func (e *Element) handle(ctx context.Context, from simnet.Addr, msg any) (any, error) {
+	// Replication traffic first.
+	if resp, handled, err := e.node.HandleMessage(ctx, from, msg); handled {
+		return resp, err
+	}
+	switch m := msg.(type) {
+	case TxnReq:
+		return e.applyTxn(m)
+	case FindReq:
+		return e.find(m), nil
+	case StatusReq:
+		return e.status(), nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrBadRequest, msg)
+	}
+}
+
+// applyTxn runs a one-shot transaction.
+func (e *Element) applyTxn(req TxnReq) (TxnResp, error) {
+	e.mu.RLock()
+	pr := e.replicas[req.Partition]
+	e.mu.RUnlock()
+	if pr == nil {
+		return TxnResp{}, fmt.Errorf("%w: %q", ErrUnknownPartition, req.Partition)
+	}
+
+	txn := pr.Store.Begin(req.Iso)
+	resp := TxnResp{Role: pr.Store.Role()}
+	wrote := false
+	for _, op := range req.Ops {
+		var res OpResult
+		switch op.Kind {
+		case TxnGet:
+			entry, found := txn.Get(op.Key)
+			var m store.Meta
+			if found {
+				_, m, _ = pr.Store.GetCommitted(op.Key)
+			}
+			res = OpResult{Entry: entry, Meta: m, Found: found}
+			e.Reads.Inc()
+		case TxnCompare:
+			entry, found := txn.Get(op.Key)
+			res.Found = found
+			if found {
+				for _, v := range entry[op.Attr] {
+					if v == op.Value {
+						res.CompareOK = true
+						break
+					}
+				}
+			}
+			e.Reads.Inc()
+		case TxnPut:
+			txn.Put(op.Key, op.Entry)
+			wrote = true
+		case TxnModify:
+			txn.Modify(op.Key, op.Mods...)
+			wrote = true
+		case TxnDelete:
+			txn.Delete(op.Key)
+			wrote = true
+		default:
+			txn.Abort()
+			return TxnResp{}, fmt.Errorf("%w: op kind %d", ErrBadRequest, op.Kind)
+		}
+		resp.Results = append(resp.Results, res)
+	}
+
+	rec, err := txn.Commit()
+	if err != nil {
+		return TxnResp{}, err
+	}
+	if wrote {
+		e.Writes.Inc()
+	}
+	if rec != nil {
+		resp.CSN = rec.CSN
+	}
+	return resp, nil
+}
+
+// find scans hosted master replicas for an identity. This is a full
+// scan by design: its cost is the reason the paper's provisioned
+// location maps exist, and E9 measures it.
+func (e *Element) find(req FindReq) FindResp {
+	idType := req.Identity.Type
+	value := req.Identity.Value
+	var attr string
+	switch idType {
+	case subscriber.IMSI:
+		attr = subscriber.AttrIMSI
+	case subscriber.MSISDN:
+		attr = subscriber.AttrMSISDN
+	case subscriber.IMPI:
+		attr = subscriber.AttrIMPI
+	case subscriber.IMPU:
+		attr = subscriber.AttrIMPU
+	default:
+		return FindResp{}
+	}
+
+	e.mu.RLock()
+	prs := make([]*PartitionReplica, 0, len(e.replicas))
+	for _, pr := range e.replicas {
+		if pr.Store.Role() == store.Master {
+			prs = append(prs, pr)
+		}
+	}
+	e.mu.RUnlock()
+
+	var out FindResp
+	for _, pr := range prs {
+		pr.Store.ForEach(func(key string, entry store.Entry, _ store.Meta) bool {
+			for _, v := range entry[attr] {
+				if v == value {
+					out = FindResp{Found: true, SubscriberID: key, Partition: pr.Partition}
+					return false
+				}
+			}
+			return true
+		})
+		if out.Found {
+			break
+		}
+	}
+	return out
+}
+
+func (e *Element) status() StatusResp {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	resp := StatusResp{ID: e.cfg.ID, Site: e.cfg.Site, Blades: e.cfg.Blades}
+	for _, p := range e.partitionsLocked() {
+		pr := e.replicas[p]
+		resp.Replicas = append(resp.Replicas, ReplicaStatus{
+			Partition:  p,
+			Role:       pr.Store.Role(),
+			Rows:       pr.Store.Len(),
+			CSN:        pr.Store.CSN(),
+			AppliedCSN: pr.Store.AppliedCSN(),
+		})
+	}
+	return resp
+}
+
+func (e *Element) partitionsLocked() []string {
+	out := make([]string, 0, len(e.replicas))
+	for p := range e.replicas {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

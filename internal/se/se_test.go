@@ -1,0 +1,380 @@
+package se
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+	"repro/internal/wal"
+)
+
+func call(t *testing.T, n *simnet.Network, to simnet.Addr, msg any) (any, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return n.Call(ctx, simnet.MakeAddr("test", "client"), to, msg)
+}
+
+func newElement(t *testing.T, n *simnet.Network, id, site string) *Element {
+	t.Helper()
+	el := New(n, Config{ID: id, Site: site})
+	t.Cleanup(el.Stop)
+	return el
+}
+
+func TestTxnPutGet(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	el := newElement(t, n, "se-1", "eu")
+	if _, err := el.AddReplica("p1", store.Master); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := call(t, n, el.Addr(), TxnReq{
+		Partition: "p1",
+		Ops: []TxnOp{
+			{Kind: TxnPut, Key: "sub-1", Entry: store.Entry{"msisdn": {"34600000001"}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(TxnResp).CSN != 1 {
+		t.Fatalf("csn = %d", resp.(TxnResp).CSN)
+	}
+
+	resp, err = call(t, n, el.Addr(), TxnReq{
+		Partition: "p1",
+		Ops:       []TxnOp{{Kind: TxnGet, Key: "sub-1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := resp.(TxnResp)
+	if !r.Results[0].Found || r.Results[0].Entry.First("msisdn") != "34600000001" {
+		t.Fatalf("get = %+v", r.Results[0])
+	}
+	if r.Role != store.Master {
+		t.Fatalf("role = %v", r.Role)
+	}
+	if el.Reads.Value() != 1 || el.Writes.Value() != 1 {
+		t.Fatalf("reads=%d writes=%d", el.Reads.Value(), el.Writes.Value())
+	}
+}
+
+func TestTxnAtomicReadModify(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	el := newElement(t, n, "se-1", "eu")
+	el.AddReplica("p1", store.Master)
+
+	call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{
+		{Kind: TxnPut, Key: "k", Entry: store.Entry{"bar": {"FALSE"}}},
+	}})
+	resp, err := call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{
+		{Kind: TxnGet, Key: "k"},
+		{Kind: TxnModify, Key: "k", Mods: []store.Mod{{Kind: store.ModReplace, Attr: "bar", Vals: []string{"TRUE"}}}},
+		{Kind: TxnGet, Key: "k"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := resp.(TxnResp)
+	if r.Results[0].Entry.First("bar") != "FALSE" {
+		t.Fatalf("pre-image = %v", r.Results[0].Entry)
+	}
+	// The third op reads the transaction's own write.
+	if r.Results[2].Entry.First("bar") != "TRUE" {
+		t.Fatalf("read-your-writes = %v", r.Results[2].Entry)
+	}
+}
+
+func TestTxnCompare(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	el := newElement(t, n, "se-1", "eu")
+	el.AddReplica("p1", store.Master)
+	call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{
+		{Kind: TxnPut, Key: "k", Entry: store.Entry{"active": {"TRUE"}}},
+	}})
+	resp, _ := call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{
+		{Kind: TxnCompare, Key: "k", Attr: "active", Value: "TRUE"},
+		{Kind: TxnCompare, Key: "k", Attr: "active", Value: "FALSE"},
+		{Kind: TxnCompare, Key: "missing", Attr: "x", Value: "1"},
+	}})
+	r := resp.(TxnResp)
+	if !r.Results[0].CompareOK || r.Results[1].CompareOK {
+		t.Fatalf("compare = %+v", r.Results)
+	}
+	if r.Results[2].Found {
+		t.Fatal("compare on missing row should report not-found")
+	}
+}
+
+func TestUnknownPartition(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	el := newElement(t, n, "se-1", "eu")
+	_, err := call(t, n, el.Addr(), TxnReq{Partition: "nope"})
+	if err == nil || !errors.Is(err, ErrUnknownPartition) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSlaveRejectsWriteServesRead(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	el := newElement(t, n, "se-1", "eu")
+	pr, _ := el.AddReplica("p1", store.Slave)
+	pr.Store.ApplyReplicated(&store.CommitRecord{CSN: 1, Origin: "m", Ops: []store.Op{
+		{Kind: store.OpPut, Key: "k", Entry: store.Entry{"v": {"1"}}},
+	}})
+
+	// Read succeeds.
+	resp, err := call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{{Kind: TxnGet, Key: "k"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(TxnResp).Role != store.Slave {
+		t.Fatal("role should be slave")
+	}
+	// Write fails.
+	_, err = call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{
+		{Kind: TxnPut, Key: "k", Entry: store.Entry{"v": {"2"}}},
+	}})
+	if !errors.Is(err, store.ErrReadOnly) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFind(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	el := newElement(t, n, "se-1", "eu")
+	el.AddReplica("p1", store.Master)
+	call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{
+		{Kind: TxnPut, Key: "sub-7", Entry: store.Entry{
+			"msisdn": {"34600000007"},
+			"impu":   {"sip:+34600000007@ims", "tel:+34600000007"},
+		}},
+	}})
+
+	resp, err := call(t, n, el.Addr(), FindReq{
+		Identity: subscriber.Identity{Type: subscriber.MSISDN, Value: "34600000007"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := resp.(FindResp)
+	if !f.Found || f.SubscriberID != "sub-7" || f.Partition != "p1" {
+		t.Fatalf("find = %+v", f)
+	}
+
+	// Multi-valued attribute search.
+	resp, _ = call(t, n, el.Addr(), FindReq{
+		Identity: subscriber.Identity{Type: subscriber.IMPU, Value: "tel:+34600000007"},
+	})
+	if !resp.(FindResp).Found {
+		t.Fatal("IMPU find failed")
+	}
+
+	// Miss.
+	resp, _ = call(t, n, el.Addr(), FindReq{
+		Identity: subscriber.Identity{Type: subscriber.MSISDN, Value: "nope"},
+	})
+	if resp.(FindResp).Found {
+		t.Fatal("found a ghost")
+	}
+}
+
+func TestFindSkipsSlaves(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	el := newElement(t, n, "se-1", "eu")
+	pr, _ := el.AddReplica("p1", store.Slave)
+	pr.Store.ApplyReplicated(&store.CommitRecord{CSN: 1, Origin: "m", Ops: []store.Op{
+		{Kind: store.OpPut, Key: "sub-1", Entry: store.Entry{"msisdn": {"1"}}},
+	}})
+	resp, _ := call(t, n, el.Addr(), FindReq{
+		Identity: subscriber.Identity{Type: subscriber.MSISDN, Value: "1"},
+	})
+	if resp.(FindResp).Found {
+		t.Fatal("find should only consult master replicas")
+	}
+}
+
+func TestStatus(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	el := newElement(t, n, "se-1", "eu")
+	el.AddReplica("p1", store.Master)
+	el.AddReplica("p2", store.Slave)
+	resp, err := call(t, n, el.Addr(), StatusReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := resp.(StatusResp)
+	if st.ID != "se-1" || len(st.Replicas) != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Replicas[0].Partition != "p1" || st.Replicas[0].Role != store.Master {
+		t.Fatalf("replica status = %+v", st.Replicas[0])
+	}
+}
+
+func TestCrashRecoverWithWAL(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	dir := t.TempDir()
+	el := New(n, Config{
+		ID: "se-1", Site: "eu",
+		WALDir: dir, WALMode: wal.SyncEveryCommit,
+	})
+	t.Cleanup(el.Stop)
+	if _, err := el.AddReplica("p1", store.Master); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5; i++ {
+		if _, err := call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{
+			{Kind: TxnPut, Key: fmt.Sprintf("k%d", i), Entry: store.Entry{"v": {fmt.Sprint(i)}}},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	el.Crash()
+	if !el.Down() {
+		t.Fatal("not down")
+	}
+	if _, err := call(t, n, el.Addr(), TxnReq{Partition: "p1"}); !errors.Is(err, simnet.ErrUnreachable) {
+		t.Fatalf("crashed element reachable: %v", err)
+	}
+
+	replayed, err := el.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed["p1"] != 5 {
+		t.Fatalf("replayed = %v", replayed)
+	}
+	resp, err := call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{{Kind: TxnGet, Key: "k3"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.(TxnResp).Results[0].Found {
+		t.Fatal("data lost across recovery")
+	}
+}
+
+func TestCrashWithoutWALLosesData(t *testing.T) {
+	// RAM-only element: crash loses everything (the §3.1 hazard the
+	// WAL exists to mitigate).
+	n := simnet.New(simnet.FastConfig())
+	el := newElement(t, n, "se-1", "eu")
+	el.AddReplica("p1", store.Master)
+	call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{
+		{Kind: TxnPut, Key: "k", Entry: store.Entry{"v": {"1"}}},
+	}})
+	el.Crash()
+	if _, err := el.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{{Kind: TxnGet, Key: "k"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(TxnResp).Results[0].Found {
+		t.Fatal("RAM data survived a crash without WAL")
+	}
+}
+
+func TestRecoverNotCrashed(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	el := newElement(t, n, "se-1", "eu")
+	if _, err := el.Recover(); err == nil {
+		t.Fatal("recover on a live element should fail")
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	el := New(n, Config{ID: "se-1", Site: "eu", CapacityPerPartition: 2})
+	t.Cleanup(el.Stop)
+	el.AddReplica("p1", store.Master)
+	for i := 0; i < 2; i++ {
+		if _, err := call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{
+			{Kind: TxnPut, Key: fmt.Sprintf("k%d", i), Entry: store.Entry{"v": {"1"}}},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{
+		{Kind: TxnPut, Key: "k2", Entry: store.Entry{"v": {"1"}}},
+	}})
+	if !errors.Is(err, store.ErrStoreFull) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPartitionsSorted(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	el := newElement(t, n, "se-1", "eu")
+	el.AddReplica("p-z", store.Master)
+	el.AddReplica("p-a", store.Slave)
+	ps := el.Partitions()
+	if len(ps) != 2 || ps[0] != "p-a" {
+		t.Fatalf("partitions = %v", ps)
+	}
+}
+
+func TestPeriodicSnapshotCompactsWAL(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	dir := t.TempDir()
+	el := New(n, Config{
+		ID: "se-1", Site: "eu",
+		WALDir: dir, WALMode: wal.SyncEveryCommit,
+		SnapshotInterval: 10 * time.Millisecond,
+	})
+	t.Cleanup(el.Stop)
+	if _, err := el.AddReplica("p1", store.Master); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{
+			{Kind: TxnPut, Key: fmt.Sprintf("k%d", i), Entry: store.Entry{"v": {fmt.Sprint(i)}}},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for el.Snapshots.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("snapshotter never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Crash and recover: the data must come back from the snapshot
+	// (+ any tail), not be lost.
+	el.Crash()
+	if _, err := el.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{{Kind: TxnGet, Key: "k15"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.(TxnResp).Results[0].Found {
+		t.Fatal("data lost after snapshot + recover")
+	}
+}
+
+func TestSnapshotAllManual(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	el := New(n, Config{
+		ID: "se-1", Site: "eu",
+		WALDir: t.TempDir(), WALMode: wal.Periodic,
+	})
+	t.Cleanup(el.Stop)
+	el.AddReplica("p1", store.Master)
+	el.AddReplica("p2", store.Slave)
+	if got := el.SnapshotAll(); got != 2 {
+		t.Fatalf("snapshotted %d replicas, want 2", got)
+	}
+}

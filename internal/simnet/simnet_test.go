@@ -1,0 +1,294 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func echoHandler(ctx context.Context, from Addr, req any) (any, error) {
+	return req, nil
+}
+
+func newTestNet() *Network {
+	n := New(FastConfig())
+	n.AddSite("eu")
+	n.AddSite("us")
+	return n
+}
+
+func TestAddrParts(t *testing.T) {
+	a := MakeAddr("eu", "se-1")
+	if a.Site() != "eu" || a.Process() != "se-1" {
+		t.Fatalf("addr parts = %q/%q", a.Site(), a.Process())
+	}
+	bare := Addr("nosite")
+	if bare.Site() != "nosite" || bare.Process() != "" {
+		t.Fatalf("bare addr = %q/%q", bare.Site(), bare.Process())
+	}
+}
+
+func TestCallEcho(t *testing.T) {
+	n := newTestNet()
+	dst := MakeAddr("eu", "echo")
+	n.Register(dst, echoHandler)
+	got, err := n.Call(context.Background(), MakeAddr("eu", "client"), dst, "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "ping" {
+		t.Fatalf("got %v", got)
+	}
+	if n.Messages.Value() != 1 {
+		t.Fatalf("messages = %d", n.Messages.Value())
+	}
+}
+
+func TestCallNoEndpoint(t *testing.T) {
+	n := newTestNet()
+	_, err := n.Call(context.Background(), MakeAddr("eu", "c"), MakeAddr("eu", "missing"), 1)
+	if !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallDownEndpoint(t *testing.T) {
+	n := newTestNet()
+	dst := MakeAddr("eu", "echo")
+	n.Register(dst, echoHandler)
+	n.SetDown(dst, true)
+	_, err := n.Call(context.Background(), MakeAddr("eu", "c"), dst, 1)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	n.SetDown(dst, false)
+	if _, err := n.Call(context.Background(), MakeAddr("eu", "c"), dst, 1); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+}
+
+func TestPartitionBlocksCrossSiteOnly(t *testing.T) {
+	n := newTestNet()
+	euSrv := MakeAddr("eu", "srv")
+	usSrv := MakeAddr("us", "srv")
+	n.Register(euSrv, echoHandler)
+	n.Register(usSrv, echoHandler)
+
+	n.Partition([]string{"eu"})
+	if !n.Partitioned("eu", "us") {
+		t.Fatal("eu/us should be partitioned")
+	}
+	if n.Partitioned("eu", "eu") {
+		t.Fatal("eu/eu should not be partitioned")
+	}
+
+	// Cross-partition call fails.
+	_, err := n.Call(context.Background(), MakeAddr("eu", "c"), usSrv, 1)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("cross-partition err = %v", err)
+	}
+	// Same-side call succeeds.
+	if _, err := n.Call(context.Background(), MakeAddr("eu", "c"), euSrv, 1); err != nil {
+		t.Fatalf("same-side call: %v", err)
+	}
+
+	n.Heal()
+	if _, err := n.Call(context.Background(), MakeAddr("eu", "c"), usSrv, 1); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestPartitionGroups(t *testing.T) {
+	n := New(FastConfig())
+	for _, s := range []string{"a", "b", "c"} {
+		n.AddSite(s)
+	}
+	n.PartitionGroups([]string{"a"}, []string{"b"})
+	if !n.Partitioned("a", "b") || !n.Partitioned("a", "c") || !n.Partitioned("b", "c") {
+		t.Fatal("three-way partition not installed")
+	}
+	n.Heal()
+	if n.Partitioned("a", "b") {
+		t.Fatal("heal failed")
+	}
+}
+
+func TestBackboneSlowerThanLocal(t *testing.T) {
+	cfg := Config{
+		Local:    Link{Latency: 0},
+		Backbone: Link{Latency: 3 * time.Millisecond},
+		Seed:     1,
+	}
+	n := New(cfg)
+	local := MakeAddr("eu", "srv")
+	remote := MakeAddr("us", "srv")
+	n.Register(local, echoHandler)
+	n.Register(remote, echoHandler)
+	c := MakeAddr("eu", "client")
+
+	t0 := time.Now()
+	if _, err := n.Call(context.Background(), c, local, 1); err != nil {
+		t.Fatal(err)
+	}
+	localD := time.Since(t0)
+
+	t0 = time.Now()
+	if _, err := n.Call(context.Background(), c, remote, 1); err != nil {
+		t.Fatal(err)
+	}
+	remoteD := time.Since(t0)
+
+	if remoteD < 6*time.Millisecond { // two one-way backbone hops
+		t.Fatalf("backbone RTT = %v, want >= 6ms", remoteD)
+	}
+	if localD > remoteD {
+		t.Fatalf("local %v slower than backbone %v", localD, remoteD)
+	}
+}
+
+func TestLossyLink(t *testing.T) {
+	cfg := FastConfig()
+	cfg.Backbone.Loss = 1.0 // everything dropped
+	n := New(cfg)
+	dst := MakeAddr("us", "srv")
+	n.Register(dst, echoHandler)
+	_, err := n.Call(context.Background(), MakeAddr("eu", "c"), dst, 1)
+	if !errors.Is(err, ErrLost) {
+		t.Fatalf("err = %v, want ErrLost", err)
+	}
+	if n.Drops.Value() == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestSendOneWay(t *testing.T) {
+	n := newTestNet()
+	var got atomic.Int64
+	dst := MakeAddr("eu", "sink")
+	n.Register(dst, func(ctx context.Context, from Addr, req any) (any, error) {
+		got.Add(int64(req.(int)))
+		return nil, nil
+	})
+	n.Send(MakeAddr("eu", "c"), dst, 42)
+	deadline := time.Now().Add(time.Second)
+	for got.Load() != 42 {
+		if time.Now().After(deadline) {
+			t.Fatal("one-way message not delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSendIntoPartitionSilentlyDropped(t *testing.T) {
+	n := newTestNet()
+	var got atomic.Int64
+	dst := MakeAddr("us", "sink")
+	n.Register(dst, func(ctx context.Context, from Addr, req any) (any, error) {
+		got.Add(1)
+		return nil, nil
+	})
+	n.Partition([]string{"eu"})
+	n.Send(MakeAddr("eu", "c"), dst, 1)
+	time.Sleep(5 * time.Millisecond)
+	if got.Load() != 0 {
+		t.Fatal("message crossed a partition")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	cfg := Config{
+		Local:    Link{Latency: time.Second}, // long enough to cancel
+		Backbone: Link{Latency: time.Second},
+		Seed:     1,
+	}
+	n := New(cfg)
+	dst := MakeAddr("eu", "srv")
+	n.Register(dst, echoHandler)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := n.Call(ctx, MakeAddr("eu", "c"), dst, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 200*time.Millisecond {
+		t.Fatal("cancellation did not interrupt the sleep")
+	}
+}
+
+func TestPartitionChargesTimeout(t *testing.T) {
+	cfg := FastConfig()
+	cfg.Backbone.Timeout = 10 * time.Millisecond
+	n := New(cfg)
+	dst := MakeAddr("us", "srv")
+	n.Register(dst, echoHandler)
+	n.Partition([]string{"eu"})
+	start := time.Now()
+	_, err := n.Call(context.Background(), MakeAddr("eu", "c"), dst, 1)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("partition failure returned in %v, want >= link timeout", d)
+	}
+}
+
+func TestSetLinkOverride(t *testing.T) {
+	n := New(FastConfig())
+	n.AddSite("a")
+	n.AddSite("b")
+	n.SetLink("a", "b", Link{Latency: 42 * time.Millisecond})
+	l := n.LinkBetween("a", "b")
+	if l.Latency != 42*time.Millisecond {
+		t.Fatalf("link latency = %v", l.Latency)
+	}
+	if n.LinkBetween("b", "a").Latency != 42*time.Millisecond {
+		t.Fatal("link override not symmetric")
+	}
+	if n.LinkBetween("a", "a").Latency != FastConfig().Local.Latency {
+		t.Fatal("local link affected by override")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	n := newTestNet()
+	dst := MakeAddr("us", "srv")
+	n.Register(dst, echoHandler)
+	src := MakeAddr("eu", "c")
+	if !n.Reachable(src, dst) {
+		t.Fatal("should be reachable")
+	}
+	n.Partition([]string{"eu"})
+	if n.Reachable(src, dst) {
+		t.Fatal("should be partitioned")
+	}
+	n.Heal()
+	n.SetDown(dst, true)
+	if n.Reachable(src, dst) {
+		t.Fatal("down endpoint should be unreachable")
+	}
+}
+
+func TestSitesSorted(t *testing.T) {
+	n := New(FastConfig())
+	for _, s := range []string{"zz", "aa", "mm"} {
+		n.AddSite(s)
+	}
+	sites := n.Sites()
+	if len(sites) != 3 || sites[0] != "aa" || sites[2] != "zz" {
+		t.Fatalf("sites = %v", sites)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	n := newTestNet()
+	dst := MakeAddr("eu", "srv")
+	n.Register(dst, echoHandler)
+	n.Unregister(dst)
+	_, err := n.Call(context.Background(), MakeAddr("eu", "c"), dst, 1)
+	if !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+}

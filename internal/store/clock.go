@@ -1,0 +1,24 @@
+package store
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// lastMicro makes nowMicro strictly monotonic even when the wall
+// clock stalls between two commits, so last-writer-wins resolution
+// never sees two local commits with equal timestamps.
+var lastMicro atomic.Int64
+
+func nowMicro() int64 {
+	now := time.Now().UnixMicro()
+	for {
+		last := lastMicro.Load()
+		if now <= last {
+			now = last + 1
+		}
+		if lastMicro.CompareAndSwap(last, now) {
+			return now
+		}
+	}
+}

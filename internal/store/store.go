@@ -1,0 +1,718 @@
+// Package store implements the in-RAM transactional storage engine
+// that backs one partition replica inside a storage element.
+//
+// It realizes the paper's §3.2 design decisions:
+//
+//   - ACID is guaranteed only for transactions on one storage element;
+//     a Store is the unit of atomicity.
+//   - Isolation between concurrent transactions is READ_COMMITTED:
+//     readers always see the latest committed row version and are
+//     never blocked by writers; writers buffer a private write-set
+//     applied atomically at commit.
+//   - Commits are totally ordered by a commit sequence number (CSN).
+//     The commit order *is* the serialization order the replication
+//     stream must preserve at every slave copy (§3.2).
+//
+// A Store holds one partition replica; a storage element owns several
+// Stores (its primary partition plus secondary copies).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// Isolation selects the transaction isolation level.
+type Isolation int
+
+const (
+	// ReadCommitted is the paper's chosen level for intra-SE
+	// transactions (§3.2 decision 2).
+	ReadCommitted Isolation = iota
+	// ReadUncommitted is the level "afforded" to transactions
+	// spanning multiple storage elements (§3.2): no guarantees.
+	// Within a single Store it behaves like ReadCommitted reads with
+	// no atomicity expectations across Stores; the constant exists so
+	// cross-SE coordinators can label their parts honestly.
+	ReadUncommitted
+)
+
+// Errors returned by transaction operations.
+var (
+	ErrTxnDone   = errors.New("store: transaction already committed or aborted")
+	ErrReadOnly  = errors.New("store: store is a slave replica; writes must go to the master copy")
+	ErrNoRow     = errors.New("store: no such row")
+	ErrBadCSN    = errors.New("store: replicated commit out of order")
+	ErrStoreFull = errors.New("store: capacity exceeded")
+)
+
+// Entry is a row value: an LDAP-style attribute map. Attribute names
+// map to one or more values.
+type Entry map[string][]string
+
+// Clone deep-copies the entry.
+func (e Entry) Clone() Entry {
+	if e == nil {
+		return nil
+	}
+	out := make(Entry, len(e))
+	for k, vs := range e {
+		out[k] = append([]string(nil), vs...)
+	}
+	return out
+}
+
+// First returns the first value of an attribute, or "".
+func (e Entry) First(attr string) string {
+	if vs := e[attr]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+// Equal reports deep equality with another entry.
+func (e Entry) Equal(o Entry) bool {
+	if len(e) != len(o) {
+		return false
+	}
+	for k, vs := range e {
+		ws, ok := o[k]
+		if !ok || len(vs) != len(ws) {
+			return false
+		}
+		for i := range vs {
+			if vs[i] != ws[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ModKind is the kind of an attribute modification.
+type ModKind int
+
+// Attribute modification kinds, mirroring LDAP modify semantics.
+const (
+	ModAdd ModKind = iota
+	ModReplace
+	ModDelete
+)
+
+// Mod is one attribute modification inside a Modify operation.
+type Mod struct {
+	Kind ModKind
+	Attr string
+	Vals []string
+}
+
+// apply mutates e in place according to the modification.
+func (m Mod) apply(e Entry) {
+	switch m.Kind {
+	case ModAdd:
+		e[m.Attr] = append(e[m.Attr], m.Vals...)
+	case ModReplace:
+		if len(m.Vals) == 0 {
+			delete(e, m.Attr)
+		} else {
+			e[m.Attr] = append([]string(nil), m.Vals...)
+		}
+	case ModDelete:
+		if len(m.Vals) == 0 {
+			delete(e, m.Attr)
+			return
+		}
+		drop := make(map[string]bool, len(m.Vals))
+		for _, v := range m.Vals {
+			drop[v] = true
+		}
+		kept := e[m.Attr][:0]
+		for _, v := range e[m.Attr] {
+			if !drop[v] {
+				kept = append(kept, v)
+			}
+		}
+		if len(kept) == 0 {
+			delete(e, m.Attr)
+		} else {
+			e[m.Attr] = kept
+		}
+	}
+}
+
+// OpKind is the kind of a committed write operation.
+type OpKind int
+
+// Write operation kinds.
+const (
+	OpPut OpKind = iota
+	OpModify
+	OpDelete
+)
+
+// Op is one write inside a committed transaction, in a form that can
+// be shipped to slave replicas and replayed in order.
+type Op struct {
+	Kind OpKind
+	Key  string
+	// Entry is the full row image for OpPut — and also for OpModify,
+	// where it carries the post-image so slaves converge even if
+	// their pre-image drifted.
+	Entry Entry
+	Mods  []Mod // the logical modification, kept for audit/merge
+	// VC is the row's version vector after this op, filled only in
+	// multi-master mode so peers can detect concurrent writes (§5).
+	VC vclock.VC
+}
+
+// CommitRecord is the replication/WAL unit: one committed transaction.
+type CommitRecord struct {
+	// CSN is the commit sequence number assigned by the master
+	// store; slaves must apply records in strictly increasing CSN
+	// order (§3.2's serialization-order guarantee).
+	CSN uint64
+	// WallTS is a wall-clock timestamp (UnixMicro) used by the
+	// last-writer-wins resolver in multi-master mode (§5).
+	WallTS int64
+	// Origin is the replica ID that committed the transaction.
+	Origin string
+	Ops    []Op
+}
+
+// Meta is per-row metadata.
+type Meta struct {
+	// CSN of the commit that last wrote the row.
+	CSN uint64
+	// WallTS of that commit (UnixMicro).
+	WallTS int64
+	// VC is the row's version vector, maintained only in
+	// multi-master mode (§5 evolution).
+	VC vclock.VC
+	// Tombstone marks a deleted row retained for replication and
+	// multi-master anti-entropy.
+	Tombstone bool
+}
+
+type row struct {
+	entry Entry
+	meta  Meta
+}
+
+// Role designates whether this replica accepts client writes.
+type Role int
+
+const (
+	// Master is the copy handling all writes for the partition
+	// (§3.2: "At every point in time for each piece of data there is
+	// one copy handling all writes").
+	Master Role = iota
+	// Slave copies apply the master's replication stream only.
+	Slave
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	if r == Master {
+		return "master"
+	}
+	return "slave"
+}
+
+// Store is one partition replica. It is safe for concurrent use.
+type Store struct {
+	replicaID string
+
+	mu   sync.RWMutex
+	rows map[string]*row
+	role Role
+	// multiMaster enables version-vector maintenance and lifts the
+	// slave write restriction (§5 evolution).
+	multiMaster bool
+	// capacity bounds the number of live rows (the paper's 200 GB /
+	// 2M-subscriber SE limit, scaled); 0 means unbounded.
+	capacity int
+	live     int
+
+	// commitMu serializes commits so CSN order equals apply order.
+	commitMu sync.Mutex
+	csn      uint64
+	// appliedCSN tracks the replication stream high-water mark on
+	// slaves.
+	appliedCSN uint64
+
+	// commitHook, when set, is invoked under commitMu with every
+	// record before the commit returns; the SE wires WAL append and
+	// replication shipping through it.
+	commitHook func(*CommitRecord) error
+}
+
+// New returns an empty master store identified by replicaID.
+func New(replicaID string) *Store {
+	return &Store{
+		replicaID: replicaID,
+		rows:      make(map[string]*row),
+		role:      Master,
+	}
+}
+
+// ReplicaID returns the identifier used in version vectors and
+// replication origins.
+func (s *Store) ReplicaID() string { return s.replicaID }
+
+// SetRole switches the replica role (used at failover promotion).
+func (s *Store) SetRole(r Role) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.role = r
+}
+
+// Role returns the current role.
+func (s *Store) Role() Role {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.role
+}
+
+// SetMultiMaster toggles multi-master mode (§5): writes are accepted
+// regardless of role and rows carry version vectors.
+func (s *Store) SetMultiMaster(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.multiMaster = on
+}
+
+// MultiMaster reports whether multi-master mode is on.
+func (s *Store) MultiMaster() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.multiMaster
+}
+
+// SetCapacity bounds the number of live rows; 0 means unbounded.
+func (s *Store) SetCapacity(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.capacity = n
+}
+
+// SetCommitHook installs fn to be called under the commit lock for
+// every locally committed record (WAL append + replication shipping).
+// A hook error aborts the commit.
+func (s *Store) SetCommitHook(fn func(*CommitRecord) error) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.commitHook = fn
+}
+
+// CSN returns the store's current commit sequence number.
+func (s *Store) CSN() uint64 {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	return s.csn
+}
+
+// AppliedCSN returns the replication high-water mark (slaves).
+func (s *Store) AppliedCSN() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.appliedCSN
+}
+
+// Len returns the number of live (non-tombstone) rows.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.live
+}
+
+// GetCommitted returns the latest committed value and metadata of a
+// row. The entry is a deep copy.
+func (s *Store) GetCommitted(key string) (Entry, Meta, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.rows[key]
+	if !ok || r.meta.Tombstone {
+		return nil, Meta{}, false
+	}
+	return r.entry.Clone(), r.meta, true
+}
+
+// Keys returns all live keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, s.live)
+	for k, r := range s.rows {
+		if !r.meta.Tombstone {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForEach calls fn for every live row (deep-copied) until fn returns
+// false. Iteration order is unspecified.
+func (s *Store) ForEach(fn func(key string, e Entry, m Meta) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, r := range s.rows {
+		if r.meta.Tombstone {
+			continue
+		}
+		if !fn(k, r.entry.Clone(), r.meta) {
+			return
+		}
+	}
+}
+
+// writeOp is a buffered transaction write.
+type writeOp struct {
+	kind  OpKind
+	entry Entry // for put
+	mods  []Mod // for modify (accumulated)
+}
+
+// Txn is an in-flight transaction. A Txn is not safe for concurrent
+// use by multiple goroutines (matching the one-session-one-txn model
+// of the LDAP front end).
+type Txn struct {
+	s      *Store
+	iso    Isolation
+	writes map[string]*writeOp
+	order  []string // write key order, for deterministic op output
+	done   bool
+}
+
+// Begin starts a transaction at the given isolation level.
+func (s *Store) Begin(iso Isolation) *Txn {
+	return &Txn{s: s, iso: iso, writes: make(map[string]*writeOp)}
+}
+
+// Get returns the row as seen by this transaction: its own buffered
+// writes first (read-your-writes), else the latest committed version
+// (READ_COMMITTED: never uncommitted data from other transactions).
+func (t *Txn) Get(key string) (Entry, bool) {
+	if t.done {
+		return nil, false
+	}
+	if w, ok := t.writes[key]; ok {
+		switch w.kind {
+		case OpDelete:
+			return nil, false
+		case OpPut:
+			return w.entry.Clone(), true
+		case OpModify:
+			base, _, ok := t.s.GetCommitted(key)
+			if !ok {
+				base = Entry{}
+			}
+			for _, m := range w.mods {
+				m.apply(base)
+			}
+			return base, true
+		}
+	}
+	e, _, ok := t.s.GetCommitted(key)
+	return e, ok
+}
+
+func (t *Txn) stage(key string) (w *writeOp, isNew bool) {
+	w, ok := t.writes[key]
+	if !ok {
+		w = &writeOp{}
+		t.writes[key] = w
+		t.order = append(t.order, key)
+	}
+	return w, !ok
+}
+
+// Put buffers a full-row write.
+func (t *Txn) Put(key string, e Entry) {
+	w, _ := t.stage(key)
+	w.kind = OpPut
+	w.entry = e.Clone()
+	w.mods = nil
+}
+
+// Modify buffers attribute modifications against the row.
+func (t *Txn) Modify(key string, mods ...Mod) {
+	w, isNew := t.stage(key)
+	switch {
+	case isNew:
+		w.kind = OpModify
+		w.mods = append(w.mods, mods...)
+	case w.kind == OpPut:
+		for _, m := range mods {
+			m.apply(w.entry)
+		}
+	case w.kind == OpDelete:
+		// Modifying a deleted row recreates it from the mods.
+		w.kind = OpPut
+		w.entry = Entry{}
+		for _, m := range mods {
+			m.apply(w.entry)
+		}
+	default:
+		w.kind = OpModify
+		w.mods = append(w.mods, mods...)
+	}
+}
+
+// Delete buffers a row deletion.
+func (t *Txn) Delete(key string) {
+	w, _ := t.stage(key)
+	w.kind = OpDelete
+	w.entry = nil
+	w.mods = nil
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() { t.done = true }
+
+// Commit atomically applies the write-set, assigns the next CSN, runs
+// the commit hook (WAL + replication) and returns the commit record.
+// Read-only transactions return a nil record.
+//
+// The store-wide commit lock makes the CSN order identical to the
+// apply order, which is what lets slaves reproduce the master's
+// serialization order exactly (§3.2).
+func (t *Txn) Commit() (*CommitRecord, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		return nil, nil
+	}
+
+	s := t.s
+	s.mu.RLock()
+	roleOK := s.role == Master || s.multiMaster
+	s.mu.RUnlock()
+	if !roleOK {
+		return nil, ErrReadOnly
+	}
+
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+
+	rec := &CommitRecord{
+		CSN:    s.csn + 1,
+		WallTS: nowMicro(),
+		Origin: s.replicaID,
+	}
+
+	// Build ops and post-images under the row lock.
+	s.mu.Lock()
+	// Capacity check: count net new live rows.
+	if s.capacity > 0 {
+		delta := 0
+		for _, key := range t.order {
+			w := t.writes[key]
+			r, exists := s.rows[key]
+			liveNow := exists && !r.meta.Tombstone
+			switch w.kind {
+			case OpPut, OpModify:
+				if !liveNow {
+					delta++
+				}
+			case OpDelete:
+				if liveNow {
+					delta--
+				}
+			}
+		}
+		if s.live+delta > s.capacity {
+			s.mu.Unlock()
+			return nil, ErrStoreFull
+		}
+	}
+	for _, key := range t.order {
+		w := t.writes[key]
+		op := Op{Key: key}
+		switch w.kind {
+		case OpPut:
+			op.Kind = OpPut
+			op.Entry = w.entry.Clone()
+		case OpModify:
+			op.Kind = OpModify
+			op.Mods = append([]Mod(nil), w.mods...)
+			base := Entry{}
+			if r, ok := s.rows[key]; ok && !r.meta.Tombstone {
+				base = r.entry.Clone()
+			}
+			for _, m := range w.mods {
+				m.apply(base)
+			}
+			op.Entry = base // post-image
+		case OpDelete:
+			op.Kind = OpDelete
+		}
+		rec.Ops = append(rec.Ops, op)
+	}
+	s.applyOpsLocked(rec, true)
+	s.mu.Unlock()
+
+	if s.commitHook != nil {
+		if err := s.commitHook(rec); err != nil {
+			// Roll back is not possible after apply; the paper's
+			// design has the same property (commit then replicate).
+			// Hooks therefore only fail for full-durability mode
+			// (dump-before-commit), where the SE treats a hook error
+			// as fatal. We surface the error; the row state keeps the
+			// committed data, matching a master that persists after
+			// a failed synchronous replication (§5 dual-in-sequence
+			// "leaving just one of the replicas updated is
+			// acceptable").
+			s.csn = rec.CSN
+			return rec, err
+		}
+	}
+	s.csn = rec.CSN
+	return rec, nil
+}
+
+// applyOpsLocked installs a record's post-images. Callers hold s.mu.
+// local marks a locally committed record (ticks the version vector in
+// multi-master mode).
+func (s *Store) applyOpsLocked(rec *CommitRecord, local bool) {
+	for i := range rec.Ops {
+		op := &rec.Ops[i]
+		r, ok := s.rows[op.Key]
+		if !ok {
+			r = &row{}
+			s.rows[op.Key] = r
+		}
+		wasLive := ok && !r.meta.Tombstone
+		switch op.Kind {
+		case OpPut, OpModify:
+			r.entry = op.Entry.Clone()
+			r.meta.Tombstone = false
+			if !wasLive {
+				s.live++
+			}
+		case OpDelete:
+			r.entry = nil
+			r.meta.Tombstone = true
+			if wasLive {
+				s.live--
+			}
+		}
+		r.meta.CSN = rec.CSN
+		r.meta.WallTS = rec.WallTS
+		if s.multiMaster && local {
+			r.meta.VC = r.meta.VC.Clone().Tick(s.replicaID)
+			op.VC = r.meta.VC.Clone()
+		}
+	}
+}
+
+// ApplyReplicated applies a master's commit record on a slave (or a
+// peer's record in multi-master mode). Records must arrive in
+// strictly increasing CSN order per origin stream; the caller (the
+// replication session) enforces ordering and retransmission.
+func (s *Store) ApplyReplicated(rec *CommitRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.CSN <= s.appliedCSN {
+		// Duplicate delivery; idempotent skip.
+		return nil
+	}
+	if rec.CSN != s.appliedCSN+1 {
+		return fmt.Errorf("%w: have %d, got %d", ErrBadCSN, s.appliedCSN, rec.CSN)
+	}
+	s.applyOpsLocked(rec, false)
+	s.appliedCSN = rec.CSN
+	return nil
+}
+
+// SetAppliedCSN primes the replication high-water mark (used when a
+// slave is seeded from a snapshot).
+func (s *Store) SetAppliedCSN(csn uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appliedCSN = csn
+}
+
+// SetCSN primes the commit sequence number (used by WAL recovery so
+// the next local commit continues the sequence).
+func (s *Store) SetCSN(csn uint64) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.csn = csn
+}
+
+// Replay applies a recovered commit record during WAL redo. Unlike
+// ApplyReplicated it also advances the local CSN, because replayed
+// records were this replica's own commits.
+func (s *Store) Replay(rec *CommitRecord) {
+	s.mu.Lock()
+	s.applyOpsLocked(rec, false)
+	s.mu.Unlock()
+	s.commitMu.Lock()
+	if rec.CSN > s.csn {
+		s.csn = rec.CSN
+	}
+	s.commitMu.Unlock()
+}
+
+// PutDirect installs a row bypassing the transaction machinery. It is
+// used by snapshot load, anti-entropy merge and bulk seeding. The
+// meta is stored as given.
+func (s *Store) PutDirect(key string, e Entry, m Meta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rows[key]
+	wasLive := ok && !r.meta.Tombstone
+	if !ok {
+		r = &row{}
+		s.rows[key] = r
+	}
+	r.entry = e.Clone()
+	r.meta = m
+	if m.Tombstone && wasLive {
+		s.live--
+	} else if !m.Tombstone && !wasLive {
+		s.live++
+	}
+}
+
+// MetaOf returns row metadata even for tombstones (anti-entropy needs
+// tombstone versions).
+func (s *Store) MetaOf(key string) (Meta, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.rows[key]
+	if !ok {
+		return Meta{}, false
+	}
+	return r.meta, true
+}
+
+// AllMeta returns the metadata of every row including tombstones,
+// used by the multi-master anti-entropy scan (§5).
+func (s *Store) AllMeta() map[string]Meta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]Meta, len(s.rows))
+	for k, r := range s.rows {
+		out[k] = r.meta
+	}
+	return out
+}
+
+// GetAny returns the row even if tombstoned (anti-entropy).
+func (s *Store) GetAny(key string) (Entry, Meta, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.rows[key]
+	if !ok {
+		return nil, Meta{}, false
+	}
+	return r.entry.Clone(), r.meta, true
+}

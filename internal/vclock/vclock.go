@@ -1,0 +1,140 @@
+// Package vclock implements version vectors, the causality-tracking
+// primitive behind the multi-master evolution the paper sketches in §5:
+// when masters on both sides of a partition accept writes, their views
+// diverge, and after the partition heals a consistency-restoration
+// process must decide, per row, whether one view supersedes the other
+// or the two conflict and need resolution.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VC is a version vector mapping replica IDs to event counters.
+// The zero value (nil map) is a valid empty vector.
+type VC map[string]uint64
+
+// New returns an empty version vector.
+func New() VC { return VC{} }
+
+// Clone returns a deep copy.
+func (v VC) Clone() VC {
+	out := make(VC, len(v))
+	for k, n := range v {
+		out[k] = n
+	}
+	return out
+}
+
+// Tick increments the counter for replica id and returns the vector
+// for chaining. Tick on a nil vector allocates.
+func (v VC) Tick(id string) VC {
+	if v == nil {
+		v = VC{}
+	}
+	v[id]++
+	return v
+}
+
+// Get returns the counter for replica id (0 when absent).
+func (v VC) Get(id string) uint64 { return v[id] }
+
+// Merge returns the element-wise maximum of v and o, the vector that
+// dominates both (used after conflict resolution).
+func (v VC) Merge(o VC) VC {
+	out := v.Clone()
+	if out == nil {
+		out = VC{}
+	}
+	for k, n := range o {
+		if n > out[k] {
+			out[k] = n
+		}
+	}
+	return out
+}
+
+// Ordering is the causal relationship between two version vectors.
+type Ordering int
+
+const (
+	// Equal means the vectors are identical.
+	Equal Ordering = iota
+	// Before means the receiver causally precedes the argument.
+	Before
+	// After means the receiver causally follows the argument.
+	After
+	// Concurrent means neither dominates: a true conflict.
+	Concurrent
+)
+
+// String returns the ordering name.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	}
+	return fmt.Sprintf("Ordering(%d)", int(o))
+}
+
+// Compare returns the causal ordering of v relative to o.
+func (v VC) Compare(o VC) Ordering {
+	vLess, oLess := false, false
+	for k, n := range v {
+		if m := o[k]; n < m {
+			vLess = true
+		} else if n > m {
+			oLess = true
+		}
+	}
+	for k, m := range o {
+		if n := v[k]; n < m {
+			vLess = true
+		} else if n > m {
+			oLess = true
+		}
+	}
+	switch {
+	case vLess && oLess:
+		return Concurrent
+	case vLess:
+		return Before
+	case oLess:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// Dominates reports whether v is causally at or after o.
+func (v VC) Dominates(o VC) bool {
+	c := v.Compare(o)
+	return c == Equal || c == After
+}
+
+// String renders the vector deterministically, e.g. "{a:1 b:3}".
+func (v VC) String() string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", k, v[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyVectorsEqual(t *testing.T) {
+	a, b := New(), New()
+	if a.Compare(b) != Equal {
+		t.Fatal("two empty vectors should be equal")
+	}
+	var nilVC VC
+	if nilVC.Compare(a) != Equal {
+		t.Fatal("nil and empty should be equal")
+	}
+}
+
+func TestTickCreatesAfter(t *testing.T) {
+	a := New()
+	b := a.Clone().Tick("x")
+	if b.Compare(a) != After {
+		t.Fatalf("ticked vector should be After, got %v", b.Compare(a))
+	}
+	if a.Compare(b) != Before {
+		t.Fatalf("original should be Before, got %v", a.Compare(b))
+	}
+}
+
+func TestTickOnNil(t *testing.T) {
+	var v VC
+	v = v.Tick("a")
+	if v.Get("a") != 1 {
+		t.Fatalf("tick on nil: %v", v)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	a := New().Tick("a")
+	b := New().Tick("b")
+	if a.Compare(b) != Concurrent {
+		t.Fatalf("want Concurrent, got %v", a.Compare(b))
+	}
+	if b.Compare(a) != Concurrent {
+		t.Fatalf("want Concurrent (symmetric), got %v", b.Compare(a))
+	}
+}
+
+func TestMergeDominatesBoth(t *testing.T) {
+	a := New().Tick("a").Tick("a")
+	b := New().Tick("b")
+	m := a.Merge(b)
+	if !m.Dominates(a) || !m.Dominates(b) {
+		t.Fatalf("merge %v does not dominate %v and %v", m, a, b)
+	}
+	if m.Get("a") != 2 || m.Get("b") != 1 {
+		t.Fatalf("merge = %v", m)
+	}
+}
+
+func TestMergeOnNil(t *testing.T) {
+	var v VC
+	m := v.Merge(New().Tick("x"))
+	if m.Get("x") != 1 {
+		t.Fatalf("merge on nil: %v", m)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New().Tick("a")
+	b := a.Clone()
+	b.Tick("a")
+	if a.Get("a") != 1 || b.Get("a") != 2 {
+		t.Fatalf("clone not independent: a=%v b=%v", a, b)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := New().Tick("a")
+	b := a.Clone().Tick("b")
+	if !b.Dominates(a) {
+		t.Fatal("b should dominate a")
+	}
+	if a.Dominates(b) {
+		t.Fatal("a should not dominate b")
+	}
+	if !a.Dominates(a.Clone()) {
+		t.Fatal("vector should dominate its equal")
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for o, want := range map[Ordering]string{
+		Equal: "equal", Before: "before", After: "after", Concurrent: "concurrent",
+	} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	v := VC{"b": 2, "a": 1}
+	if v.String() != "{a:1 b:2}" {
+		t.Fatalf("String() = %q", v.String())
+	}
+}
+
+// fromCounts builds a VC over a fixed replica universe from generated
+// counters, for property tests.
+func fromCounts(counts [3]uint8) VC {
+	v := VC{}
+	ids := []string{"r0", "r1", "r2"}
+	for i, c := range counts {
+		if c > 0 {
+			v[ids[i]] = uint64(c)
+		}
+	}
+	return v
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b [3]uint8) bool {
+		va, vb := fromCounts(a), fromCounts(b)
+		ab, ba := va.Compare(vb), vb.Compare(va)
+		switch ab {
+		case Equal:
+			return ba == Equal
+		case Before:
+			return ba == After
+		case After:
+			return ba == Before
+		case Concurrent:
+			return ba == Concurrent
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeUpperBoundProperty(t *testing.T) {
+	f := func(a, b [3]uint8) bool {
+		va, vb := fromCounts(a), fromCounts(b)
+		m := va.Merge(vb)
+		return m.Dominates(va) && m.Dominates(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeCommutativeProperty(t *testing.T) {
+	f := func(a, b [3]uint8) bool {
+		va, vb := fromCounts(a), fromCounts(b)
+		return va.Merge(vb).Compare(vb.Merge(va)) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeIdempotentProperty(t *testing.T) {
+	f := func(a [3]uint8) bool {
+		va := fromCounts(a)
+		return va.Merge(va).Compare(va) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,335 @@
+// Package wal gives a storage element's RAM-resident stores their
+// disk protection (§3.1 decision 1): every store saves its data to
+// local persistent storage on a periodic basis, so a storage-element
+// failure loses at most the un-synced tail of recent commits — the
+// durability window experiments E4 and E12 measure.
+//
+// Two modes are supported:
+//
+//   - Periodic (the paper's default): commit records are buffered and
+//     flushed+fsynced on an interval. Fast commits, bounded loss.
+//   - SyncEveryCommit (the paper's footnote 6: "dump transactions to
+//     disk before committing for 100% guaranteed durability, but that
+//     would slow down storage elements too much"): every append is
+//     flushed and fsynced before the commit returns.
+//
+// A Log persists one store (one partition replica). Snapshots compact
+// the log: the full store image is written atomically, then the log
+// restarts empty.
+package wal
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Mode selects the durability mode.
+type Mode int
+
+const (
+	// Periodic buffers appends and syncs on an interval (or explicit
+	// Sync calls).
+	Periodic Mode = iota
+	// SyncEveryCommit flushes and fsyncs every append before
+	// returning: the 100%-durability mode.
+	SyncEveryCommit
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == SyncEveryCommit {
+		return "sync-every-commit"
+	}
+	return "periodic"
+}
+
+const (
+	logName      = "wal.log"
+	snapName     = "snapshot.gob"
+	snapTempName = "snapshot.gob.tmp"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log is the write-ahead log + snapshot manager for one store.
+type Log struct {
+	dir  string
+	mode Mode
+
+	mu     sync.Mutex
+	file   *os.File
+	buf    *bufio.Writer
+	enc    *gob.Encoder
+	closed bool
+
+	// pending counts appends since the last sync (the at-risk
+	// durability window).
+	pending int
+
+	stopPeriodic chan struct{}
+	wg           sync.WaitGroup
+}
+
+// Open creates or opens the log in dir.
+func Open(dir string, mode Mode) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, mode: mode, file: f}
+	l.buf = bufio.NewWriter(f)
+	l.enc = gob.NewEncoder(l.buf)
+	return l, nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Mode returns the durability mode.
+func (l *Log) Mode() Mode { return l.mode }
+
+// Append persists one commit record according to the mode.
+func (l *Log) Append(rec *store.CommitRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.enc.Encode(rec); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.pending++
+	if l.mode == SyncEveryCommit {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.buf.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.file.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.pending = 0
+	return nil
+}
+
+// Pending returns the number of appended-but-unsynced records: the
+// commits that would be lost if the element failed right now.
+func (l *Log) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pending
+}
+
+// StartPeriodic launches the background flusher with the given
+// interval. It is a no-op in SyncEveryCommit mode.
+func (l *Log) StartPeriodic(interval time.Duration) {
+	if l.mode == SyncEveryCommit {
+		return
+	}
+	l.mu.Lock()
+	if l.stopPeriodic != nil || l.closed {
+		l.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	l.stopPeriodic = stop
+	l.mu.Unlock()
+
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				_ = l.Sync()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// snapshot is the on-disk snapshot format.
+type snapshot struct {
+	ReplicaID  string
+	CSN        uint64
+	AppliedCSN uint64
+	Rows       []snapRow
+}
+
+type snapRow struct {
+	Key   string
+	Entry store.Entry
+	Meta  store.Meta
+}
+
+// Snapshot atomically writes a full image of s and truncates the log.
+// This is the paper's periodic RAM→disk save at its coarsest.
+func (l *Log) Snapshot(s *store.Store) error {
+	snap := snapshot{
+		ReplicaID:  s.ReplicaID(),
+		CSN:        s.CSN(),
+		AppliedCSN: s.AppliedCSN(),
+	}
+	for key := range s.AllMeta() {
+		e, m, ok := s.GetAny(key)
+		if !ok {
+			continue
+		}
+		snap.Rows = append(snap.Rows, snapRow{Key: key, Entry: e, Meta: m})
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+
+	tmp := filepath.Join(l.dir, snapTempName)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot encode: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot flush: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+
+	// Truncate the log: everything it held is in the snapshot.
+	if err := l.buf.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.file.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	nf, err := os.OpenFile(filepath.Join(l.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.file = nf
+	l.buf = bufio.NewWriter(nf)
+	l.enc = gob.NewEncoder(l.buf)
+	l.pending = 0
+	return nil
+}
+
+// Close stops the periodic flusher and closes the file WITHOUT a
+// final sync: data appended since the last sync is lost, exactly like
+// the RAM contents of a failed storage element. Call Sync first for a
+// clean shutdown.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	stop := l.stopPeriodic
+	l.stopPeriodic = nil
+	f := l.file
+	l.mu.Unlock()
+
+	if stop != nil {
+		close(stop)
+	}
+	l.wg.Wait()
+	return f.Close()
+}
+
+// Recover rebuilds a store from dir: snapshot first, then replay of
+// every intact log record. It returns the recovered commit CSN and
+// the number of replayed records. Torn tail records (a crash mid
+// write) are discarded, like a real redo pass.
+func Recover(dir string, s *store.Store) (csn uint64, replayed int, err error) {
+	// Load the snapshot if present.
+	snapPath := filepath.Join(dir, snapName)
+	if f, err2 := os.Open(snapPath); err2 == nil {
+		var snap snapshot
+		derr := gob.NewDecoder(bufio.NewReader(f)).Decode(&snap)
+		f.Close()
+		if derr != nil {
+			return 0, 0, fmt.Errorf("wal: snapshot decode: %w", derr)
+		}
+		for _, r := range snap.Rows {
+			s.PutDirect(r.Key, r.Entry, r.Meta)
+		}
+		s.SetCSN(snap.CSN)
+		s.SetAppliedCSN(snap.AppliedCSN)
+		csn = snap.CSN
+	} else if !errors.Is(err2, os.ErrNotExist) {
+		return 0, 0, fmt.Errorf("wal: %w", err2)
+	}
+
+	// Replay the log.
+	f, err2 := os.Open(filepath.Join(dir, logName))
+	if err2 != nil {
+		if errors.Is(err2, os.ErrNotExist) {
+			return csn, 0, nil
+		}
+		return 0, 0, fmt.Errorf("wal: %w", err2)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(bufio.NewReader(f))
+	for {
+		var rec store.CommitRecord
+		if derr := dec.Decode(&rec); derr != nil {
+			if derr == io.EOF || errors.Is(derr, io.ErrUnexpectedEOF) {
+				break // clean end or torn tail
+			}
+			// A corrupt record ends the redo pass; later records
+			// cannot be trusted to be in order.
+			break
+		}
+		if rec.CSN <= csn {
+			continue // already covered by the snapshot
+		}
+		s.Replay(&rec)
+		csn = rec.CSN
+		replayed++
+	}
+	return csn, replayed, nil
+}

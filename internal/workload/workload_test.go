@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fe"
+	"repro/internal/simnet"
+	"repro/internal/subscriber"
+)
+
+func setup(t *testing.T, subs int) (Config, *core.UDR) {
+	t.Helper()
+	net := simnet.New(simnet.FastConfig())
+	u, err := core.New(net, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Stop)
+
+	gen := subscriber.NewGenerator(u.Sites()...)
+	var profiles []*subscriber.Profile
+	for i := 0; i < subs; i++ {
+		p := gen.Profile(i)
+		if err := u.SeedDirect(p); err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := u.WaitReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var fes []*fe.FE
+	for _, site := range u.Sites() {
+		fes = append(fes, fe.New(u.Net(), fe.HSS, site, "wl-fe"))
+	}
+	return Config{
+		Subscribers: profiles,
+		FEs:         fes,
+		Mix:         DefaultMix(),
+		Concurrency: 4,
+		Seed:        1,
+	}, u
+}
+
+func TestRunFixedOps(t *testing.T) {
+	cfg, _ := setup(t, 12)
+	cfg.Ops = 100
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	stats := Run(ctx, cfg)
+	if stats.Issued.Value() != 100 {
+		t.Fatalf("issued = %d", stats.Issued.Value())
+	}
+	if stats.Failed.Value() != 0 {
+		t.Fatalf("failed = %d on a healthy network", stats.Failed.Value())
+	}
+	if stats.Availability.Ratio() != 1 {
+		t.Fatalf("availability = %v", stats.Availability.Ratio())
+	}
+	if stats.Latency.Count() != 100 {
+		t.Fatalf("latency samples = %d", stats.Latency.Count())
+	}
+	var perProc int64
+	for i := range stats.PerProc {
+		perProc += stats.PerProc[i].Value()
+	}
+	if perProc != 100 {
+		t.Fatalf("per-proc sum = %d", perProc)
+	}
+}
+
+func TestRunUntilContextDone(t *testing.T) {
+	cfg, _ := setup(t, 6)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	stats := Run(ctx, cfg)
+	if stats.Issued.Value() == 0 {
+		t.Fatal("nothing issued before deadline")
+	}
+}
+
+func TestRoamingRatioUsesRemoteFEs(t *testing.T) {
+	cfg, u := setup(t, 9)
+	cfg.Ops = 150
+	cfg.RoamingRatio = 1.0 // always roam
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	stats := Run(ctx, cfg)
+	if stats.Issued.Value() != 150 {
+		t.Fatalf("issued = %d", stats.Issued.Value())
+	}
+	// Roaming procedures still succeed: slave reads or backbone
+	// writes handle them.
+	if stats.Availability.Ratio() != 1 {
+		t.Fatalf("availability = %v", stats.Availability.Ratio())
+	}
+	_ = u
+}
+
+func TestPartitionShowsUpInAvailability(t *testing.T) {
+	cfg, u := setup(t, 9)
+	cfg.Ops = 120
+	cfg.Mix = DefaultMix() // includes writes
+	// Force roaming so procedures run on front-ends away from the
+	// subscriber's home region; their writes must cross the backbone
+	// to the partition master and fail during the partition.
+	cfg.RoamingRatio = 1.0
+	u.Net().Partition([]string{u.Sites()[0]})
+	defer u.Net().Heal()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	stats := Run(ctx, cfg)
+	if stats.Failed.Value() == 0 {
+		t.Fatal("write procedures through a partition all succeeded")
+	}
+	if stats.Availability.Ratio() == 1 {
+		t.Fatal("availability unaffected by partition")
+	}
+}
+
+func TestMixPickDistribution(t *testing.T) {
+	m := DefaultMix()
+	r := rand.New(rand.NewSource(1))
+	counts := map[Procedure]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[m.pick(r)]++
+	}
+	// Every weighted procedure appears, roughly in proportion.
+	for p := ProcLocationUpdate; p < procCount; p++ {
+		if m[p] > 0 && counts[p] == 0 {
+			t.Fatalf("procedure %s never picked", p)
+		}
+	}
+	if counts[ProcLocationUpdate] < n/8 {
+		t.Fatalf("LocationUpdate (weight .25) picked %d/%d", counts[ProcLocationUpdate], n)
+	}
+	if counts[ProcIMSRegister] > n/8 {
+		t.Fatalf("IMSRegister (weight .05) picked %d/%d", counts[ProcIMSRegister], n)
+	}
+}
+
+func TestReadOnlyMixHasNoWrites(t *testing.T) {
+	m := ReadOnlyMix()
+	if m[ProcLocationUpdate] != 0 || m[ProcAuthenticate] != 0 || m[ProcIMSRegister] != 0 {
+		t.Fatal("read-only mix contains write procedures")
+	}
+}
+
+func TestProcedureString(t *testing.T) {
+	names := map[Procedure]string{
+		ProcLocationUpdate: "LocationUpdate",
+		ProcAuthenticate:   "Authenticate",
+		ProcMOCall:         "MOCall",
+		ProcMTCall:         "MTCall",
+		ProcSMS:            "SMS",
+		ProcIMSRegister:    "IMSRegister",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", int(p), p.String())
+		}
+	}
+	if Procedure(99).String() != "Unknown" {
+		t.Error("unknown procedure string")
+	}
+}

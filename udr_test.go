@@ -1,0 +1,270 @@
+package udr
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ldap"
+	"repro/internal/subscriber"
+)
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// newStack builds a UDR on a fast network and an LDAP client wired
+// through the real BER codec over an in-memory pipe — the full
+// northbound stack of cmd/udrd without the TCP socket.
+func newStack(t *testing.T) (*UDR, *Network, *ldap.Client) {
+	t.Helper()
+	network := NewNetwork(FastNetConfig())
+	u, err := New(network, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Stop)
+
+	site := u.Sites()[0]
+	session := NewSession(network, Addr(site+"/ldap-bridge"), site, PolicyPS)
+	server := NewLDAPServer(session)
+	cConn, sConn := net.Pipe()
+	go func() { _ = server.ServeConn(sConn) }()
+	client := ldap.NewClient(cConn)
+	t.Cleanup(func() { _ = client.Close() })
+	return u, network, client
+}
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	ctx := ctxT(t)
+	network := NewNetwork(FastNetConfig())
+	u, err := New(network, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Stop()
+
+	ps := NewSession(network, "eu-south/ps", "eu-south", PolicyPS)
+	prof := NewGenerator(u.Sites()...).Profile(7)
+	if _, err := ps.Provision(ctx, prof); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.WaitReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	fe := NewSession(network, "americas/fe", "americas", PolicyFE)
+	got, _, _, err := fe.ReadProfile(ctx, MSISDN(prof.MSISDNVal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != prof.ID {
+		t.Fatalf("got %s", got.ID)
+	}
+
+	// Typed identity helpers resolve equally.
+	for _, id := range []Identity{IMSI(prof.IMSIVal), IMPI(prof.IMPIVal), IMPU(prof.IMPUVals[0])} {
+		if _, _, _, err := fe.ReadProfile(ctx, id); err != nil {
+			t.Fatalf("read by %v: %v", id, err)
+		}
+	}
+}
+
+func TestPublicAPIFrontEndsAndPS(t *testing.T) {
+	ctx := ctxT(t)
+	network := NewNetwork(FastNetConfig())
+	u, err := New(network, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Stop()
+
+	system := NewPS(network, "eu-south", "ps-1")
+	prof := NewGenerator(u.Sites()...).Profile(11)
+	if err := system.Provision(ctx, prof); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.WaitReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	hss := NewHSSFE(network, prof.HomeRegion, "hss-1")
+	if _, err := hss.Authenticate(ctx, prof.IMSIVal); err != nil {
+		t.Fatal(err)
+	}
+	hlr := NewHLRFE(network, prof.HomeRegion, "hlr-1")
+	if err := hlr.MOCall(ctx, prof.MSISDNVal, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLDAPStackSearch(t *testing.T) {
+	u, network, client := newStack(t)
+	ctx := ctxT(t)
+	prof := NewGenerator(u.Sites()...).Profile(21)
+	if err := u.SeedDirect(prof); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.WaitReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_ = network
+
+	if r, err := client.Bind("cn=test", "pw"); err != nil || r.Code != ldap.ResultSuccess {
+		t.Fatalf("bind: %v %v", r, err)
+	}
+	entries, res, err := client.Search(&ldap.SearchRequest{
+		BaseDN: subscriber.BaseDN,
+		Scope:  ldap.ScopeWholeSubtree,
+		Filter: ldap.Eq("msisdn", prof.MSISDNVal),
+	})
+	if err != nil || res.Code != ldap.ResultSuccess {
+		t.Fatalf("search: %v %v", res, err)
+	}
+	if len(entries) != 1 || entries[0].DN != DN(prof.ID) {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].Attrs["imsi"][0] != prof.IMSIVal {
+		t.Fatalf("attrs = %v", entries[0].Attrs)
+	}
+
+	// Base-object read by DN.
+	entries, res, err = client.Search(&ldap.SearchRequest{
+		BaseDN: DN(prof.ID),
+		Scope:  ldap.ScopeBaseObject,
+		Filter: ldap.Present("objectClass"),
+	})
+	if err != nil || res.Code != ldap.ResultSuccess || len(entries) != 1 {
+		t.Fatalf("base search: %v %v %v", entries, res, err)
+	}
+}
+
+func TestLDAPStackProvisionModifyDelete(t *testing.T) {
+	u, _, client := newStack(t)
+	ctx := ctxT(t)
+
+	prof := NewGenerator(u.Sites()...).Profile(31)
+	entry := prof.ToEntry()
+	attrs := make(map[string][]string, len(entry))
+	for k, v := range entry {
+		attrs[k] = v
+	}
+
+	// Provision through an LDAP transaction (the PS flow of §2.4).
+	if r, err := client.TxnBegin(); err != nil || r.Code != ldap.ResultSuccess {
+		t.Fatalf("txn begin: %v %v", r, err)
+	}
+	if r, err := client.Add(DN(prof.ID), attrs); err != nil || r.Code != ldap.ResultSuccess {
+		t.Fatalf("add: %v %v", r, err)
+	}
+	if r, err := client.TxnCommit(); err != nil || r.Code != ldap.ResultSuccess {
+		t.Fatalf("txn commit: %v %v", r, err)
+	}
+
+	// Readable through a session.
+	sess := NewSession(u.Net(), "eu-south/check", u.Sites()[0], PolicyPS)
+	got, _, _, err := sess.ReadProfile(ctx, IMSI(prof.IMSIVal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != prof.ID {
+		t.Fatalf("got %s", got.ID)
+	}
+
+	// Modify over LDAP.
+	if r, err := client.Modify(DN(prof.ID), []ldap.Change{
+		{Op: ldap.ChangeReplace, Attr: "barPremium", Vals: []string{"TRUE"}},
+	}); err != nil || r.Code != ldap.ResultSuccess {
+		t.Fatalf("modify: %v %v", r, err)
+	}
+	if r, err := client.Compare(DN(prof.ID), "barPremium", "TRUE"); err != nil || r.Code != ldap.ResultCompareTrue {
+		t.Fatalf("compare: %v %v", r, err)
+	}
+
+	// Delete over LDAP.
+	if r, err := client.Delete(DN(prof.ID)); err != nil || r.Code != ldap.ResultSuccess {
+		t.Fatalf("delete: %v %v", r, err)
+	}
+	if _, _, _, err := sess.ReadProfile(ctx, IMSI(prof.IMSIVal)); err == nil {
+		t.Fatal("deleted subscription still readable")
+	}
+}
+
+func TestLDAPStackUnavailableDuringPartition(t *testing.T) {
+	u, network, client := newStack(t)
+	ctx := ctxT(t)
+	prof := NewGenerator(u.Sites()...).Profile(41)
+	// Home the subscription away from the bridge's site.
+	prof.HomeRegion = u.Sites()[1]
+	if err := u.SeedDirect(prof); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.WaitReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	network.Partition([]string{u.Sites()[0]})
+	defer network.Heal()
+	// A write through the PS-policy LDAP bridge fails with
+	// unavailable: the LDAP face of C-over-A.
+	r, err := client.Modify(DN(prof.ID), []ldap.Change{
+		{Op: ldap.ChangeReplace, Attr: "smsEnabled", Vals: []string{"FALSE"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Code != ldap.ResultUnavailable {
+		t.Fatalf("result = %v, want unavailable", r.Code)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 15 {
+		t.Fatalf("experiments = %v", ids)
+	}
+	title, source, ok := DescribeExperiment("E3")
+	if !ok || title == "" || source == "" {
+		t.Fatal("describe failed")
+	}
+	rep, err := RunExperiment(ctxT(t), "E8", ExperimentOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("E8 via facade failed:\n%s", rep)
+	}
+}
+
+// TestLDAPStatusExtendedOp exercises the OaM status dump through the
+// full LDAP stack.
+func TestLDAPStatusExtendedOp(t *testing.T) {
+	network := NewNetwork(FastNetConfig())
+	u, err := New(network, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Stop)
+	site := u.Sites()[0]
+	session := NewSession(network, Addr(site+"/ldap-bridge"), site, PolicyPS)
+	backend := NewLDAPBackendWithTopology(session, u)
+	server := ldap.NewServer(backend)
+	cConn, sConn := net.Pipe()
+	go func() { _ = server.ServeConn(sConn) }()
+	client := ldap.NewClient(cConn)
+	t.Cleanup(func() { _ = client.Close() })
+
+	text, r, err := client.Status()
+	if err != nil || r.Code != ldap.ResultSuccess {
+		t.Fatalf("status: %v %v", r, err)
+	}
+	for _, want := range []string{"sites:", "partition p-", "master", "slave"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("status missing %q:\n%s", want, text)
+		}
+	}
+}
