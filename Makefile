@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test bench lint clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run, what CI executes.
+test-race:
+	$(GO) test -race ./...
+
+# Primitive benchmarks plus the quick-mode experiment benchmarks.
+bench:
+	$(GO) test -run xxx -bench . -benchtime=1x ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f udrd udrctl udrbench provision *.test bench.out cpu.prof mem.prof

@@ -11,12 +11,14 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/antientropy"
 	"repro/internal/btree"
 	"repro/internal/chash"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/ldap"
 	"repro/internal/locator"
+	"repro/internal/replication"
 	"repro/internal/se"
 	"repro/internal/simnet"
 	"repro/internal/store"
@@ -53,6 +55,7 @@ func BenchmarkE12Durability(b *testing.B)  { benchExperiment(b, "E12") }
 func BenchmarkE13Latency(b *testing.B)     { benchExperiment(b, "E13") }
 func BenchmarkE14FiveNines(b *testing.B)   { benchExperiment(b, "E14") }
 func BenchmarkE15Procedures(b *testing.B)  { benchExperiment(b, "E15") }
+func BenchmarkE16AntiEntropy(b *testing.B) { benchExperiment(b, "E16") }
 
 // --- Primitive benchmarks -------------------------------------------
 
@@ -243,6 +246,98 @@ func BenchmarkPSWritePath(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMerkleTreeUpdate measures the per-row cost the anti-
+// entropy tracker adds to every installed row version (the O(1)
+// incremental tree update).
+func BenchmarkMerkleTreeUpdate(b *testing.B) {
+	tree := antientropy.NewTree(antientropy.DefaultFanout, antientropy.DefaultDepth)
+	entry := store.Entry{"msisdn": {"34600000001"}, "active": {"TRUE"}}
+	keys := make([]string, 10000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sub-%08d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := keys[i%len(keys)]
+		tree.Update(key, antientropy.RowDigest(key, entry, store.Meta{CSN: uint64(i), WallTS: int64(i)}))
+	}
+}
+
+// BenchmarkAntiEntropyRepair measures a full repair round (digest
+// walk + leaf diff + row exchange) at increasing divergence
+// fractions of a 2000-row partition, the cost curve that justifies
+// Merkle sync over full re-replication: at low divergence the round
+// is dominated by the O(leaves) digest walk, not the row count.
+func BenchmarkAntiEntropyRepair(b *testing.B) {
+	const rows = 2000
+	for _, pct := range []int{1, 10, 50} {
+		b.Run(fmt.Sprintf("divergence=%d%%", pct), func(b *testing.B) {
+			network := simnet.New(simnet.Config{Seed: 1})
+			masterAddr := simnet.MakeAddr("eu", "m")
+			slaveAddr := simnet.MakeAddr("us", "s")
+			mkReplica := func(addr simnet.Addr, id string, role store.Role) (*replication.Replica, *antientropy.Tracker) {
+				node := replication.NewNode(network, addr)
+				st := store.New(id)
+				st.SetRole(role)
+				rep := node.AddReplica("p1", st)
+				tr := antientropy.NewTracker(st)
+				peer := antientropy.NewPeer()
+				peer.Register("p1", tr, rep)
+				network.Register(addr, func(ctx context.Context, from simnet.Addr, msg any) (any, error) {
+					if resp, handled, err := node.HandleMessage(ctx, from, msg); handled {
+						return resp, err
+					}
+					resp, _, err := peer.HandleMessage(ctx, from, msg)
+					return resp, err
+				})
+				b.Cleanup(node.Stop)
+				return rep, tr
+			}
+			masterRep, mTracker := mkReplica(masterAddr, "m", store.Master)
+			slaveRep, _ := mkReplica(slaveAddr, "s", store.Slave)
+			_ = slaveRep
+
+			for i := 0; i < rows; i++ {
+				txn := masterRep.Store().Begin(store.ReadCommitted)
+				txn.Put(fmt.Sprintf("sub-%08d", i), store.Entry{"v": {fmt.Sprint(i)}})
+				if _, err := txn.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Seed the slave identical, out of band.
+			slaveStore := slaveRep.Store()
+			masterRep.Store().ForEach(func(key string, e store.Entry, m store.Meta) bool {
+				slaveStore.PutDirect(key, e, m)
+				return true
+			})
+			slaveStore.SetAppliedCSN(1 << 40) // keep the stream out of the picture
+
+			repairer := antientropy.NewRepairer(network, masterAddr, "p1", mTracker, masterRep)
+			ctx := context.Background()
+			divergent := rows * pct / 100
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for d := 0; d < divergent; d++ {
+					key := fmt.Sprintf("sub-%08d", d)
+					slaveStore.PutDirect(key, store.Entry{"v": {"stale"}}, store.Meta{CSN: 1, WallTS: 1})
+				}
+				b.StartTimer()
+				stats, err := repairer.RepairPeer(ctx, slaveAddr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.RowsShipped != divergent {
+					b.Fatalf("shipped %d rows, want %d", stats.RowsShipped, divergent)
+				}
+			}
+			b.ReportMetric(float64(divergent), "rows-repaired/op")
+		})
 	}
 }
 

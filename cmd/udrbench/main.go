@@ -1,8 +1,8 @@
-// Command udrbench runs the paper-reproduction experiments (E1–E15)
+// Command udrbench runs the paper-reproduction experiments (E1–E16)
 // and prints their reports: the tables and series behind every figure
 // and quantitative claim in "CAP Limits in Telecom Subscriber
-// Database Design" (see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for paper-vs-measured).
+// Database Design" (see DESIGN.md for the architecture and
+// EXPERIMENTS.md for the experiment index and paper-vs-measured).
 //
 // Usage:
 //

@@ -28,6 +28,7 @@ func usage() {
 
 commands:
   status                      topology status (partitions, replicas, roles)
+  repair                      run an anti-entropy repair round on every partition
   search <filter>             subtree search, e.g. '(msisdn=34600000001)'
   get <subscriber-id>         base-object read by DN
   compare <id> <attr> <val>   LDAP compare
@@ -59,6 +60,10 @@ func main() {
 	switch args[0] {
 	case "status":
 		text, r, err := c.Status()
+		exitOn(r, err)
+		fmt.Print(text)
+	case "repair":
+		text, r, err := c.Repair()
 		exitOn(r, err)
 		fmt.Print(text)
 	case "search":

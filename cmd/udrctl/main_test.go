@@ -1,9 +1,15 @@
 package main
 
 import (
+	"net"
+	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/ldap"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/subscriber"
 )
 
 func TestParseFilterEquality(t *testing.T) {
@@ -47,5 +53,67 @@ func TestParseFilterValueWithEquals(t *testing.T) {
 	}
 	if f.Value != "sip:+34=6@x" {
 		t.Fatalf("value = %q", f.Value)
+	}
+}
+
+// TestRepairEndToEnd drives the operator path udrctl repair uses: an
+// LDAP client issues the repair extended op against a backend with
+// topology access, and a deliberately divergent slave row converges.
+func TestRepairEndToEnd(t *testing.T) {
+	network := simnet.New(simnet.FastConfig())
+	cfg := core.DefaultConfig()
+	cfg.AntiEntropy = true
+	u, err := core.New(network, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Stop()
+	gen := subscriber.NewGenerator(u.Sites()...)
+	for i := 0; i < 12; i++ {
+		if err := u.SeedDirect(gen.Profile(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Diverge one slave copy: a stale out-of-band overwrite of a
+	// seeded row plus a stranded replication watermark, the
+	// post-failover shape. The master's version is newer and must win
+	// back the row through repair.
+	partID := u.Partitions()[0]
+	part, _ := u.Partition(partID)
+	masterStore := u.Element(part.Master().Element).Replica(partID).Store
+	slaveStore := u.Element(part.Replicas[1].Element).Replica(partID).Store
+	key := masterStore.Keys()[0]
+	wantEntry, _, _ := masterStore.GetCommitted(key)
+	slaveStore.SetAppliedCSN(1 << 40)
+	slaveStore.PutDirect(key, store.Entry{"v": {"stale"}}, store.Meta{CSN: 1, WallTS: 1})
+
+	session := core.NewSession(network, simnet.MakeAddr(part.HomeSite, "udrctl-test"),
+		part.HomeSite, core.PolicyPS)
+	server := ldap.NewServer(core.NewLDAPBackend(session).WithTopology(u))
+	cliConn, srvConn := net.Pipe()
+	go server.ServeConn(srvConn)
+
+	c := ldap.NewClient(cliConn)
+	defer c.Unbind()
+	if r, err := c.Bind("cn=test", "x"); err != nil || r.Code != ldap.ResultSuccess {
+		t.Fatalf("bind: %v %v", r, err)
+	}
+	text, r, err := c.Repair()
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if r.Code != ldap.ResultSuccess {
+		t.Fatalf("repair result: %v %s", r.Code, r.Message)
+	}
+	if !strings.Contains(text, "repair total:") {
+		t.Fatalf("repair report missing summary:\n%s", text)
+	}
+	if !strings.Contains(text, "shipped=") {
+		t.Fatalf("repair report shows no shipped rows:\n%s", text)
+	}
+	got, _, ok := slaveStore.GetCommitted(key)
+	if !ok || !got.Equal(wantEntry) {
+		t.Fatalf("divergent row not repaired: got %v, want %v", got, wantEntry)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ldap"
@@ -40,11 +41,16 @@ func main() {
 		policy   = flag.String("policy", "ps", "session policy behind the LDAP interface: fe or ps")
 		walDir   = flag.String("wal-dir", "", "enable disk persistence under this directory")
 		multiMas = flag.Bool("multi-master", false, "enable §5 multi-master mode")
+		antiEnt  = flag.Bool("anti-entropy", true, "enable Merkle-digest replica repair")
+		repairIv = flag.Duration("repair-interval", 2*time.Second, "periodic anti-entropy repair cadence")
 	)
 	flag.Parse()
 
 	siteNames := strings.Split(*sites, ",")
-	cfg := core.Config{ReplicationFactor: *rf, FESlaveReads: true, MultiMaster: *multiMas, WALDir: *walDir}
+	cfg := core.Config{
+		ReplicationFactor: *rf, FESlaveReads: true, MultiMaster: *multiMas, WALDir: *walDir,
+		AntiEntropy: *antiEnt, RepairInterval: *repairIv,
+	}
 	for _, s := range siteNames {
 		cfg.Sites = append(cfg.Sites, core.SiteSpec{Name: strings.TrimSpace(s), SEs: *sesPer, PartitionsPerSE: 1})
 	}

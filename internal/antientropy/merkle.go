@@ -1,0 +1,218 @@
+// Package antientropy implements Merkle-digest replica repair: the
+// reconvergence subsystem the paper's asynchronous replication design
+// (§3.3.1) leaves open. After a backbone glitch and failover (§4.1) a
+// demoted master holds committed-but-unshipped rows its new master
+// never saw, and the new master's replication stream no longer fits
+// the demoted copy's sequence — without repair the replicas stay
+// silently divergent until a full re-replication. This package closes
+// the gap the way production stores do (Dynamo/Cassandra-style
+// anti-entropy): each partition replica keeps an incrementally
+// updated hash tree over its rows; a repair scheduler on the master
+// periodically exchanges digests with each slave, walks mismatched
+// subtrees, and ships only the divergent rows, resolving conflicts
+// through the replication resolver and version-vector rules.
+package antientropy
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Default tree geometry: fanout^depth leaves. 256 leaves keep digest
+// exchanges to a few hundred bytes while a single divergent row
+// narrows to a 1/256 key-range slice in two round trips.
+const (
+	DefaultFanout = 16
+	DefaultDepth  = 2
+)
+
+// leafSeed decorrelates the key→leaf placement hash from the row
+// digest hash so a digest collision cannot also collide placement.
+const leafSeed = 0x9e3779b97f4a7c15
+
+// Tree is an incrementally updated Merkle tree over a replica's rows.
+// Leaves accumulate per-row digests with XOR, so a row update is O(1);
+// internal levels are recomputed lazily when digests are read. All
+// methods are safe for concurrent use.
+type Tree struct {
+	fanout, depth int
+	nLeaves       int
+
+	mu sync.Mutex
+	// rows holds every tracked key's current digest (tombstones
+	// included: deletions must propagate too).
+	rows map[string]uint64
+	// leafRows indexes rows by leaf for the repair walk.
+	leafRows []map[string]uint64
+	// leafDig is the per-leaf XOR accumulator.
+	leafDig []uint64
+	// levels caches internal node digests: levels[l] has fanout^l
+	// nodes, l in [0, depth). Rebuilt from leafDig when dirty.
+	levels [][]uint64
+	dirty  bool
+}
+
+// NewTree returns an empty tree with the given geometry.
+func NewTree(fanout, depth int) *Tree {
+	if fanout < 2 {
+		fanout = DefaultFanout
+	}
+	if depth < 1 {
+		depth = DefaultDepth
+	}
+	n := 1
+	for i := 0; i < depth; i++ {
+		n *= fanout
+	}
+	t := &Tree{
+		fanout:   fanout,
+		depth:    depth,
+		nLeaves:  n,
+		rows:     make(map[string]uint64),
+		leafRows: make([]map[string]uint64, n),
+		leafDig:  make([]uint64, n),
+		levels:   make([][]uint64, depth),
+	}
+	m := 1
+	for l := 0; l < depth; l++ {
+		t.levels[l] = make([]uint64, m)
+		m *= fanout
+	}
+	t.dirty = true
+	return t
+}
+
+// Fanout returns the tree fanout.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Depth returns the number of levels below the root (leaves live at
+// level Depth()).
+func (t *Tree) Depth() int { return t.depth }
+
+// NumLeaves returns the leaf count.
+func (t *Tree) NumLeaves() int { return t.nLeaves }
+
+// Len returns the number of tracked rows (tombstones included).
+func (t *Tree) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.rows)
+}
+
+// LeafIndex returns the leaf a key maps to.
+func (t *Tree) LeafIndex(key string) int {
+	h := fnv.New64a()
+	var seed [8]byte
+	putU64(seed[:], leafSeed)
+	h.Write(seed[:])
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(t.nLeaves))
+}
+
+// Update installs (or replaces) a key's row digest.
+func (t *Tree) Update(key string, digest uint64) {
+	leaf := t.LeafIndex(key)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.rows[key]; ok {
+		if old == digest {
+			return
+		}
+		t.leafDig[leaf] ^= old
+	}
+	t.rows[key] = digest
+	if t.leafRows[leaf] == nil {
+		t.leafRows[leaf] = make(map[string]uint64)
+	}
+	t.leafRows[leaf][key] = digest
+	t.leafDig[leaf] ^= digest
+	t.dirty = true
+}
+
+// rebuildLocked recomputes the internal levels bottom-up.
+func (t *Tree) rebuildLocked() {
+	if !t.dirty {
+		return
+	}
+	below := t.leafDig
+	for l := t.depth - 1; l >= 0; l-- {
+		for i := range t.levels[l] {
+			h := fnv.New64a()
+			var b [8]byte
+			for c := i * t.fanout; c < (i+1)*t.fanout; c++ {
+				putU64(b[:], below[c])
+				h.Write(b[:])
+			}
+			t.levels[l][i] = h.Sum64()
+		}
+		below = t.levels[l]
+	}
+	t.dirty = false
+}
+
+// Root returns the root digest.
+func (t *Tree) Root() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rebuildLocked()
+	return t.levels[0][0]
+}
+
+// Digests returns the digests of the nodes at the given level (root =
+// level 0, leaves = level Depth()) and indexes. Out-of-range indexes
+// yield zero digests.
+func (t *Tree) Digests(level int, indexes []int) []uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rebuildLocked()
+	var nodes []uint64
+	switch {
+	case level < 0 || level > t.depth:
+		return make([]uint64, len(indexes))
+	case level == t.depth:
+		nodes = t.leafDig
+	default:
+		nodes = t.levels[level]
+	}
+	out := make([]uint64, len(indexes))
+	for i, idx := range indexes {
+		if idx >= 0 && idx < len(nodes) {
+			out[i] = nodes[idx]
+		}
+	}
+	return out
+}
+
+// LeafRow is one row's (key, digest) pair inside a leaf.
+type LeafRow struct {
+	Key    string
+	Digest uint64
+}
+
+// LeafRows returns a leaf's rows sorted by key.
+func (t *Tree) LeafRows(leaf int) []LeafRow {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if leaf < 0 || leaf >= t.nLeaves {
+		return nil
+	}
+	out := make([]LeafRow, 0, len(t.leafRows[leaf]))
+	for k, d := range t.leafRows[leaf] {
+		out = append(out, LeafRow{Key: k, Digest: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,197 @@
+package antientropy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/vclock"
+)
+
+func TestTreeIncrementalMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inc := NewTree(4, 3)
+	final := make(map[string]uint64)
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("sub-%d", rng.Intn(800))
+		d := rng.Uint64()
+		inc.Update(key, d)
+		final[key] = d
+	}
+	rebuilt := NewTree(4, 3)
+	for k, d := range final {
+		rebuilt.Update(k, d)
+	}
+	if inc.Root() != rebuilt.Root() {
+		t.Fatalf("incremental root %x != rebuilt root %x", inc.Root(), rebuilt.Root())
+	}
+	if inc.Len() != len(final) {
+		t.Fatalf("len = %d, want %d", inc.Len(), len(final))
+	}
+}
+
+func TestTreeLocalizesSingleDifference(t *testing.T) {
+	a := NewTree(DefaultFanout, DefaultDepth)
+	b := NewTree(DefaultFanout, DefaultDepth)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("sub-%08d", i)
+		a.Update(key, uint64(i)+1)
+		b.Update(key, uint64(i)+1)
+	}
+	if a.Root() != b.Root() {
+		t.Fatal("identical trees disagree at the root")
+	}
+	b.Update("sub-00000042", 999999)
+	if a.Root() == b.Root() {
+		t.Fatal("divergent trees agree at the root")
+	}
+
+	// Walk: at every level exactly the subtree holding the key should
+	// mismatch.
+	frontier := []int{0}
+	for level := 1; level <= a.Depth(); level++ {
+		var idx []int
+		for _, n := range frontier {
+			for c := n * a.Fanout(); c < (n+1)*a.Fanout(); c++ {
+				idx = append(idx, c)
+			}
+		}
+		da, db := a.Digests(level, idx), b.Digests(level, idx)
+		frontier = frontier[:0]
+		for i := range idx {
+			if da[i] != db[i] {
+				frontier = append(frontier, idx[i])
+			}
+		}
+		if len(frontier) != 1 {
+			t.Fatalf("level %d: %d mismatched nodes, want 1", level, len(frontier))
+		}
+	}
+	if want := a.LeafIndex("sub-00000042"); frontier[0] != want {
+		t.Fatalf("walk ended at leaf %d, want %d", frontier[0], want)
+	}
+
+	// The leaf rows expose exactly the divergent key.
+	ra, rb := a.LeafRows(frontier[0]), b.LeafRows(frontier[0])
+	diff := 0
+	bm := make(map[string]uint64, len(rb))
+	for _, r := range rb {
+		bm[r.Key] = r.Digest
+	}
+	for _, r := range ra {
+		if bm[r.Key] != r.Digest {
+			diff++
+			if r.Key != "sub-00000042" {
+				t.Fatalf("unexpected divergent key %q", r.Key)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("leaf diff found %d keys, want 1", diff)
+	}
+}
+
+func TestTreeUpdateIdempotent(t *testing.T) {
+	tr := NewTree(DefaultFanout, DefaultDepth)
+	tr.Update("k", 123)
+	root := tr.Root()
+	tr.Update("k", 123)
+	if tr.Root() != root {
+		t.Fatal("idempotent update changed the root")
+	}
+	tr.Update("k", 124)
+	if tr.Root() == root {
+		t.Fatal("digest change did not change the root")
+	}
+}
+
+func TestRowDigestSensitivity(t *testing.T) {
+	e := store.Entry{"msisdn": {"34600000001"}, "active": {"TRUE"}}
+	base := RowDigest("sub-1", e, store.Meta{CSN: 5, WallTS: 100})
+	cases := map[string]uint64{
+		"key":       RowDigest("sub-2", e, store.Meta{CSN: 5, WallTS: 100}),
+		"csn":       RowDigest("sub-1", e, store.Meta{CSN: 6, WallTS: 100}),
+		"wallts":    RowDigest("sub-1", e, store.Meta{CSN: 5, WallTS: 101}),
+		"tombstone": RowDigest("sub-1", e, store.Meta{CSN: 5, WallTS: 100, Tombstone: true}),
+		"vc":        RowDigest("sub-1", e, store.Meta{CSN: 5, WallTS: 100, VC: vclock.VC{"a": 1}}),
+		"content": RowDigest("sub-1",
+			store.Entry{"msisdn": {"34600000002"}, "active": {"TRUE"}},
+			store.Meta{CSN: 5, WallTS: 100}),
+	}
+	for name, d := range cases {
+		if d == base {
+			t.Errorf("digest insensitive to %s", name)
+		}
+	}
+	again := RowDigest("sub-1", store.Entry{"active": {"TRUE"}, "msisdn": {"34600000001"}},
+		store.Meta{CSN: 5, WallTS: 100})
+	if again != base {
+		t.Error("digest depends on map iteration order")
+	}
+}
+
+func TestTrackerFollowsStore(t *testing.T) {
+	master := store.New("m")
+	slave := store.New("s")
+	slave.SetRole(store.Slave)
+	mt := NewTracker(master)
+	st := NewTracker(slave)
+
+	if mt.Tree().Root() != st.Tree().Root() {
+		t.Fatal("empty trees disagree")
+	}
+	var recs []*store.CommitRecord
+	for i := 0; i < 50; i++ {
+		txn := master.Begin(store.ReadCommitted)
+		txn.Put(fmt.Sprintf("sub-%d", i), store.Entry{"v": {fmt.Sprint(i)}})
+		rec, err := txn.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if mt.Tree().Root() == st.Tree().Root() {
+		t.Fatal("trees agree despite divergence")
+	}
+	for _, rec := range recs {
+		if err := slave.ApplyReplicated(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mt.Tree().Root() != st.Tree().Root() {
+		t.Fatal("trees disagree after the slave applied the full stream")
+	}
+
+	// Deletion propagates through the tombstone digest.
+	txn := master.Begin(store.ReadCommitted)
+	txn.Delete("sub-7")
+	rec, err := txn.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Tree().Root() == st.Tree().Root() {
+		t.Fatal("delete did not change the master tree")
+	}
+	if err := slave.ApplyReplicated(rec); err != nil {
+		t.Fatal(err)
+	}
+	if mt.Tree().Root() != st.Tree().Root() {
+		t.Fatal("trees disagree after replicated delete")
+	}
+}
+
+func TestTrackerSeedsExistingRows(t *testing.T) {
+	st := store.New("m")
+	for i := 0; i < 20; i++ {
+		txn := st.Begin(store.ReadCommitted)
+		txn.Put(fmt.Sprintf("sub-%d", i), store.Entry{"v": {"1"}})
+		if _, err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := NewTracker(st)
+	if tr.Tree().Len() != 20 {
+		t.Fatalf("tracker seeded %d rows, want 20", tr.Tree().Len())
+	}
+}

@@ -1,0 +1,102 @@
+package antientropy
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Scheduler runs repair rounds on a fixed cadence and on demand.
+// The round function is supplied by the owner (the storage element
+// repairs every hosted master replica against its peers); the
+// scheduler only owns the timing: a periodic tick plus Kick, which
+// the partition-heal watcher uses to trigger an immediate round.
+type Scheduler struct {
+	interval time.Duration
+	round    func(ctx context.Context)
+
+	mu      sync.Mutex
+	kick    chan struct{}
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewScheduler returns a stopped scheduler. interval <= 0 disables
+// the periodic tick (rounds then run only on Kick).
+func NewScheduler(interval time.Duration, round func(ctx context.Context)) *Scheduler {
+	return &Scheduler{
+		interval: interval,
+		round:    round,
+		kick:     make(chan struct{}, 1),
+	}
+}
+
+// Start launches the scheduling loop. Starting a started scheduler is
+// a no-op.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.stop = make(chan struct{})
+	s.wg.Add(1)
+	go s.run(s.stop)
+}
+
+// Stop halts the loop and waits for an in-flight round to finish.
+// Stopping a stopped scheduler is a no-op.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = false
+	stop := s.stop
+	s.mu.Unlock()
+	close(stop)
+	s.wg.Wait()
+}
+
+// Kick requests an immediate round (coalesced if one is pending).
+func (s *Scheduler) Kick() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Scheduler) run(stop chan struct{}) {
+	defer s.wg.Done()
+	var tick <-chan time.Time
+	if s.interval > 0 {
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick:
+		case <-s.kick:
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			s.round(ctx)
+		}()
+		select {
+		case <-done:
+			cancel()
+		case <-stop:
+			cancel()
+			<-done
+			return
+		}
+	}
+}

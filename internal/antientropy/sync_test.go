@@ -1,0 +1,336 @@
+package antientropy
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/replication"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+// rig wires a master and N slave replicas for one partition over a
+// fast simnet, each serving both the replication stream and the
+// anti-entropy protocol — the same routing a storage element does.
+type rig struct {
+	net      *simnet.Network
+	master   *replication.Replica
+	mtracker *Tracker
+	repairer *Repairer
+	slaves   []*replication.Replica
+	trackers []*Tracker
+	addrs    []simnet.Addr
+}
+
+func newRig(t *testing.T, slaves int) *rig {
+	t.Helper()
+	n := simnet.New(simnet.FastConfig())
+	r := &rig{net: n}
+
+	mkNode := func(site, name, id string, role store.Role) (*replication.Replica, *Tracker, simnet.Addr) {
+		addr := simnet.MakeAddr(site, name)
+		node := replication.NewNode(n, addr)
+		node.RetryInterval = time.Millisecond
+		st := store.New(id)
+		st.SetRole(role)
+		rep := node.AddReplica("p1", st)
+		tr := NewTracker(st)
+		peer := NewPeer()
+		peer.Register("p1", tr, rep)
+		n.Register(addr, func(ctx context.Context, from simnet.Addr, msg any) (any, error) {
+			if resp, handled, err := node.HandleMessage(ctx, from, msg); handled {
+				return resp, err
+			}
+			if resp, handled, err := peer.HandleMessage(ctx, from, msg); handled {
+				return resp, err
+			}
+			return nil, fmt.Errorf("unhandled %T", msg)
+		})
+		t.Cleanup(node.Stop)
+		return rep, tr, addr
+	}
+
+	var mAddr simnet.Addr
+	r.master, r.mtracker, mAddr = mkNode("eu", "m", "m", store.Master)
+	var peerAddrs []simnet.Addr
+	for i := 0; i < slaves; i++ {
+		rep, tr, addr := mkNode(fmt.Sprintf("site%d", i), fmt.Sprintf("s%d", i), fmt.Sprintf("s%d", i), store.Slave)
+		r.slaves = append(r.slaves, rep)
+		r.trackers = append(r.trackers, tr)
+		r.addrs = append(r.addrs, addr)
+		peerAddrs = append(peerAddrs, addr)
+	}
+	r.master.SetPeers(peerAddrs...)
+	r.repairer = NewRepairer(n, mAddr, "p1", r.mtracker, r.master)
+	return r
+}
+
+func (r *rig) commit(t *testing.T, key, val string) {
+	t.Helper()
+	txn := r.master.Store().Begin(store.ReadCommitted)
+	txn.Put(key, store.Entry{"v": {val}})
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("timeout: " + msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRepairInSyncShipsNothing(t *testing.T) {
+	r := newRig(t, 1)
+	for i := 0; i < 20; i++ {
+		r.commit(t, fmt.Sprintf("k%d", i), "v")
+	}
+	waitFor(t, func() bool { return r.slaves[0].Store().AppliedCSN() == 20 }, "catch-up")
+	stats, err := r.repairer.RepairPeer(context.Background(), r.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.InSync || stats.RowsTransferred() != 0 {
+		t.Fatalf("stats = %+v, want in-sync zero transfer", stats)
+	}
+}
+
+// TestRepairConvergesStuckSlave reproduces the post-failover state:
+// the slave misses rows it can never receive (its stream needs a CSN
+// the master's senders no longer hold contiguously) and carries a
+// stale tail of its own. One repair round must converge both stores
+// and re-attach the slave to the stream.
+func TestRepairConvergesStuckSlave(t *testing.T) {
+	r := newRig(t, 1)
+	slave := r.slaves[0].Store()
+
+	// Divergence: the master commits 30 rows the slave never sees
+	// (simulate by priming the slave's applied mark past the stream),
+	// and the slave holds 5 rows the master lacks.
+	slave.SetAppliedCSN(1000) // stream records now skip as duplicates
+	for i := 0; i < 30; i++ {
+		r.commit(t, fmt.Sprintf("m%d", i), "from-master")
+	}
+	for i := 0; i < 5; i++ {
+		slave.PutDirect(fmt.Sprintf("tail%d", i), store.Entry{"v": {"from-slave"}},
+			store.Meta{CSN: 900 + uint64(i), WallTS: int64(1_000_000 + i)})
+	}
+
+	stats, err := r.repairer.RepairPeer(context.Background(), r.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InSync {
+		t.Fatal("divergent replicas reported in sync")
+	}
+	if stats.RowsShipped != 30 || stats.RowsPulled != 5 {
+		t.Fatalf("shipped/pulled = %d/%d, want 30/5", stats.RowsShipped, stats.RowsPulled)
+	}
+	if r.mtracker.Tree().Root() != r.trackers[0].Tree().Root() {
+		t.Fatal("trees disagree after repair")
+	}
+	for i := 0; i < 30; i++ {
+		if _, _, ok := slave.GetCommitted(fmt.Sprintf("m%d", i)); !ok {
+			t.Fatalf("slave missing m%d after repair", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, ok := r.master.Store().GetCommitted(fmt.Sprintf("tail%d", i)); !ok {
+			t.Fatalf("master missing tail%d after repair", i)
+		}
+	}
+}
+
+func TestRepairAdvancesWatermark(t *testing.T) {
+	r := newRig(t, 1)
+	slave := r.slaves[0].Store()
+	// Strand the slave behind a sequence gap: prime appliedCSN low
+	// while the master's CSN advances out of band.
+	r.master.Store().SetCSN(50)
+	for i := 0; i < 10; i++ {
+		r.master.Store().PutDirect(fmt.Sprintf("k%d", i), store.Entry{"v": {"x"}},
+			store.Meta{CSN: uint64(41 + i), WallTS: int64(i + 1)})
+	}
+	stats, err := r.repairer.RepairPeer(context.Background(), r.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.WatermarkAdvanced {
+		t.Fatalf("watermark not advanced: %+v", stats)
+	}
+	if got := slave.AppliedCSN(); got != 50 {
+		t.Fatalf("slave applied = %d, want 50", got)
+	}
+	// The slave can now apply the next streamed commit.
+	r.commit(t, "after", "heal")
+	waitFor(t, func() bool {
+		_, _, ok := slave.GetCommitted("after")
+		return ok
+	}, "stream resumed after watermark advance")
+}
+
+func TestRepairBandwidthCap(t *testing.T) {
+	r := newRig(t, 1)
+	slave := r.slaves[0].Store()
+	slave.SetAppliedCSN(1000)
+	for i := 0; i < 40; i++ {
+		r.commit(t, fmt.Sprintf("k%02d", i), "v")
+	}
+	r.repairer.MaxRowsPerRound = 15
+
+	ctx := context.Background()
+	rounds, total := 0, 0
+	for {
+		stats, err := r.repairer.RepairPeer(ctx, r.addrs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+		total += stats.RowsTransferred()
+		if stats.InSync {
+			break
+		}
+		if !stats.Truncated && stats.RowsShipped > 15 {
+			t.Fatalf("round shipped %d rows, cap 15", stats.RowsShipped)
+		}
+		if rounds > 10 {
+			t.Fatal("cap rounds did not converge")
+		}
+	}
+	if total != 40 {
+		t.Fatalf("total rows transferred = %d, want 40", total)
+	}
+	if r.mtracker.Tree().Root() != r.trackers[0].Tree().Root() {
+		t.Fatal("trees disagree after capped repair")
+	}
+}
+
+func TestRepairConflictsResolveSymmetrically(t *testing.T) {
+	r := newRig(t, 1)
+	slave := r.slaves[0].Store()
+	slave.SetAppliedCSN(1000)
+	// Both sides wrote the same key during the split; the slave's
+	// version has the later wall-clock timestamp and must win on both
+	// replicas (LWW resolver).
+	r.commit(t, "conflict", "from-master")
+	_, mMeta, _ := r.master.Store().GetCommitted("conflict")
+	slave.PutDirect("conflict", store.Entry{"v": {"from-slave"}},
+		store.Meta{CSN: 3, WallTS: mMeta.WallTS + 10_000})
+
+	if _, err := r.repairer.RepairPeer(context.Background(), r.addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	me, _, _ := r.master.Store().GetCommitted("conflict")
+	se, _, _ := slave.GetCommitted("conflict")
+	if me.First("v") != "from-slave" || se.First("v") != "from-slave" {
+		t.Fatalf("LWW winner not installed on both sides: master=%v slave=%v", me, se)
+	}
+	if r.mtracker.Tree().Root() != r.trackers[0].Tree().Root() {
+		t.Fatal("trees disagree after conflict resolution")
+	}
+}
+
+func TestRepairTombstoneWins(t *testing.T) {
+	r := newRig(t, 1)
+	slave := r.slaves[0].Store()
+	r.commit(t, "gone", "v1")
+	waitFor(t, func() bool { return slave.AppliedCSN() == 1 }, "catch-up")
+	// Master deletes; the stream to the slave is stranded.
+	slave.SetAppliedCSN(1000)
+	txn := r.master.Store().Begin(store.ReadCommitted)
+	txn.Delete("gone")
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.repairer.RepairPeer(context.Background(), r.addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := slave.GetCommitted("gone"); ok {
+		t.Fatal("tombstone did not propagate through repair")
+	}
+	if r.mtracker.Tree().Root() != r.trackers[0].Tree().Root() {
+		t.Fatal("trees disagree after tombstone repair")
+	}
+}
+
+func TestRepairMultiplePeers(t *testing.T) {
+	r := newRig(t, 2)
+	for _, s := range r.slaves {
+		s.Store().SetAppliedCSN(1000)
+	}
+	for i := 0; i < 10; i++ {
+		r.commit(t, fmt.Sprintf("k%d", i), "v")
+	}
+	ctx := context.Background()
+	for i, addr := range r.addrs {
+		if _, err := r.repairer.RepairPeer(ctx, addr); err != nil {
+			t.Fatal(err)
+		}
+		if r.mtracker.Tree().Root() != r.trackers[i].Tree().Root() {
+			t.Fatalf("slave %d tree disagrees after repair", i)
+		}
+	}
+}
+
+func TestRepairUnreachablePeerErrors(t *testing.T) {
+	r := newRig(t, 1)
+	r.commit(t, "k", "v")
+	r.net.Partition([]string{"eu"})
+	defer r.net.Heal()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := r.repairer.RepairPeer(ctx, r.addrs[0]); err == nil {
+		t.Fatal("repair across a partition succeeded")
+	}
+}
+
+func TestSchedulerTicksAndKicks(t *testing.T) {
+	var mu sync.Mutex
+	rounds := 0
+	s := NewScheduler(5*time.Millisecond, func(context.Context) {
+		mu.Lock()
+		rounds++
+		mu.Unlock()
+	})
+	s.Start()
+	defer s.Stop()
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return rounds >= 3
+	}, "periodic rounds")
+	s.Stop()
+	mu.Lock()
+	base := rounds
+	mu.Unlock()
+
+	// Kick-only mode: no interval.
+	k := NewScheduler(0, func(context.Context) {
+		mu.Lock()
+		rounds++
+		mu.Unlock()
+	})
+	k.Start()
+	defer k.Stop()
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	if rounds != base {
+		mu.Unlock()
+		t.Fatal("kick-only scheduler ran without a kick")
+	}
+	mu.Unlock()
+	k.Kick()
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return rounds == base+1
+	}, "kicked round")
+}

@@ -1,0 +1,93 @@
+package antientropy
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/store"
+)
+
+// RowDigest hashes one row version: key, commit metadata (CSN,
+// wall-clock timestamp, tombstone, version vector) and the entry
+// content. Two replicas hold the same digest for a key exactly when
+// they hold the same committed version, which is what lets leaf
+// comparison stand in for row comparison.
+func RowDigest(key string, e store.Entry, m store.Meta) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	putU64(b[:], m.CSN)
+	h.Write(b[:])
+	putU64(b[:], uint64(m.WallTS))
+	h.Write(b[:])
+	if m.Tombstone {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	if len(m.VC) > 0 {
+		ids := make([]string, 0, len(m.VC))
+		for id := range m.VC {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			h.Write([]byte(id))
+			h.Write([]byte{0})
+			putU64(b[:], m.VC[id])
+			h.Write(b[:])
+		}
+	}
+	if len(e) > 0 {
+		attrs := make([]string, 0, len(e))
+		for a := range e {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			h.Write([]byte(a))
+			h.Write([]byte{1})
+			for _, v := range e[a] {
+				h.Write([]byte(v))
+				h.Write([]byte{2})
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// Tracker keeps one replica's Merkle tree current. It installs itself
+// as the store's row hook, so every installed row version — local
+// commit, replicated apply, WAL replay or repair merge — updates the
+// tree in O(1) before the installing call returns.
+type Tracker struct {
+	st   *store.Store
+	tree *Tree
+}
+
+// NewTracker builds a tree over the store's current rows and installs
+// the row hook. The hook is installed before the initial scan so a
+// concurrent commit cannot fall between scan and hook (re-observing a
+// row is an idempotent tree update).
+func NewTracker(st *store.Store) *Tracker {
+	t := &Tracker{st: st, tree: NewTree(DefaultFanout, DefaultDepth)}
+	st.SetRowHook(t.observe)
+	for key := range st.AllMeta() {
+		if e, m, ok := st.GetAny(key); ok {
+			t.tree.Update(key, RowDigest(key, e, m))
+		}
+	}
+	return t
+}
+
+// observe is the store row hook.
+func (t *Tracker) observe(key string, e store.Entry, m store.Meta) {
+	t.tree.Update(key, RowDigest(key, e, m))
+}
+
+// Tree returns the tracked Merkle tree.
+func (t *Tracker) Tree() *Tree { return t.tree }
+
+// Store returns the tracked store.
+func (t *Tracker) Store() *store.Store { return t.st }

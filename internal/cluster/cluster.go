@@ -123,6 +123,7 @@ type Cluster struct {
 	ramUsed  int
 	elements []*se.Element
 	ldap     int
+	healw    *HealWatcher
 }
 
 // New returns an empty cluster.

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// HealWatcher polls a site's inter-site reachability and reports
+// partition-heal transitions: the OSS-side detection (§2.4) that lets
+// a site trigger an immediate anti-entropy repair round the moment a
+// backbone glitch (§4.1) ends, instead of waiting for the next
+// periodic tick while replicas serve divergent data.
+type HealWatcher struct {
+	net    *simnet.Network
+	site   string
+	every  time.Duration
+	onHeal func(peerSite string)
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewHealWatcher returns a started watcher that calls onHeal(peer)
+// whenever a previously partitioned peer site becomes reachable
+// again. The first poll only records the baseline; it never fires.
+func NewHealWatcher(net *simnet.Network, site string, every time.Duration, onHeal func(peerSite string)) *HealWatcher {
+	if every <= 0 {
+		every = 10 * time.Millisecond
+	}
+	w := &HealWatcher{
+		net:    net,
+		site:   site,
+		every:  every,
+		onHeal: onHeal,
+		stop:   make(chan struct{}),
+	}
+	w.wg.Add(1)
+	go w.run()
+	return w
+}
+
+// Stop halts the watcher.
+func (w *HealWatcher) Stop() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	w.wg.Wait()
+}
+
+func (w *HealWatcher) run() {
+	defer w.wg.Done()
+	parted := make(map[string]bool)
+	first := true
+	t := time.NewTicker(w.every)
+	defer t.Stop()
+	for {
+		for _, peer := range w.net.Sites() {
+			if peer == w.site {
+				continue
+			}
+			p := w.net.Partitioned(w.site, peer)
+			if !first && parted[peer] && !p {
+				w.onHeal(peer)
+			}
+			parted[peer] = p
+		}
+		first = false
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// StartHealWatch attaches a heal watcher to the cluster (one per
+// site). A second call replaces the previous watcher.
+func (c *Cluster) StartHealWatch(net *simnet.Network, every time.Duration, onHeal func(peerSite string)) {
+	c.mu.Lock()
+	prev := c.healw
+	c.healw = nil
+	c.mu.Unlock()
+	if prev != nil {
+		prev.Stop()
+	}
+	w := NewHealWatcher(net, c.cfg.Site, every, onHeal)
+	c.mu.Lock()
+	c.healw = w
+	c.mu.Unlock()
+}
+
+// StopHealWatch stops the attached watcher, if any.
+func (c *Cluster) StopHealWatch() {
+	c.mu.Lock()
+	w := c.healw
+	c.healw = nil
+	c.mu.Unlock()
+	if w != nil {
+		w.Stop()
+	}
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func TestHealWatcherFiresOnHeal(t *testing.T) {
+	net := simnet.New(simnet.FastConfig())
+	net.AddSite("a")
+	net.AddSite("b")
+
+	var mu sync.Mutex
+	healed := map[string]int{}
+	w := NewHealWatcher(net, "a", time.Millisecond, func(peer string) {
+		mu.Lock()
+		healed[peer]++
+		mu.Unlock()
+	})
+	defer w.Stop()
+
+	// Baseline (healthy) must not fire.
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	if len(healed) != 0 {
+		mu.Unlock()
+		t.Fatalf("watcher fired without a partition: %v", healed)
+	}
+	mu.Unlock()
+
+	net.Partition([]string{"a"})
+	time.Sleep(10 * time.Millisecond)
+	net.Heal()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := healed["b"]
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if n > 1 {
+			t.Fatalf("heal fired %d times for one transition", n)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("heal transition never reported")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHealWatcherStartsPartitioned(t *testing.T) {
+	net := simnet.New(simnet.FastConfig())
+	net.AddSite("a")
+	net.AddSite("b")
+	net.Partition([]string{"a"})
+
+	fired := make(chan string, 4)
+	c := New(Config{Site: "a"})
+	c.StartHealWatch(net, time.Millisecond, func(peer string) { fired <- peer })
+	defer c.StopHealWatch()
+
+	// A watcher born into a partition records it as baseline and
+	// fires only on the heal.
+	select {
+	case p := <-fired:
+		t.Fatalf("fired %q before heal", p)
+	case <-time.After(10 * time.Millisecond):
+	}
+	net.Heal()
+	select {
+	case p := <-fired:
+		if p != "b" {
+			t.Fatalf("healed peer = %q, want b", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("heal never reported")
+	}
+}

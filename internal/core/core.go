@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/antientropy"
 	"repro/internal/cluster"
 	"repro/internal/locator"
 	"repro/internal/replication"
@@ -122,6 +123,22 @@ type Config struct {
 	// LDAPServiceTime is the PoA's per-operation service time used
 	// to model finite LDAP server capacity (E7); 0 disables.
 	LDAPServiceTime time.Duration
+	// AntiEntropy enables Merkle-digest replica repair (E16): every
+	// replica keeps a hash tree over its rows; masters periodically
+	// exchange digests with slaves and ship only divergent rows, and
+	// each site's cluster watches for partition heals to trigger an
+	// immediate repair round.
+	AntiEntropy bool
+	// RepairInterval is the periodic repair cadence; 0 disables the
+	// periodic tick (repairs then run on heal detection and on
+	// demand via RepairPartition / RepairAll / udrctl repair).
+	RepairInterval time.Duration
+	// RepairMaxRows caps row transfers per repair round per peer
+	// (the backbone bandwidth cap); 0 = unlimited.
+	RepairMaxRows int
+	// HealPollInterval is the partition-heal detection poll cadence
+	// (default 10ms at the compressed sim scale).
+	HealPollInterval time.Duration
 }
 
 // DefaultConfig returns the paper's baseline: three sites (the
@@ -236,6 +253,14 @@ func (u *UDR) buildSiteLocked(spec SiteSpec, primed bool) error {
 
 	cl := cluster.New(cluster.Config{Site: site, Blades: spec.Blades})
 	u.clusters[site] = cl
+	if u.cfg.AntiEntropy {
+		// OSS-side heal detection: the moment the backbone heals,
+		// kick an immediate repair round on this site's elements
+		// instead of waiting for the next periodic tick.
+		cl.StartHealWatch(u.net, u.cfg.HealPollInterval, func(string) {
+			u.kickSiteRepairs(site)
+		})
+	}
 	if spec.LDAPServers > 0 {
 		if _, err := cl.AddLDAPServers(spec.LDAPServers); err != nil {
 			return err
@@ -250,6 +275,9 @@ func (u *UDR) buildSiteLocked(spec SiteSpec, primed bool) error {
 			CapacityPerPartition: u.cfg.CapacityPerSE,
 			WALMode:              u.cfg.WALMode,
 			WALInterval:          u.cfg.WALInterval,
+			AntiEntropy:          u.cfg.AntiEntropy,
+			RepairInterval:       u.cfg.RepairInterval,
+			RepairMaxRows:        u.cfg.RepairMaxRows,
 		}
 		if u.cfg.WALDir != "" {
 			cfg.WALDir = u.cfg.WALDir + "/" + cfg.ID
@@ -695,6 +723,53 @@ func (u *UDR) SeedDirect(p *subscriber.Profile) error {
 	return nil
 }
 
+// kickSiteRepairs requests an immediate anti-entropy round from every
+// element at a site (heal-watcher callback).
+func (u *UDR) kickSiteRepairs(site string) {
+	u.mu.RLock()
+	els := u.siteElementsLocked(site)
+	u.mu.RUnlock()
+	for _, el := range els {
+		el.RepairNow()
+	}
+}
+
+// RepairPartition runs one anti-entropy repair round for a partition
+// from its current master replica to every replication peer, and
+// returns the per-peer stats. The UDR must run with AntiEntropy.
+func (u *UDR) RepairPartition(ctx context.Context, partID string) ([]antientropy.Stats, error) {
+	u.mu.RLock()
+	part, ok := u.parts[partID]
+	var el *se.Element
+	if ok {
+		el = u.elements[part.Master().Element]
+	}
+	u.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown partition %q", partID)
+	}
+	if el == nil || el.Down() {
+		return nil, fmt.Errorf("core: master element of %q unavailable", partID)
+	}
+	return el.RepairPartition(ctx, partID)
+}
+
+// RepairAll runs a repair round for every partition (udrctl repair,
+// heal recovery). Unreachable peers are skipped; the first error is
+// reported after every partition was attempted.
+func (u *UDR) RepairAll(ctx context.Context) ([]antientropy.Stats, error) {
+	var out []antientropy.Stats
+	var firstErr error
+	for _, partID := range u.Partitions() {
+		stats, err := u.RepairPartition(ctx, partID)
+		out = append(out, stats...)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return out, firstErr
+}
+
 // RestoreConsistency runs the paper's §5 post-partition consistency
 // restoration for one partition in multi-master mode: every replica
 // pulls the divergent rows of every other replica and merges them
@@ -771,8 +846,21 @@ func (u *UDR) WaitReplication(ctx context.Context) error {
 	return nil
 }
 
-// Stop shuts down every element cleanly.
+// Stop shuts down every element cleanly. Heal watchers stop before
+// u.mu is taken: their callback acquires u.mu (kickSiteRepairs), so
+// waiting for them under the lock would deadlock with a heal that
+// lands at shutdown.
 func (u *UDR) Stop() {
+	u.mu.RLock()
+	cls := make([]*cluster.Cluster, 0, len(u.clusters))
+	for _, cl := range u.clusters {
+		cls = append(cls, cl)
+	}
+	u.mu.RUnlock()
+	for _, cl := range cls {
+		cl.StopHealWatch()
+	}
+
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	for _, el := range u.elements {

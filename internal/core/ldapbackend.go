@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/antientropy"
 	"repro/internal/ldap"
 	"repro/internal/locator"
 	"repro/internal/se"
@@ -39,15 +40,59 @@ func (b *LDAPBackend) WithTopology(u *UDR) *LDAPBackend {
 	return b
 }
 
-// Extended implements ldap.ExtendedBackend: the OaM status dump.
+// Extended implements ldap.ExtendedBackend: the OaM status dump and
+// the anti-entropy repair trigger.
 func (b *LDAPBackend) Extended(name string, value []byte) (ldap.Result, []byte) {
-	if name != ldap.OIDStatus {
+	switch name {
+	case ldap.OIDStatus:
+		if b.topology == nil {
+			return ldap.Result{Code: ldap.ResultUnwillingToPerform, Message: "status not available on this endpoint"}, nil
+		}
+		return ldap.Result{Code: ldap.ResultSuccess}, []byte(b.statusText())
+	case ldap.OIDRepair:
+		if b.topology == nil {
+			return ldap.Result{Code: ldap.ResultUnwillingToPerform, Message: "repair not available on this endpoint"}, nil
+		}
+		if !b.topology.Config().AntiEntropy {
+			return ldap.Result{Code: ldap.ResultUnwillingToPerform, Message: "anti-entropy repair is disabled"}, nil
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), b.timeout)
+		defer cancel()
+		stats, err := b.topology.RepairAll(ctx)
+		text := repairText(stats)
+		if err != nil {
+			return ldap.Result{Code: ldap.ResultOther, Message: err.Error()}, []byte(text)
+		}
+		return ldap.Result{Code: ldap.ResultSuccess}, []byte(text)
+	default:
 		return ldap.Result{Code: ldap.ResultProtocolError, Message: "unknown extended op " + name}, nil
 	}
-	if b.topology == nil {
-		return ldap.Result{Code: ldap.ResultUnwillingToPerform, Message: "status not available on this endpoint"}, nil
+}
+
+// repairText renders a repair round as the operator-facing report.
+func repairText(stats []antientropy.Stats) string {
+	var sb strings.Builder
+	shipped, pulled := 0, 0
+	for _, s := range stats {
+		state := fmt.Sprintf("leaves=%d shipped=%d pulled=%d repaired(local/peer)=%d/%d",
+			s.LeavesDiffed, s.RowsShipped, s.RowsPulled, s.RowsRepairedLocal, s.RowsRepairedPeer)
+		if s.InSync {
+			state = "in sync"
+		}
+		extra := ""
+		if s.Truncated {
+			extra = " (truncated: bandwidth cap)"
+		}
+		if s.WatermarkAdvanced {
+			extra += " (stream re-attached)"
+		}
+		fmt.Fprintf(&sb, "repair %-16s peer=%-24s %s%s\n", s.Partition, s.Peer, state, extra)
+		shipped += s.RowsShipped
+		pulled += s.RowsPulled
 	}
-	return ldap.Result{Code: ldap.ResultSuccess}, []byte(b.statusText())
+	fmt.Fprintf(&sb, "repair total: %d peer rounds, %d rows shipped, %d rows pulled\n",
+		len(stats), shipped, pulled)
+	return sb.String()
 }
 
 // statusText renders the topology as the operator-facing status dump.

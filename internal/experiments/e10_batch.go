@@ -50,10 +50,12 @@ func runE10(ctx context.Context, opts Options) (*Report, error) {
 			profiles[i] = gen.Profile(i)
 		}
 
-		var glitchDone <-chan struct{}
+		var glitchDone chan struct{}
 		if withGlitch {
+			glitchDone = make(chan struct{})
 			time.AfterFunc(glitchStart, func() {
-				glitchDone = failure.GlitchAsync(ctx, net, []string{site}, glitchLen)
+				defer close(glitchDone)
+				failure.Glitch(ctx, net, []string{site}, glitchLen)
 			})
 		}
 		res := system.RunBatch(ctx, profiles, interval, stopOnError)

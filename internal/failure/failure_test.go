@@ -124,6 +124,117 @@ func TestPlanAddPartition(t *testing.T) {
 	}
 }
 
+// TestPlanComposedPartitionAndCrash runs the E14-style composed
+// schedule — a glitch overlapping an element crash — and checks the
+// event interleaving and final state.
+func TestPlanComposedPartitionAndCrash(t *testing.T) {
+	net := simnet.New(simnet.FastConfig())
+	net.AddSite("a")
+	net.AddSite("b")
+	el := se.New(net, se.Config{ID: "se-b-0", Site: "b"})
+	defer el.Stop()
+	el.AddReplica("p1", store.Master)
+
+	recovered := make(chan struct{})
+	p := (&Plan{}).
+		AddPartition(net, []string{"a"}, 0, 40*time.Millisecond).
+		AddCrash(el, 10*time.Millisecond, 10*time.Millisecond, func(_ map[string]int, err error) {
+			if err != nil {
+				t.Errorf("recover: %v", err)
+			}
+			close(recovered)
+		})
+	fired := p.Run(context.Background())
+
+	want := []string{"partition", "crash se-b-0", "recover se-b-0", "heal"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+	select {
+	case <-recovered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("recovery callback never fired")
+	}
+	if net.Partitioned("a", "b") {
+		t.Fatal("partition left behind")
+	}
+	if el.Down() {
+		t.Fatal("element left down")
+	}
+}
+
+// TestPlanSimultaneousEventsKeepAddOrder pins the documented
+// stable-sort behaviour: events at the same offset fire in Add order.
+func TestPlanSimultaneousEventsKeepAddOrder(t *testing.T) {
+	var order []string
+	p := (&Plan{}).
+		Add(0, "first", func() { order = append(order, "first") }).
+		Add(0, "second", func() { order = append(order, "second") }).
+		Add(0, "third", func() { order = append(order, "third") })
+	p.Run(context.Background())
+	if len(order) != 3 || order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestPlanOverlappingPartitions composes two glitches whose windows
+// overlap: the second partition call supersedes the first, and the
+// final heal leaves a whole network.
+func TestPlanOverlappingPartitions(t *testing.T) {
+	net := simnet.New(simnet.FastConfig())
+	for _, s := range []string{"a", "b", "c"} {
+		net.AddSite(s)
+	}
+	p := (&Plan{}).
+		AddPartition(net, []string{"a"}, 0, 30*time.Millisecond).
+		AddPartition(net, []string{"c"}, 10*time.Millisecond, 40*time.Millisecond)
+	done := p.RunAsync(context.Background())
+
+	time.Sleep(20 * time.Millisecond) // inside both windows
+	if !net.Partitioned("c", "b") {
+		t.Fatal("second glitch not in effect")
+	}
+	// The second Partition() regrouped the sites: a rejoined b.
+	if net.Partitioned("a", "b") {
+		t.Fatal("second partition should supersede the first")
+	}
+	<-done
+	for _, pair := range [][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}} {
+		if net.Partitioned(pair[0], pair[1]) {
+			t.Fatalf("sites %v still partitioned after the plan", pair)
+		}
+	}
+}
+
+// TestPlanCancelSkipsLaterEvents pins the cancellation contract:
+// events after the cancellation point never fire, so an aborted
+// schedule leaves whatever fault state it had already injected.
+func TestPlanCancelSkipsLaterEvents(t *testing.T) {
+	net := simnet.New(simnet.FastConfig())
+	net.AddSite("a")
+	net.AddSite("b")
+	ctx, cancel := context.WithCancel(context.Background())
+	p := (&Plan{}).
+		AddPartition(net, []string{"a"}, 0, 10*time.Second)
+	done := p.RunAsync(ctx)
+	time.Sleep(5 * time.Millisecond)
+	if !net.Partitioned("a", "b") {
+		t.Fatal("partition event did not fire")
+	}
+	cancel()
+	<-done
+	// The heal event was skipped: the operator cancelled the plan
+	// mid-glitch, so the partition deliberately remains.
+	if !net.Partitioned("a", "b") {
+		t.Fatal("cancelled plan fired the heal anyway")
+	}
+}
+
 func TestPlanAddCrash(t *testing.T) {
 	net := simnet.New(simnet.FastConfig())
 	el := se.New(net, se.Config{ID: "se-1", Site: "a"})

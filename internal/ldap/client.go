@@ -201,6 +201,13 @@ func (c *Client) Status() (string, Result, error) {
 	return string(value), r, err
 }
 
+// Repair triggers an anti-entropy repair round on every partition and
+// returns the server's per-peer repair report (udrctl repair).
+func (c *Client) Repair() (string, Result, error) {
+	r, value, err := c.extendedCallFull(OIDRepair, nil)
+	return string(value), r, err
+}
+
 // TxnBegin opens a write transaction on this connection: subsequent
 // Add/Modify/Delete calls are staged server-side and executed
 // atomically by TxnCommit.

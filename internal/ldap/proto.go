@@ -299,6 +299,7 @@ const (
 	OIDTxnCommit = "1.3.6.1.4.1.193.99.2"  // commit buffered writes
 	OIDTxnAbort  = "1.3.6.1.4.1.193.99.3"  // discard buffered writes
 	OIDStatus    = "1.3.6.1.4.1.193.99.10" // OaM: topology status dump
+	OIDRepair    = "1.3.6.1.4.1.193.99.11" // OaM: anti-entropy repair round
 )
 
 // Message is one LDAPMessage envelope.

@@ -460,6 +460,71 @@ func (r *Replica) mergeRow(in RowTransfer) {
 	}
 }
 
+// MergeRepair merges a row version received from the anti-entropy
+// repair subsystem and reports whether the local row changed. Rows
+// carrying version vectors (multi-master mode) follow the vclock
+// dominance rules of mergeRow; master/slave rows — whose CSNs are not
+// comparable across a failover — go through the configured resolver,
+// whose determinism and symmetry make both replicas converge to the
+// same version without further communication.
+//
+// The read-resolve-write sequence runs as a compare-and-swap loop: a
+// commit or stream apply landing between the read and the write
+// fails the CompareAndPut and the merge re-resolves against the
+// fresh version, so repair can never roll a row back behind
+// concurrent progress.
+func (r *Replica) MergeRepair(in RowTransfer) (changed bool) {
+	for attempt := 0; attempt < 8; attempt++ {
+		localEntry, localMeta, exists := r.store.GetAny(in.Key)
+		if !exists {
+			if r.store.CompareAndPut(in.Key, store.Meta{}, false, in.Entry, in.Meta) {
+				return true
+			}
+			continue
+		}
+
+		var merged store.Entry
+		var mergedMeta store.Meta
+		if len(localMeta.VC) > 0 || len(in.Meta.VC) > 0 {
+			switch localMeta.VC.Compare(in.Meta.VC) {
+			case vclock.Equal, vclock.After: // local is current or newer
+				return false
+			case vclock.Before: // incoming dominates
+				merged, mergedMeta = in.Entry, in.Meta
+			default: // concurrent — true conflict
+				r.mu.Lock()
+				res := r.resolver
+				r.mu.Unlock()
+				r.Conflicts.Inc()
+				merged, mergedMeta = res.Resolve(in.Key, localEntry, localMeta, in.Entry, in.Meta)
+				mergedMeta.VC = localMeta.VC.Merge(in.Meta.VC)
+			}
+		} else {
+			if metaEqual(localMeta, in.Meta) && localEntry.Equal(in.Entry) {
+				return false
+			}
+			r.mu.Lock()
+			res := r.resolver
+			r.mu.Unlock()
+			merged, mergedMeta = res.Resolve(in.Key, localEntry, localMeta, in.Entry, in.Meta)
+			if metaEqual(mergedMeta, localMeta) && merged.Equal(localEntry) {
+				return false
+			}
+		}
+		if r.store.CompareAndPut(in.Key, localMeta, true, merged, mergedMeta) {
+			return true
+		}
+	}
+	// Contention every attempt: leave the row to the next round.
+	return false
+}
+
+// metaEqual compares the version-relevant metadata fields.
+func metaEqual(a, b store.Meta) bool {
+	return a.CSN == b.CSN && a.WallTS == b.WallTS &&
+		a.Tombstone == b.Tombstone && a.VC.Compare(b.VC) == vclock.Equal
+}
+
 // buildSyncResp returns every row whose local version is not known to
 // the requester (missing, newer or concurrent).
 func (r *Replica) buildSyncResp(have map[string]store.Meta) SyncRespMsg {

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/antientropy"
 	"repro/internal/metrics"
 	"repro/internal/replication"
 	"repro/internal/simnet"
@@ -145,6 +146,17 @@ type Config struct {
 	// "saves data in RAM to local persistent storage on a periodic
 	// basis" at its coarsest granularity.
 	SnapshotInterval time.Duration
+	// AntiEntropy enables Merkle-digest replica repair: every hosted
+	// replica keeps a hash tree over its rows and serves the repair
+	// protocol; master replicas additionally run repair rounds.
+	AntiEntropy bool
+	// RepairInterval is the periodic repair cadence for hosted master
+	// replicas; 0 disables the periodic tick (rounds then run only on
+	// RepairNow / heal triggers).
+	RepairInterval time.Duration
+	// RepairMaxRows caps row transfers per repair round per peer (the
+	// backbone bandwidth cap); 0 = unlimited.
+	RepairMaxRows int
 }
 
 // Element is one storage element.
@@ -154,9 +166,15 @@ type Element struct {
 	addr simnet.Addr
 	node *replication.Node
 
-	mu       sync.RWMutex
-	replicas map[string]*PartitionReplica
-	down     bool
+	mu        sync.RWMutex
+	replicas  map[string]*PartitionReplica
+	repairers map[string]*antientropy.Repairer
+	down      bool
+
+	// ae serves the anti-entropy repair protocol; sched paces master
+	// repair rounds. Both are nil unless cfg.AntiEntropy.
+	ae    *antientropy.Peer
+	sched *antientropy.Scheduler
 
 	snapStop chan struct{}
 	snapWG   sync.WaitGroup
@@ -174,6 +192,9 @@ type PartitionReplica struct {
 	Store     *store.Store
 	Repl      *replication.Replica
 	Log       *wal.Log
+	// Tracker is the anti-entropy Merkle tracker (nil unless the
+	// element runs with AntiEntropy).
+	Tracker *antientropy.Tracker
 }
 
 // New creates an element and registers it on the network at
@@ -186,12 +207,20 @@ func New(net *simnet.Network, cfg Config) *Element {
 		cfg.WALInterval = 50 * time.Millisecond
 	}
 	e := &Element{
-		cfg:      cfg,
-		net:      net,
-		addr:     simnet.MakeAddr(cfg.Site, cfg.ID),
-		replicas: make(map[string]*PartitionReplica),
+		cfg:       cfg,
+		net:       net,
+		addr:      simnet.MakeAddr(cfg.Site, cfg.ID),
+		replicas:  make(map[string]*PartitionReplica),
+		repairers: make(map[string]*antientropy.Repairer),
 	}
 	e.node = replication.NewNode(net, e.addr)
+	if cfg.AntiEntropy {
+		e.ae = antientropy.NewPeer()
+		e.sched = antientropy.NewScheduler(cfg.RepairInterval, func(ctx context.Context) {
+			e.RepairRound(ctx)
+		})
+		e.sched.Start()
+	}
 	net.Register(e.addr, e.handle)
 	if cfg.WALDir != "" && cfg.SnapshotInterval > 0 {
 		e.startSnapshotter()
@@ -202,13 +231,20 @@ func New(net *simnet.Network, cfg Config) *Element {
 // startSnapshotter launches the periodic WAL-compaction pass.
 func (e *Element) startSnapshotter() {
 	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.startSnapshotterLocked()
+}
+
+// startSnapshotterLocked is the e.mu-held variant (element recovery
+// restarts the pass while already holding the lock). Keeping the
+// WaitGroup Add under the same lock stopSnapshotter reads under gives
+// Add/Wait the happens-before ordering the race detector demands.
+func (e *Element) startSnapshotterLocked() {
 	if e.snapStop != nil {
-		e.mu.Unlock()
 		return
 	}
 	stop := make(chan struct{})
 	e.snapStop = stop
-	e.mu.Unlock()
 
 	e.snapWG.Add(1)
 	go func() {
@@ -308,11 +344,104 @@ func (e *Element) AddReplica(partition string, role store.Role) (*PartitionRepli
 			return repl.CommitHook(rec)
 		})
 	}
+	e.attachAntiEntropy(pr)
 
 	e.mu.Lock()
 	e.replicas[partition] = pr
 	e.mu.Unlock()
 	return pr, nil
+}
+
+// attachAntiEntropy builds the Merkle tracker and repairer of one
+// replica and registers it with the protocol server.
+func (e *Element) attachAntiEntropy(pr *PartitionReplica) {
+	if e.ae == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.attachAntiEntropyLocked(pr)
+}
+
+// attachAntiEntropyLocked is the e.mu-held variant (element recovery
+// rebinds trackers while already holding the lock). Registration
+// replaces any previous tracker/repairer for the partition.
+func (e *Element) attachAntiEntropyLocked(pr *PartitionReplica) {
+	pr.Tracker = antientropy.NewTracker(pr.Store)
+	e.ae.Register(pr.Partition, pr.Tracker, pr.Repl)
+	rep := antientropy.NewRepairer(e.net, e.addr, pr.Partition, pr.Tracker, pr.Repl)
+	rep.MaxRowsPerRound = e.cfg.RepairMaxRows
+	e.repairers[pr.Partition] = rep
+}
+
+// Repairer returns the anti-entropy repairer for a hosted partition,
+// or nil when the element runs without anti-entropy.
+func (e *Element) Repairer(partition string) *antientropy.Repairer {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.repairers[partition]
+}
+
+// RepairNow kicks an immediate repair round (heal triggers, OaM).
+// It is a no-op without anti-entropy.
+func (e *Element) RepairNow() {
+	if e.sched != nil {
+		e.sched.Kick()
+	}
+}
+
+// RepairRound repairs every hosted (multi-)master replica against its
+// replication peers and returns the per-peer stats. Slave replicas
+// are skipped: their masters repair them.
+func (e *Element) RepairRound(ctx context.Context) []antientropy.Stats {
+	e.mu.RLock()
+	if e.down {
+		e.mu.RUnlock()
+		return nil
+	}
+	reps := make([]*antientropy.Repairer, 0, len(e.repairers))
+	for _, p := range e.partitionsLocked() {
+		if r := e.repairers[p]; r != nil {
+			reps = append(reps, r)
+		}
+	}
+	e.mu.RUnlock()
+	var out []antientropy.Stats
+	for _, r := range reps {
+		st := r.Replica().Store()
+		if st.Role() != store.Master && !st.MultiMaster() {
+			continue
+		}
+		for _, peer := range r.Replica().Peers() {
+			stats, err := r.RepairPeer(ctx, peer)
+			if err != nil {
+				continue // unreachable peer: next round retries
+			}
+			out = append(out, stats)
+		}
+	}
+	return out
+}
+
+// RepairPartition repairs one hosted partition against its peers.
+func (e *Element) RepairPartition(ctx context.Context, partition string) ([]antientropy.Stats, error) {
+	r := e.Repairer(partition)
+	if r == nil {
+		return nil, fmt.Errorf("se %s: no anti-entropy repairer for %q", e.cfg.ID, partition)
+	}
+	var out []antientropy.Stats
+	var firstErr error
+	for _, peer := range r.Replica().Peers() {
+		stats, err := r.RepairPeer(ctx, peer)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out = append(out, stats)
+	}
+	return out, firstErr
 }
 
 // Replica returns the hosted replica for a partition, or nil.
@@ -340,6 +469,9 @@ func (e *Element) Partitions() []string {
 // their synced contents.
 func (e *Element) Crash() {
 	e.stopSnapshotter()
+	if e.sched != nil {
+		e.sched.Stop()
+	}
 	e.net.SetDown(e.addr, true)
 	e.node.Stop()
 	e.mu.Lock()
@@ -396,13 +528,17 @@ func (e *Element) Recover() (map[string]int, error) {
 				return repl.CommitHook(rec)
 			})
 		}
+		if e.ae != nil {
+			e.attachAntiEntropyLocked(pr)
+		}
 	}
 	e.down = false
 	e.net.SetDown(e.addr, false)
+	if e.sched != nil {
+		e.sched.Start()
+	}
 	if e.cfg.WALDir != "" && e.cfg.SnapshotInterval > 0 {
-		// Restart the compaction pass (outside e.mu via goroutine
-		// handshake in startSnapshotter).
-		go e.startSnapshotter()
+		e.startSnapshotterLocked()
 	}
 	return replayed, nil
 }
@@ -417,6 +553,9 @@ func (e *Element) Down() bool {
 // Stop shuts the element down cleanly (final WAL sync).
 func (e *Element) Stop() {
 	e.stopSnapshotter()
+	if e.sched != nil {
+		e.sched.Stop()
+	}
 	e.node.Stop()
 	e.net.Unregister(e.addr)
 	e.mu.Lock()
@@ -431,9 +570,14 @@ func (e *Element) Stop() {
 
 // handle is the element's simnet handler.
 func (e *Element) handle(ctx context.Context, from simnet.Addr, msg any) (any, error) {
-	// Replication traffic first.
+	// Replication traffic first, then the anti-entropy protocol.
 	if resp, handled, err := e.node.HandleMessage(ctx, from, msg); handled {
 		return resp, err
+	}
+	if e.ae != nil {
+		if resp, handled, err := e.ae.HandleMessage(ctx, from, msg); handled {
+			return resp, err
+		}
 	}
 	switch m := msg.(type) {
 	case TxnReq:

@@ -248,6 +248,13 @@ type Store struct {
 	// record before the commit returns; the SE wires WAL append and
 	// replication shipping through it.
 	commitHook func(*CommitRecord) error
+
+	// rowHook, when set, observes every installed row version (local
+	// commits, replicated applies, WAL replay and direct puts). The
+	// anti-entropy tracker keeps its Merkle tree current through it.
+	// It runs under the row lock and must not call back into the
+	// store; the entry is shared and must not be retained or mutated.
+	rowHook func(key string, e Entry, m Meta)
 }
 
 // New returns an empty master store identified by replicaID.
@@ -306,6 +313,15 @@ func (s *Store) SetCommitHook(fn func(*CommitRecord) error) {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	s.commitHook = fn
+}
+
+// SetRowHook installs fn to be called for every row version the store
+// installs, whatever the path (commit, replication, replay, direct
+// put). See the rowHook field contract.
+func (s *Store) SetRowHook(fn func(key string, e Entry, m Meta)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rowHook = fn
 }
 
 // CSN returns the store's current commit sequence number.
@@ -608,6 +624,11 @@ func (s *Store) applyOpsLocked(rec *CommitRecord, local bool) {
 		if s.multiMaster && local {
 			r.meta.VC = r.meta.VC.Clone().Tick(s.replicaID)
 			op.VC = r.meta.VC.Clone()
+		} else if !local && len(op.VC) > 0 {
+			r.meta.VC = op.VC.Clone()
+		}
+		if s.rowHook != nil {
+			s.rowHook(op.Key, r.entry, r.meta)
 		}
 	}
 }
@@ -667,6 +688,38 @@ func (s *Store) Replay(rec *CommitRecord) {
 func (s *Store) PutDirect(key string, e Entry, m Meta) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.putLocked(key, e, m)
+}
+
+// CompareAndPut installs a row version only if the row's current
+// state still matches the expected metadata (or expected absence).
+// It reports whether the install happened. Anti-entropy merges use
+// it to close the window between reading a row, resolving, and
+// writing the result: a commit or stream apply that lands in between
+// fails the compare and the merge retries against the fresh version.
+func (s *Store) CompareAndPut(key string, expect Meta, expectExists bool, e Entry, m Meta) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rows[key]
+	if ok != expectExists {
+		return false
+	}
+	if ok && !sameVersion(r.meta, expect) {
+		return false
+	}
+	s.putLocked(key, e, m)
+	return true
+}
+
+// sameVersion compares the version-identifying metadata fields.
+func sameVersion(a, b Meta) bool {
+	return a.CSN == b.CSN && a.WallTS == b.WallTS &&
+		a.Tombstone == b.Tombstone && a.VC.Compare(b.VC) == vclock.Equal
+}
+
+// putLocked is the shared install path of PutDirect and
+// CompareAndPut. Callers hold s.mu.
+func (s *Store) putLocked(key string, e Entry, m Meta) {
 	r, ok := s.rows[key]
 	wasLive := ok && !r.meta.Tombstone
 	if !ok {
@@ -679,6 +732,9 @@ func (s *Store) PutDirect(key string, e Entry, m Meta) {
 		s.live--
 	} else if !m.Tombstone && !wasLive {
 		s.live++
+	}
+	if s.rowHook != nil {
+		s.rowHook(key, r.entry, r.meta)
 	}
 }
 

@@ -26,6 +26,7 @@ package udr
 import (
 	"context"
 
+	"repro/internal/antientropy"
 	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -141,6 +142,19 @@ type (
 	ExperimentOptions = experiments.Options
 )
 
+// Anti-entropy repair types (E16). Enable with Config.AntiEntropy;
+// trigger rounds with UDR.RepairPartition / UDR.RepairAll or udrctl
+// repair — heal detection and the periodic scheduler run them
+// automatically.
+type (
+	// RepairStats reports one anti-entropy repair round against one
+	// replication peer.
+	RepairStats = antientropy.Stats
+	// MerkleTree is the incrementally updated hash tree each replica
+	// maintains over its rows.
+	MerkleTree = antientropy.Tree
+)
+
 // Policy classes.
 const (
 	// PolicyFE marks application front-end traffic: slave reads
@@ -252,7 +266,7 @@ func IMPI(v string) Identity   { return Identity{Type: subscriber.IMPI, Value: v
 func DN(id string) string { return subscriber.DN(id) }
 
 // RunExperiment executes one of the paper-reproduction experiments
-// (E1–E15; see DESIGN.md for the index).
+// (E1–E16; see EXPERIMENTS.md for the index).
 func RunExperiment(ctx context.Context, id string, opts ExperimentOptions) (*Report, error) {
 	return experiments.Run(ctx, id, opts)
 }
