@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test bench lint clean
+# Benchmarks included in the archived perf trajectory (bench-json).
+SMOKE_BENCH ?= ^(BenchmarkStoreRead|BenchmarkStoreReadParallel|BenchmarkStoreCommit|BenchmarkStoreCommitParallel|BenchmarkStoreMixedParallel|BenchmarkStoreFindIndexed|BenchmarkFEReadPath|BenchmarkFEReadPathParallel|BenchmarkReplicationApply)$$
+SMOKE_BENCHTIME ?= 2000x
+BENCH_JSON ?= BENCH_PR2.json
+
+.PHONY: build test test-race bench bench-json lint clean
 
 build:
 	$(GO) build ./...
@@ -15,6 +20,11 @@ test-race:
 # Primitive benchmarks plus the quick-mode experiment benchmarks.
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1x ./...
+
+# Short benchmark suite → machine-readable perf snapshot (the per-PR
+# trajectory; CI runs this as the smoke-bench job).
+bench-json:
+	$(GO) test -run xxx -bench '$(SMOKE_BENCH)' -benchtime=$(SMOKE_BENCHTIME) . | tee bench.out | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -8,6 +8,7 @@ package udr
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -56,6 +57,7 @@ func BenchmarkE13Latency(b *testing.B)     { benchExperiment(b, "E13") }
 func BenchmarkE14FiveNines(b *testing.B)   { benchExperiment(b, "E14") }
 func BenchmarkE15Procedures(b *testing.B)  { benchExperiment(b, "E15") }
 func BenchmarkE16AntiEntropy(b *testing.B) { benchExperiment(b, "E16") }
+func BenchmarkE17Concurrency(b *testing.B) { benchExperiment(b, "E17") }
 
 // --- Primitive benchmarks -------------------------------------------
 
@@ -76,19 +78,121 @@ func BenchmarkStoreCommit(b *testing.B) {
 	}
 }
 
-// BenchmarkStoreRead measures the committed-read path.
-func BenchmarkStoreRead(b *testing.B) {
+// benchStore builds a store pre-loaded with n committed rows and
+// returns it with the key set (identity index on, as the SEs run it).
+func benchStore(b *testing.B, n int) (*store.Store, []string) {
+	b.Helper()
 	st := store.New("bench")
-	for i := 0; i < 10000; i++ {
+	st.SetIndexedAttrs(subscriber.IdentityAttrs...)
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("sub-%d", i)
 		txn := st.Begin(store.ReadCommitted)
-		txn.Put(fmt.Sprintf("sub-%d", i), store.Entry{"v": {"1"}})
-		txn.Commit()
+		txn.Put(keys[i], store.Entry{"v": {"1"}, subscriber.AttrIMSI: {fmt.Sprintf("21401%09d", i)}})
+		if _, err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st, keys
+}
+
+// BenchmarkStoreRead measures the committed-read path: with immutable
+// copy-on-write row versions it returns the shared entry and must not
+// allocate.
+func BenchmarkStoreRead(b *testing.B) {
+	st, keys := benchStore(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := st.GetCommitted(keys[i%len(keys)]); !ok {
+			b.Fatal("missing row")
+		}
+	}
+}
+
+// BenchmarkStoreReadParallel measures committed reads fanned across
+// GOMAXPROCS goroutines: the lock-striped shard map should scale near
+// linearly because readers on different stripes never contend.
+func BenchmarkStoreReadParallel(b *testing.B) {
+	st, keys := benchStore(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, ok := st.GetCommitted(keys[i%len(keys)]); !ok {
+				b.Fatal("missing row")
+			}
+			i += 13
+		}
+	})
+}
+
+// BenchmarkStoreCommitParallel measures concurrent single-row commits
+// from many client goroutines. CSN assignment is serialized by design
+// (the §3.2 total order), so this bounds how much of the commit cost
+// sits outside the striped row install.
+func BenchmarkStoreCommitParallel(b *testing.B) {
+	st, keys := benchStore(b, 10000)
+	entry := store.Entry{"v": {"2"}}
+	var worker atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := int(worker.Add(1)) * 104729
+		i := 0
+		for pb.Next() {
+			txn := st.Begin(store.ReadCommitted)
+			txn.Put(keys[(base+i)%len(keys)], entry)
+			if _, err := txn.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkStoreMixedParallel measures the contended 90/10 read/write
+// mix: the FE-heavy traffic profile of §2.3 where reads must not
+// queue behind the commit lock.
+func BenchmarkStoreMixedParallel(b *testing.B) {
+	st, keys := benchStore(b, 10000)
+	entry := store.Entry{"v": {"2"}}
+	var worker atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := int(worker.Add(1)) * 7919
+		i := 0
+		for pb.Next() {
+			k := keys[(base+i)%len(keys)]
+			if i%10 == 9 {
+				txn := st.Begin(store.ReadCommitted)
+				txn.Put(k, entry)
+				if _, err := txn.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			} else if _, _, ok := st.GetCommitted(k); !ok {
+				b.Fatal("missing row")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkStoreFindIndexed measures the secondary-index identity
+// lookup that replaced the §3.4 full scan on the FindReq path.
+func BenchmarkStoreFindIndexed(b *testing.B) {
+	st, _ := benchStore(b, 10000)
+	vals := make([]string, 10000)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("21401%09d", i)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, ok := st.GetCommitted(fmt.Sprintf("sub-%d", i%10000)); !ok {
-			b.Fatal("missing row")
+		if _, ok := st.LookupByAttr(subscriber.AttrIMSI, vals[i%len(vals)]); !ok {
+			b.Fatal("missing identity")
 		}
 	}
 }
@@ -225,6 +329,34 @@ func BenchmarkFEReadPath(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFEReadPathParallel runs the full FE read path from many
+// concurrent client goroutines against one shared session (sessions
+// are safe for concurrent use), the end-to-end view of the striped
+// engine's read scaling.
+func BenchmarkFEReadPathParallel(b *testing.B) {
+	net, u, profiles := benchUDR(b, 1000)
+	site := u.Sites()[0]
+	sess := core.NewSession(net, simnet.MakeAddr(site, "bench-fe"), site, core.PolicyFE)
+	ctx := context.Background()
+	var worker atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := int(worker.Add(1)) * 7919
+		i := 0
+		for pb.Next() {
+			p := profiles[(base+i)%len(profiles)]
+			if _, err := sess.Exec(ctx, core.ExecReq{
+				Identity: subscriber.Identity{Type: subscriber.MSISDN, Value: p.MSISDNVal},
+				Ops:      []se.TxnOp{{Kind: se.TxnGet}},
+			}); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
 }
 
 // BenchmarkPSWritePath measures the provisioning write path

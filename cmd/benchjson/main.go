@@ -1,0 +1,97 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a JSON document, so the repo's perf trajectory can be archived
+// per PR (make bench-json → BENCH_PR<N>.json) and diffed by tooling.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchtime 200x . | benchjson -o BENCH_PR2.json
+//
+// Each benchmark line becomes one object:
+//
+//	{"name":"StoreRead","procs":8,"iterations":1000,
+//	 "metrics":{"ns/op":120.9,"B/op":0,"allocs/op":0}}
+//
+// Header lines (goos/goarch/pkg/cpu) are captured into "env".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches "BenchmarkName-8   1000   123 ns/op   0 B/op ...".
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+// result is one parsed benchmark.
+type result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// output is the document shape.
+type output struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []result          `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := output{Env: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, k+": "); ok {
+				doc.Env[k] = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := result{Name: m[1], Metrics: map[string]float64{}}
+		if m[2] != "" {
+			r.Procs, _ = strconv.Atoi(m[2])
+		}
+		r.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		// The tail is "value unit" pairs: "123 ns/op 0 B/op ...".
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: read: %v", err)
+	}
+
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: encode: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}

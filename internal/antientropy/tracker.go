@@ -69,15 +69,16 @@ type Tracker struct {
 // NewTracker builds a tree over the store's current rows and installs
 // the row hook. The hook is installed before the initial scan so a
 // concurrent commit cannot fall between scan and hook (re-observing a
-// row is an idempotent tree update).
+// row is an idempotent tree update). The rebuild iterates the shared
+// immutable row versions in place (ForEachAny): no per-row clone, no
+// key-set materialization.
 func NewTracker(st *store.Store) *Tracker {
 	t := &Tracker{st: st, tree: NewTree(DefaultFanout, DefaultDepth)}
 	st.SetRowHook(t.observe)
-	for key := range st.AllMeta() {
-		if e, m, ok := st.GetAny(key); ok {
-			t.tree.Update(key, RowDigest(key, e, m))
-		}
-	}
+	st.ForEachAny(func(key string, e store.Entry, m store.Meta) bool {
+		t.tree.Update(key, RowDigest(key, e, m))
+		return true
+	})
 	return t
 }
 

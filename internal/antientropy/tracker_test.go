@@ -1,0 +1,99 @@
+package antientropy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// rebuildRoot computes the Merkle root of a store's current rows from
+// scratch, without installing a hook — the oracle for tracker tests.
+func rebuildRoot(st *store.Store) uint64 {
+	tree := NewTree(DefaultFanout, DefaultDepth)
+	st.ForEachAny(func(key string, e store.Entry, m store.Meta) bool {
+		tree.Update(key, RowDigest(key, e, m))
+		return true
+	})
+	return tree.Root()
+}
+
+// TestTrackerAgreesAfterConcurrentInstalls drives concurrent commits,
+// replicated applies and direct puts across the store's lock stripes
+// — row hooks now fire concurrently from different shards — and
+// checks the incrementally maintained tree ends identical to a fresh
+// rebuild, on master and slave alike. Run under -race in CI.
+func TestTrackerAgreesAfterConcurrentInstalls(t *testing.T) {
+	const workers, perW, keys = 6, 150, 40
+
+	master := store.New("m")
+	tracker := NewTracker(master)
+	slave := store.New("s")
+	slave.SetRole(store.Slave)
+	slaveTracker := NewTracker(slave)
+
+	stream := make(chan *store.CommitRecord, workers*perW)
+	master.SetCommitHook(func(rec *store.CommitRecord) error {
+		// Runs under the commit lock; re-observe through the tracker
+		// hook happens inside the store install itself.
+		stream <- rec
+		return nil
+	})
+	var applied sync.WaitGroup
+	applied.Add(1)
+	go func() {
+		defer applied.Done()
+		for rec := range stream {
+			if err := slave.ApplyReplicated(rec); err != nil {
+				t.Errorf("apply: %v", err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := fmt.Sprintf("k%02d", (w+i)%keys)
+				txn := master.Begin(store.ReadCommitted)
+				if i%7 == 6 {
+					txn.Delete(key)
+				} else {
+					txn.Put(key, store.Entry{"v": {fmt.Sprintf("%d-%d", w, i)}})
+				}
+				if _, err := txn.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stream)
+	applied.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if got, want := tracker.Tree().Root(), rebuildRoot(master); got != want {
+		t.Fatalf("master tracker root %x, rebuild %x", got, want)
+	}
+	if got, want := slaveTracker.Tree().Root(), rebuildRoot(slave); got != want {
+		t.Fatalf("slave tracker root %x, rebuild %x", got, want)
+	}
+	// Replicas converged, so their trees must agree too.
+	if tracker.Tree().Root() != slaveTracker.Tree().Root() {
+		t.Fatalf("master root %x != slave root %x",
+			tracker.Tree().Root(), slaveTracker.Tree().Root())
+	}
+
+	// Direct puts (the repair install path) keep tracking.
+	master.PutDirect("extra", store.Entry{"v": {"x"}}, store.Meta{CSN: 1 << 30, WallTS: 1})
+	if got, want := tracker.Tree().Root(), rebuildRoot(master); got != want {
+		t.Fatalf("after PutDirect: tracker root %x, rebuild %x", got, want)
+	}
+}

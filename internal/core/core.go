@@ -139,6 +139,12 @@ type Config struct {
 	// HealPollInterval is the partition-heal detection poll cadence
 	// (default 10ms at the compressed sim scale).
 	HealPollInterval time.Duration
+	// LegacyFindScan forces the storage elements' identity search
+	// (the §3.5 cached-locator fallback) through the legacy
+	// full-partition scan instead of the secondary identity index,
+	// and disables index maintenance. E9/E17 use it to keep the scan
+	// cost measurable.
+	LegacyFindScan bool
 }
 
 // DefaultConfig returns the paper's baseline: three sites (the
@@ -278,6 +284,7 @@ func (u *UDR) buildSiteLocked(spec SiteSpec, primed bool) error {
 			AntiEntropy:          u.cfg.AntiEntropy,
 			RepairInterval:       u.cfg.RepairInterval,
 			RepairMaxRows:        u.cfg.RepairMaxRows,
+			LegacyFindScan:       u.cfg.LegacyFindScan,
 		}
 		if u.cfg.WALDir != "" {
 			cfg.WALDir = u.cfg.WALDir + "/" + cfg.ID
@@ -608,12 +615,12 @@ func (u *UDR) ReseedSlave(partID, elID string) error {
 	st := masterRep.Store
 	tgt := targetRep.Store
 	tgt.SetRole(store.Slave)
-	for key := range st.AllMeta() {
-		e, m, ok := st.GetAny(key)
-		if ok {
-			tgt.PutDirect(key, e, m)
-		}
-	}
+	// Zero-copy bulk transfer: entries are immutable shared versions
+	// and PutDirect installs its own copy.
+	st.ForEachAny(func(key string, e store.Entry, m store.Meta) bool {
+		tgt.PutDirect(key, e, m)
+		return true
+	})
 	tgt.SetAppliedCSN(st.CSN())
 	// Re-attach to the master's shipping list.
 	var peers []simnet.Addr

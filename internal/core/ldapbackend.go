@@ -166,7 +166,10 @@ func identityFromFilter(f ldap.Filter) (subscriber.Identity, bool) {
 // Search implements ldap.Backend. Base-object searches address an
 // entry by DN; subtree searches need an identity-bearing equality
 // filter (the UDR is an indexed subscriber store, not a general
-// directory).
+// directory). Equality filters over identity attributes route through
+// the location stage and, on a cached-locator miss, the storage
+// elements' secondary identity indexes — never a partition scan
+// unless the UDR runs with LegacyFindScan.
 func (b *LDAPBackend) Search(req *ldap.SearchRequest) ([]ldap.SearchEntry, ldap.Result) {
 	ctx, cancel := context.WithTimeout(context.Background(), b.timeout)
 	defer cancel()

@@ -66,8 +66,14 @@ func runE9(ctx context.Context, opts Options) (*Report, error) {
 	rep.Check("new PoA unavailable until maps synced", errors.Is(err, locator.ErrNotReady))
 
 	// Cached alternative: no dip, but misses fan out across SEs.
+	// LegacyFindScan keeps the SE-side resolution on the paper's full
+	// partition scan, so this measures the uncushioned miss cost the
+	// §3.5 trade-off is about (E17 measures scan vs identity index).
 	subsCached := populations[0]
-	net, u, profiles, err := buildUDR(opts, subsCached, func(c *core.Config) { c.LocatorMode = locator.Cached })
+	net, u, profiles, err := buildUDR(opts, subsCached, func(c *core.Config) {
+		c.LocatorMode = locator.Cached
+		c.LegacyFindScan = true
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -248,26 +248,22 @@ func e16Divergence(u *core.UDR, partID string) map[string]int {
 	part, _ := u.Partition(partID)
 	ms := u.Element(part.Master().Element).Replica(partID).Store
 	masterDig := make(map[string]uint64)
-	for key := range ms.AllMeta() {
-		if e, m, ok := ms.GetAny(key); ok {
-			masterDig[key] = antientropy.RowDigest(key, e, m)
-		}
-	}
+	ms.ForEachAny(func(key string, e store.Entry, m store.Meta) bool {
+		masterDig[key] = antientropy.RowDigest(key, e, m)
+		return true
+	})
 	out := make(map[string]int)
 	for _, ref := range part.Replicas[1:] {
 		st := u.Element(ref.Element).Replica(partID).Store
 		n := 0
 		seen := make(map[string]bool)
-		for key := range st.AllMeta() {
-			e, m, ok := st.GetAny(key)
-			if !ok {
-				continue
-			}
+		st.ForEachAny(func(key string, e store.Entry, m store.Meta) bool {
 			if masterDig[key] != antientropy.RowDigest(key, e, m) {
 				n++
 			}
 			seen[key] = true
-		}
+			return true
+		})
 		for key := range masterDig {
 			if !seen[key] {
 				n++

@@ -526,28 +526,22 @@ func metaEqual(a, b store.Meta) bool {
 }
 
 // buildSyncResp returns every row whose local version is not known to
-// the requester (missing, newer or concurrent).
+// the requester (missing, newer or concurrent). Rows are collected
+// zero-copy (shared immutable versions) and sorted afterwards for a
+// deterministic wire order.
 func (r *Replica) buildSyncResp(have map[string]store.Meta) SyncRespMsg {
 	var resp SyncRespMsg
-	var keys []string
-	for k := range r.store.AllMeta() {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		e, m, ok := r.store.GetAny(k)
-		if !ok {
-			continue
-		}
-		hm, known := have[k]
-		if known {
+	r.store.ForEachAny(func(k string, e store.Entry, m store.Meta) bool {
+		if hm, known := have[k]; known {
 			// Skip rows the requester already dominates.
 			if c := hm.VC.Compare(m.VC); c == vclock.Equal || c == vclock.After {
-				continue
+				return true
 			}
 		}
 		resp.Rows = append(resp.Rows, RowTransfer{Key: k, Entry: e, Meta: m})
-	}
+		return true
+	})
+	sort.Slice(resp.Rows, func(i, j int) bool { return resp.Rows[i].Key < resp.Rows[j].Key })
 	return resp
 }
 

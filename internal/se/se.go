@@ -157,6 +157,12 @@ type Config struct {
 	// RepairMaxRows caps row transfers per repair round per peer (the
 	// backbone bandwidth cap); 0 = unlimited.
 	RepairMaxRows int
+	// LegacyFindScan forces identity FindReq resolution through the
+	// legacy full-partition scan and disables identity-index
+	// maintenance on hosted stores. The scan cost is the reason the
+	// paper's provisioned location maps exist; E9 and E17 set this to
+	// keep measuring it against the indexed path.
+	LegacyFindScan bool
 }
 
 // Element is one storage element.
@@ -317,6 +323,9 @@ func (e *Element) Node() *replication.Node { return e.node }
 func (e *Element) AddReplica(partition string, role store.Role) (*PartitionReplica, error) {
 	st := store.New(e.cfg.ID + "/" + partition)
 	st.SetRole(role)
+	if !e.cfg.LegacyFindScan {
+		st.SetIndexedAttrs(subscriber.IdentityAttrs...)
+	}
 	if role == store.Master && e.cfg.CapacityPerPartition > 0 {
 		st.SetCapacity(e.cfg.CapacityPerPartition)
 	}
@@ -500,6 +509,9 @@ func (e *Element) Recover() (map[string]int, error) {
 		st := store.New(e.cfg.ID + "/" + part)
 		st.SetRole(pr.Store.Role())
 		st.SetMultiMaster(pr.Store.MultiMaster())
+		if !e.cfg.LegacyFindScan {
+			st.SetIndexedAttrs(subscriber.IdentityAttrs...)
+		}
 		if pr.Store.Role() == store.Master && e.cfg.CapacityPerPartition > 0 {
 			st.SetCapacity(e.cfg.CapacityPerPartition)
 		}
@@ -655,9 +667,12 @@ func (e *Element) applyTxn(req TxnReq) (TxnResp, error) {
 	return resp, nil
 }
 
-// find scans hosted master replicas for an identity. This is a full
-// scan by design: its cost is the reason the paper's provisioned
-// location maps exist, and E9 measures it.
+// find resolves an identity against hosted master replicas: the
+// expensive path behind cached-locator misses (§3.5). Each replica
+// answers from its secondary identity index in O(log n) per element;
+// with LegacyFindScan the original full scan runs instead — its cost
+// is the reason the paper's provisioned location maps exist, and E9
+// and E17 measure it.
 func (e *Element) find(req FindReq) FindResp {
 	idType := req.Identity.Type
 	value := req.Identity.Value
@@ -686,6 +701,14 @@ func (e *Element) find(req FindReq) FindResp {
 
 	var out FindResp
 	for _, pr := range prs {
+		if !e.cfg.LegacyFindScan && pr.Store.IndexesAttr(attr) {
+			// Indexed path: a miss is authoritative — no live row in
+			// this partition carries the value.
+			if key, ok := pr.Store.LookupByAttr(attr, value); ok {
+				return FindResp{Found: true, SubscriberID: key, Partition: pr.Partition}
+			}
+			continue
+		}
 		pr.Store.ForEach(func(key string, entry store.Entry, _ store.Meta) bool {
 			for _, v := range entry[attr] {
 				if v == value {

@@ -186,6 +186,65 @@ func TestFind(t *testing.T) {
 	}
 }
 
+func TestFindIndexedMatchesLegacyScan(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	idxEl := New(n, Config{ID: "se-idx", Site: "eu"})
+	scanEl := New(n, Config{ID: "se-scan", Site: "eu", LegacyFindScan: true})
+	t.Cleanup(idxEl.Stop)
+	t.Cleanup(scanEl.Stop)
+	for _, el := range []*Element{idxEl, scanEl} {
+		if _, err := el.AddReplica("p1", store.Master); err != nil {
+			t.Fatal(err)
+		}
+		call(t, n, el.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{
+			{Kind: TxnPut, Key: "sub-1", Entry: store.Entry{"imsi": {"214010000000001"}}},
+			{Kind: TxnPut, Key: "sub-2", Entry: store.Entry{"impu": {"sip:2@ims", "tel:2"}}},
+		}})
+	}
+
+	probes := []subscriber.Identity{
+		{Type: subscriber.IMSI, Value: "214010000000001"},
+		{Type: subscriber.IMPU, Value: "tel:2"},
+		{Type: subscriber.IMSI, Value: "ghost"},
+	}
+	for _, id := range probes {
+		a, err := call(t, n, idxEl.Addr(), FindReq{Identity: id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := call(t, n, scanEl.Addr(), FindReq{Identity: id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.(FindResp) != b.(FindResp) {
+			t.Fatalf("id %v: indexed %+v, scan %+v", id, a, b)
+		}
+	}
+
+	// The index tracks writes: re-pointing an identity moves the
+	// answer, deleting the row clears it.
+	call(t, n, idxEl.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{
+		{Kind: TxnModify, Key: "sub-1", Mods: []store.Mod{
+			{Kind: store.ModReplace, Attr: "imsi", Vals: []string{"214010000000009"}}}},
+	}})
+	resp, _ := call(t, n, idxEl.Addr(), FindReq{
+		Identity: subscriber.Identity{Type: subscriber.IMSI, Value: "214010000000001"}})
+	if resp.(FindResp).Found {
+		t.Fatal("stale identity still resolvable")
+	}
+	resp, _ = call(t, n, idxEl.Addr(), FindReq{
+		Identity: subscriber.Identity{Type: subscriber.IMSI, Value: "214010000000009"}})
+	if f := resp.(FindResp); !f.Found || f.SubscriberID != "sub-1" {
+		t.Fatalf("re-pointed identity = %+v", f)
+	}
+	call(t, n, idxEl.Addr(), TxnReq{Partition: "p1", Ops: []TxnOp{{Kind: TxnDelete, Key: "sub-2"}}})
+	resp, _ = call(t, n, idxEl.Addr(), FindReq{
+		Identity: subscriber.Identity{Type: subscriber.IMPU, Value: "tel:2"}})
+	if resp.(FindResp).Found {
+		t.Fatal("deleted row still resolvable through the index")
+	}
+}
+
 func TestFindSkipsSlaves(t *testing.T) {
 	n := simnet.New(simnet.FastConfig())
 	el := newElement(t, n, "se-1", "eu")

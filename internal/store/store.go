@@ -13,6 +13,25 @@
 //     The commit order *is* the serialization order the replication
 //     stream must preserve at every slave copy (§3.2).
 //
+// The engine is built for the paper's §2.3 load profile — millions of
+// RAM-resident subscribers under sustained concurrent FE/PS traffic:
+//
+//   - The row map is sharded into lock-striped buckets, so reads and
+//     writes to different keys proceed in parallel; only the CSN
+//     assignment itself is serialized (commitMu).
+//   - Row versions are immutable copy-on-write values: every install
+//     puts a fresh entry in place and never mutates an installed one,
+//     so reads hand back the shared entry with zero copying. Callers
+//     MUST treat entries returned by reads as read-only and Clone()
+//     before mutating.
+//   - An ordered key index (B-tree) serves Keys / range iteration
+//     without a sort-per-call scan.
+//   - Secondary indexes over configured identity attributes
+//     (IMSI/MSISDN/IMPI/IMPU) are maintained on every install path —
+//     local commit, replicated apply, repair merge, WAL replay — and
+//     turn the §3.4 identity-search fallback from a full scan into an
+//     O(log n) lookup.
+//
 // A Store holds one partition replica; a storage element owns several
 // Stores (its primary partition plus secondary copies).
 package store
@@ -20,9 +39,10 @@ package store
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/btree"
 	"repro/internal/vclock"
 )
 
@@ -52,6 +72,11 @@ var (
 
 // Entry is a row value: an LDAP-style attribute map. Attribute names
 // map to one or more values.
+//
+// Entries returned by Store reads (GetCommitted, GetAny, ForEach and
+// friends) are the installed copy-on-write versions, shared with the
+// engine and with every other reader: they must be treated as
+// immutable. Clone before mutating.
 type Entry map[string][]string
 
 // Clone deep-copies the entry.
@@ -222,12 +247,91 @@ func (r Role) String() string {
 	return "slave"
 }
 
+// numShards is the lock-stripe count. A power of two so the shard
+// selection is a mask; 64 stripes keep writer collisions rare at
+// realistic FE/PS concurrency while the per-store footprint stays
+// trivial next to the row data.
+const numShards = 64
+
+// shard is one lock stripe of the row map.
+type shard struct {
+	mu   sync.RWMutex
+	rows map[string]*row
+}
+
+// shardIndex places a key on its stripe (inlined FNV-1a, no
+// allocation).
+func shardIndex(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h & (numShards - 1)
+}
+
+// identityIndex is the secondary index over configured identity
+// attributes: attr → value → primary key. Identity values are unique
+// per subscriber in the UDR data model; on a pathological collision
+// the last installed row wins and removal is guarded so one row can
+// never evict another row's mapping.
+type identityIndex struct {
+	// on is the lock-free fast path: stores with no indexed attrs
+	// (LegacyFindScan elements) must not pay a global lock per
+	// install just to discover the index is disabled.
+	on    atomic.Bool
+	mu    sync.RWMutex
+	attrs []string
+	vals  map[string]map[string]string
+}
+
+// update re-points the index at a row's new version. old/oldLive
+// describe the replaced version, cur/curLive the installed one. It is
+// called with the row's shard lock held, which serializes updates per
+// key; the index's own lock serializes updates across shards.
+func (ix *identityIndex) update(key string, old Entry, oldLive bool, cur Entry, curLive bool) {
+	if !ix.on.Load() {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.attrs) == 0 {
+		return
+	}
+	for _, attr := range ix.attrs {
+		if oldLive {
+			for _, v := range old[attr] {
+				if ix.vals[attr][v] == key {
+					delete(ix.vals[attr], v)
+				}
+			}
+		}
+		if curLive {
+			for _, v := range cur[attr] {
+				m := ix.vals[attr]
+				if m == nil {
+					m = make(map[string]string)
+					ix.vals[attr] = m
+				}
+				m[v] = key
+			}
+		}
+	}
+}
+
 // Store is one partition replica. It is safe for concurrent use.
 type Store struct {
 	replicaID string
 
+	// shards hold the rows, lock-striped by key hash.
+	shards [numShards]shard
+
+	// live counts non-tombstone rows across all shards.
+	live atomic.Int64
+
+	// mu guards replica-wide state: role, multi-master mode,
+	// capacity and the row hook.
 	mu   sync.RWMutex
-	rows map[string]*row
 	role Role
 	// multiMaster enables version-vector maintenance and lifts the
 	// slave write restriction (§5 evolution).
@@ -235,35 +339,53 @@ type Store struct {
 	// capacity bounds the number of live rows (the paper's 200 GB /
 	// 2M-subscriber SE limit, scaled); 0 means unbounded.
 	capacity int
-	live     int
+	// rowHook, when set, observes every installed row version (local
+	// commits, replicated applies, WAL replay and direct puts). The
+	// anti-entropy tracker keeps its Merkle tree current through it.
+	// It runs under the row's shard lock — hooks for different keys
+	// may run concurrently, hooks for one key run in install order —
+	// and must not call back into the store; the entry is shared and
+	// must not be retained or mutated.
+	rowHook func(key string, e Entry, m Meta)
+
+	// keyMu guards keys, the ordered index over live keys that backs
+	// Keys and AscendKeys without a sort-per-call scan.
+	keyMu sync.RWMutex
+	keys  *btree.Map[struct{}]
+
+	// idx is the secondary identity index (see SetIndexedAttrs).
+	idx identityIndex
 
 	// commitMu serializes commits so CSN order equals apply order.
 	commitMu sync.Mutex
 	csn      uint64
-	// appliedCSN tracks the replication stream high-water mark on
-	// slaves.
-	appliedCSN uint64
-
 	// commitHook, when set, is invoked under commitMu with every
 	// record before the commit returns; the SE wires WAL append and
 	// replication shipping through it.
 	commitHook func(*CommitRecord) error
 
-	// rowHook, when set, observes every installed row version (local
-	// commits, replicated applies, WAL replay and direct puts). The
-	// anti-entropy tracker keeps its Merkle tree current through it.
-	// It runs under the row lock and must not call back into the
-	// store; the entry is shared and must not be retained or mutated.
-	rowHook func(key string, e Entry, m Meta)
+	// applyMu serializes the replicated-apply path so the CSN
+	// gap/duplicate check and the apply are atomic; appliedCSN is
+	// the replication stream high-water mark on slaves.
+	applyMu    sync.Mutex
+	appliedCSN atomic.Uint64
 }
 
 // New returns an empty master store identified by replicaID.
 func New(replicaID string) *Store {
-	return &Store{
+	s := &Store{
 		replicaID: replicaID,
-		rows:      make(map[string]*row),
-		role:      Master,
+		keys:      btree.New[struct{}](),
 	}
+	for i := range s.shards {
+		s.shards[i].rows = make(map[string]*row)
+	}
+	return s
+}
+
+// shardFor returns the stripe holding key.
+func (s *Store) shardFor(key string) *shard {
+	return &s.shards[shardIndex(key)]
 }
 
 // ReplicaID returns the identifier used in version vectors and
@@ -324,6 +446,68 @@ func (s *Store) SetRowHook(fn func(key string, e Entry, m Meta)) {
 	s.rowHook = fn
 }
 
+// loadRowHook reads the current row hook.
+func (s *Store) loadRowHook() func(key string, e Entry, m Meta) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rowHook
+}
+
+// SetIndexedAttrs configures the secondary identity index over the
+// given attributes and rebuilds it from the current live rows. Every
+// later install path (commit, replicated apply, repair merge, WAL
+// replay, direct put) keeps it current. Call it before the store
+// takes concurrent traffic (the storage element does, at replica
+// attach); no attributes disables the index.
+func (s *Store) SetIndexedAttrs(attrs ...string) {
+	s.idx.mu.Lock()
+	s.idx.attrs = append([]string(nil), attrs...)
+	s.idx.vals = make(map[string]map[string]string, len(attrs))
+	s.idx.mu.Unlock()
+	s.idx.on.Store(len(attrs) > 0)
+	if len(attrs) == 0 {
+		return
+	}
+	s.ForEach(func(key string, e Entry, _ Meta) bool {
+		s.idx.update(key, nil, false, e, true)
+		return true
+	})
+}
+
+// IndexedAttrs returns the attributes the identity index covers.
+func (s *Store) IndexedAttrs() []string {
+	s.idx.mu.RLock()
+	defer s.idx.mu.RUnlock()
+	return append([]string(nil), s.idx.attrs...)
+}
+
+// IndexesAttr reports whether attr is covered by the identity index,
+// in which case LookupByAttr answers are authoritative: a miss means
+// no live row carries the value.
+func (s *Store) IndexesAttr(attr string) bool {
+	s.idx.mu.RLock()
+	defer s.idx.mu.RUnlock()
+	for _, a := range s.idx.attrs {
+		if a == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// LookupByAttr resolves an indexed attribute value to the primary key
+// of the live row carrying it. It is the O(log n) replacement for the
+// §3.4 identity full scan.
+func (s *Store) LookupByAttr(attr, value string) (string, bool) {
+	if !s.idx.on.Load() {
+		return "", false
+	}
+	s.idx.mu.RLock()
+	defer s.idx.mu.RUnlock()
+	key, ok := s.idx.vals[attr][value]
+	return key, ok
+}
+
 // CSN returns the store's current commit sequence number.
 func (s *Store) CSN() uint64 {
 	s.commitMu.Lock()
@@ -333,57 +517,132 @@ func (s *Store) CSN() uint64 {
 
 // AppliedCSN returns the replication high-water mark (slaves).
 func (s *Store) AppliedCSN() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.appliedCSN
+	return s.appliedCSN.Load()
 }
 
 // Len returns the number of live (non-tombstone) rows.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.live
+	return int(s.live.Load())
 }
 
 // GetCommitted returns the latest committed value and metadata of a
-// row. The entry is a deep copy.
+// row. The entry is the shared immutable version: treat it as
+// read-only and Clone before mutating.
 func (s *Store) GetCommitted(key string) (Entry, Meta, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.rows[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.rows[key]
 	if !ok || r.meta.Tombstone {
 		return nil, Meta{}, false
 	}
-	return r.entry.Clone(), r.meta, true
+	return r.entry, r.meta, true
 }
 
-// Keys returns all live keys in sorted order.
+// isLive reports whether a live (non-tombstone) row exists for key.
+func (s *Store) isLive(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.rows[key]
+	return ok && !r.meta.Tombstone
+}
+
+// Keys returns all live keys in sorted order, served from the ordered
+// key index.
 func (s *Store) Keys() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, s.live)
-	for k, r := range s.rows {
-		if !r.meta.Tombstone {
-			out = append(out, k)
-		}
-	}
-	sort.Strings(out)
+	s.keyMu.RLock()
+	defer s.keyMu.RUnlock()
+	out := make([]string, 0, s.keys.Len())
+	s.keys.Ascend(func(k string, _ struct{}) bool {
+		out = append(out, k)
+		return true
+	})
 	return out
 }
 
-// ForEach calls fn for every live row (deep-copied) until fn returns
-// false. Iteration order is unspecified.
+// AscendKeys calls fn for every live key in [from, to) in ascending
+// order until fn returns false. fn must not call back into the store.
+func (s *Store) AscendKeys(from, to string, fn func(key string) bool) {
+	s.keyMu.RLock()
+	defer s.keyMu.RUnlock()
+	s.keys.AscendRange(from, to, func(k string, _ struct{}) bool {
+		return fn(k)
+	})
+}
+
+// ForEach calls fn for every live row until fn returns false.
+// Iteration order is unspecified. The entry is the shared immutable
+// version; fn must not mutate it, retain it past a Clone, or call
+// back into the store (it runs under the shard read lock).
 func (s *Store) ForEach(fn func(key string, e Entry, m Meta) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for k, r := range s.rows {
-		if r.meta.Tombstone {
-			continue
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, r := range sh.rows {
+			if r.meta.Tombstone {
+				continue
+			}
+			if !fn(k, r.entry, r.meta) {
+				sh.mu.RUnlock()
+				return
+			}
 		}
-		if !fn(k, r.entry.Clone(), r.meta) {
-			return
-		}
+		sh.mu.RUnlock()
 	}
+}
+
+// ForEachAny calls fn for every row including tombstones until fn
+// returns false: the zero-copy iteration behind anti-entropy tracker
+// rebuilds, sync responses and WAL snapshots. The same sharing and
+// no-reentrancy rules as ForEach apply.
+func (s *Store) ForEachAny(fn func(key string, e Entry, m Meta) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, r := range sh.rows {
+			if !fn(k, r.entry, r.meta) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// ForEachMeta calls fn for the metadata of every row including
+// tombstones until fn returns false, without touching entries at all:
+// the cheapest full iteration for consumers that only inspect
+// versions. fn must not call back into the store.
+func (s *Store) ForEachMeta(fn func(key string, m Meta) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, r := range sh.rows {
+			if !fn(k, r.meta) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// StableSnapshot runs fn with the commit and replicated-apply paths
+// excluded: while fn runs, no multi-row transaction can be observed
+// half-installed across shards, and the CSN / applied-CSN passed to
+// fn cover every installed row. The WAL snapshotter runs its whole
+// collect-write-truncate cycle inside fn, so the log can never drop
+// a commit record the snapshot image does not already contain.
+// Single-row direct installs (repair merges, reseeding) may still
+// interleave; they carry their own complete metadata. fn must not
+// commit, apply records, or read CSNs on this store.
+func (s *Store) StableSnapshot(fn func(csn, appliedCSN uint64)) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	fn(s.csn, s.appliedCSN.Load())
 }
 
 // writeOp is a buffered transaction write.
@@ -412,6 +671,7 @@ func (s *Store) Begin(iso Isolation) *Txn {
 // Get returns the row as seen by this transaction: its own buffered
 // writes first (read-your-writes), else the latest committed version
 // (READ_COMMITTED: never uncommitted data from other transactions).
+// Committed entries are returned shared, like Store.GetCommitted.
 func (t *Txn) Get(key string) (Entry, bool) {
 	if t.done {
 		return nil, false
@@ -424,7 +684,9 @@ func (t *Txn) Get(key string) (Entry, bool) {
 			return w.entry.Clone(), true
 		case OpModify:
 			base, _, ok := t.s.GetCommitted(key)
-			if !ok {
+			if ok {
+				base = base.Clone()
+			} else {
 				base = Entry{}
 			}
 			for _, m := range w.mods {
@@ -496,7 +758,11 @@ func (t *Txn) Abort() { t.done = true }
 //
 // The store-wide commit lock makes the CSN order identical to the
 // apply order, which is what lets slaves reproduce the master's
-// serialization order exactly (§3.2).
+// serialization order exactly (§3.2). Rows install per shard: each
+// individual row is only ever observed in a committed state, but a
+// concurrent reader may see a multi-row transaction partially applied
+// — row-granular READ_COMMITTED, the honest concurrent reading of the
+// paper's isolation level.
 func (t *Txn) Commit() (*CommitRecord, error) {
 	if t.done {
 		return nil, ErrTxnDone
@@ -509,6 +775,8 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 	s := t.s
 	s.mu.RLock()
 	roleOK := s.role == Master || s.multiMaster
+	mm := s.multiMaster
+	capacity := s.capacity
 	s.mu.RUnlock()
 	if !roleOK {
 		return nil, ErrReadOnly
@@ -523,15 +791,15 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 		Origin: s.replicaID,
 	}
 
-	// Build ops and post-images under the row lock.
-	s.mu.Lock()
-	// Capacity check: count net new live rows.
-	if s.capacity > 0 {
+	// Capacity check: count net new live rows. commitMu serializes
+	// commits, so the check cannot race another commit; background
+	// direct puts (seeding, repair) are accounted through the shared
+	// live counter.
+	if capacity > 0 {
 		delta := 0
 		for _, key := range t.order {
 			w := t.writes[key]
-			r, exists := s.rows[key]
-			liveNow := exists && !r.meta.Tombstone
+			liveNow := s.isLive(key)
 			switch w.kind {
 			case OpPut, OpModify:
 				if !liveNow {
@@ -543,36 +811,60 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 				}
 			}
 		}
-		if s.live+delta > s.capacity {
-			s.mu.Unlock()
+		if int(s.live.Load())+delta > capacity {
 			return nil, ErrStoreFull
 		}
 	}
+
+	// Build each op and install its post-image under the row's shard
+	// lock, so the post-image computation and the install are atomic
+	// per row.
 	for _, key := range t.order {
 		w := t.writes[key]
 		op := Op{Key: key}
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		r, exists := sh.rows[key]
+		if !exists {
+			r = &row{}
+			sh.rows[key] = r
+		}
+		wasLive := exists && !r.meta.Tombstone
+		oldEntry := r.entry
 		switch w.kind {
 		case OpPut:
 			op.Kind = OpPut
-			op.Entry = w.entry.Clone()
+			op.Entry = w.entry // txn is done; ownership transfers
+			r.entry = op.Entry.Clone()
+			r.meta.Tombstone = false
 		case OpModify:
 			op.Kind = OpModify
 			op.Mods = append([]Mod(nil), w.mods...)
 			base := Entry{}
-			if r, ok := s.rows[key]; ok && !r.meta.Tombstone {
+			if wasLive {
 				base = r.entry.Clone()
 			}
 			for _, m := range w.mods {
 				m.apply(base)
 			}
 			op.Entry = base // post-image
+			r.entry = base.Clone()
+			r.meta.Tombstone = false
 		case OpDelete:
 			op.Kind = OpDelete
+			r.entry = nil
+			r.meta.Tombstone = true
 		}
+		r.meta.CSN = rec.CSN
+		r.meta.WallTS = rec.WallTS
+		if mm {
+			r.meta.VC = r.meta.VC.Clone().Tick(s.replicaID)
+			op.VC = r.meta.VC.Clone()
+		}
+		s.finishInstallLocked(key, oldEntry, wasLive, r)
+		sh.mu.Unlock()
 		rec.Ops = append(rec.Ops, op)
 	}
-	s.applyOpsLocked(rec, true)
-	s.mu.Unlock()
 
 	if s.commitHook != nil {
 		if err := s.commitHook(rec); err != nil {
@@ -593,43 +885,68 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 	return rec, nil
 }
 
-// applyOpsLocked installs a record's post-images. Callers hold s.mu.
-// local marks a locally committed record (ticks the version vector in
-// multi-master mode).
-func (s *Store) applyOpsLocked(rec *CommitRecord, local bool) {
+// finishInstallLocked settles the side state of one installed row
+// version: the live counter, the ordered key index, the identity
+// index and the row hook. The caller holds the key's shard write
+// lock; oldEntry/wasLive describe the replaced version. The hook is
+// loaded per install, under the shard lock, so a tracker attached
+// mid-commit cannot miss installs that land after its rebuild scan
+// (NewTracker's hook-before-scan invariant).
+func (s *Store) finishInstallLocked(key string, oldEntry Entry, wasLive bool, r *row) {
+	nowLive := !r.meta.Tombstone
+	if nowLive && !wasLive {
+		s.live.Add(1)
+		s.keyMu.Lock()
+		s.keys.Set(key, struct{}{})
+		s.keyMu.Unlock()
+	} else if !nowLive && wasLive {
+		s.live.Add(-1)
+		s.keyMu.Lock()
+		s.keys.Delete(key)
+		s.keyMu.Unlock()
+	}
+	s.idx.update(key, oldEntry, wasLive, r.entry, nowLive)
+	if hook := s.loadRowHook(); hook != nil {
+		hook(key, r.entry, r.meta)
+	}
+}
+
+// applyOps installs a record's post-images, locking each op's shard
+// individually. local marks a locally committed record (ticks the
+// version vector in multi-master mode).
+func (s *Store) applyOps(rec *CommitRecord, local bool) {
+	s.mu.RLock()
+	mm := s.multiMaster
+	s.mu.RUnlock()
 	for i := range rec.Ops {
 		op := &rec.Ops[i]
-		r, ok := s.rows[op.Key]
+		sh := s.shardFor(op.Key)
+		sh.mu.Lock()
+		r, ok := sh.rows[op.Key]
 		if !ok {
 			r = &row{}
-			s.rows[op.Key] = r
+			sh.rows[op.Key] = r
 		}
 		wasLive := ok && !r.meta.Tombstone
+		oldEntry := r.entry
 		switch op.Kind {
 		case OpPut, OpModify:
 			r.entry = op.Entry.Clone()
 			r.meta.Tombstone = false
-			if !wasLive {
-				s.live++
-			}
 		case OpDelete:
 			r.entry = nil
 			r.meta.Tombstone = true
-			if wasLive {
-				s.live--
-			}
 		}
 		r.meta.CSN = rec.CSN
 		r.meta.WallTS = rec.WallTS
-		if s.multiMaster && local {
+		if mm && local {
 			r.meta.VC = r.meta.VC.Clone().Tick(s.replicaID)
 			op.VC = r.meta.VC.Clone()
 		} else if !local && len(op.VC) > 0 {
 			r.meta.VC = op.VC.Clone()
 		}
-		if s.rowHook != nil {
-			s.rowHook(op.Key, r.entry, r.meta)
-		}
+		s.finishInstallLocked(op.Key, oldEntry, wasLive, r)
+		sh.mu.Unlock()
 	}
 }
 
@@ -638,26 +955,27 @@ func (s *Store) applyOpsLocked(rec *CommitRecord, local bool) {
 // strictly increasing CSN order per origin stream; the caller (the
 // replication session) enforces ordering and retransmission.
 func (s *Store) ApplyReplicated(rec *CommitRecord) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if rec.CSN <= s.appliedCSN {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	applied := s.appliedCSN.Load()
+	if rec.CSN <= applied {
 		// Duplicate delivery; idempotent skip.
 		return nil
 	}
-	if rec.CSN != s.appliedCSN+1 {
-		return fmt.Errorf("%w: have %d, got %d", ErrBadCSN, s.appliedCSN, rec.CSN)
+	if rec.CSN != applied+1 {
+		return fmt.Errorf("%w: have %d, got %d", ErrBadCSN, applied, rec.CSN)
 	}
-	s.applyOpsLocked(rec, false)
-	s.appliedCSN = rec.CSN
+	s.applyOps(rec, false)
+	s.appliedCSN.Store(rec.CSN)
 	return nil
 }
 
 // SetAppliedCSN primes the replication high-water mark (used when a
-// slave is seeded from a snapshot).
+// slave is seeded from a snapshot, or re-attached after repair).
 func (s *Store) SetAppliedCSN(csn uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.appliedCSN = csn
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	s.appliedCSN.Store(csn)
 }
 
 // SetCSN primes the commit sequence number (used by WAL recovery so
@@ -672,9 +990,7 @@ func (s *Store) SetCSN(csn uint64) {
 // ApplyReplicated it also advances the local CSN, because replayed
 // records were this replica's own commits.
 func (s *Store) Replay(rec *CommitRecord) {
-	s.mu.Lock()
-	s.applyOpsLocked(rec, false)
-	s.mu.Unlock()
+	s.applyOps(rec, false)
 	s.commitMu.Lock()
 	if rec.CSN > s.csn {
 		s.csn = rec.CSN
@@ -686,9 +1002,10 @@ func (s *Store) Replay(rec *CommitRecord) {
 // used by snapshot load, anti-entropy merge and bulk seeding. The
 // meta is stored as given.
 func (s *Store) PutDirect(key string, e Entry, m Meta) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.putLocked(key, e, m)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.putShardLocked(sh, key, e, m)
 }
 
 // CompareAndPut installs a row version only if the row's current
@@ -698,16 +1015,17 @@ func (s *Store) PutDirect(key string, e Entry, m Meta) {
 // writing the result: a commit or stream apply that lands in between
 // fails the compare and the merge retries against the fresh version.
 func (s *Store) CompareAndPut(key string, expect Meta, expectExists bool, e Entry, m Meta) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.rows[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.rows[key]
 	if ok != expectExists {
 		return false
 	}
 	if ok && !sameVersion(r.meta, expect) {
 		return false
 	}
-	s.putLocked(key, e, m)
+	s.putShardLocked(sh, key, e, m)
 	return true
 }
 
@@ -717,33 +1035,28 @@ func sameVersion(a, b Meta) bool {
 		a.Tombstone == b.Tombstone && a.VC.Compare(b.VC) == vclock.Equal
 }
 
-// putLocked is the shared install path of PutDirect and
-// CompareAndPut. Callers hold s.mu.
-func (s *Store) putLocked(key string, e Entry, m Meta) {
-	r, ok := s.rows[key]
+// putShardLocked is the shared install path of PutDirect and
+// CompareAndPut. Callers hold sh.mu.
+func (s *Store) putShardLocked(sh *shard, key string, e Entry, m Meta) {
+	r, ok := sh.rows[key]
 	wasLive := ok && !r.meta.Tombstone
 	if !ok {
 		r = &row{}
-		s.rows[key] = r
+		sh.rows[key] = r
 	}
+	oldEntry := r.entry
 	r.entry = e.Clone()
 	r.meta = m
-	if m.Tombstone && wasLive {
-		s.live--
-	} else if !m.Tombstone && !wasLive {
-		s.live++
-	}
-	if s.rowHook != nil {
-		s.rowHook(key, r.entry, r.meta)
-	}
+	s.finishInstallLocked(key, oldEntry, wasLive, r)
 }
 
 // MetaOf returns row metadata even for tombstones (anti-entropy needs
 // tombstone versions).
 func (s *Store) MetaOf(key string) (Meta, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.rows[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.rows[key]
 	if !ok {
 		return Meta{}, false
 	}
@@ -753,22 +1066,23 @@ func (s *Store) MetaOf(key string) (Meta, bool) {
 // AllMeta returns the metadata of every row including tombstones,
 // used by the multi-master anti-entropy scan (§5).
 func (s *Store) AllMeta() map[string]Meta {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string]Meta, len(s.rows))
-	for k, r := range s.rows {
-		out[k] = r.meta
-	}
+	out := make(map[string]Meta, s.Len())
+	s.ForEachMeta(func(k string, m Meta) bool {
+		out[k] = m
+		return true
+	})
 	return out
 }
 
-// GetAny returns the row even if tombstoned (anti-entropy).
+// GetAny returns the row even if tombstoned (anti-entropy). Like
+// GetCommitted, the entry is the shared immutable version.
 func (s *Store) GetAny(key string) (Entry, Meta, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.rows[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.rows[key]
 	if !ok {
 		return nil, Meta{}, false
 	}
-	return r.entry.Clone(), r.meta, true
+	return r.entry, r.meta, true
 }

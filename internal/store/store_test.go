@@ -402,16 +402,39 @@ func TestEntryCloneIndependent(t *testing.T) {
 	}
 }
 
-func TestGetReturnsCopy(t *testing.T) {
+func TestGetReturnsImmutableVersion(t *testing.T) {
+	// Reads hand back the installed copy-on-write version with zero
+	// copying. A later commit must install a fresh version, never
+	// mutate the one an earlier reader still holds.
 	s := New("r1")
 	txn := s.Begin(ReadCommitted)
 	txn.Put("k", entry("a", "1"))
 	txn.Commit()
-	e, _, _ := s.GetCommitted("k")
-	e["a"][0] = "mutated"
+	e1, _, _ := s.GetCommitted("k")
+
+	txn = s.Begin(ReadCommitted)
+	txn.Put("k", entry("a", "2"))
+	txn.Commit()
+	txn = s.Begin(ReadCommitted)
+	txn.Modify("k", Mod{Kind: ModReplace, Attr: "a", Vals: []string{"3"}})
+	txn.Commit()
+
+	if e1.First("a") != "1" {
+		t.Fatalf("old version mutated in place: %v", e1)
+	}
 	e2, _, _ := s.GetCommitted("k")
-	if e2.First("a") != "1" {
-		t.Fatal("GetCommitted leaked internal state")
+	if e2.First("a") != "3" {
+		t.Fatalf("new version = %v", e2)
+	}
+	// The caller-supplied entry stays decoupled from the store.
+	in := entry("a", "4")
+	txn = s.Begin(ReadCommitted)
+	txn.Put("k", in)
+	txn.Commit()
+	in["a"][0] = "mutated"
+	e3, _, _ := s.GetCommitted("k")
+	if e3.First("a") != "4" {
+		t.Fatal("caller mutation leaked into the store")
 	}
 }
 

@@ -170,6 +170,11 @@ const (
 // ObjectClass is the objectClass value for subscriber entries.
 const ObjectClass = "udrSubscription"
 
+// IdentityAttrs lists the searchable identity attributes: the keys
+// the §3.3 location stages resolve and the storage elements keep
+// secondary indexes over for the §3.4 identity-search fallback.
+var IdentityAttrs = []string{AttrIMSI, AttrMSISDN, AttrIMPI, AttrIMPU}
+
 func boolStr(b bool) string {
 	if b {
 		return "TRUE"

@@ -193,21 +193,36 @@ type snapRow struct {
 }
 
 // Snapshot atomically writes a full image of s and truncates the log.
-// This is the paper's periodic RAM→disk save at its coarsest.
+// This is the paper's periodic RAM→disk save at its coarsest. The
+// whole cycle — row collection, file write, log truncation — runs
+// inside the store's stable-snapshot section, which excludes commits
+// and replicated applies: a multi-row transaction can never be
+// captured half-installed, and a record can never be truncated away
+// unless the image already covers it. Commits stall for the duration;
+// that is the §3.1 periodic-save cost, paid at snapshot cadence.
 func (l *Log) Snapshot(s *store.Store) error {
-	snap := snapshot{
-		ReplicaID:  s.ReplicaID(),
-		CSN:        s.CSN(),
-		AppliedCSN: s.AppliedCSN(),
-	}
-	for key := range s.AllMeta() {
-		e, m, ok := s.GetAny(key)
-		if !ok {
-			continue
+	var err error
+	s.StableSnapshot(func(csn, appliedCSN uint64) {
+		snap := snapshot{
+			ReplicaID:  s.ReplicaID(),
+			CSN:        csn,
+			AppliedCSN: appliedCSN,
 		}
-		snap.Rows = append(snap.Rows, snapRow{Key: key, Entry: e, Meta: m})
-	}
+		// Shared immutable row versions are collected in place — safe
+		// to encode after the iteration since installed entries are
+		// never mutated, only replaced.
+		s.ForEachAny(func(key string, e store.Entry, m store.Meta) bool {
+			snap.Rows = append(snap.Rows, snapRow{Key: key, Entry: e, Meta: m})
+			return true
+		})
+		err = l.writeSnapshotLocked(&snap)
+	})
+	return err
+}
 
+// writeSnapshotLocked persists the image and truncates the log. The
+// caller holds the store's stable-snapshot section.
+func (l *Log) writeSnapshotLocked(snap *snapshot) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -220,7 +235,7 @@ func (l *Log) Snapshot(s *store.Store) error {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
 	w := bufio.NewWriter(f)
-	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: snapshot encode: %w", err)
 	}
