@@ -1,9 +1,9 @@
 GO ?= go
 
 # Benchmarks included in the archived perf trajectory (bench-json).
-SMOKE_BENCH ?= ^(BenchmarkStoreRead|BenchmarkStoreReadParallel|BenchmarkStoreCommit|BenchmarkStoreCommitParallel|BenchmarkStoreMixedParallel|BenchmarkStoreFindIndexed|BenchmarkFEReadPath|BenchmarkFEReadPathParallel|BenchmarkReplicationApply)$$
+SMOKE_BENCH ?= ^(BenchmarkStoreRead|BenchmarkStoreReadParallel|BenchmarkStoreCommit|BenchmarkStoreCommitParallel|BenchmarkStoreMixedParallel|BenchmarkStoreFindIndexed|BenchmarkFEReadPath|BenchmarkFEReadPathParallel|BenchmarkReplicationApply|BenchmarkWALAppendSync|BenchmarkWALGroupCommitParallel|BenchmarkCommitDurableParallel)$$
 SMOKE_BENCHTIME ?= 2000x
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR3.json
 
 .PHONY: build test test-race bench bench-json lint clean
 

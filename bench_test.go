@@ -8,6 +8,7 @@ package udr
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/subscriber"
+	"repro/internal/wal"
 )
 
 // benchExperiment runs one experiment per iteration in quick mode.
@@ -58,6 +60,7 @@ func BenchmarkE14FiveNines(b *testing.B)   { benchExperiment(b, "E14") }
 func BenchmarkE15Procedures(b *testing.B)  { benchExperiment(b, "E15") }
 func BenchmarkE16AntiEntropy(b *testing.B) { benchExperiment(b, "E16") }
 func BenchmarkE17Concurrency(b *testing.B) { benchExperiment(b, "E17") }
+func BenchmarkE18GroupCommit(b *testing.B) { benchExperiment(b, "E18") }
 
 // --- Primitive benchmarks -------------------------------------------
 
@@ -469,6 +472,139 @@ func BenchmarkAntiEntropyRepair(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(divergent), "rows-repaired/op")
+		})
+	}
+}
+
+// BenchmarkWALAppendSync measures one serial durable WAL append:
+// encode + write + fsync, the paper's footnote-6 "dump transactions
+// to disk before committing" floor that group commit amortizes.
+func BenchmarkWALAppendSync(b *testing.B) {
+	l, err := wal.Open(b.TempDir(), wal.SyncEveryCommit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rec := &store.CommitRecord{Origin: "bench", Ops: []store.Op{{
+		Kind: store.OpPut, Key: "sub-42",
+		Entry: store.Entry{"msisdn": {"34600000001"}, "active": {"TRUE"}},
+	}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.CSN = uint64(i + 1)
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchGoroutines is the fixed committer count the durable-parallel
+// benchmarks run (machine-independent, unlike b.SetParallelism, which
+// multiplies by GOMAXPROCS): the "at 8 goroutines" of the per-PR
+// acceptance numbers.
+const benchGoroutines = 8
+
+// runExactly splits b.N across exactly `gors` goroutines running fn.
+func runExactly(b *testing.B, gors int, fn func(worker int, iter int64)) {
+	b.Helper()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < gors; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				fn(worker, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkWALGroupCommitParallel measures durable appends from
+// exactly 8 concurrent goroutines with and without fsync coalescing:
+// the group=off column is the seed's one-fsync-per-append behavior,
+// the group=on column shares one cohort fsync across concurrent
+// appenders (the PR-3 acceptance ratio).
+func BenchmarkWALGroupCommitParallel(b *testing.B) {
+	for _, group := range []bool{true, false} {
+		name := "group=on"
+		if !group {
+			name = "group=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			l, err := wal.Open(b.TempDir(), wal.SyncEveryCommit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			l.SetGroupCommit(group)
+			recs := make([]*store.CommitRecord, benchGoroutines)
+			for i := range recs {
+				recs[i] = &store.CommitRecord{Origin: "bench", Ops: []store.Op{{
+					Kind: store.OpPut, Key: "sub-42",
+					Entry: store.Entry{"msisdn": {"34600000001"}, "active": {"TRUE"}},
+				}}}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			runExactly(b, benchGoroutines, func(worker int, iter int64) {
+				rec := recs[worker]
+				rec.CSN = uint64(iter)
+				if err := l.Append(rec); err != nil {
+					b.Error(err)
+				}
+			})
+			if s := l.Syncs(); s > 0 {
+				b.ReportMetric(float64(l.Appends())/float64(s), "appends/fsync")
+			}
+		})
+	}
+}
+
+// BenchmarkCommitDurableParallel measures the full durable commit
+// path — transaction install + WAL stage under the commit lock,
+// group-commit fsync wait outside it — from exactly 8 concurrent
+// client goroutines, the end-to-end view of what E18 reports.
+func BenchmarkCommitDurableParallel(b *testing.B) {
+	for _, group := range []bool{true, false} {
+		name := "group=on"
+		if !group {
+			name = "group=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			st := store.New("bench")
+			l, err := wal.Open(b.TempDir(), wal.SyncEveryCommit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			l.SetGroupCommit(group)
+			st.SetCommitPipeline(func(rec *store.CommitRecord) (func() error, error) {
+				ticket, needSync, err := l.AppendStage(rec)
+				if err != nil {
+					return nil, err
+				}
+				if !needSync {
+					return nil, nil
+				}
+				return func() error { return l.WaitDurable(ticket) }, nil
+			})
+			entry := store.Entry{"msisdn": {"34600000001"}, "active": {"TRUE"}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			runExactly(b, benchGoroutines, func(worker int, iter int64) {
+				txn := st.Begin(store.ReadCommitted)
+				txn.Put(fmt.Sprintf("sub-%d", (worker*104729+int(iter))%10000), entry)
+				if _, err := txn.Commit(); err != nil {
+					b.Error(err)
+				}
+			})
 		})
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/ldap"
 	"repro/internal/simnet"
 	"repro/internal/subscriber"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func main() {
 		poaSite  = flag.String("poa-site", "", "site whose PoA serves the LDAP interface (default: first site)")
 		policy   = flag.String("policy", "ps", "session policy behind the LDAP interface: fe or ps")
 		walDir   = flag.String("wal-dir", "", "enable disk persistence under this directory")
+		walSync  = flag.Bool("wal-sync", false, "fsync every commit (dump-before-commit durability, group-committed)")
+		walNoGC  = flag.Bool("wal-no-group-commit", false, "disable WAL fsync coalescing (one fsync per commit)")
 		multiMas = flag.Bool("multi-master", false, "enable §5 multi-master mode")
 		antiEnt  = flag.Bool("anti-entropy", true, "enable Merkle-digest replica repair")
 		repairIv = flag.Duration("repair-interval", 2*time.Second, "periodic anti-entropy repair cadence")
@@ -49,7 +52,11 @@ func main() {
 	siteNames := strings.Split(*sites, ",")
 	cfg := core.Config{
 		ReplicationFactor: *rf, FESlaveReads: true, MultiMaster: *multiMas, WALDir: *walDir,
-		AntiEntropy: *antiEnt, RepairInterval: *repairIv,
+		WALNoGroupCommit: *walNoGC,
+		AntiEntropy:      *antiEnt, RepairInterval: *repairIv,
+	}
+	if *walSync {
+		cfg.WALMode = wal.SyncEveryCommit
 	}
 	for _, s := range siteNames {
 		cfg.Sites = append(cfg.Sites, core.SiteSpec{Name: strings.TrimSpace(s), SEs: *sesPer, PartitionsPerSE: 1})

@@ -49,6 +49,10 @@ type Packet struct {
 	Tag         int
 	Value       []byte    // primitive contents
 	Children    []*Packet // constructed contents
+	// encLen carries a node's content length from the sizing walk to
+	// the encode walk of one Encode/AppendTo call; it is consumed
+	// (zeroed) by the encode walk.
+	encLen int
 }
 
 // NewSequence returns an empty universal SEQUENCE.
@@ -156,9 +160,10 @@ func encodeInt(v int64) []byte {
 	return out
 }
 
-func encodeLength(n int) []byte {
+// appendLength appends the definite-length encoding of n.
+func appendLength(b []byte, n int) []byte {
 	if n < 0x80 {
-		return []byte{byte(n)}
+		return append(b, byte(n))
 	}
 	var tmp [8]byte
 	i := len(tmp)
@@ -167,22 +172,35 @@ func encodeLength(n int) []byte {
 		tmp[i] = byte(n)
 		n >>= 8
 	}
-	out := make([]byte, 0, 1+len(tmp)-i)
-	out = append(out, byte(0x80|(len(tmp)-i)))
-	return append(out, tmp[i:]...)
+	b = append(b, byte(0x80|(len(tmp)-i)))
+	return append(b, tmp[i:]...)
 }
 
-func encodeTag(class Class, constructed bool, tag int) []byte {
-	b := byte(class)
+// lengthLen returns the size of appendLength's output.
+func lengthLen(n int) int {
+	if n < 0x80 {
+		return 1
+	}
+	sz := 1
+	for n > 0 {
+		sz++
+		n >>= 8
+	}
+	return sz
+}
+
+// appendTag appends the tag octets.
+func appendTag(b []byte, class Class, constructed bool, tag int) []byte {
+	id := byte(class)
 	if constructed {
-		b |= 0x20
+		id |= 0x20
 	}
 	if tag < 0x1F {
-		return []byte{b | byte(tag)}
+		return append(b, id|byte(tag))
 	}
 	// High-tag-number form (not used by LDAP but supported for
 	// completeness).
-	out := []byte{b | 0x1F}
+	b = append(b, id|0x1F)
 	var tmp [8]byte
 	i := len(tmp)
 	for tag > 0 {
@@ -191,28 +209,74 @@ func encodeTag(class Class, constructed bool, tag int) []byte {
 		tag >>= 7
 	}
 	for j := i; j < len(tmp); j++ {
-		b := tmp[j]
+		c := tmp[j]
 		if j != len(tmp)-1 {
-			b |= 0x80
+			c |= 0x80
 		}
-		out = append(out, b)
+		b = append(b, c)
 	}
-	return out
+	return b
 }
 
-// Encode serializes the packet tree.
-func (p *Packet) Encode() []byte {
-	var content []byte
+// tagLen returns the size of appendTag's output.
+func tagLen(tag int) int {
+	if tag < 0x1F {
+		return 1
+	}
+	sz := 1
+	for tag > 0 {
+		sz++
+		tag >>= 7
+	}
+	return sz
+}
+
+// sizePass computes the packet's full encoded size in one bottom-up
+// walk, caching each node's content length in encLen for the encode
+// pass that immediately follows (appendSized consumes and clears the
+// cache, so a rebuilt tree can never see a stale size).
+func (p *Packet) sizePass() int {
+	c := 0
 	if p.Constructed {
-		for _, c := range p.Children {
-			content = append(content, c.Encode()...)
+		for _, ch := range p.Children {
+			c += ch.sizePass()
 		}
 	} else {
-		content = p.Value
+		c = len(p.Value)
 	}
-	out := encodeTag(p.Class, p.Constructed, p.Tag)
-	out = append(out, encodeLength(len(content))...)
-	return append(out, content...)
+	p.encLen = c
+	return tagLen(p.Tag) + lengthLen(c) + c
+}
+
+// appendSized appends the packet's encoding using the content lengths
+// cached by sizePass.
+func (p *Packet) appendSized(dst []byte) []byte {
+	c := p.encLen
+	p.encLen = 0
+	dst = appendTag(dst, p.Class, p.Constructed, p.Tag)
+	dst = appendLength(dst, c)
+	if p.Constructed {
+		for _, ch := range p.Children {
+			dst = ch.appendSized(dst)
+		}
+		return dst
+	}
+	return append(dst, p.Value...)
+}
+
+// AppendTo appends the packet's encoding to dst and returns the
+// extended slice: one sizing walk, one encode walk. Callers that
+// reuse dst across messages (the LDAP server's per-connection write
+// buffer) encode with zero per-message buffer allocations.
+func (p *Packet) AppendTo(dst []byte) []byte {
+	p.sizePass()
+	return p.appendSized(dst)
+}
+
+// Encode serializes the packet tree into one exactly-sized buffer.
+func (p *Packet) Encode() []byte {
+	total := p.sizePass()
+	return p.appendSized(make([]byte, 0, total))
 }
 
 // Parse decodes one element from buf, returning the element and the
@@ -298,54 +362,72 @@ func parseElem(buf []byte) (*Packet, int, error) {
 }
 
 // ReadElement reads exactly one BER element from r, using the length
-// header to frame it (the standard LDAP framing technique).
+// header to frame it (the standard LDAP framing technique). The
+// header is assembled in a stack array and the element lands in one
+// exactly-sized buffer: a single allocation per message, versus the
+// seed's three (header, long-form length, body). Wrap r in a
+// bufio.Reader to also collapse the header byte reads into one
+// kernel read per buffered chunk.
 func ReadElement(r io.Reader) ([]byte, error) {
-	hdr := make([]byte, 2)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	// hdr holds tag octets + length octets. 16 bytes covers any tag
+	// LDAP (or any sane peer) produces plus a 4-byte long-form
+	// length; a longer header is rejected as hostile.
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:2]); err != nil {
 		return nil, err
 	}
-	buf := append([]byte(nil), hdr...)
-	// Skip high-tag-number bytes.
+	n := 2
+	readByte := func() (byte, error) {
+		if n >= len(hdr) {
+			return 0, errors.New("ber: header too long")
+		}
+		if _, err := io.ReadFull(r, hdr[n:n+1]); err != nil {
+			return 0, err
+		}
+		n++
+		return hdr[n-1], nil
+	}
+	// Skip high-tag-number bytes: hdr[1] was the first tag byte; keep
+	// reading until the continuation bit clears, then read the length
+	// byte.
 	if hdr[0]&0x1F == 0x1F {
-		one := make([]byte, 1)
-		// hdr[1] was the first tag byte; keep reading until the
-		// continuation bit clears, then read the length byte.
 		b := hdr[1]
+		var err error
 		for b&0x80 != 0 {
-			if _, err := io.ReadFull(r, one); err != nil {
+			if b, err = readByte(); err != nil {
 				return nil, err
 			}
-			b = one[0]
-			buf = append(buf, b)
 		}
-		if _, err := io.ReadFull(r, one); err != nil {
+		if _, err = readByte(); err != nil {
 			return nil, err
 		}
-		buf = append(buf, one[0])
 	}
-	lengthByte := buf[len(buf)-1]
+	lengthByte := hdr[n-1]
 	length := int(lengthByte)
 	if lengthByte&0x80 != 0 {
 		nbytes := int(lengthByte & 0x7F)
 		if nbytes == 0 || nbytes > 4 {
 			return nil, errors.New("ber: unsupported length form")
 		}
-		lb := make([]byte, nbytes)
-		if _, err := io.ReadFull(r, lb); err != nil {
+		if n+nbytes > len(hdr) {
+			return nil, errors.New("ber: header too long")
+		}
+		if _, err := io.ReadFull(r, hdr[n:n+nbytes]); err != nil {
 			return nil, err
 		}
-		buf = append(buf, lb...)
 		length = 0
-		for _, b := range lb {
+		for _, b := range hdr[n : n+nbytes] {
 			length = length<<8 | int(b)
 		}
+		n += nbytes
 	}
 	if length > MaxElementSize {
 		return nil, errors.New("ber: element exceeds size limit")
 	}
-	body := make([]byte, length)
-	if _, err := io.ReadFull(r, body); err != nil {
+	buf := make([]byte, n+length)
+	copy(buf, hdr[:n])
+	if _, err := io.ReadFull(r, buf[n:]); err != nil {
 		return nil, err
 	}
-	return append(buf, body...), nil
+	return buf, nil
 }

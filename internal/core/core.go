@@ -120,6 +120,10 @@ type Config struct {
 	WALMode wal.Mode
 	// WALInterval is the periodic WAL flush interval.
 	WALInterval time.Duration
+	// WALNoGroupCommit disables WAL fsync coalescing in
+	// sync-every-commit mode (one fsync per commit, serialized): the
+	// E18 baseline. Leave false for group commit.
+	WALNoGroupCommit bool
 	// LDAPServiceTime is the PoA's per-operation service time used
 	// to model finite LDAP server capacity (E7); 0 disables.
 	LDAPServiceTime time.Duration
@@ -281,6 +285,7 @@ func (u *UDR) buildSiteLocked(spec SiteSpec, primed bool) error {
 			CapacityPerPartition: u.cfg.CapacityPerSE,
 			WALMode:              u.cfg.WALMode,
 			WALInterval:          u.cfg.WALInterval,
+			WALNoGroupCommit:     u.cfg.WALNoGroupCommit,
 			AntiEntropy:          u.cfg.AntiEntropy,
 			RepairInterval:       u.cfg.RepairInterval,
 			RepairMaxRows:        u.cfg.RepairMaxRows,

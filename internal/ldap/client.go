@@ -1,6 +1,7 @@
 package ldap
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"net"
@@ -19,11 +20,15 @@ func ReadMessage(r io.Reader) ([]byte, error) {
 type Client struct {
 	mu     sync.Mutex
 	conn   net.Conn
+	br     *bufio.Reader
+	wbuf   []byte // reused request encode buffer, guarded by mu
 	nextID int64
 }
 
 // NewClient wraps an established connection.
-func NewClient(conn net.Conn) *Client { return &Client{conn: conn, nextID: 1} }
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReaderSize(conn, 4096), nextID: 1}
+}
 
 // Close terminates the connection (sending an unbind first is the
 // caller's choice via Unbind).
@@ -37,16 +42,17 @@ func (c *Client) roundTrip(op any) ([]any, error) {
 	id := c.nextID
 	c.nextID++
 	msg := &Message{ID: id, Op: op}
-	buf, err := msg.Encode()
+	buf, err := msg.AppendTo(c.wbuf[:0])
 	if err != nil {
 		return nil, err
 	}
+	c.wbuf = buf
 	if _, err := c.conn.Write(buf); err != nil {
 		return nil, err
 	}
 	var out []any
 	for {
-		raw, err := ReadMessage(c.conn)
+		raw, err := ReadMessage(c.br)
 		if err != nil {
 			return nil, err
 		}

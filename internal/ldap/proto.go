@@ -317,6 +317,14 @@ func decodeErr(format string, args ...any) error {
 
 // Encode serializes the message.
 func (m *Message) Encode() ([]byte, error) {
+	return m.AppendTo(nil)
+}
+
+// AppendTo appends the message's wire encoding to dst and returns the
+// extended slice. The server and client pass a reused per-connection
+// buffer here, so steady-state traffic pays no per-message output
+// buffer allocation.
+func (m *Message) AppendTo(dst []byte) ([]byte, error) {
 	env := ber.NewSequence()
 	env.Append(ber.NewInteger(m.ID))
 	op, err := encodeOp(m.Op)
@@ -324,7 +332,7 @@ func (m *Message) Encode() ([]byte, error) {
 		return nil, err
 	}
 	env.Append(op)
-	return env.Encode(), nil
+	return env.AppendTo(dst), nil
 }
 
 func sortedAttrNames(attrs map[string][]string) []string {

@@ -1,6 +1,7 @@
 package ldap
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -103,12 +104,16 @@ type connState struct {
 }
 
 // ServeConn processes one connection until unbind, EOF or a protocol
-// error.
+// error. Reads go through a per-connection bufio.Reader (one kernel
+// read per buffered chunk instead of several per BER header) and
+// responses are encoded into a reused per-connection write buffer.
 func (s *Server) ServeConn(conn net.Conn) error {
 	defer conn.Close()
 	st := &connState{}
+	br := bufio.NewReaderSize(conn, 4096)
+	var wbuf []byte
 	for {
-		raw, err := ReadMessage(conn)
+		raw, err := ReadMessage(br)
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				return nil
@@ -126,17 +131,28 @@ func (s *Server) ServeConn(conn net.Conn) error {
 		if err != nil {
 			return err
 		}
+		wbuf = wbuf[:0]
 		for _, r := range resp {
-			buf, err := r.Encode()
-			if err != nil {
-				return err
-			}
-			if _, err := conn.Write(buf); err != nil {
+			if wbuf, err = r.AppendTo(wbuf); err != nil {
 				return err
 			}
 		}
+		if len(wbuf) > 0 {
+			if _, err := conn.Write(wbuf); err != nil {
+				return err
+			}
+		}
+		// Don't let one large search burst pin its peak buffer for
+		// the connection's remaining lifetime.
+		if cap(wbuf) > maxRetainedWriteBuf {
+			wbuf = nil
+		}
 	}
 }
+
+// maxRetainedWriteBuf caps the response buffer capacity kept across
+// messages on one connection; bursts beyond it are released to the GC.
+const maxRetainedWriteBuf = 64 << 10
 
 func (s *Server) dispatch(st *connState, msg *Message) ([]*Message, error) {
 	reply := func(op any) []*Message {

@@ -184,7 +184,7 @@ func (n *Node) AddReplica(partition string, st *store.Store) *Replica {
 		senders:   make(map[simnet.Addr]*sender),
 		resolver:  LWW{},
 	}
-	st.SetCommitHook(r.commitHook)
+	st.SetCommitPipeline(r.commitPipeline)
 	n.mu.Lock()
 	n.replicas[partition] = r
 	n.mu.Unlock()
@@ -346,38 +346,46 @@ func (r *Replica) WaitCaughtUp(ctx context.Context) error {
 	}
 }
 
-// CommitHook exposes the replica's commit processing so a storage
-// element can chain other commit-time work (WAL append) in front of
-// replication shipping.
-func (r *Replica) CommitHook(rec *store.CommitRecord) error {
-	return r.commitHook(rec)
+// CommitPipeline exposes the replica's commit processing so a
+// storage element can chain other commit-time work (WAL staging) in
+// front of replication shipping. The stage phase must run in commit
+// order (under the store's commit lock); the returned wait, if any,
+// carries the synchronous-durability wait and runs after the lock is
+// released.
+func (r *Replica) CommitPipeline(rec *store.CommitRecord) (wait func() error, err error) {
+	return r.commitPipeline(rec)
 }
 
-// commitHook runs under the store's commit lock for every local
-// commit. It enqueues the record to every peer and, for DualSeq and
-// SyncAll, synchronously pushes to the required replicas.
-func (r *Replica) commitHook(rec *store.CommitRecord) error {
+// commitPipeline runs under the store's commit lock for every local
+// commit. It enqueues the record to every peer — that is the ordered
+// part — and, for DualSeq and SyncAll, returns a wait that blocks
+// until the required replicas acknowledge. Waiting outside the
+// commit lock lets concurrent synchronous commits overlap their
+// replication round trips instead of serializing them.
+func (r *Replica) commitPipeline(rec *store.CommitRecord) (func() error, error) {
 	r.mu.Lock()
 	durability := r.durability
-	peers := append([]simnet.Addr(nil), r.peers...)
 	mm := r.store.MultiMaster()
-	// Always hand the record to background senders first so ordered
-	// delivery is preserved even for sync modes (the synchronous
-	// push below rides the same per-peer ordered queue).
+	// Hand the record to background senders in commit order so
+	// ordered delivery is preserved even for sync modes (the
+	// synchronous wait below rides the same per-peer ordered queue).
 	for _, s := range r.senders {
 		s.enqueue(rec)
 	}
 	r.Shipped.Inc()
-	senders := make([]*sender, 0, len(peers))
-	for _, p := range peers {
-		if s, ok := r.senders[p]; ok {
-			senders = append(senders, s)
+	var senders []*sender
+	if !mm && durability != Async {
+		senders = make([]*sender, 0, len(r.peers))
+		for _, p := range r.peers {
+			if s, ok := r.senders[p]; ok {
+				senders = append(senders, s)
+			}
 		}
 	}
 	r.mu.Unlock()
 
-	if mm || durability == Async || len(senders) == 0 {
-		return nil
+	if len(senders) == 0 {
+		return nil, nil
 	}
 
 	// Synchronous durability: wait for the required number of peers
@@ -387,18 +395,22 @@ func (r *Replica) commitHook(rec *store.CommitRecord) error {
 	if durability == SyncAll {
 		need = len(senders)
 	}
-	deadline := time.Now().Add(r.node.CallTimeout)
-	for i := 0; i < need; i++ {
-		s := senders[i]
-		for s.ackedCSN() < rec.CSN {
-			if time.Now().After(deadline) {
-				return fmt.Errorf("%w: peer %s did not confirm CSN %d (%s)",
-					ErrDurability, s.peer, rec.CSN, durability)
+	timeout := r.node.CallTimeout
+	csn := rec.CSN
+	return func() error {
+		deadline := time.Now().Add(timeout)
+		for i := 0; i < need; i++ {
+			s := senders[i]
+			for s.ackedCSN() < csn {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("%w: peer %s did not confirm CSN %d (%s)",
+						ErrDurability, s.peer, csn, durability)
+				}
+				time.Sleep(100 * time.Microsecond)
 			}
-			time.Sleep(100 * time.Microsecond)
 		}
-	}
-	return nil
+		return nil
+	}, nil
 }
 
 // Promote turns a slave replica into the partition master after the
@@ -566,6 +578,57 @@ func (r *Replica) SyncWith(ctx context.Context, peer simnet.Addr) (merged int, e
 	return merged, nil
 }
 
+// SenderStats describes one peer sender's shipping state: the
+// per-sender throughput and batch-size metrics behind E18's
+// replication column and the OaM lag view.
+type SenderStats struct {
+	Peer simnet.Addr
+	// AckedCSN is the highest CSN the peer has confirmed.
+	AckedCSN uint64
+	// QueueDepth is the number of records awaiting shipment.
+	QueueDepth int
+	// BatchCap is the current adaptive batch-size ceiling.
+	BatchCap int
+	// Batches and Records count completed round trips and records
+	// delivered; Records/Batches is the achieved amortization.
+	Batches int64
+	Records int64
+}
+
+// SenderStats returns a snapshot of every peer sender's shipping
+// metrics, ordered like Peers().
+func (r *Replica) SenderStats() []SenderStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SenderStats, 0, len(r.peers))
+	for _, p := range r.peers {
+		s, ok := r.senders[p]
+		if !ok {
+			continue
+		}
+		s.mu.Lock()
+		out = append(out, SenderStats{
+			Peer:       p,
+			AckedCSN:   s.acked,
+			QueueDepth: len(s.queue),
+			BatchCap:   s.batchCap,
+			Batches:    s.batches.Value(),
+			Records:    s.records.Value(),
+		})
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Batch sizing bounds: the adaptive cap starts at minBatch so a lone
+// commit ships with minimum latency, grows toward maxBatch while a
+// backlog is draining (partition heal, burst), and shrinks back once
+// the queue runs shallow.
+const (
+	minBatch = 16
+	maxBatch = 256
+)
+
 // sender ships one replica's commit records to one peer, in order.
 type sender struct {
 	r    *Replica
@@ -574,16 +637,26 @@ type sender struct {
 	mu    sync.Mutex
 	queue []*store.CommitRecord
 	acked uint64
-	wake  chan struct{}
-	done  chan struct{}
+	// batchCap is the adaptive per-round-trip record ceiling.
+	batchCap int
+	wake     chan struct{}
+	done     chan struct{}
+
+	// batch is the run loop's scratch slice, reused across round
+	// trips so steady-state shipping allocates nothing per batch.
+	batch []*store.CommitRecord
+
+	batches metrics.Counter
+	records metrics.Counter
 }
 
 func newSender(r *Replica, peer simnet.Addr) *sender {
 	s := &sender{
-		r:    r,
-		peer: peer,
-		wake: make(chan struct{}, 1),
-		done: make(chan struct{}),
+		r:        r,
+		peer:     peer,
+		batchCap: minBatch,
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
 	}
 	go s.run()
 	return s
@@ -613,22 +686,22 @@ func (s *sender) stop() {
 	}
 }
 
-// maxBatch bounds the records shipped per replication round trip.
-const maxBatch = 256
-
 // run delivers queue records in order, retrying across partitions.
 // Retrying from the first unacknowledged record preserves the
 // master's serialization order at the slave (§3.2); batching
-// amortizes backbone round trips across many commits.
+// amortizes backbone round trips across many commits. The batch
+// slice is owned by this loop and reused every round trip; the batch
+// ceiling adapts to queue depth.
 func (s *sender) run() {
 	for {
 		s.mu.Lock()
-		n := len(s.queue)
-		if n > maxBatch {
-			n = maxBatch
+		depth := len(s.queue)
+		n := depth
+		if n > s.batchCap {
+			n = s.batchCap
 		}
-		batch := make([]*store.CommitRecord, n)
-		copy(batch, s.queue[:n])
+		batch := append(s.batch[:0], s.queue[:n]...)
+		s.batch = batch
 		s.mu.Unlock()
 
 		if len(batch) == 0 {
@@ -660,10 +733,31 @@ func (s *sender) run() {
 		}
 
 		last := batch[len(batch)-1]
+		s.batches.Inc()
+		s.records.Add(int64(len(batch)))
 		s.mu.Lock()
-		s.queue = s.queue[len(batch):]
+		// Drop the scratch slice's references too, or an idle sender
+		// would pin the last batch's records (and their row images)
+		// until the next round trip overwrites them.
+		clear(batch)
+		// Compact the queue in place: the retained capacity is reused
+		// by future enqueues and the consumed slots are cleared so
+		// shipped records become collectible immediately.
+		m := copy(s.queue, s.queue[len(batch):])
+		clear(s.queue[m:])
+		s.queue = s.queue[:m]
 		if last.CSN > s.acked {
 			s.acked = last.CSN
+		}
+		// Adapt the ceiling: a backlog deeper than what we just
+		// shipped means round trips are the bottleneck — grow; a
+		// batch well under the ceiling means traffic is light —
+		// shrink back toward minimum latency.
+		switch {
+		case depth > n && s.batchCap < maxBatch:
+			s.batchCap *= 2
+		case n < s.batchCap/2 && s.batchCap > minBatch:
+			s.batchCap /= 2
 		}
 		s.mu.Unlock()
 	}

@@ -141,6 +141,10 @@ type Config struct {
 	WALMode wal.Mode
 	// WALInterval is the periodic flush interval (default 50ms).
 	WALInterval time.Duration
+	// WALNoGroupCommit disables fsync coalescing in sync-every-commit
+	// mode: every commit pays its own fsync, serialized — the seed
+	// behavior E18 compares against. Leave false for group commit.
+	WALNoGroupCommit bool
 	// SnapshotInterval, when non-zero, compacts every replica's WAL
 	// into a full store snapshot on this cadence — the paper's §3.1
 	// "saves data in RAM to local persistent storage on a periodic
@@ -336,22 +340,14 @@ func (e *Element) AddReplica(partition string, role store.Role) (*PartitionRepli
 		if err != nil {
 			return nil, fmt.Errorf("se %s: %w", e.cfg.ID, err)
 		}
+		l.SetGroupCommit(!e.cfg.WALNoGroupCommit)
 		l.StartPeriodic(e.cfg.WALInterval)
 		pr.Log = l
 	}
 
 	pr.Repl = e.node.AddReplica(partition, st)
 	if pr.Log != nil {
-		// Chain WAL append in front of replication shipping: the
-		// store invokes the replica's hook, which we wrap here.
-		log := pr.Log
-		repl := pr.Repl
-		st.SetCommitHook(func(rec *store.CommitRecord) error {
-			if err := log.Append(rec); err != nil {
-				return err
-			}
-			return repl.CommitHook(rec)
-		})
+		st.SetCommitPipeline(commitPipeline(pr.Log, pr.Repl))
 	}
 	e.attachAntiEntropy(pr)
 
@@ -359,6 +355,42 @@ func (e *Element) AddReplica(partition string, role store.Role) (*PartitionRepli
 	e.replicas[partition] = pr
 	e.mu.Unlock()
 	return pr, nil
+}
+
+// commitPipeline chains WAL persistence in front of replication
+// shipping as the store's two-phase commit hook. Both stage phases —
+// WAL record staging and replication enqueue — run under the store's
+// commit lock, so WAL order and per-peer ship order equal CSN order.
+// The durability waits (the WAL group-commit fsync, then the
+// synchronous-replication acks, when either applies) run after the
+// lock is released: concurrent durable commits stage in order but
+// share one cohort fsync instead of queueing N fsyncs behind the
+// lock.
+func commitPipeline(log *wal.Log, repl *replication.Replica) func(*store.CommitRecord) (func() error, error) {
+	return func(rec *store.CommitRecord) (func() error, error) {
+		ticket, needSync, err := log.AppendStage(rec)
+		if err != nil {
+			return nil, err
+		}
+		replWait, err := repl.CommitPipeline(rec)
+		if err != nil {
+			return nil, err
+		}
+		if !needSync && replWait == nil {
+			return nil, nil
+		}
+		return func() error {
+			if needSync {
+				if err := log.WaitDurable(ticket); err != nil {
+					return err
+				}
+			}
+			if replWait != nil {
+				return replWait()
+			}
+			return nil
+		}, nil
+	}
 }
 
 // attachAntiEntropy builds the Merkle tracker and repairer of one
@@ -526,19 +558,14 @@ func (e *Element) Recover() (map[string]int, error) {
 			if err != nil {
 				return nil, err
 			}
+			l.SetGroupCommit(!e.cfg.WALNoGroupCommit)
 			l.StartPeriodic(e.cfg.WALInterval)
 			pr.Log = l
 		}
 		pr.Store = st
 		pr.Repl = e.node.AddReplica(part, st)
 		if pr.Log != nil {
-			log, repl := pr.Log, pr.Repl
-			st.SetCommitHook(func(rec *store.CommitRecord) error {
-				if err := log.Append(rec); err != nil {
-					return err
-				}
-				return repl.CommitHook(rec)
-			})
+			st.SetCommitPipeline(commitPipeline(pr.Log, pr.Repl))
 		}
 		if e.ae != nil {
 			e.attachAntiEntropyLocked(pr)

@@ -359,10 +359,13 @@ type Store struct {
 	// commitMu serializes commits so CSN order equals apply order.
 	commitMu sync.Mutex
 	csn      uint64
-	// commitHook, when set, is invoked under commitMu with every
-	// record before the commit returns; the SE wires WAL append and
-	// replication shipping through it.
-	commitHook func(*CommitRecord) error
+	// commitPipeline, when set, is invoked under commitMu with every
+	// record before the commit returns; the SE wires WAL staging and
+	// replication shipping through it. The wait closure it returns
+	// (may be nil) runs after commitMu is released, so durability
+	// waits — group-commit fsyncs, synchronous replication acks — do
+	// not serialize commits behind one another.
+	commitPipeline func(*CommitRecord) (wait func() error, err error)
 
 	// applyMu serializes the replicated-apply path so the CSN
 	// gap/duplicate check and the apply are atomic; appliedCSN is
@@ -430,11 +433,29 @@ func (s *Store) SetCapacity(n int) {
 
 // SetCommitHook installs fn to be called under the commit lock for
 // every locally committed record (WAL append + replication shipping).
-// A hook error aborts the commit.
+// A hook error aborts the commit. The whole hook runs under commitMu;
+// hooks that block on durability should use SetCommitPipeline so the
+// wait happens outside the lock.
 func (s *Store) SetCommitHook(fn func(*CommitRecord) error) {
+	if fn == nil {
+		s.SetCommitPipeline(nil)
+		return
+	}
+	s.SetCommitPipeline(func(rec *CommitRecord) (func() error, error) {
+		return nil, fn(rec)
+	})
+}
+
+// SetCommitPipeline installs the two-phase commit hook: fn runs under
+// the commit lock (its side effects — WAL staging, replication
+// enqueue — happen in CSN order), and the wait closure it returns, if
+// any, runs after the lock is released and its error is returned from
+// Commit. This is what lets concurrent durable commits share one
+// group-commit fsync instead of serializing N fsyncs behind commitMu.
+func (s *Store) SetCommitPipeline(fn func(*CommitRecord) (wait func() error, err error)) {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
-	s.commitHook = fn
+	s.commitPipeline = fn
 }
 
 // SetRowHook installs fn to be called for every row version the store
@@ -647,25 +668,62 @@ func (s *Store) StableSnapshot(fn func(csn, appliedCSN uint64)) {
 
 // writeOp is a buffered transaction write.
 type writeOp struct {
+	key   string
 	kind  OpKind
 	entry Entry // for put
 	mods  []Mod // for modify (accumulated)
 }
 
+// txnInlineWrites is the write-set size a Txn holds without any
+// heap allocation beyond the Txn itself. Signaling transactions —
+// location updates, SQN advances — touch one or two rows; only bulk
+// provisioning batches spill.
+const txnInlineWrites = 4
+
+// txnIndexThreshold is the write-set size at which key lookup
+// switches from a linear scan to a map index.
+const txnIndexThreshold = 9
+
 // Txn is an in-flight transaction. A Txn is not safe for concurrent
 // use by multiple goroutines (matching the one-session-one-txn model
 // of the LDAP front end).
+//
+// The write-set is an ordered slice (commit order = staging order)
+// backed by inline storage: the common one-row signaling transaction
+// costs a single allocation for the Txn itself. Lookups scan
+// linearly until the set grows large enough to justify a map index.
 type Txn struct {
 	s      *Store
 	iso    Isolation
-	writes map[string]*writeOp
-	order  []string // write key order, for deterministic op output
-	done   bool
+	writes []writeOp
+	inline [txnInlineWrites]writeOp
+	// idx maps key → writes index, built once the write-set outgrows
+	// a linear scan.
+	idx  map[string]int
+	done bool
 }
 
 // Begin starts a transaction at the given isolation level.
 func (s *Store) Begin(iso Isolation) *Txn {
-	return &Txn{s: s, iso: iso, writes: make(map[string]*writeOp)}
+	t := &Txn{s: s, iso: iso}
+	t.writes = t.inline[:0]
+	return t
+}
+
+// lookup returns the buffered write for key, or nil.
+func (t *Txn) lookup(key string) *writeOp {
+	if t.idx != nil {
+		if i, ok := t.idx[key]; ok {
+			return &t.writes[i]
+		}
+		return nil
+	}
+	for i := range t.writes {
+		if t.writes[i].key == key {
+			return &t.writes[i]
+		}
+	}
+	return nil
 }
 
 // Get returns the row as seen by this transaction: its own buffered
@@ -676,7 +734,7 @@ func (t *Txn) Get(key string) (Entry, bool) {
 	if t.done {
 		return nil, false
 	}
-	if w, ok := t.writes[key]; ok {
+	if w := t.lookup(key); w != nil {
 		switch w.kind {
 		case OpDelete:
 			return nil, false
@@ -700,13 +758,19 @@ func (t *Txn) Get(key string) (Entry, bool) {
 }
 
 func (t *Txn) stage(key string) (w *writeOp, isNew bool) {
-	w, ok := t.writes[key]
-	if !ok {
-		w = &writeOp{}
-		t.writes[key] = w
-		t.order = append(t.order, key)
+	if w := t.lookup(key); w != nil {
+		return w, false
 	}
-	return w, !ok
+	t.writes = append(t.writes, writeOp{key: key})
+	if t.idx != nil {
+		t.idx[key] = len(t.writes) - 1
+	} else if len(t.writes) >= txnIndexThreshold {
+		t.idx = make(map[string]int, 2*len(t.writes))
+		for i := range t.writes {
+			t.idx[t.writes[i].key] = i
+		}
+	}
+	return &t.writes[len(t.writes)-1], true
 }
 
 // Put buffers a full-row write.
@@ -783,12 +847,12 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 	}
 
 	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
 
 	rec := &CommitRecord{
 		CSN:    s.csn + 1,
 		WallTS: nowMicro(),
 		Origin: s.replicaID,
+		Ops:    make([]Op, 0, len(t.writes)),
 	}
 
 	// Capacity check: count net new live rows. commitMu serializes
@@ -797,9 +861,9 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 	// live counter.
 	if capacity > 0 {
 		delta := 0
-		for _, key := range t.order {
-			w := t.writes[key]
-			liveNow := s.isLive(key)
+		for i := range t.writes {
+			w := &t.writes[i]
+			liveNow := s.isLive(w.key)
 			switch w.kind {
 			case OpPut, OpModify:
 				if !liveNow {
@@ -812,22 +876,26 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 			}
 		}
 		if int(s.live.Load())+delta > capacity {
+			s.commitMu.Unlock()
 			return nil, ErrStoreFull
 		}
 	}
 
 	// Build each op and install its post-image under the row's shard
 	// lock, so the post-image computation and the install are atomic
-	// per row.
-	for _, key := range t.order {
-		w := t.writes[key]
-		op := Op{Key: key}
-		sh := s.shardFor(key)
+	// per row. The txn is done, so write-set entries and mod slices
+	// transfer into the record without copying; and because installed
+	// entries are immutable copy-on-write values, the record and the
+	// row share one post-image instead of cloning it twice.
+	for wi := range t.writes {
+		w := &t.writes[wi]
+		op := Op{Key: w.key}
+		sh := s.shardFor(w.key)
 		sh.mu.Lock()
-		r, exists := sh.rows[key]
+		r, exists := sh.rows[w.key]
 		if !exists {
 			r = &row{}
-			sh.rows[key] = r
+			sh.rows[w.key] = r
 		}
 		wasLive := exists && !r.meta.Tombstone
 		oldEntry := r.entry
@@ -835,11 +903,11 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 		case OpPut:
 			op.Kind = OpPut
 			op.Entry = w.entry // txn is done; ownership transfers
-			r.entry = op.Entry.Clone()
+			r.entry = op.Entry
 			r.meta.Tombstone = false
 		case OpModify:
 			op.Kind = OpModify
-			op.Mods = append([]Mod(nil), w.mods...)
+			op.Mods = w.mods // ownership transfers
 			base := Entry{}
 			if wasLive {
 				base = r.entry.Clone()
@@ -847,8 +915,8 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 			for _, m := range w.mods {
 				m.apply(base)
 			}
-			op.Entry = base // post-image
-			r.entry = base.Clone()
+			op.Entry = base // post-image, shared with the row
+			r.entry = base
 			r.meta.Tombstone = false
 		case OpDelete:
 			op.Kind = OpDelete
@@ -861,13 +929,16 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 			r.meta.VC = r.meta.VC.Clone().Tick(s.replicaID)
 			op.VC = r.meta.VC.Clone()
 		}
-		s.finishInstallLocked(key, oldEntry, wasLive, r)
+		s.finishInstallLocked(w.key, oldEntry, wasLive, r)
 		sh.mu.Unlock()
 		rec.Ops = append(rec.Ops, op)
 	}
 
-	if s.commitHook != nil {
-		if err := s.commitHook(rec); err != nil {
+	var wait func() error
+	if s.commitPipeline != nil {
+		var err error
+		wait, err = s.commitPipeline(rec)
+		if err != nil {
 			// Roll back is not possible after apply; the paper's
 			// design has the same property (commit then replicate).
 			// Hooks therefore only fail for full-durability mode
@@ -878,10 +949,21 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 			// "leaving just one of the replicas updated is
 			// acceptable").
 			s.csn = rec.CSN
+			s.commitMu.Unlock()
 			return rec, err
 		}
 	}
 	s.csn = rec.CSN
+	s.commitMu.Unlock()
+
+	// Durability wait — group-commit fsync, synchronous replication
+	// acks — happens outside commitMu: concurrent commits stage in
+	// CSN order but share cohort fsyncs instead of queueing N of them.
+	if wait != nil {
+		if err := wait(); err != nil {
+			return rec, err
+		}
+	}
 	return rec, nil
 }
 
@@ -931,7 +1013,10 @@ func (s *Store) applyOps(rec *CommitRecord, local bool) {
 		oldEntry := r.entry
 		switch op.Kind {
 		case OpPut, OpModify:
-			r.entry = op.Entry.Clone()
+			// Post-images are immutable once committed, so the applied
+			// row shares the record's entry instead of cloning it —
+			// the same sharing the local install path uses.
+			r.entry = op.Entry
 			r.meta.Tombstone = false
 		case OpDelete:
 			r.entry = nil

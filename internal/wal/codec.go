@@ -1,0 +1,313 @@
+// Compact binary codec for commit records.
+//
+// The seed WAL serialized every record through encoding/gob, which
+// re-transmits type descriptors, reflects over every field and
+// allocates per record. The hot write path (§2.3: location updates and
+// SQN advances dominate) deserves a fixed, length-prefixed layout:
+//
+//	frame   := uvarint(len(payload)) payload crc32(payload)
+//	payload := uvarint(CSN) uvarint(WallTS) str(Origin)
+//	           uvarint(nOps) op*
+//	op      := byte(Kind) str(Key) entry mods vc
+//	entry   := uvarint(0)                    -- nil entry (deletes)
+//	         | uvarint(nAttrs+1) attr*       -- counted attributes
+//	attr    := str(name) uvarint(nVals) str(val)*
+//	mods    := uvarint(nMods) (byte(Kind) str(attr) uvarint(nVals) str(val)*)*
+//	vc      := uvarint(nIDs) (str(id) uvarint(counter))*
+//	str     := uvarint(len) bytes
+//
+// The CRC closes the frame so recovery can tell a torn tail (short
+// read: the crash cut a batch mid-write — truncated silently) from a
+// corrupt record (surfaced as an error; the tail may hold good data).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/store"
+	"repro/internal/vclock"
+)
+
+// ErrCorrupt reports a frame whose checksum or structure is invalid.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// errShort reports a truncated payload: a torn tail, not corruption.
+var errShort = errors.New("wal: short record")
+
+// maxFrame bounds one record frame; a length prefix beyond it is
+// treated as corruption rather than an allocation request.
+const maxFrame = 64 << 20
+
+// appendString appends a uvarint-counted string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendEntry appends an entry with a nil/present discriminator.
+func appendEntry(b []byte, e store.Entry) []byte {
+	if e == nil {
+		return binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(e))+1)
+	for name, vals := range e {
+		b = appendString(b, name)
+		b = binary.AppendUvarint(b, uint64(len(vals)))
+		for _, v := range vals {
+			b = appendString(b, v)
+		}
+	}
+	return b
+}
+
+// appendRecord appends the payload encoding of rec (no frame).
+func appendRecord(b []byte, rec *store.CommitRecord) []byte {
+	b = binary.AppendUvarint(b, rec.CSN)
+	b = binary.AppendUvarint(b, uint64(rec.WallTS))
+	b = appendString(b, rec.Origin)
+	b = binary.AppendUvarint(b, uint64(len(rec.Ops)))
+	for i := range rec.Ops {
+		op := &rec.Ops[i]
+		b = append(b, byte(op.Kind))
+		b = appendString(b, op.Key)
+		b = appendEntry(b, op.Entry)
+		b = binary.AppendUvarint(b, uint64(len(op.Mods)))
+		for _, m := range op.Mods {
+			b = append(b, byte(m.Kind))
+			b = appendString(b, m.Attr)
+			b = binary.AppendUvarint(b, uint64(len(m.Vals)))
+			for _, v := range m.Vals {
+				b = appendString(b, v)
+			}
+		}
+		b = binary.AppendUvarint(b, uint64(len(op.VC)))
+		for id, n := range op.VC {
+			b = appendString(b, id)
+			b = binary.AppendUvarint(b, n)
+		}
+	}
+	return b
+}
+
+// appendFrame appends payload as one framed record: length prefix,
+// payload bytes, CRC32 trailer.
+func appendFrame(b, payload []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	b = append(b, payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+}
+
+// decoder walks one payload.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, errShort
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) count(limit uint64) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > limit {
+		return 0, fmt.Errorf("%w: count %d", ErrCorrupt, v)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, errShort
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(d.buf)-d.off) < n {
+		return "", errShort
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) strings(n int) ([]string, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		s, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// maxCount caps decoded element counts: anything larger than the
+// payload could possibly hold is corruption, not data.
+func (d *decoder) maxCount() uint64 { return uint64(len(d.buf)) + 1 }
+
+func (d *decoder) entry() (store.Entry, error) {
+	n, err := d.count(d.maxCount())
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	e := make(store.Entry, n-1)
+	for i := 0; i < n-1; i++ {
+		name, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		nv, err := d.count(d.maxCount())
+		if err != nil {
+			return nil, err
+		}
+		vals, err := d.strings(nv)
+		if err != nil {
+			return nil, err
+		}
+		e[name] = vals
+	}
+	return e, nil
+}
+
+// decodeRecord parses one payload into rec.
+func decodeRecord(payload []byte, rec *store.CommitRecord) error {
+	d := decoder{buf: payload}
+	var err error
+	if rec.CSN, err = d.uvarint(); err != nil {
+		return err
+	}
+	ts, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	rec.WallTS = int64(ts)
+	if rec.Origin, err = d.string(); err != nil {
+		return err
+	}
+	nOps, err := d.count(d.maxCount())
+	if err != nil {
+		return err
+	}
+	rec.Ops = make([]store.Op, nOps)
+	for i := range rec.Ops {
+		op := &rec.Ops[i]
+		k, err := d.byte()
+		if err != nil {
+			return err
+		}
+		op.Kind = store.OpKind(k)
+		if op.Key, err = d.string(); err != nil {
+			return err
+		}
+		if op.Entry, err = d.entry(); err != nil {
+			return err
+		}
+		nMods, err := d.count(d.maxCount())
+		if err != nil {
+			return err
+		}
+		if nMods > 0 {
+			op.Mods = make([]store.Mod, nMods)
+			for j := range op.Mods {
+				mk, err := d.byte()
+				if err != nil {
+					return err
+				}
+				op.Mods[j].Kind = store.ModKind(mk)
+				if op.Mods[j].Attr, err = d.string(); err != nil {
+					return err
+				}
+				nv, err := d.count(d.maxCount())
+				if err != nil {
+					return err
+				}
+				if op.Mods[j].Vals, err = d.strings(nv); err != nil {
+					return err
+				}
+			}
+		}
+		nVC, err := d.count(d.maxCount())
+		if err != nil {
+			return err
+		}
+		if nVC > 0 {
+			op.VC = make(vclock.VC, nVC)
+			for j := 0; j < nVC; j++ {
+				id, err := d.string()
+				if err != nil {
+					return err
+				}
+				n, err := d.uvarint()
+				if err != nil {
+					return err
+				}
+				op.VC[id] = n
+			}
+		}
+	}
+	if d.off != len(payload) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(payload)-d.off)
+	}
+	return nil
+}
+
+// readFrame parses one framed record starting at buf[off]. It returns
+// the decoded record and the offset just past the frame. A torn tail
+// (any short read) returns errShort; a bad CRC or structure returns
+// ErrCorrupt.
+func readFrame(buf []byte, off int, rec *store.CommitRecord) (next int, err error) {
+	plen, n := binary.Uvarint(buf[off:])
+	if n == 0 {
+		return off, errShort
+	}
+	if n < 0 {
+		// An overflowing length varint can never be a crash-truncated
+		// write; it is corruption and must not be silently truncated.
+		return off, fmt.Errorf("%w: frame length varint overflow", ErrCorrupt)
+	}
+	if plen > maxFrame {
+		return off, fmt.Errorf("%w: frame length %d", ErrCorrupt, plen)
+	}
+	start := off + n
+	end := start + int(plen)
+	if end+4 > len(buf) {
+		return off, errShort
+	}
+	payload := buf[start:end]
+	want := binary.LittleEndian.Uint32(buf[end : end+4])
+	if crc32.ChecksumIEEE(payload) != want {
+		return off, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if err := decodeRecord(payload, rec); err != nil {
+		if errors.Is(err, errShort) {
+			err = fmt.Errorf("%w: truncated payload inside intact frame", ErrCorrupt)
+		}
+		return off, err
+	}
+	return end + 4, nil
+}
