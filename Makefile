@@ -5,7 +5,7 @@ SMOKE_BENCH ?= ^(BenchmarkStoreRead|BenchmarkStoreReadParallel|BenchmarkStoreCom
 SMOKE_BENCHTIME ?= 2000x
 BENCH_JSON ?= BENCH_PR3.json
 
-.PHONY: build test test-race bench bench-json lint clean
+.PHONY: build test test-race bench bench-json chaos chaos-long lint clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,15 @@ test:
 # Race-enabled run, what CI executes.
 test-race:
 	$(GO) test -race ./...
+
+# Deterministic chaos profile (what CI's chaos-smoke job runs) and the
+# long soak. Failures dump seed+schedule+history reproducers under
+# chaos-repro/ when CHAOS_REPRO_DIR is set.
+chaos:
+	$(GO) test -race -run 'TestChaos' ./internal/consistency/
+
+chaos-long:
+	$(GO) test -race -timeout 1800s -run TestChaosSoak -chaos.long -v ./internal/consistency/
 
 # Primitive benchmarks plus the quick-mode experiment benchmarks.
 bench:

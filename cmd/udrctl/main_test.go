@@ -56,6 +56,107 @@ func TestParseFilterValueWithEquals(t *testing.T) {
 	}
 }
 
+// dialBackend serves an LDAP backend over an in-memory pipe and
+// returns a bound client (the exact wire path udrctl uses).
+func dialBackend(t *testing.T, b *core.LDAPBackend) *ldap.Client {
+	t.Helper()
+	server := ldap.NewServer(b)
+	cliConn, srvConn := net.Pipe()
+	go server.ServeConn(srvConn)
+	c := ldap.NewClient(cliConn)
+	t.Cleanup(func() { c.Unbind() })
+	if r, err := c.Bind("cn=test", "x"); err != nil || r.Code != ldap.ResultSuccess {
+		t.Fatalf("bind: %v %v", r, err)
+	}
+	return c
+}
+
+// TestRepairRequiresTopology pins the control-plane guard: a backend
+// without topology access (a plain data endpoint) must refuse both the
+// status and the repair extended operations instead of crashing.
+func TestRepairRequiresTopology(t *testing.T) {
+	network := simnet.New(simnet.FastConfig())
+	u, err := core.New(network, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Stop()
+	site := u.Sites()[0]
+	session := core.NewSession(network, simnet.MakeAddr(site, "udrctl-test"), site, core.PolicyPS)
+	c := dialBackend(t, core.NewLDAPBackend(session)) // no WithTopology
+
+	if _, r, err := c.Repair(); err != nil || r.Code != ldap.ResultUnwillingToPerform {
+		t.Fatalf("repair without topology: %v %v, want unwillingToPerform", r.Code, err)
+	}
+	if _, r, err := c.Status(); err != nil || r.Code != ldap.ResultUnwillingToPerform {
+		t.Fatalf("status without topology: %v %v, want unwillingToPerform", r.Code, err)
+	}
+}
+
+// TestRepairDisabledAntiEntropy pins the operator error when the UDR
+// runs without the anti-entropy subsystem: udrctl repair must get a
+// clean unwilling-to-perform with an explanation, not a success with
+// zero rounds.
+func TestRepairDisabledAntiEntropy(t *testing.T) {
+	network := simnet.New(simnet.FastConfig())
+	u, err := core.New(network, core.DefaultConfig()) // AntiEntropy off
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Stop()
+	site := u.Sites()[0]
+	session := core.NewSession(network, simnet.MakeAddr(site, "udrctl-test"), site, core.PolicyPS)
+	c := dialBackend(t, core.NewLDAPBackend(session).WithTopology(u))
+
+	_, r, err := c.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Code != ldap.ResultUnwillingToPerform {
+		t.Fatalf("repair with anti-entropy disabled: %v, want unwillingToPerform", r.Code)
+	}
+	if !strings.Contains(r.Message, "disabled") {
+		t.Fatalf("message %q does not explain the refusal", r.Message)
+	}
+}
+
+// TestRepairPartitionedPeerReportsError drives repair while a site is
+// partitioned away: the extended op must complete, report the rounds
+// that did run, and surface the unreachable peer as a non-success
+// result — the operator needs to know the round was partial.
+func TestRepairPartitionedPeerReportsError(t *testing.T) {
+	network := simnet.New(simnet.FastConfig())
+	cfg := core.DefaultConfig()
+	cfg.AntiEntropy = true
+	u, err := core.New(network, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Stop()
+	gen := subscriber.NewGenerator(u.Sites()...)
+	for i := 0; i < 6; i++ {
+		if err := u.SeedDirect(gen.Profile(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut := u.Sites()[2]
+	network.Partition([]string{cut})
+
+	site := u.Sites()[0]
+	session := core.NewSession(network, simnet.MakeAddr(site, "udrctl-test"), site, core.PolicyPS)
+	c := dialBackend(t, core.NewLDAPBackend(session).WithTopology(u))
+	text, r, err := c.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Code != ldap.ResultOther {
+		t.Fatalf("repair across a partition: %v, want other (partial failure)", r.Code)
+	}
+	if !strings.Contains(text, "repair total:") {
+		t.Fatalf("partial repair report missing summary:\n%s", text)
+	}
+}
+
 // TestRepairEndToEnd drives the operator path udrctl repair uses: an
 // LDAP client issues the repair extended op against a backend with
 // topology access, and a deliberately divergent slave row converges.

@@ -1,0 +1,143 @@
+package ber
+
+import (
+	"bytes"
+	"testing"
+	"testing/iotest"
+)
+
+// fuzzSeeds is the shared seed corpus: well-formed LDAP-shaped
+// messages, every length form, high tag numbers, and the hostile
+// shapes the parser must reject without panicking.
+func fuzzSeeds() [][]byte {
+	bind := NewConstructed(ClassApplication, 0).Append(
+		NewInteger(3), NewString("cn=admin"),
+		NewPrimitive(ClassContext, 0, []byte("secret")))
+	msg := NewSequence().Append(NewInteger(1), bind)
+	long := NewString(string(bytes.Repeat([]byte("x"), 300))) // long-form length
+	hi := NewPrimitive(ClassPrivate, 0x7FFF, []byte("hi"))    // high-tag-number form
+	deep := NewSequence()
+	cur := deep
+	for i := 0; i < 30; i++ {
+		next := NewSequence()
+		cur.Append(next)
+		cur = next
+	}
+	cur.Append(NewBoolean(true))
+	return [][]byte{
+		msg.Encode(),
+		long.Encode(),
+		hi.Encode(),
+		deep.Encode(),
+		NewNull().Encode(),
+		NewSequence().Encode(),
+		{},                             // empty
+		{0x30},                         // tag only
+		{0x30, 0x84, 0xFF, 0xFF, 0xFF}, // truncated long-form length
+		{0x30, 0x84, 0x7F, 0xFF, 0xFF, 0xFF, 0xFF},                         // hostile length header
+		{0x30, 0x80, 0x00, 0x00},                                           // indefinite length (unsupported)
+		{0x1F, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x01, 0x00}, // runaway tag
+		{0x04, 0x03, 0x61},                                                 // length longer than contents
+	}
+}
+
+// FuzzPacketDecode throws arbitrary bytes at the tree parser. A parse
+// must either error or yield a packet that re-encodes and re-parses to
+// the same structure (the server round-trips every request it answers).
+func FuzzPacketDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, rest, err := Parse(data)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - len(rest)
+		if consumed <= 0 || consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+		enc := p.Encode()
+		p2, rest2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-parse of re-encoding failed: %v", err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("re-encoding left %d trailing bytes", len(rest2))
+		}
+		if !packetEqual(p, p2) {
+			t.Fatalf("round trip changed packet:\n in: %#v\nout: %#v", p, p2)
+		}
+		// AppendTo must agree with Encode byte for byte.
+		if got := p.AppendTo(nil); !bytes.Equal(got, enc) {
+			t.Fatalf("AppendTo diverges from Encode")
+		}
+	})
+}
+
+// FuzzReadElement feeds arbitrary byte streams to the length-framed
+// reader. It must never panic, never allocate past MaxElementSize, and
+// whatever frame it returns must start with the bytes it consumed and
+// be parseable-or-rejected exactly like a full in-memory parse.
+func FuzzReadElement(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		frame, err := ReadElement(r)
+		if err != nil {
+			return
+		}
+		if len(frame) > len(data) {
+			t.Fatalf("frame longer (%d) than input (%d)", len(frame), len(data))
+		}
+		if !bytes.Equal(frame, data[:len(frame)]) {
+			t.Fatalf("frame is not a prefix of the input")
+		}
+		// The frame claims to hold exactly one element: parsing it must
+		// consume it fully or reject it — never read past it.
+		if p, rest, err := Parse(frame); err == nil {
+			if len(rest) != 0 {
+				t.Fatalf("ReadElement framed %d bytes but Parse left %d", len(frame), len(rest))
+			}
+			_ = p
+		}
+	})
+}
+
+// FuzzReadElementShortReads re-frames every seed through a one-byte-
+// at-a-time reader: framing must not depend on read chunking.
+func FuzzReadElementShortReads(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		whole, errWhole := ReadElement(bytes.NewReader(data))
+		chunked, errChunked := ReadElement(iotest.OneByteReader(bytes.NewReader(data)))
+		if (errWhole == nil) != (errChunked == nil) {
+			t.Fatalf("chunking changed outcome: %v vs %v", errWhole, errChunked)
+		}
+		if errWhole == nil && !bytes.Equal(whole, chunked) {
+			t.Fatalf("chunking changed frame")
+		}
+	})
+}
+
+func packetEqual(a, b *Packet) bool {
+	if a.Class != b.Class || a.Constructed != b.Constructed || a.Tag != b.Tag {
+		return false
+	}
+	if !bytes.Equal(a.Value, b.Value) {
+		return false
+	}
+	if len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !packetEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,688 @@
+// The chaos harness: builds a three-site UDR on a deterministic
+// simnet, seeds subscribers, drives a seeded stream of client
+// operations through the FE→PoA→SE path while applying the fault
+// schedule, and runs the checkers over the recorded history.
+//
+// Determinism. The deterministic profile issues operations one at a
+// time from a single goroutine; fault events fire at operation-index
+// boundaries; the network runs with zero jitter and zero loss; the WAL
+// runs in sync-every-commit mode so crash recovery is an exact replay;
+// and before every read and every fault event the driver settles
+// replication to every *reachable* peer, so each response depends only
+// on the operation prefix and the schedule — never on goroutine or
+// timer interleavings. Same seed ⇒ byte-identical schedule and
+// byte-identical history, which is what makes a failing run its own
+// reproducer.
+package consistency
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/antientropy"
+	"repro/internal/core"
+	"repro/internal/replication"
+	"repro/internal/se"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/subscriber"
+	"repro/internal/wal"
+)
+
+// ChaosAttr is the subscriber attribute the harness reads and writes.
+const ChaosAttr = "chaosVal"
+
+// Config parameterizes a chaos run. The zero value is not usable; use
+// DefaultConfig (CI-sized) as the base.
+type Config struct {
+	// Seed drives the operation stream and the fault schedule.
+	Seed int64
+	// Ops is the number of client operations to drive.
+	Ops int
+	// Subscribers is the seeded population (the key space).
+	Subscribers int
+	// Clients is the number of virtual client sessions, spread
+	// round-robin over the sites. Each key has a single writer client
+	// (key index mod Clients); reads come from any client.
+	Clients int
+	// Durability is the replication commit durability under test.
+	Durability replication.Durability
+	// WALDir, when non-empty, enables disk persistence and unlocks
+	// crash-restart events (real WAL recovery through internal/wal).
+	WALDir string
+	// FaultMin/FaultMax bound the operation gap between fault events.
+	FaultMin, FaultMax int
+	// SettleTimeout bounds each replication settle wait.
+	SettleTimeout time.Duration
+}
+
+// DefaultConfig returns the CI-sized deterministic profile.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		Ops:           260,
+		Subscribers:   24,
+		Clients:       6,
+		Durability:    replication.Async,
+		FaultMin:      8,
+		FaultMax:      20,
+		SettleTimeout: 10 * time.Second,
+	}
+}
+
+// Result is the outcome of a chaos run.
+type Result struct {
+	Cfg      Config
+	Schedule *Schedule
+	History  *History
+	// Events is the applied schedule with deterministic outcomes
+	// (promoted masters, replayed record counts, repair traffic).
+	Events []string
+
+	Lin           []LinReport
+	LinViolations int
+	Session       SessionReport
+	// Converged reports whether every replica of every partition
+	// agreed row-for-row after the final heal, repair and settle.
+	Converged bool
+	// Diverged counts, per partition, rows still disagreeing when
+	// Converged is false.
+	Diverged map[string]int
+}
+
+// Reproducer renders the seed + schedule + history reproducer bundle.
+func (r *Result) Reproducer() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos reproducer\nseed=%d ops=%d subs=%d clients=%d durability=%s wal=%t\n",
+		r.Cfg.Seed, r.Cfg.Ops, r.Cfg.Subscribers, r.Cfg.Clients,
+		r.Cfg.Durability, r.Cfg.WALDir != "")
+	b.WriteString(r.Schedule.String())
+	for _, e := range r.Events {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	b.WriteString(r.History.String())
+	return b.String()
+}
+
+// WriteReproducer dumps the reproducer bundle under dir (created if
+// missing) and returns the file path.
+func (r *Result) WriteReproducer(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos-seed%d.repro", r.Cfg.Seed))
+	return path, os.WriteFile(path, []byte(r.Reproducer()), 0o644)
+}
+
+// genOp is one pre-generated client operation.
+type genOp struct {
+	client int
+	kind   OpKind
+	key    int // subscriber index
+	policy core.Policy
+	arg    string
+	expect string
+}
+
+// generateOps draws the operation stream. Writes (and CAS and deletes)
+// of a key always come from its owner client so per-key writes are
+// totally ordered even in the concurrent profile.
+func generateOps(cfg Config, rng *rand.Rand) []genOp {
+	lastVal := make([]string, cfg.Subscribers)
+	ops := make([]genOp, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		key := rng.Intn(cfg.Subscribers)
+		op := genOp{key: key}
+		switch p := rng.Intn(100); {
+		case p < 45:
+			op.kind = OpRead
+			op.client = rng.Intn(cfg.Clients)
+			if rng.Intn(100) < 70 {
+				op.policy = core.PolicyFE
+			} else {
+				op.policy = core.PolicyPS
+			}
+		case p < 80:
+			op.kind = OpWrite
+		case p < 95:
+			op.kind = OpCAS
+		default:
+			op.kind = OpDelete
+		}
+		if op.kind != OpRead {
+			op.client = key % cfg.Clients
+			op.policy = core.PolicyPS
+		}
+		if op.kind == OpWrite || op.kind == OpCAS {
+			op.arg = fmt.Sprintf("v%04d-c%d", i, op.client)
+		}
+		if op.kind == OpCAS {
+			if rng.Intn(100) < 70 {
+				op.expect = lastVal[key]
+			} else {
+				op.expect = "bogus"
+			}
+		}
+		if op.kind == OpWrite || op.kind == OpCAS {
+			lastVal[key] = op.arg
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// chaosNetConfig is the deterministic network: zero jitter, zero
+// loss, short timeouts (wall time only — outcomes never depend on it).
+func chaosNetConfig(seed int64) simnet.Config {
+	return simnet.Config{
+		Local:    simnet.Link{Latency: 0, Timeout: 300 * time.Microsecond},
+		Backbone: simnet.Link{Latency: 50 * time.Microsecond, Timeout: time.Millisecond},
+		Seed:     seed,
+	}
+}
+
+// harness bundles the run state.
+type harness struct {
+	cfg     Config
+	net     *simnet.Network
+	u       *core.UDR
+	hist    *History
+	keys    []string // subscriber IDs by key index
+	parts   []string // partition per key index
+	fe, ps  []*core.Session
+	events  []string
+	crashed map[string]bool
+	// stuck marks replicas whose replication stream is CSN-gap-stuck
+	// until the next repair round: the demoted old masters of a
+	// failover. settleReachable skips them ("partition/element" keys);
+	// repair re-attaches them and clears the set.
+	stuck map[string]bool
+}
+
+// Run executes one deterministic chaos run and checks the history.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.FaultMax < cfg.FaultMin {
+		cfg.FaultMax = cfg.FaultMin
+	}
+	h := &harness{cfg: cfg, hist: NewHistory(),
+		crashed: make(map[string]bool), stuck: make(map[string]bool)}
+	h.net = simnet.New(chaosNetConfig(cfg.Seed))
+
+	ucfg := core.DefaultConfig()
+	ucfg.Durability = cfg.Durability
+	ucfg.AntiEntropy = true
+	ucfg.RepairInterval = 0           // rounds run only when the schedule says so
+	ucfg.HealPollInterval = time.Hour // background heal watch effectively off
+	if cfg.WALDir != "" {
+		ucfg.WALDir = cfg.WALDir
+		ucfg.WALMode = wal.SyncEveryCommit // crash recovery is an exact replay
+	}
+	u, err := core.New(h.net, ucfg)
+	if err != nil {
+		return nil, err
+	}
+	h.u = u
+	defer u.Stop()
+
+	// Faster fault probing: the deterministic outcomes do not depend
+	// on these wall-clock knobs, only the run time does.
+	for _, elID := range u.Elements() {
+		el := u.Element(elID)
+		el.Node().RetryInterval = 500 * time.Microsecond
+		el.Node().CallTimeout = 20 * time.Millisecond
+		el.SetTxnObserver(func(_ simnet.Addr, req se.TxnReq, resp se.TxnResp, _ error) {
+			if req.Tag != "" && resp.CSN > 0 {
+				h.hist.attribute(req.Tag, resp.CSN)
+			}
+		})
+	}
+
+	if err := h.seed(ctx); err != nil {
+		return nil, err
+	}
+	sched := GenerateSchedule(cfg.Seed, cfg.Ops, u.Sites(), u.Elements(),
+		cfg.FaultMin, cfg.FaultMax, cfg.WALDir != "")
+	opsRng := rand.New(rand.NewSource(cfg.Seed + 7919))
+	stream := generateOps(cfg, opsRng)
+
+	// Drive: fault events fire before the operation they are pinned to.
+	evIdx := 0
+	for i, op := range stream {
+		for evIdx < len(sched.Events) && sched.Events[evIdx].AtOp <= i {
+			if err := h.applyEvent(ctx, sched.Events[evIdx]); err != nil {
+				return nil, err
+			}
+			evIdx++
+		}
+		if err := h.execute(ctx, i, op); err != nil {
+			return nil, err
+		}
+	}
+	for ; evIdx < len(sched.Events); evIdx++ {
+		if err := h.applyEvent(ctx, sched.Events[evIdx]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Final restore: heal, recover, repair to convergence, settle.
+	h.net.Heal()
+	for elID := range h.crashed {
+		if err := h.recoverElement(elID); err != nil {
+			return nil, err
+		}
+	}
+	converged, diverged, err := h.restore(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	h.hist.resolve()
+	res := &Result{
+		Cfg:       cfg,
+		Schedule:  sched,
+		History:   h.hist,
+		Events:    h.events,
+		Session:   CheckSessions(h.hist),
+		Converged: converged,
+		Diverged:  diverged,
+	}
+	res.Lin = CheckLinearizability(h.hist, true, true)
+	res.LinViolations = Violations(res.Lin)
+	return res, nil
+}
+
+// seed provisions the population and resolves each key's placement so
+// operations can address partitions directly (no locator coupling).
+func (h *harness) seed(ctx context.Context) error {
+	gen := subscriber.NewGenerator(h.u.Sites()...)
+	stage := h.u.Stage(h.u.Sites()[0])
+	for i := 0; i < h.cfg.Subscribers; i++ {
+		p := gen.Profile(i)
+		if err := h.u.SeedDirect(p); err != nil {
+			return err
+		}
+		pl, err := stage.Lookup(ctx, subscriber.Identity{Type: subscriber.UID, Value: p.ID})
+		if err != nil {
+			return fmt.Errorf("consistency: placement of %s: %w", p.ID, err)
+		}
+		h.keys = append(h.keys, p.ID)
+		h.parts = append(h.parts, pl.Partition)
+	}
+	sites := h.u.Sites()
+	for c := 0; c < h.cfg.Clients; c++ {
+		site := sites[c%len(sites)]
+		from := simnet.MakeAddr(site, fmt.Sprintf("chaos-%d", c))
+		h.fe = append(h.fe, core.NewSession(h.net, from, site, core.PolicyFE))
+		h.ps = append(h.ps, core.NewSession(h.net, from, site, core.PolicyPS))
+	}
+	if err := h.u.WaitReplication(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// execute runs one client operation and records it.
+func (h *harness) execute(ctx context.Context, id int, g genOp) error {
+	if g.kind == OpRead {
+		// Reads observe replica state: settle in-flight replication to
+		// every reachable peer first, so what a replica serves depends
+		// on the schedule, not on sender timing.
+		if err := h.settleReachable(ctx); err != nil {
+			return err
+		}
+	}
+	o := &Op{
+		ID:     id,
+		Client: g.client,
+		Site:   h.fe[g.client].PoASite(),
+		Policy: g.policy,
+		Kind:   g.kind,
+		Key:    h.keys[g.key],
+		Arg:    g.arg,
+		Expect: g.expect,
+	}
+	req := core.ExecReq{
+		SubscriberID: o.Key,
+		Partition:    h.parts[g.key],
+		Tag:          opTag(id),
+	}
+	switch g.kind {
+	case OpRead:
+		req.Ops = []se.TxnOp{{Kind: se.TxnGet, Key: o.Key}}
+	case OpWrite:
+		req.Ops = []se.TxnOp{{Kind: se.TxnModify, Key: o.Key, Mods: []store.Mod{
+			{Kind: store.ModReplace, Attr: ChaosAttr, Vals: []string{g.arg}}}}}
+	case OpCAS:
+		req.Ops = []se.TxnOp{
+			{Kind: se.TxnCompare, Key: o.Key, Attr: ChaosAttr, Value: g.expect},
+			{Kind: se.TxnModify, Key: o.Key, Mods: []store.Mod{
+				{Kind: store.ModReplace, Attr: ChaosAttr, Vals: []string{g.arg}}}},
+		}
+	case OpDelete:
+		req.Ops = []se.TxnOp{{Kind: se.TxnDelete, Key: o.Key}}
+	}
+	sess := h.ps[g.client]
+	if g.policy == core.PolicyFE {
+		sess = h.fe[g.client]
+	}
+
+	o.Invoke = h.hist.tick()
+	resp, err := sess.Exec(ctx, req)
+	o.Return = h.hist.tick()
+	if err != nil {
+		o.ErrClass = errClass(err)
+	} else {
+		o.Ok = true
+		o.Role = resp.Role
+		o.CSN = resp.CSN
+		r0 := resp.Results[0]
+		switch g.kind {
+		case OpRead:
+			o.Found = r0.Found
+			o.Value = r0.Entry.First(ChaosAttr)
+			o.CSN = r0.Meta.CSN
+		case OpCAS:
+			o.Found = r0.Found
+			o.CompareOK = r0.CompareOK
+		}
+	}
+	h.hist.add(o)
+	return nil
+}
+
+// applyEvent fires one fault-schedule event and records its outcome.
+func (h *harness) applyEvent(ctx context.Context, ev Event) error {
+	switch ev.Kind {
+	case EvPartition:
+		if err := h.settleReachable(ctx); err != nil {
+			return err
+		}
+		h.net.Partition([]string{ev.Site})
+		h.eventf("ev at=%d kind=partition site=%s", ev.AtOp, ev.Site)
+	case EvHeal:
+		h.net.Heal()
+		// Drain every drainable stream first so the repair walk sees a
+		// deterministic state (anti-entropy racing in-flight senders
+		// would ship a timing-dependent row count); the gap-stuck
+		// demoted masters are excluded, repaired, then settled.
+		if err := h.settleReachable(ctx); err != nil {
+			return err
+		}
+		rounds, rows := h.repairRounds(ctx, 8)
+		for k := range h.stuck {
+			delete(h.stuck, k)
+		}
+		if err := h.settleReachable(ctx); err != nil {
+			return err
+		}
+		h.eventf("ev at=%d kind=heal repair-rounds=%d rows=%d", ev.AtOp, rounds, rows)
+	case EvFailover:
+		if err := h.settleReachable(ctx); err != nil {
+			return err
+		}
+		promoted := 0
+		for _, partID := range h.u.Partitions() {
+			part, ok := h.u.Partition(partID)
+			if !ok || part.Master().Site != ev.Site {
+				continue
+			}
+			oldMaster := part.Master().Element
+			if h.crashed[oldMaster] {
+				continue
+			}
+			ref, err := h.u.Failover(partID)
+			if err != nil {
+				h.eventf("ev at=%d kind=failover part=%s skipped", ev.AtOp, partID)
+				continue
+			}
+			// OSS demotes the isolated old master so it stops
+			// shipping its divergent tail (the E16 scenario). Its
+			// stream stays CSN-gap-stuck until repair re-attaches it.
+			h.u.Element(oldMaster).Replica(partID).Repl.Demote()
+			h.u.Element(ref.Element).Replica(partID).Repl.SetDurability(h.cfg.Durability)
+			h.stuck[partID+"/"+oldMaster] = true
+			promoted++
+			h.eventf("ev at=%d kind=failover part=%s new-master=%s", ev.AtOp, partID, ref.Element)
+		}
+		if promoted == 0 {
+			h.eventf("ev at=%d kind=failover site=%s noop", ev.AtOp, ev.Site)
+		}
+	case EvCrash:
+		if err := h.settleReachable(ctx); err != nil {
+			return err
+		}
+		h.u.Element(ev.Element).Crash()
+		h.crashed[ev.Element] = true
+		// OSS failover: partitions mastered on the crashed element get
+		// a healthy slave promoted immediately (§3.1). A slave's
+		// applied stream is RAM-only — only master commits hit its WAL
+		// — so letting a promoted-then-crashed element resume as master
+		// would resurrect a store missing its whole slave epoch. The
+		// element rejoins as a slave and is reseeded at recovery.
+		for _, partID := range h.u.Partitions() {
+			part, ok := h.u.Partition(partID)
+			if !ok || part.Master().Element != ev.Element {
+				continue
+			}
+			ref, err := h.u.Failover(partID)
+			if err != nil {
+				h.eventf("ev at=%d kind=crash el=%s part=%s failover-skipped", ev.AtOp, ev.Element, partID)
+				continue
+			}
+			h.u.Element(ref.Element).Replica(partID).Repl.SetDurability(h.cfg.Durability)
+			h.eventf("ev at=%d kind=crash el=%s part=%s new-master=%s", ev.AtOp, ev.Element, partID, ref.Element)
+		}
+		h.eventf("ev at=%d kind=crash el=%s", ev.AtOp, ev.Element)
+	case EvRecover:
+		if err := h.recoverElement(ev.Element); err != nil {
+			return err
+		}
+		if err := h.settleReachable(ctx); err != nil {
+			return err
+		}
+		h.eventf("ev at=%d kind=recover el=%s", ev.AtOp, ev.Element)
+	case EvRepair:
+		// Quiesce in-flight senders first: repair racing the stream
+		// would ship a timing-dependent row count.
+		if err := h.settleReachable(ctx); err != nil {
+			return err
+		}
+		stats, _ := h.u.RepairAll(ctx) // unreachable peers: deterministic skips
+		rows := 0
+		for _, s := range stats {
+			rows += s.RowsTransferred()
+		}
+		h.eventf("ev at=%d kind=repair rounds=%d rows=%d", ev.AtOp, len(stats), rows)
+	}
+	return nil
+}
+
+// recoverElement runs WAL recovery and the OSS restore: master
+// replicas get their peers and durability re-wired (WAL replay already
+// restored their data — sync-every-commit mode loses nothing); slave
+// replicas are bulk-reseeded from their current master, which also
+// re-attaches the replication stream at the right watermark.
+func (h *harness) recoverElement(elID string) error {
+	el := h.u.Element(elID)
+	if _, err := el.Recover(); err != nil {
+		return fmt.Errorf("consistency: recover %s: %w", elID, err)
+	}
+	delete(h.crashed, elID)
+	for _, partID := range el.Partitions() {
+		part, ok := h.u.Partition(partID)
+		if !ok {
+			continue
+		}
+		if part.Master().Element == elID {
+			var peers []simnet.Addr
+			for _, ref := range part.Replicas[1:] {
+				if pe := h.u.Element(ref.Element); pe != nil && !pe.Down() {
+					peers = append(peers, ref.Addr)
+				}
+			}
+			rep := el.Replica(partID).Repl
+			rep.SetPeers(peers...)
+			rep.SetDurability(h.cfg.Durability)
+			continue
+		}
+		if mEl := h.u.Element(part.Master().Element); mEl == nil || mEl.Down() {
+			continue
+		}
+		if err := h.u.ReseedSlave(partID, elID); err != nil {
+			return fmt.Errorf("consistency: reseed %s/%s: %w", partID, elID, err)
+		}
+	}
+	return nil
+}
+
+// repairRounds runs anti-entropy rounds until every peer reports in
+// sync or maxRounds is hit; returns rounds run and rows transferred.
+func (h *harness) repairRounds(ctx context.Context, maxRounds int) (rounds, rows int) {
+	for r := 0; r < maxRounds; r++ {
+		stats, err := h.u.RepairAll(ctx)
+		rounds++
+		dirty := err != nil
+		for _, s := range stats {
+			rows += s.RowsTransferred()
+			if !s.InSync {
+				dirty = true
+			}
+		}
+		if !dirty {
+			return rounds, rows
+		}
+	}
+	return rounds, rows
+}
+
+// settleReachable waits until every replica reachable from its
+// current master has applied the master's full commit stream (the
+// peer store's applied watermark reaches the master's CSN — sender
+// acknowledgements lag re-wired streams and would never settle).
+// Unreachable or crashed peers are excluded: their staleness is the
+// schedule's doing, not timing noise.
+func (h *harness) settleReachable(ctx context.Context) error {
+	deadline := time.Now().Add(h.cfg.SettleTimeout)
+	for {
+		stable := true
+		var lag []string
+		for _, partID := range h.u.Partitions() {
+			part, ok := h.u.Partition(partID)
+			if !ok {
+				continue
+			}
+			master := part.Master()
+			el := h.u.Element(master.Element)
+			if el == nil || el.Down() {
+				continue
+			}
+			target := el.Replica(partID).Store.CSN()
+			for _, ref := range part.Replicas[1:] {
+				if h.net.Partitioned(master.Site, ref.Site) || h.stuck[partID+"/"+ref.Element] {
+					continue
+				}
+				peerEl := h.u.Element(ref.Element)
+				if peerEl == nil || peerEl.Down() {
+					continue
+				}
+				if applied := peerEl.Replica(partID).Store.AppliedCSN(); applied < target {
+					stable = false
+					lag = append(lag, fmt.Sprintf("%s@%s %d<%d", partID, ref.Element, applied, target))
+				}
+			}
+		}
+		if stable {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("consistency: settle timeout: %s", strings.Join(lag, ", "))
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// restore drives the final reconvergence: anti-entropy rounds first
+// (the cheap path), then a bulk reseed of any replica still divergent
+// (the OSS full restore), then a final settle and divergence count.
+func (h *harness) restore(ctx context.Context) (bool, map[string]int, error) {
+	h.repairRounds(ctx, 10)
+	if err := h.settleReachable(ctx); err != nil {
+		return false, nil, err
+	}
+	if div := h.divergence(); len(div) > 0 {
+		for partID := range div {
+			part, _ := h.u.Partition(partID)
+			for _, ref := range part.Replicas[1:] {
+				if err := h.u.ReseedSlave(partID, ref.Element); err != nil {
+					return false, nil, err
+				}
+			}
+		}
+		h.repairRounds(ctx, 4)
+		if err := h.settleReachable(ctx); err != nil {
+			return false, nil, err
+		}
+	}
+	div := h.divergence()
+	return len(div) == 0, div, nil
+}
+
+// divergence counts, per partition, rows whose digest differs between
+// the master copy and any replica (missing rows included).
+func (h *harness) divergence() map[string]int {
+	out := make(map[string]int)
+	for _, partID := range h.u.Partitions() {
+		part, ok := h.u.Partition(partID)
+		if !ok {
+			continue
+		}
+		mEl := h.u.Element(part.Master().Element)
+		if mEl == nil || mEl.Down() {
+			continue
+		}
+		ms := mEl.Replica(partID).Store
+		masterDig := make(map[string]uint64)
+		ms.ForEachAny(func(key string, e store.Entry, m store.Meta) bool {
+			masterDig[key] = antientropy.RowDigest(key, e, m)
+			return true
+		})
+		n := 0
+		for _, ref := range part.Replicas[1:] {
+			el := h.u.Element(ref.Element)
+			if el == nil || el.Down() {
+				continue
+			}
+			st := el.Replica(partID).Store
+			seen := make(map[string]bool)
+			st.ForEachAny(func(key string, e store.Entry, m store.Meta) bool {
+				if masterDig[key] != antientropy.RowDigest(key, e, m) {
+					n++
+				}
+				seen[key] = true
+				return true
+			})
+			for key := range masterDig {
+				if !seen[key] {
+					n++
+				}
+			}
+		}
+		if n > 0 {
+			out[partID] = n
+		}
+	}
+	return out
+}
+
+func (h *harness) eventf(format string, args ...any) {
+	h.events = append(h.events, fmt.Sprintf(format, args...))
+}

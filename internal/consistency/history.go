@@ -1,0 +1,247 @@
+// Package consistency turns the repository's subsystems — store, WAL,
+// replication, anti-entropy, cluster failover — into falsifiable test
+// subjects: a seeded, deterministic chaos harness drives randomized
+// client operations against a simnet UDR while a fault schedule
+// injects partitions, failovers, crash-restarts (real WAL recovery)
+// and anti-entropy repairs, recording a timestamped operation history;
+// checkers then validate that history against explicit models:
+//
+//   - per-key linearizability on the master path (Wing & Gong graph
+//     search with pruning — tractable because histories are
+//     per-subscriber, see linearize.go),
+//   - read-your-writes / monotonic-reads session guarantees on slave
+//     reads, with a measured staleness bound (session.go),
+//   - eventual convergence: after the final heal and repair, every
+//     replica of every partition agrees row for row (harness.go).
+//
+// The same seed reproduces the same fault schedule, the same operation
+// stream and — in the deterministic profile — a byte-identical history,
+// so a failing run is its own minimal reproducer (seed + schedule).
+package consistency
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/locator"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+// OpKind enumerates the client operations the harness drives.
+type OpKind int
+
+// Client operation kinds.
+const (
+	// OpRead fetches the chaos attribute of a subscriber row.
+	OpRead OpKind = iota
+	// OpWrite replaces the chaos attribute with a unique value.
+	OpWrite
+	// OpCAS executes [compare(attr, expect), replace(attr, new)] as
+	// one storage-element transaction: an atomic fetch-compare-and-set
+	// whose response reports whether the pre-state matched. The write
+	// applies unconditionally — exactly the semantics the SE's
+	// one-shot transaction gives, and exactly what the checker models.
+	OpCAS
+	// OpDelete removes the subscriber row (a tombstone at the store).
+	OpDelete
+)
+
+// String returns the op kind name.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCAS:
+		return "cas"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// pendingTime is the Return timestamp of an operation that never got a
+// response: it stays open until the end of the history.
+const pendingTime = int64(math.MaxInt64)
+
+// Op is one recorded client operation: the invocation (what was
+// asked, when) and the response (what came back, when). Logical
+// timestamps come from the recorder's clock; an operation with
+// Ok=false has Return set to when the error was observed — the window
+// still bounds any effect the operation may have had, because the
+// simulated network never executes a handler after the call returned.
+type Op struct {
+	ID     int
+	Client int
+	Site   string
+	Policy core.Policy
+	Kind   OpKind
+	Key    string // subscriber ID
+	Arg    string // written value (write / cas)
+	Expect string // cas expected pre-value
+
+	Invoke int64
+	Return int64
+
+	// Response.
+	Ok        bool   // response received
+	ErrClass  string // stable error class when !Ok
+	Found     bool
+	Value     string // chaos attribute value read
+	CompareOK bool
+	CSN       uint64
+	Role      store.Role
+
+	// Server-side attribution (SE TxnObserver): for operations whose
+	// response was lost, ServerSeen+ServerCSN report whether and with
+	// which CSN the transaction actually committed.
+	ServerSeen bool
+	ServerCSN  uint64
+}
+
+// effectful reports whether the operation changed (or may have
+// changed) the row: an acknowledged write/cas/delete, or one whose
+// commit the server observer attributed despite the lost response.
+func (o *Op) effectful() bool {
+	if o.Kind == OpRead {
+		return false
+	}
+	return o.Ok || (o.ServerSeen && o.ServerCSN > 0)
+}
+
+// indeterminate reports an operation whose client saw an error but
+// whose effect is unknown (no server-side attribution either). Such
+// operations may or may not have taken place; with the SE observer
+// attached they only arise when the request never reached the element.
+func (o *Op) indeterminate() bool {
+	return !o.Ok && !o.ServerSeen
+}
+
+// format renders the op as one stable history line. Every field is
+// explicitly formatted so two equal histories are byte-identical.
+func (o *Op) format(b *strings.Builder) {
+	fmt.Fprintf(b,
+		"op id=%d c=%d site=%s pol=%s kind=%s key=%s arg=%s exp=%s inv=%d ret=%d ok=%t err=%s found=%t val=%s cok=%t csn=%d role=%s ssn=%t scsn=%d\n",
+		o.ID, o.Client, o.Site, o.Policy, o.Kind, o.Key, o.Arg, o.Expect,
+		o.Invoke, ret64(o.Return), o.Ok, o.ErrClass, o.Found, o.Value,
+		o.CompareOK, o.CSN, o.Role, o.ServerSeen, o.ServerCSN)
+}
+
+func ret64(v int64) int64 {
+	if v == pendingTime {
+		return -1
+	}
+	return v
+}
+
+// History is the recorded operation log, in completion order.
+type History struct {
+	mu    sync.Mutex
+	clock int64
+	ops   []*Op
+	// serverCSN maps an op tag to the CSN the SE observer attributed.
+	serverCSN map[string]uint64
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{serverCSN: make(map[string]uint64)}
+}
+
+// Len returns the number of recorded operations.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.ops)
+}
+
+// Ops returns the recorded operations in completion order.
+func (h *History) Ops() []*Op {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*Op(nil), h.ops...)
+}
+
+// tick advances the logical clock.
+func (h *History) tick() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.clock++
+	return h.clock
+}
+
+// add appends a completed op.
+func (h *History) add(o *Op) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ops = append(h.ops, o)
+}
+
+// attribute records a server-observed commit for an op tag.
+func (h *History) attribute(tag string, csn uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.serverCSN[tag] = csn
+}
+
+// resolve back-fills server attribution into lost-response ops.
+func (h *History) resolve() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, o := range h.ops {
+		if o.Ok {
+			continue
+		}
+		if csn, ok := h.serverCSN[opTag(o.ID)]; ok {
+			o.ServerSeen = true
+			o.ServerCSN = csn
+		}
+	}
+}
+
+// String renders the full history, one line per op, byte-stable.
+func (h *History) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var b strings.Builder
+	for _, o := range h.ops {
+		o.format(&b)
+	}
+	return b.String()
+}
+
+// opTag labels an operation for server-side attribution.
+func opTag(id int) string { return fmt.Sprintf("chaos-%d", id) }
+
+// errClass maps an error onto a stable token so histories stay
+// byte-identical across runs (wrapped messages may embed peer
+// addresses or timeouts that vary in text, never in class).
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, core.ErrMasterUnreachable):
+		return "master-unreachable"
+	case errors.Is(err, core.ErrNoReplica):
+		return "no-replica"
+	case errors.Is(err, core.ErrUnknownSubscriber), errors.Is(err, locator.ErrNotFound):
+		return "unknown-subscriber"
+	case errors.Is(err, simnet.ErrUnreachable):
+		return "unreachable"
+	case errors.Is(err, simnet.ErrLost):
+		return "lost"
+	case errors.Is(err, store.ErrStoreFull):
+		return "store-full"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,236 @@
+// Per-key linearizability checking (Wing & Gong's algorithm with
+// Lowe's memoization). The UDR gives no cross-subscriber guarantees —
+// a storage element is the unit of atomicity and every chaos operation
+// touches one subscriber row — so the global history factors into
+// independent per-key histories. That factoring is what makes the
+// search tractable: each per-key history holds at most a few hundred
+// operations over a register-like state, and the (linearized-set,
+// state) memo collapses the permutation space.
+package consistency
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// regState is the model state of one subscriber row's chaos attribute:
+// a register that can also be absent (deleted row). val == "" encodes
+// "attribute absent" (freshly seeded or recreated rows): harness
+// writes are never empty, and an LDAP compare against an absent
+// attribute is false for every asserted value including "".
+type regState struct {
+	exists bool
+	val    string
+}
+
+// step applies one operation to the model and reports whether the
+// recorded response is consistent with firing the operation in state
+// s. Operations without a response (lost in the network) impose no
+// response constraint — only their state transition counts.
+func step(s regState, o *Op) (next regState, match bool) {
+	switch o.Kind {
+	case OpRead:
+		match = o.Found == s.exists && (!s.exists || o.Value == s.val)
+		return s, match
+	case OpWrite:
+		return regState{exists: true, val: o.Arg}, true
+	case OpCAS:
+		// The SE's one-shot [compare, replace] transaction: the write
+		// applies unconditionally; the response reports whether the
+		// pre-state matched the expectation. An absent attribute
+		// (val == "") compares false against everything.
+		match = true
+		if o.Ok {
+			match = o.CompareOK == (s.exists && s.val != "" && s.val == o.Expect)
+		}
+		return regState{exists: true, val: o.Arg}, match
+	case OpDelete:
+		return regState{}, true
+	}
+	return s, false
+}
+
+// LinReport is the outcome of checking one key's history.
+type LinReport struct {
+	Key string
+	// Ops is the number of operations in the checked (master-path)
+	// sub-history.
+	Ops int
+	// Linearizable reports whether a valid linearization exists.
+	Linearizable bool
+	// Visited counts DFS states explored (search cost diagnostics).
+	Visited int
+}
+
+// linMaxStates bounds the DFS so a pathological history cannot hang
+// the checker; per-subscriber histories never get close.
+const linMaxStates = 2_000_000
+
+// linOp is one operation prepared for the search.
+type linOp struct {
+	op *Op
+	// required: must appear in the linearization (it completed, or its
+	// effect was attributed server-side). Non-required ops are
+	// indeterminate — they may linearize anywhere after invocation or
+	// not at all.
+	required bool
+	// ret is the effective response time. Operations whose client saw
+	// an error carry no real-time upper bound even when their effect is
+	// server-attributed: the error tells the client nothing about when
+	// (or whether) the effect landed, so the op stays open to the end
+	// of the history — the standard treatment of indeterminate
+	// invocations. This is what lets a failed-but-applied write be
+	// legally "resurrected" by a later repair.
+	ret int64
+}
+
+// CheckKeyLinearizable verifies one key's operation sub-history
+// against the register model, starting from the given initial state.
+// The ops slice must contain only operations on that key.
+func CheckKeyLinearizable(key string, ops []*Op, initial regState) LinReport {
+	rep := LinReport{Key: key, Ops: len(ops), Linearizable: true}
+	if len(ops) == 0 {
+		return rep
+	}
+	lops := make([]linOp, 0, len(ops))
+	for _, o := range ops {
+		ret := o.Return
+		if !o.Ok {
+			ret = pendingTime
+		}
+		lops = append(lops, linOp{op: o, required: o.Ok || o.effectful(), ret: ret})
+	}
+	// Deterministic search order: by invocation time.
+	sort.Slice(lops, func(i, j int) bool { return lops[i].op.Invoke < lops[j].op.Invoke })
+
+	nWords := (len(lops) + 63) / 64
+	seen := make(map[string]bool)
+	done := make([]uint64, nWords)
+
+	var visited int
+	var dfs func(state regState) bool
+	dfs = func(state regState) bool {
+		visited++
+		if visited > linMaxStates {
+			// Treat an exhausted search as a failure: the harness
+			// sizes histories so this cannot trigger on honest runs.
+			return false
+		}
+		allRequired := true
+		// minRet is the earliest response among unlinearized required
+		// ops: anything invoked after it cannot linearize next.
+		minRet := pendingTime
+		for i, lo := range lops {
+			if done[i/64]&(1<<(i%64)) != 0 {
+				continue
+			}
+			if lo.required {
+				allRequired = false
+				if lo.ret < minRet {
+					minRet = lo.ret
+				}
+			}
+		}
+		if allRequired {
+			return true
+		}
+		memoKey := memoize(done, state)
+		if seen[memoKey] {
+			return false
+		}
+		for i, lo := range lops {
+			if done[i/64]&(1<<(i%64)) != 0 {
+				continue
+			}
+			if lo.op.Invoke > minRet {
+				break // sorted by invocation: nothing later qualifies
+			}
+			next, match := step(state, lo.op)
+			if !match {
+				continue
+			}
+			done[i/64] |= 1 << (i % 64)
+			if dfs(next) {
+				return true
+			}
+			done[i/64] &^= 1 << (i % 64)
+		}
+		seen[memoKey] = true
+		return false
+	}
+	rep.Linearizable = dfs(initial)
+	rep.Visited = visited
+	return rep
+}
+
+// memoize encodes (linearized set, model state) as a map key.
+func memoize(done []uint64, s regState) string {
+	var b strings.Builder
+	for _, w := range done {
+		fmt.Fprintf(&b, "%x.", w)
+	}
+	if s.exists {
+		b.WriteByte('+')
+		b.WriteString(s.val)
+	} else {
+		b.WriteByte('-')
+	}
+	return b.String()
+}
+
+// CheckLinearizability factors the history into per-key master-path
+// sub-histories and checks each one. The master path is every
+// effectful or indeterminate write plus every successful read served
+// by a master replica; slave reads belong to the session-guarantee
+// model (§3.3.2 explicitly allows them to be stale) and are checked
+// separately.
+//
+// initialExists reports whether the keys existed (were seeded) before
+// the history began. attributed declares that the history carries
+// complete server-side attribution (the SE TxnObserver was attached),
+// in which case an errored write without attribution provably never
+// executed and is dropped instead of treated as indeterminate.
+//
+// Indeterminate operations (possible without attribution) may
+// linearize anywhere after their invocation or not at all; they impose
+// no real-time constraint on other operations. That is conservative —
+// the checker can under-report, never falsely accuse.
+func CheckLinearizability(h *History, initialExists, attributed bool) []LinReport {
+	byKey := make(map[string][]*Op)
+	for _, o := range h.Ops() {
+		switch {
+		case o.Kind == OpRead:
+			if o.Ok && o.Role == store.Master {
+				byKey[o.Key] = append(byKey[o.Key], o)
+			}
+		default:
+			if o.effectful() || (!attributed && o.indeterminate()) {
+				byKey[o.Key] = append(byKey[o.Key], o)
+			}
+		}
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]LinReport, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, CheckKeyLinearizable(k, byKey[k], regState{exists: initialExists}))
+	}
+	return out
+}
+
+// Violations counts non-linearizable keys in a report set.
+func Violations(reps []LinReport) int {
+	n := 0
+	for _, r := range reps {
+		if !r.Linearizable {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,240 @@
+package consistency
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// seqHistory builds histories with strictly increasing logical time.
+type seqHistory struct {
+	h     *History
+	clock int64
+	id    int
+}
+
+func newSeqHistory() *seqHistory { return &seqHistory{h: NewHistory()} }
+
+func (s *seqHistory) add(o Op) *Op {
+	s.id++
+	s.clock++
+	o.ID = s.id
+	o.Invoke = s.clock
+	s.clock++
+	o.Return = s.clock
+	cp := o
+	s.h.add(&cp)
+	return &cp
+}
+
+func masterRead(client int, key, val string, found bool) Op {
+	return Op{Client: client, Kind: OpRead, Key: key, Ok: true, Found: found, Value: val}
+}
+
+func write(client int, key, val string) Op {
+	return Op{Client: client, Kind: OpWrite, Key: key, Arg: val, Ok: true}
+}
+
+func cas(client int, key, expect, val string, cok bool) Op {
+	return Op{Client: client, Kind: OpCAS, Key: key, Expect: expect, Arg: val, Ok: true, CompareOK: cok}
+}
+
+func TestLinearizableSequentialHistory(t *testing.T) {
+	s := newSeqHistory()
+	s.add(write(0, "k", "a"))
+	s.add(masterRead(1, "k", "a", true))
+	s.add(cas(0, "k", "a", "b", true))
+	s.add(masterRead(1, "k", "b", true))
+	s.add(Op{Client: 0, Kind: OpDelete, Key: "k", Ok: true})
+	s.add(masterRead(1, "k", "", false))
+	s.add(write(0, "k", "c"))
+	s.add(masterRead(1, "k", "c", true))
+	reps := CheckLinearizability(s.h, true, false)
+	if len(reps) != 1 || !reps[0].Linearizable {
+		t.Fatalf("sequential history flagged: %+v", reps)
+	}
+}
+
+func TestLinearizabilityFlagsLostWrite(t *testing.T) {
+	s := newSeqHistory()
+	s.add(write(0, "k", "a"))
+	s.add(masterRead(1, "k", "a", true))
+	s.add(write(0, "k", "b"))            // acknowledged...
+	s.add(masterRead(1, "k", "a", true)) // ...then gone: failover loss
+	reps := CheckLinearizability(s.h, true, false)
+	if Violations(reps) != 1 {
+		t.Fatalf("lost acknowledged write not flagged: %+v", reps)
+	}
+}
+
+func TestLinearizabilityConcurrentOverlap(t *testing.T) {
+	// A read overlapping a write may return either the old or the new
+	// value; both linearize.
+	for _, val := range []string{"a", "b"} {
+		h := NewHistory()
+		h.add(&Op{ID: 1, Kind: OpWrite, Key: "k", Arg: "a", Ok: true, Invoke: 1, Return: 2})
+		h.add(&Op{ID: 2, Kind: OpWrite, Key: "k", Arg: "b", Ok: true, Invoke: 3, Return: 6})
+		h.add(&Op{ID: 3, Kind: OpRead, Key: "k", Ok: true, Found: true, Value: val, Invoke: 4, Return: 5})
+		reps := CheckLinearizability(h, false, false)
+		if Violations(reps) != 0 {
+			t.Fatalf("overlapping read of %q flagged: %+v", val, reps)
+		}
+	}
+	// But a read strictly after the write's response must see it.
+	h := NewHistory()
+	h.add(&Op{ID: 1, Kind: OpWrite, Key: "k", Arg: "a", Ok: true, Invoke: 1, Return: 2})
+	h.add(&Op{ID: 2, Kind: OpWrite, Key: "k", Arg: "b", Ok: true, Invoke: 3, Return: 4})
+	h.add(&Op{ID: 3, Kind: OpRead, Key: "k", Ok: true, Found: true, Value: "a", Invoke: 5, Return: 6})
+	reps := CheckLinearizability(h, false, false)
+	if Violations(reps) != 1 {
+		t.Fatalf("stale post-response read not flagged: %+v", reps)
+	}
+}
+
+func TestLinearizabilityIndeterminateOps(t *testing.T) {
+	// An errored write without attribution may or may not have
+	// happened: both subsequent read outcomes linearize.
+	for _, val := range []string{"a", "b"} {
+		s := newSeqHistory()
+		s.add(write(0, "k", "a"))
+		s.add(Op{Client: 0, Kind: OpWrite, Key: "k", Arg: "b", Ok: false, ErrClass: "unreachable"})
+		s.add(masterRead(1, "k", val, true))
+		reps := CheckLinearizability(s.h, true, false)
+		if Violations(reps) != 0 {
+			t.Fatalf("indeterminate write: read of %q flagged: %+v", val, reps)
+		}
+	}
+	// With attribution the same errored write provably never executed:
+	// reading its value must be flagged.
+	s := newSeqHistory()
+	s.add(write(0, "k", "a"))
+	s.add(Op{Client: 0, Kind: OpWrite, Key: "k", Arg: "b", Ok: false, ErrClass: "unreachable"})
+	s.add(masterRead(1, "k", "b", true))
+	reps := CheckLinearizability(s.h, true, true)
+	if Violations(reps) != 1 {
+		t.Fatalf("attributed never-executed write's value read, not flagged: %+v", reps)
+	}
+	// And an errored write WITH attribution must be linearized: a later
+	// read may (and here must) see it.
+	s2 := newSeqHistory()
+	s2.add(write(0, "k", "a"))
+	s2.add(Op{Client: 0, Kind: OpWrite, Key: "k", Arg: "b", Ok: false,
+		ErrClass: "master-unreachable", ServerSeen: true, ServerCSN: 2})
+	s2.add(masterRead(1, "k", "b", true))
+	reps = CheckLinearizability(s2.h, true, true)
+	if Violations(reps) != 0 {
+		t.Fatalf("attributed effectful write flagged: %+v", reps)
+	}
+}
+
+// staleCASRegister is the sacrificial test double of the acceptance
+// criteria: a register whose CAS path deliberately validates against a
+// snapshot that is one operation stale — the classic read-validate-
+// write race. The checker must flag histories it produces.
+type staleCASRegister struct {
+	cur  regState
+	prev regState
+}
+
+func (r *staleCASRegister) apply(o *Op) {
+	switch o.Kind {
+	case OpWrite:
+		r.prev = r.cur
+		r.cur = regState{exists: true, val: o.Arg}
+		o.Ok = true
+	case OpCAS:
+		// BUG: compares against the previous state, not the current.
+		o.CompareOK = r.prev.exists && r.prev.val == o.Expect
+		o.Ok = true
+		r.prev = r.cur
+		r.cur = regState{exists: true, val: o.Arg}
+	case OpRead:
+		o.Ok = true
+		o.Found = r.cur.exists
+		o.Value = r.cur.val
+	case OpDelete:
+		r.prev = r.cur
+		r.cur = regState{}
+		o.Ok = true
+	}
+}
+
+func TestCheckerFlagsStaleCASDouble(t *testing.T) {
+	reg := &staleCASRegister{}
+	s := newSeqHistory()
+	run := func(o Op) {
+		cp := o
+		cp.Ok = false
+		reg.apply(&cp)
+		s.add(cp)
+	}
+	run(write(0, "k", "a"))
+	run(write(0, "k", "b"))
+	// Pre-state is "b"; the buggy register validates against the stale
+	// snapshot "a" and answers CompareOK=true.
+	run(cas(0, "k", "a", "c", false))
+	reps := CheckLinearizability(s.h, true, false)
+	if Violations(reps) != 1 {
+		t.Fatalf("stale-CAS double not flagged: %+v", reps)
+	}
+
+	// Control: the same schedule against an honest register passes.
+	s2 := newSeqHistory()
+	s2.add(write(0, "k", "a"))
+	s2.add(write(0, "k", "b"))
+	s2.add(cas(0, "k", "a", "c", false)) // honest answer: no match
+	reps = CheckLinearizability(s2.h, true, false)
+	if Violations(reps) != 0 {
+		t.Fatalf("honest register flagged: %+v", reps)
+	}
+}
+
+func TestSessionCheckerMeasuresStaleness(t *testing.T) {
+	s := newSeqHistory()
+	slaveRead := func(client int, key, val string) Op {
+		o := masterRead(client, key, val, true)
+		o.Role = store.Slave
+		return o
+	}
+	s.add(write(0, "k", "a"))
+	s.add(slaveRead(0, "k", "a")) // fresh
+	s.add(write(0, "k", "b"))
+	s.add(write(0, "k", "c"))
+	s.add(slaveRead(0, "k", "a")) // 2 behind; RYW + monotonic? (first read saw "a" too)
+	s.add(slaveRead(1, "k", "b")) // 1 behind, other client: stale only
+	s.add(slaveRead(1, "k", "a")) // goes backwards: monotonic violation
+	rep := CheckSessions(s.h)
+	if rep.SlaveReads != 4 || rep.StaleReads != 3 {
+		t.Fatalf("slave=%d stale=%d, want 4/3", rep.SlaveReads, rep.StaleReads)
+	}
+	if rep.RYWViolations != 1 {
+		t.Fatalf("ryw=%d, want 1 (client 0 re-read its own overwritten value)", rep.RYWViolations)
+	}
+	if rep.MonotonicViolations != 1 {
+		t.Fatalf("monotonic=%d, want 1", rep.MonotonicViolations)
+	}
+	if rep.MaxStaleness != 2 {
+		t.Fatalf("max staleness=%d, want 2", rep.MaxStaleness)
+	}
+}
+
+func TestLinearizeSearchBounded(t *testing.T) {
+	// A pile of overlapping identical writes explodes combinatorially
+	// without memoization; with it the search stays small.
+	h := NewHistory()
+	const n = 18
+	for i := 0; i < n; i++ {
+		h.add(&Op{ID: i, Kind: OpWrite, Key: "k", Arg: fmt.Sprint(i), Ok: true,
+			Invoke: 1, Return: 100})
+	}
+	h.add(&Op{ID: n, Kind: OpRead, Key: "k", Ok: true, Found: true, Value: "7",
+		Invoke: 101, Return: 102})
+	reps := CheckLinearizability(h, false, false)
+	if Violations(reps) != 0 {
+		t.Fatalf("overlapping writes flagged: %+v", reps)
+	}
+	if reps[0].Visited > linMaxStates/10 {
+		t.Fatalf("search visited %d states; memoization broken?", reps[0].Visited)
+	}
+}

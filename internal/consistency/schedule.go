@@ -1,0 +1,212 @@
+// The fault-schedule fuzzer. A Schedule is a deterministic function of
+// its seed: a list of fault events pinned to operation indexes of the
+// client stream, drawn from a legality state machine so every
+// generated schedule is executable (heal only while partitioned,
+// recover only while crashed, failover only against an isolated
+// master, one episode of each fault class at a time).
+//
+// The grammar (documented for EXPERIMENTS.md):
+//
+//	schedule   := event*
+//	event      := "ev at=" INT " kind=" kind args
+//	kind       := "partition" | "heal" | "failover" | "crash"
+//	            | "recover" | "repair"
+//	args(partition) := " site=" SITE     // isolate one site (glitch
+//	                                     // start: §2.5/§4.1 backbone cut)
+//	args(heal)      := ""                // glitch end
+//	args(failover)  := " site=" SITE     // promote slaves of every
+//	                                     // partition mastered on the
+//	                                     // isolated site, demote the old
+//	                                     // masters (OSS action, §3.1)
+//	args(crash)     := " el=" ELEMENT    // storage element crash: RAM
+//	                                     // lost, WAL survives (§3.1)
+//	args(recover)   := " el=" ELEMENT    // WAL recovery + OSS restore
+//	args(repair)    := ""                // anti-entropy round (E16)
+//
+// "at=N" fires before client operation N. Short partition→heal pairs
+// are the paper's §4.1 network glitches; the soak profile additionally
+// stretches episodes across many concurrent operations.
+package consistency
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// EventKind enumerates fault-schedule events.
+type EventKind int
+
+// Fault-schedule event kinds.
+const (
+	EvPartition EventKind = iota
+	EvHeal
+	EvFailover
+	EvCrash
+	EvRecover
+	EvRepair
+)
+
+// String returns the event kind token used in the schedule grammar.
+func (k EventKind) String() string {
+	switch k {
+	case EvPartition:
+		return "partition"
+	case EvHeal:
+		return "heal"
+	case EvFailover:
+		return "failover"
+	case EvCrash:
+		return "crash"
+	case EvRecover:
+		return "recover"
+	case EvRepair:
+		return "repair"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one scheduled fault, fired before client operation AtOp.
+type Event struct {
+	AtOp    int
+	Kind    EventKind
+	Site    string // partition / failover
+	Element string // crash / recover
+}
+
+// format renders the event as one stable schedule line.
+func (e Event) format(b *strings.Builder) {
+	fmt.Fprintf(b, "ev at=%d kind=%s", e.AtOp, e.Kind)
+	if e.Site != "" {
+		fmt.Fprintf(b, " site=%s", e.Site)
+	}
+	if e.Element != "" {
+		fmt.Fprintf(b, " el=%s", e.Element)
+	}
+	b.WriteByte('\n')
+}
+
+// Schedule is a generated fault schedule.
+type Schedule struct {
+	Seed   int64
+	Events []Event
+}
+
+// String renders the schedule in the grammar above, byte-stable.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule seed=%d\n", s.Seed)
+	for _, e := range s.Events {
+		e.format(&b)
+	}
+	return b.String()
+}
+
+// maxEpisode bounds how many fault slots a partition or crash episode
+// may stay open before the generator forces its end.
+const maxEpisode = 3
+
+// GenerateSchedule draws a fault schedule for a run of totalOps client
+// operations over the given sites and storage elements. faultMin and
+// faultMax bound the operation gap between consecutive fault slots.
+// crashes may be disabled (no WAL configured).
+func GenerateSchedule(seed int64, totalOps int, sites, elements []string, faultMin, faultMax int, crashes bool) *Schedule {
+	if faultMin < 1 {
+		faultMin = 1 // a zero gap would pin every event to op 0 forever
+	}
+	if faultMax < faultMin {
+		faultMax = faultMin
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{Seed: seed}
+
+	partitioned := "" // isolated site, "" when whole
+	failedOver := false
+	crashed := "" // crashed element, "" when all up
+	episode := 0  // slots the current episode has been open
+
+	gap := func() int { return faultMin + rng.Intn(faultMax-faultMin+1) }
+	at := gap()
+	for at < totalOps {
+		type choice struct {
+			kind   EventKind
+			weight int
+		}
+		var choices []choice
+		if partitioned == "" && crashed == "" {
+			choices = append(choices, choice{EvPartition, 4})
+			if crashes {
+				choices = append(choices, choice{EvCrash, 3})
+			}
+			choices = append(choices, choice{EvRepair, 2})
+		}
+		if partitioned != "" {
+			if episode >= maxEpisode {
+				choices = []choice{{EvHeal, 1}}
+			} else {
+				choices = append(choices, choice{EvHeal, 3})
+				if !failedOver {
+					choices = append(choices, choice{EvFailover, 3})
+				}
+			}
+		}
+		if crashed != "" {
+			if episode >= maxEpisode {
+				choices = []choice{{EvRecover, 1}}
+			} else {
+				choices = append(choices, choice{EvRecover, 3}, choice{EvRepair, 1})
+			}
+		}
+
+		total := 0
+		for _, c := range choices {
+			total += c.weight
+		}
+		pick := rng.Intn(total)
+		var kind EventKind
+		for _, c := range choices {
+			if pick < c.weight {
+				kind = c.kind
+				break
+			}
+			pick -= c.weight
+		}
+
+		ev := Event{AtOp: at, Kind: kind}
+		switch kind {
+		case EvPartition:
+			ev.Site = sites[rng.Intn(len(sites))]
+			partitioned = ev.Site
+			failedOver = false
+			episode = 1
+		case EvHeal:
+			partitioned = ""
+			episode = 0
+		case EvFailover:
+			ev.Site = partitioned
+			failedOver = true
+			episode++
+		case EvCrash:
+			ev.Element = elements[rng.Intn(len(elements))]
+			crashed = ev.Element
+			episode = 1
+		case EvRecover:
+			ev.Element = crashed
+			crashed = ""
+			episode = 0
+		case EvRepair:
+			episode++
+		}
+		s.Events = append(s.Events, ev)
+		at += gap()
+	}
+	// Close any open episode inside the op stream so the measured part
+	// of the run ends whole (the harness force-heals again at the end).
+	if partitioned != "" {
+		s.Events = append(s.Events, Event{AtOp: totalOps, Kind: EvHeal})
+	}
+	if crashed != "" {
+		s.Events = append(s.Events, Event{AtOp: totalOps, Kind: EvRecover, Element: crashed})
+	}
+	return s
+}

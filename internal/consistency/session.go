@@ -1,0 +1,127 @@
+// Session-guarantee checking for slave reads. The paper's front-end
+// class deliberately trades consistency for latency and availability:
+// FE reads may be served by slave copies (§3.3.2), so read-your-writes
+// and monotonic reads are NOT contractual — what the design promises
+// instead is a bounded staleness window. This checker therefore
+// *measures*: it counts the session-guarantee violations slave reads
+// exhibit and reports the staleness bound actually observed, in
+// versions behind the acknowledged write frontier of the key.
+//
+// The measurement leans on a harness invariant: every key has a single
+// writer client, so the acknowledged writes of a key are totally
+// ordered by the history and every unique value maps to one ordinal.
+package consistency
+
+import (
+	"repro/internal/store"
+)
+
+// SessionReport aggregates the session-guarantee measurement.
+type SessionReport struct {
+	// SlaveReads is the number of successful reads served by slaves.
+	SlaveReads int
+	// StaleReads is how many of them returned a value older than the
+	// key's acknowledged write frontier at invocation time.
+	StaleReads int
+	// RYWViolations counts slave reads that missed a write the same
+	// client had already seen acknowledged.
+	RYWViolations int
+	// MonotonicViolations counts slave reads that went backwards
+	// relative to an earlier read by the same client on the same key.
+	MonotonicViolations int
+	// MaxStaleness is the largest observed lag, in acknowledged
+	// versions behind the frontier; MeanStaleness averages over stale
+	// reads only.
+	MaxStaleness  int
+	MeanStaleness float64
+	// SkippedNotFound counts slave reads of deleted/absent rows,
+	// excluded from ordinal accounting (absent states of different
+	// ages are indistinguishable by value).
+	SkippedNotFound int
+}
+
+// CheckSessions measures session guarantees over the history. It must
+// see the history in completion order (which, for the deterministic
+// profile, equals invocation order).
+func CheckSessions(h *History) SessionReport {
+	var rep SessionReport
+
+	// Per-key value → ordinal of the acknowledged write that produced
+	// it, and the current acknowledged frontier ordinal.
+	ord := make(map[string]map[string]int)
+	frontier := make(map[string]int)
+	// Per client+key: highest ordinal the client wrote (acked) and
+	// highest ordinal it observed by reading.
+	type ck struct {
+		client int
+		key    string
+	}
+	lastWrote := make(map[ck]int)
+	lastRead := make(map[ck]int)
+
+	var staleSum int
+	for _, o := range h.Ops() {
+		switch o.Kind {
+		case OpWrite, OpCAS:
+			if !o.effectful() {
+				continue // never applied: its value cannot be read
+			}
+			m := ord[o.Key]
+			if m == nil {
+				m = make(map[string]int)
+				ord[o.Key] = m
+			}
+			frontier[o.Key]++
+			m[o.Arg] = frontier[o.Key]
+			if !o.Ok {
+				// Applied but unacknowledged: the value is readable
+				// (it has an ordinal) but the client cannot expect it.
+				continue
+			}
+			k := ck{o.Client, o.Key}
+			if frontier[o.Key] > lastWrote[k] {
+				lastWrote[k] = frontier[o.Key]
+			}
+		case OpDelete:
+			// Deletions reset the register; absent reads are skipped
+			// below, so no ordinal is assigned.
+		case OpRead:
+			if !o.Ok || o.Role != store.Slave {
+				continue
+			}
+			rep.SlaveReads++
+			if !o.Found {
+				rep.SkippedNotFound++
+				continue
+			}
+			got, known := ord[o.Key][o.Value]
+			if !known {
+				// The seeded initial value (or a value only an
+				// unacknowledged write produced): ordinal 0.
+				got = 0
+			}
+			lag := frontier[o.Key] - got
+			if lag > 0 {
+				rep.StaleReads++
+				staleSum += lag
+				if lag > rep.MaxStaleness {
+					rep.MaxStaleness = lag
+				}
+			}
+			k := ck{o.Client, o.Key}
+			if got < lastWrote[k] {
+				rep.RYWViolations++
+			}
+			if got < lastRead[k] {
+				rep.MonotonicViolations++
+			}
+			if got > lastRead[k] {
+				lastRead[k] = got
+			}
+		}
+	}
+	if rep.StaleReads > 0 {
+		rep.MeanStaleness = float64(staleSum) / float64(rep.StaleReads)
+	}
+	return rep
+}

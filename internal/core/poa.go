@@ -28,6 +28,10 @@ type ExecReq struct {
 	Ops          []se.TxnOp
 	Policy       Policy
 	ReadOnly     bool
+	// Tag is an opaque operation label copied onto the storage-element
+	// transaction, where the element's TxnObserver can see it (the
+	// consistency harness's server-side attribution hook).
+	Tag string
 }
 
 // ExecResp reports the outcome.
@@ -238,7 +242,7 @@ func (ap *AccessPoint) exec(ctx context.Context, req ExecReq) (ExecResp, error) 
 	}
 
 	targets := ap.orderTargets(part, req)
-	txn := se.TxnReq{Partition: partID, Iso: store.ReadCommitted, Ops: req.Ops}
+	txn := se.TxnReq{Partition: partID, Iso: store.ReadCommitted, Ops: req.Ops, Tag: req.Tag}
 
 	var lastErr error
 	for _, ref := range targets {

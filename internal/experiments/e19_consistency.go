@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/consistency"
+	"repro/internal/replication"
+)
+
+func init() {
+	register("E19", "Consistency contract under chaos: linearizability, session guarantees, convergence",
+		"§3.2, §3.3, §4.1, §5", runE19)
+}
+
+// runE19 turns the paper's CAP positioning into a falsifiable
+// contract. A seeded chaos harness (internal/consistency) drives
+// randomized read/modify/CAS/delete traffic through the FE→PoA→SE
+// path while a fault schedule injects partitions, failovers,
+// crash-restarts (real WAL recovery) and anti-entropy repairs; a
+// Wing&Gong checker then validates the recorded history per key.
+//
+// The grid is the durability knob of §5:
+//
+//   - async (the paper's default): acknowledged writes committed on an
+//     isolated master are lost at failover — the checker must SEE that
+//     as linearizability violations (PA/EL, the §3.3.1 gap priced);
+//   - sync-all: every acknowledged write is on every replica before
+//     the commit returns, so the master path must be linearizable no
+//     matter what the schedule did (PC/EC).
+//
+// In both modes replicas must reconverge after the final heal+repair,
+// and slave reads carry a measured staleness bound (§3.3.2's "fast but
+// possibly stale" made quantitative). A final determinism check reruns
+// one seed and requires a byte-identical schedule and history: every
+// failure is its own reproducer.
+func runE19(ctx context.Context, opts Options) (*Report, error) {
+	rep := NewReport("E19", "Consistency contract under chaos: linearizability, session guarantees, convergence")
+
+	seeds := []int64{opts.Seed, opts.Seed + 2, opts.Seed + 5}
+	if opts.Quick {
+		seeds = seeds[:1]
+	}
+
+	run := func(seed int64, d replication.Durability) (*consistency.Result, error) {
+		walDir, err := os.MkdirTemp("", "e19-wal")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(walDir)
+		cfg := consistency.DefaultConfig(seed)
+		cfg.Ops = 400
+		cfg.FaultMin, cfg.FaultMax = 6, 14
+		cfg.Durability = d
+		cfg.WALDir = walDir
+		return consistency.Run(ctx, cfg)
+	}
+
+	type agg struct {
+		ops, faults, linViol        int
+		slaveReads, stale, maxStale int
+		converged                   bool
+	}
+	// runMode aggregates over the seeds and keeps the first seed's
+	// result so the determinism probe can compare against it without
+	// paying for an extra run.
+	runMode := func(d replication.Durability) (agg, *consistency.Result, error) {
+		out := agg{converged: true}
+		var first *consistency.Result
+		for _, seed := range seeds {
+			res, err := run(seed, d)
+			if err != nil {
+				return out, nil, fmt.Errorf("e19: durability=%s seed=%d: %w", d, seed, err)
+			}
+			if first == nil {
+				first = res
+			}
+			out.ops += res.History.Len()
+			out.faults += len(res.Schedule.Events)
+			out.linViol += res.LinViolations
+			out.slaveReads += res.Session.SlaveReads
+			out.stale += res.Session.StaleReads
+			if res.Session.MaxStaleness > out.maxStale {
+				out.maxStale = res.Session.MaxStaleness
+			}
+			out.converged = out.converged && res.Converged
+		}
+		return out, first, nil
+	}
+
+	async, asyncFirst, err := runMode(replication.Async)
+	if err != nil {
+		return nil, err
+	}
+	syncAll, _, err := runMode(replication.SyncAll)
+	if err != nil {
+		return nil, err
+	}
+
+	// Determinism probe: rerun the first async seed — schedule and
+	// history must be byte-identical with the run already measured.
+	detB, err := run(seeds[0], replication.Async)
+	if err != nil {
+		return nil, err
+	}
+	deterministic := asyncFirst.Schedule.String() == detB.Schedule.String() &&
+		asyncFirst.History.String() == detB.History.String()
+
+	rep.AddRow("durability", "ops", "fault events", "lin violations", "slave reads", "stale reads", "max staleness", "reconverged")
+	rep.AddRow("async", fmt.Sprint(async.ops), fmt.Sprint(async.faults),
+		fmt.Sprint(async.linViol), fmt.Sprint(async.slaveReads),
+		fmt.Sprint(async.stale), fmt.Sprint(async.maxStale), fmt.Sprint(async.converged))
+	rep.AddRow("sync-all", fmt.Sprint(syncAll.ops), fmt.Sprint(syncAll.faults),
+		fmt.Sprint(syncAll.linViol), fmt.Sprint(syncAll.slaveReads),
+		fmt.Sprint(syncAll.stale), fmt.Sprint(syncAll.maxStale), fmt.Sprint(syncAll.converged))
+
+	rep.Check("sync-all keeps the master path linearizable under chaos", syncAll.linViol == 0)
+	rep.Check("async loses acknowledged writes at failover (the paper's §3.3.1 gap, detected)",
+		async.linViol > 0)
+	rep.Check("replicas reconverge after heal + repair in both modes",
+		async.converged && syncAll.converged)
+	rep.Check("slave reads were driven and measured", async.slaveReads+syncAll.slaveReads > 0)
+	rep.Check("same seed reproduces a byte-identical schedule and history", deterministic)
+
+	rep.Note("fault-schedule grammar and the checked models: EXPERIMENTS.md E19 / DESIGN.md Verification")
+	rep.Note("each run: %d ops over 24 subscribers, 6 clients, 3 sites; seeds %v", 400, seeds)
+	return rep, nil
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/auth"
@@ -74,11 +75,19 @@ func (ps *ProcStats) OpsPerInvocation() float64 {
 	return float64(ps.Ops.Value()) / float64(n)
 }
 
+// ProcObserver observes every front-end procedure invocation: the
+// procedure name, its wall-clock window and its outcome (nil,
+// a business denial, or an availability failure). It is called
+// synchronously after the procedure body returns, so a recorder sees
+// invocation/response windows without racing the front-end.
+type ProcObserver func(proc string, start time.Time, elapsed time.Duration, err error)
+
 // FE is one application front-end instance.
 type FE struct {
 	kind    Kind
 	site    string
 	session *core.Session
+	obs     atomic.Pointer[ProcObserver]
 
 	// Stats per procedure name.
 	LocationUpdateStats ProcStats
@@ -118,15 +127,29 @@ func (f *FE) Site() string { return f.site }
 // Session exposes the underlying session.
 func (f *FE) Session() *core.Session { return f.session }
 
+// SetProcObserver installs (or, with nil, removes) the front-end's
+// procedure observer.
+func (f *FE) SetProcObserver(fn ProcObserver) {
+	if fn == nil {
+		f.obs.Store(nil)
+		return
+	}
+	f.obs.Store(&fn)
+}
+
 // observe wraps a procedure body with stats accounting.
-func (f *FE) observe(ps *ProcStats, ops int64, fn func() error) error {
+func (f *FE) observe(proc string, ps *ProcStats, ops int64, fn func() error) error {
 	start := time.Now()
 	ps.Invocations.Inc()
 	err := fn()
+	elapsed := time.Since(start)
 	ps.Ops.Add(ops)
-	ps.Latency.Record(time.Since(start))
+	ps.Latency.Record(elapsed)
 	if err != nil && !isBusinessOutcome(err) {
 		ps.Failures.Inc()
+	}
+	if p := f.obs.Load(); p != nil {
+		(*p)(proc, start, elapsed, err)
 	}
 	return err
 }
@@ -139,7 +162,7 @@ func isBusinessOutcome(err error) bool {
 // subscription, then record the new serving node and area.
 // Cost: 2 LDAP operations (read + write).
 func (f *FE) LocationUpdate(ctx context.Context, imsi, servingNode, area string, roaming bool) error {
-	return f.observe(&f.LocationUpdateStats, 2, func() error {
+	return f.observe("LocationUpdate", &f.LocationUpdateStats, 2, func() error {
 		id := subscriber.Identity{Type: subscriber.IMSI, Value: imsi}
 		prof, _, _, err := f.session.ReadProfile(ctx, id)
 		if err != nil {
@@ -169,7 +192,7 @@ func (f *FE) LocationUpdate(ctx context.Context, imsi, servingNode, area string,
 // the front-end would hand to the MME/VLR.
 func (f *FE) Authenticate(ctx context.Context, imsi string) (*auth.Vector, error) {
 	var vec *auth.Vector
-	err := f.observe(&f.AuthenticateStats, 2, func() error {
+	err := f.observe("Authenticate", &f.AuthenticateStats, 2, func() error {
 		id := subscriber.Identity{Type: subscriber.IMSI, Value: imsi}
 		prof, _, _, err := f.session.ReadProfile(ctx, id)
 		if err != nil {
@@ -210,7 +233,7 @@ func (f *FE) Authenticate(ctx context.Context, imsi string) (*auth.Vector, error
 // premium marks a call to a premium-rate number (§3.2's pay-call
 // barring example).
 func (f *FE) MOCall(ctx context.Context, msisdn string, premium bool) error {
-	return f.observe(&f.MOCallStats, 1, func() error {
+	return f.observe("MOCall", &f.MOCallStats, 1, func() error {
 		prof, _, _, err := f.session.ReadProfile(ctx,
 			subscriber.Identity{Type: subscriber.MSISDN, Value: msisdn})
 		if err != nil {
@@ -232,7 +255,7 @@ func (f *FE) MOCall(ctx context.Context, msisdn string, premium bool) error {
 // location and forwarding state; returns the routing target (serving
 // node or forward-to number). Cost: 1 LDAP operation.
 func (f *FE) MTCall(ctx context.Context, msisdn string) (routeTo string, err error) {
-	err = f.observe(&f.MTCallStats, 1, func() error {
+	err = f.observe("MTCall", &f.MTCallStats, 1, func() error {
 		prof, _, _, rerr := f.session.ReadProfile(ctx,
 			subscriber.Identity{Type: subscriber.MSISDN, Value: msisdn})
 		if rerr != nil {
@@ -254,7 +277,7 @@ func (f *FE) MTCall(ctx context.Context, msisdn string) (routeTo string, err err
 // SMSDeliver runs short-message delivery routing: read the
 // destination's serving node. Cost: 1 LDAP operation.
 func (f *FE) SMSDeliver(ctx context.Context, msisdn string) (servingNode string, err error) {
-	err = f.observe(&f.SMSStats, 1, func() error {
+	err = f.observe("SMSDeliver", &f.SMSStats, 1, func() error {
 		prof, _, _, rerr := f.session.ReadProfile(ctx,
 			subscriber.Identity{Type: subscriber.MSISDN, Value: msisdn})
 		if rerr != nil {
@@ -284,7 +307,7 @@ func (f *FE) IMSRegister(ctx context.Context, impu, scscf string) error {
 	if f.kind != HSS {
 		return fmt.Errorf("fe: %s cannot run IMS registration", f.kind)
 	}
-	return f.observe(&f.IMSRegisterStats, 5, func() error {
+	return f.observe("IMSRegister", &f.IMSRegisterStats, 5, func() error {
 		pubID := subscriber.Identity{Type: subscriber.IMPU, Value: impu}
 		// Op 1: service profile by public identity.
 		prof, _, _, err := f.session.ReadProfile(ctx, pubID)

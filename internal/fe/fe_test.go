@@ -330,3 +330,48 @@ func barMod(attr string, on bool) store.Mod {
 func cfuMod(target string) store.Mod {
 	return store.Mod{Kind: store.ModReplace, Attr: subscriber.AttrForwardUncond, Vals: []string{target}}
 }
+
+// TestProcObserver pins the op-history hook: the observer must see
+// every procedure invocation synchronously with its name, a plausible
+// window and the business outcome, and removing it must stop delivery.
+func TestProcObserver(t *testing.T) {
+	r := newRig(t, 6)
+	ctx := ctxT(t)
+	site := r.udr.Sites()[0]
+	f := r.fes[site]
+
+	type obsEvent struct {
+		proc    string
+		elapsed time.Duration
+		err     error
+	}
+	var got []obsEvent
+	f.SetProcObserver(func(proc string, start time.Time, elapsed time.Duration, err error) {
+		if start.IsZero() || elapsed < 0 {
+			t.Errorf("observer got window start=%v elapsed=%v", start, elapsed)
+		}
+		got = append(got, obsEvent{proc, elapsed, err})
+	})
+
+	p := r.profiles[0]
+	if err := f.LocationUpdate(ctx, p.IMSIVal, "node-1", "area-1", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.MTCall(ctx, p.MSISDNVal); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].proc != "LocationUpdate" || got[1].proc != "MTCall" {
+		t.Fatalf("observer events = %+v", got)
+	}
+	if got[0].err != nil || got[1].err != nil {
+		t.Fatalf("observer recorded errors on success: %+v", got)
+	}
+
+	f.SetProcObserver(nil)
+	if _, err := f.MTCall(ctx, p.MSISDNVal); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("observer fired after removal: %+v", got)
+	}
+}

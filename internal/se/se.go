@@ -68,6 +68,12 @@ type TxnReq struct {
 	Partition string
 	Iso       store.Isolation
 	Ops       []TxnOp
+	// Tag is an opaque client-supplied operation label, carried
+	// through the PoA unchanged and handed to the element's
+	// TxnObserver. The consistency checker uses it to attribute
+	// server-side commit windows to client operations whose response
+	// was lost in a partition.
+	Tag string
 }
 
 // OpResult is the per-operation outcome inside a TxnResp.
@@ -169,6 +175,17 @@ type Config struct {
 	LegacyFindScan bool
 }
 
+// TxnObserver observes every one-shot transaction the element serves.
+// It runs synchronously inside the element's request handler — after
+// the commit installed, before the response leaves the element — so an
+// observer sees the authoritative outcome (including the CSN of
+// commits whose response is later lost to a partition) without racing
+// the system under test. resp carries the assigned CSN even when err
+// is non-nil and the transaction still applied (a durability-wait
+// failure); a zero CSN with a non-nil err means nothing was installed.
+// Observers must be fast and must not call back into the element.
+type TxnObserver func(from simnet.Addr, req TxnReq, resp TxnResp, err error)
+
 // Element is one storage element.
 type Element struct {
 	cfg  Config
@@ -179,6 +196,7 @@ type Element struct {
 	mu        sync.RWMutex
 	replicas  map[string]*PartitionReplica
 	repairers map[string]*antientropy.Repairer
+	txnObs    TxnObserver
 	down      bool
 
 	// ae serves the anti-entropy repair protocol; sched paces master
@@ -485,6 +503,14 @@ func (e *Element) RepairPartition(ctx context.Context, partition string) ([]anti
 	return out, firstErr
 }
 
+// SetTxnObserver installs (or, with nil, removes) the element's
+// transaction observer. See TxnObserver for the calling contract.
+func (e *Element) SetTxnObserver(fn TxnObserver) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.txnObs = fn
+}
+
 // Replica returns the hosted replica for a partition, or nil.
 func (e *Element) Replica(partition string) *PartitionReplica {
 	e.mu.RLock()
@@ -620,7 +646,7 @@ func (e *Element) handle(ctx context.Context, from simnet.Addr, msg any) (any, e
 	}
 	switch m := msg.(type) {
 	case TxnReq:
-		return e.applyTxn(m)
+		return e.applyTxn(from, m)
 	case FindReq:
 		return e.find(m), nil
 	case StatusReq:
@@ -631,9 +657,10 @@ func (e *Element) handle(ctx context.Context, from simnet.Addr, msg any) (any, e
 }
 
 // applyTxn runs a one-shot transaction.
-func (e *Element) applyTxn(req TxnReq) (TxnResp, error) {
+func (e *Element) applyTxn(from simnet.Addr, req TxnReq) (TxnResp, error) {
 	e.mu.RLock()
 	pr := e.replicas[req.Partition]
+	obs := e.txnObs
 	e.mu.RUnlock()
 	if pr == nil {
 		return TxnResp{}, fmt.Errorf("%w: %q", ErrUnknownPartition, req.Partition)
@@ -682,14 +709,20 @@ func (e *Element) applyTxn(req TxnReq) (TxnResp, error) {
 	}
 
 	rec, err := txn.Commit()
+	if rec != nil {
+		// Set even on error: a durability-wait failure (WAL fsync,
+		// synchronous replication) still installed the transaction,
+		// and the observer needs the authoritative CSN.
+		resp.CSN = rec.CSN
+	}
+	if obs != nil {
+		obs(from, req, resp, err)
+	}
 	if err != nil {
 		return TxnResp{}, err
 	}
 	if wrote {
 		e.Writes.Inc()
-	}
-	if rec != nil {
-		resp.CSN = rec.CSN
 	}
 	return resp, nil
 }

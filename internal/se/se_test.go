@@ -437,3 +437,59 @@ func TestSnapshotAllManual(t *testing.T) {
 		t.Fatalf("snapshotted %d replicas, want 2", got)
 	}
 }
+
+// TestTxnObserver pins the server-side op-history hook: the observer
+// runs synchronously inside the request handler, sees the client's
+// tag, and — crucially for the consistency checker — still receives
+// the assigned CSN when a commit applied but its durability wait
+// failed (the transaction took effect despite the client-visible
+// error).
+func TestTxnObserver(t *testing.T) {
+	n := simnet.New(simnet.FastConfig())
+	el := newElement(t, n, "se-1", "eu")
+	pr, err := el.AddReplica("p1", store.Master)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type seen struct {
+		tag string
+		csn uint64
+		err error
+	}
+	var events []seen
+	el.SetTxnObserver(func(_ simnet.Addr, req TxnReq, resp TxnResp, err error) {
+		events = append(events, seen{req.Tag, resp.CSN, err})
+	})
+
+	if _, err := call(t, n, el.Addr(), TxnReq{
+		Partition: "p1",
+		Tag:       "op-1",
+		Ops:       []TxnOp{{Kind: TxnPut, Key: "sub-1", Entry: store.Entry{"v": {"1"}}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].tag != "op-1" || events[0].csn != 1 || events[0].err != nil {
+		t.Fatalf("observer events = %+v", events)
+	}
+
+	// Durability-wait failure: commit applies, client gets an error,
+	// the observer must still see the CSN (attribution for lost acks).
+	pipeErr := errors.New("durability wait failed")
+	pr.Store.SetCommitPipeline(func(rec *store.CommitRecord) (func() error, error) {
+		return func() error { return pipeErr }, nil
+	})
+	if _, err := call(t, n, el.Addr(), TxnReq{
+		Partition: "p1",
+		Tag:       "op-2",
+		Ops:       []TxnOp{{Kind: TxnPut, Key: "sub-2", Entry: store.Entry{"v": {"2"}}}},
+	}); err == nil {
+		t.Fatal("durability failure not surfaced to the client")
+	}
+	if len(events) != 2 || events[1].tag != "op-2" || events[1].csn != 2 || events[1].err == nil {
+		t.Fatalf("observer events = %+v", events)
+	}
+	if _, _, ok := pr.Store.GetCommitted("sub-2"); !ok {
+		t.Fatal("commit with failed durability wait should still be applied")
+	}
+}

@@ -266,7 +266,7 @@ func IMPI(v string) Identity   { return Identity{Type: subscriber.IMPI, Value: v
 func DN(id string) string { return subscriber.DN(id) }
 
 // RunExperiment executes one of the paper-reproduction experiments
-// (E1–E16; see EXPERIMENTS.md for the index).
+// (E1–E19; see EXPERIMENTS.md for the index).
 func RunExperiment(ctx context.Context, id string, opts ExperimentOptions) (*Report, error) {
 	return experiments.Run(ctx, id, opts)
 }
