@@ -61,6 +61,7 @@ func BenchmarkE15Procedures(b *testing.B)  { benchExperiment(b, "E15") }
 func BenchmarkE16AntiEntropy(b *testing.B) { benchExperiment(b, "E16") }
 func BenchmarkE17Concurrency(b *testing.B) { benchExperiment(b, "E17") }
 func BenchmarkE18GroupCommit(b *testing.B) { benchExperiment(b, "E18") }
+func BenchmarkE20Rebalance(b *testing.B)   { benchExperiment(b, "E20") }
 
 // --- Primitive benchmarks -------------------------------------------
 
@@ -407,6 +408,59 @@ func BenchmarkMerkleTreeUpdate(b *testing.B) {
 // fractions of a 2000-row partition, the cost curve that justifies
 // Merkle sync over full re-replication: at low divergence the round
 // is dominated by the O(leaves) digest walk, not the row count.
+// BenchmarkMigratePartition measures the live-migration cost curve:
+// one full move (bulk copy + catch-up + cutover) per iteration, rows
+// vs wall time, with the client-visible freeze window reported as its
+// own metric. The partition bounces between two elements of one site,
+// so each iteration migrates the same row population back.
+func BenchmarkMigratePartition(b *testing.B) {
+	for _, rows := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			network := simnet.New(simnet.FastConfig())
+			cfg := core.DefaultConfig()
+			cfg.Sites = []core.SiteSpec{{Name: "eu", SEs: 2, PartitionsPerSE: 1}}
+			cfg.ReplicationFactor = 1
+			u, err := core.New(network, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(u.Stop)
+			partID := u.Partitions()[0]
+			part, _ := u.Partition(partID)
+			st := u.Element(part.Master().Element).Replica(partID).Store
+			for i := 0; i < rows; i++ {
+				txn := st.Begin(store.ReadCommitted)
+				txn.Put(fmt.Sprintf("sub-%08d", i), store.Entry{"v": {fmt.Sprint(i)}, "imsi": {fmt.Sprint(1e9 + i)}})
+				if _, err := txn.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			targets := [2]string{"se-eu-0", "se-eu-1"}
+			ctx := context.Background()
+			var freezeNS float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cur, _ := u.Partition(partID)
+				target := targets[0]
+				if cur.Master().Element == target {
+					target = targets[1]
+				}
+				rep, err := u.MigratePartition(ctx, partID, target, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.RowsCopied != rows {
+					b.Fatalf("copied %d rows, want %d", rep.RowsCopied, rows)
+				}
+				freezeNS += float64(rep.FreezeDuration.Nanoseconds())
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)*1e9/float64(b.Elapsed().Nanoseconds()), "rows/s")
+			b.ReportMetric(freezeNS/float64(b.N), "freeze-ns/op")
+		})
+	}
+}
+
 func BenchmarkAntiEntropyRepair(b *testing.B) {
 	const rows = 2000
 	for _, pct := range []int{1, 10, 50} {

@@ -29,6 +29,8 @@ func usage() {
 commands:
   status                      topology status (partitions, replicas, roles)
   repair                      run an anti-entropy repair round on every partition
+  move <part> <target-el>     live-migrate a partition master to a storage element
+  rebalance                   plan and execute an elastic rebalancing pass
   search <filter>             subtree search, e.g. '(msisdn=34600000001)'
   get <subscriber-id>         base-object read by DN
   compare <id> <attr> <val>   LDAP compare
@@ -66,6 +68,17 @@ func main() {
 		text, r, err := c.Repair()
 		exitOn(r, err)
 		fmt.Print(text)
+	case "move":
+		if len(args) != 3 {
+			usage()
+		}
+		text, r, err := c.Move(args[1], args[2])
+		fmt.Print(text)
+		exitOn(r, err)
+	case "rebalance":
+		text, r, err := c.Rebalance()
+		fmt.Print(text)
+		exitOn(r, err)
 	case "search":
 		if len(args) != 2 {
 			usage()

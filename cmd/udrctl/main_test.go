@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ldap"
+	"repro/internal/rebalance"
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/subscriber"
@@ -154,6 +157,196 @@ func TestRepairPartitionedPeerReportsError(t *testing.T) {
 	}
 	if !strings.Contains(text, "repair total:") {
 		t.Fatalf("partial repair report missing summary:\n%s", text)
+	}
+}
+
+// moveTestUDR builds a two-site, two-SE-per-site UDR (so elements
+// hosting no replica of a partition exist — eligible migration
+// targets) plus a bound LDAP client with topology access: the exact
+// wire path udrctl move / rebalance uses.
+func moveTestUDR(t *testing.T, subs int) (*simnet.Network, *core.UDR, *ldap.Client) {
+	t.Helper()
+	network := simnet.New(simnet.FastConfig())
+	cfg := core.DefaultConfig()
+	cfg.Sites = []core.SiteSpec{
+		{Name: "eu-south", SEs: 2, PartitionsPerSE: 1},
+		{Name: "eu-north", SEs: 2, PartitionsPerSE: 1},
+	}
+	cfg.ReplicationFactor = 2
+	u, err := core.New(network, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Stop)
+	gen := subscriber.NewGenerator(u.Sites()...)
+	for i := 0; i < subs; i++ {
+		if err := u.SeedDirect(gen.Profile(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	site := u.Sites()[0]
+	session := core.NewSession(network, simnet.MakeAddr(site, "udrctl-test"), site, core.PolicyPS)
+	c := dialBackend(t, core.NewLDAPBackend(session).WithTopology(u))
+	return network, u, c
+}
+
+// TestMoveRequiresTopology mirrors the repair guard: a data-only
+// endpoint must refuse the move and rebalance extended ops.
+func TestMoveRequiresTopology(t *testing.T) {
+	network := simnet.New(simnet.FastConfig())
+	u, err := core.New(network, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Stop()
+	site := u.Sites()[0]
+	session := core.NewSession(network, simnet.MakeAddr(site, "udrctl-test"), site, core.PolicyPS)
+	c := dialBackend(t, core.NewLDAPBackend(session)) // no WithTopology
+
+	if _, r, err := c.Move("p-x", "se-x"); err != nil || r.Code != ldap.ResultUnwillingToPerform {
+		t.Fatalf("move without topology: %v %v, want unwillingToPerform", r.Code, err)
+	}
+	if _, r, err := c.Rebalance(); err != nil || r.Code != ldap.ResultUnwillingToPerform {
+		t.Fatalf("rebalance without topology: %v %v, want unwillingToPerform", r.Code, err)
+	}
+}
+
+// TestMoveUnknownTargets pins the operator-mistake classes: an
+// unknown partition or element must come back as noSuchObject, and a
+// malformed request as a protocol error.
+func TestMoveUnknownTargets(t *testing.T) {
+	_, u, c := moveTestUDR(t, 4)
+	if _, r, err := c.Move("p-nope", u.Elements()[0]); err != nil || r.Code != ldap.ResultNoSuchObject {
+		t.Fatalf("unknown partition: %v %v, want noSuchObject", r.Code, err)
+	}
+	if _, r, err := c.Move(u.Partitions()[0], "se-nope"); err != nil || r.Code != ldap.ResultNoSuchObject {
+		t.Fatalf("unknown element: %v %v, want noSuchObject", r.Code, err)
+	}
+	if _, r, err := c.Move("p-only", ""); err != nil || r.Code != ldap.ResultProtocolError {
+		t.Fatalf("malformed move: %v %v, want protocolError", r.Code, err)
+	}
+}
+
+// TestMoveTargetAlreadyHostsReplica pins the conflict class: moving a
+// master onto an element already holding a copy is a failover, not a
+// migration, and must be refused cleanly.
+func TestMoveTargetAlreadyHostsReplica(t *testing.T) {
+	_, u, c := moveTestUDR(t, 4)
+	partID := u.Partitions()[0]
+	part, _ := u.Partition(partID)
+	_, r, err := c.Move(partID, part.Replicas[1].Element)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Code != ldap.ResultUnwillingToPerform {
+		t.Fatalf("move onto a replica holder: %v, want unwillingToPerform", r.Code)
+	}
+	if !strings.Contains(r.Message, "already hosts") {
+		t.Fatalf("message %q does not explain the conflict", r.Message)
+	}
+}
+
+// TestMoveInFlightConflict pins the concurrency guard: while a
+// migration of a partition runs, a second move of the same partition
+// over LDAP must get busy, not a second migration.
+func TestMoveInFlightConflict(t *testing.T) {
+	_, u, c := moveTestUDR(t, 4)
+	partID := "p-eu-south-0"
+	part, _ := u.Partition(partID)
+	hosted := map[string]bool{}
+	for _, ref := range part.Replicas {
+		hosted[ref.Element] = true
+	}
+	target := ""
+	for _, el := range u.Elements() {
+		if !hosted[el] {
+			target = el
+			break
+		}
+	}
+
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	done := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() {
+		_, err := u.MigratePartition(ctx, partID, target, false,
+			core.WithMigrateHooks(rebalance.Hooks{AfterCopy: func() {
+				close(entered)
+				<-hold
+			}}))
+		done <- err
+	}()
+	<-entered
+	_, r, err := c.Move(partID, target)
+	close(hold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Code != ldap.ResultBusy {
+		t.Fatalf("move during migration: %v, want busy", r.Code)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("held migration failed: %v", err)
+	}
+}
+
+// TestMoveEndToEnd drives the full operator path: udrctl move over
+// LDAP migrates a live partition and reports the cost line.
+func TestMoveEndToEnd(t *testing.T) {
+	_, u, c := moveTestUDR(t, 12)
+	partID := "p-eu-south-0"
+	part, _ := u.Partition(partID)
+	hosted := map[string]bool{}
+	for _, ref := range part.Replicas {
+		hosted[ref.Element] = true
+	}
+	target := ""
+	for _, el := range u.Elements() {
+		if !hosted[el] {
+			target = el
+			break
+		}
+	}
+
+	text, r, err := c.Move(partID, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Code != ldap.ResultSuccess {
+		t.Fatalf("move: %v %s", r.Code, r.Message)
+	}
+	if !strings.Contains(text, "migrate "+partID) || !strings.Contains(text, "rows=") {
+		t.Fatalf("move report missing cost line:\n%s", text)
+	}
+	after, _ := u.Partition(partID)
+	if after.Master().Element != target {
+		t.Fatalf("master = %s, want %s", after.Master().Element, target)
+	}
+	// The status extended op reflects the new placement.
+	status, r, err := c.Status()
+	if err != nil || r.Code != ldap.ResultSuccess {
+		t.Fatalf("status after move: %v %v", r.Code, err)
+	}
+	if !strings.Contains(status, target) {
+		t.Fatalf("status does not show the new master:\n%s", status)
+	}
+}
+
+// TestRebalanceEndToEnd drives udrctl rebalance: a balanced cluster
+// reports no moves; the report shape is the operator contract.
+func TestRebalanceEndToEnd(t *testing.T) {
+	_, _, c := moveTestUDR(t, 8)
+	text, r, err := c.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Code != ldap.ResultSuccess {
+		t.Fatalf("rebalance: %v %s", r.Code, r.Message)
+	}
+	if !strings.Contains(text, "balanced") && !strings.Contains(text, "rebalance total:") {
+		t.Fatalf("rebalance report unrecognized:\n%s", text)
 	}
 }
 

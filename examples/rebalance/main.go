@@ -1,0 +1,154 @@
+// Rebalance: live partition migration under load. A two-site UDR
+// carries an intentionally lopsided subscriber population; while
+// front-end and provisioning traffic keeps flowing, the hot
+// partition's master is migrated onto an idle storage element — bulk
+// copy, live-stream catch-up, a bounded write-freeze cutover with a
+// placement-epoch bump — and then an elastic rebalancing pass evens
+// out the rest. Zero acknowledged writes are lost and the client
+// traffic never sees an error: stale placements get retryable
+// referrals that the PoA absorbs.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	udr "repro"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	network := udr.NewNetwork(udr.DefaultNetConfig())
+	cfg := udr.DefaultConfig()
+	cfg.Sites = []udr.SiteSpec{
+		{Name: "eu-south", SEs: 2, PartitionsPerSE: 1},
+		{Name: "eu-north", SEs: 2, PartitionsPerSE: 1},
+	}
+	cfg.ReplicationFactor = 2
+	u, err := udr.New(network, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer u.Stop()
+
+	// A lopsided base: most subscribers pinned onto one partition —
+	// the organic growth §3.5's selective placement produces.
+	const hot, cold = 3000, 300
+	hotPart := "p-eu-south-0"
+	ps := udr.NewSession(network, "eu-south/ps", "eu-south", udr.PolicyPS)
+	gen := udr.NewGenerator(u.Sites()...)
+	for i := 0; i < hot; i++ {
+		if _, err := ps.ProvisionAt(ctx, gen.Profile(i), hotPart); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < cold; i++ {
+		if _, err := ps.Provision(ctx, gen.Profile(hot+i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	printLoads(u)
+
+	// Live traffic: paced FE reads and PS writes against the hot
+	// partition, counting client-visible errors.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	writes, reads, errs := 0, 0, 0
+	stop := make(chan struct{})
+	sample := gen.Profile(0)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := udr.NewSession(network, udr.Addr(fmt.Sprintf("eu-south/load-%d", w)), "eu-south", udr.PolicyPS)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-time.After(time.Millisecond):
+				}
+				_, err := sess.Modify(ctx, udr.UID(gen.Profile(i%hot).ID),
+					udr.Mod{Kind: udr.ModReplace, Attr: "lastSeen", Vals: []string{fmt.Sprint(i)}})
+				mu.Lock()
+				writes++
+				if err != nil {
+					errs++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fe := udr.NewSession(network, "eu-north/fe", "eu-north", udr.PolicyFE)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			_, _, _, err := fe.ReadProfile(ctx, udr.UID(gen.Profile(i%hot).ID))
+			mu.Lock()
+			reads++
+			if err != nil {
+				errs++
+			}
+			mu.Unlock()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	// The move: the hot master relocates cross-site onto an idle
+	// element while the traffic above keeps flowing.
+	fmt.Println("\n*** live migration: moving", hotPart, "to se-eu-north-1 ***")
+	rep, err := u.MigratePartition(ctx, hotPart, "se-eu-north-1", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bulk copy: %d rows in %d batches (snapshot CSN %d)\n", rep.RowsCopied, rep.Batches, rep.SnapshotCSN)
+	fmt.Printf("catch-up: %d live-stream records\n", rep.CatchUpRecords)
+	fmt.Printf("cutover: write-freeze %v, handed over at CSN %d\n", rep.FreezeDuration, rep.FrozenCSN)
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	mu.Lock()
+	fmt.Printf("\ntraffic during the move: %d writes, %d reads, %d client-visible errors\n", writes, reads, errs)
+	mu.Unlock()
+
+	part, _ := u.Partition(hotPart)
+	fmt.Printf("new master: %s (epoch %d); source demoted to slave\n", part.Master().Element, part.Epoch)
+	if got, _, role, err := udr.NewSession(network, "eu-north/check", "eu-north", udr.PolicyPS).
+		ReadProfile(ctx, udr.UID(sample.ID)); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("master-copy read of %s via the new placement: ok (%s copy)\n", got.ID, role)
+	}
+
+	// Elastic rebalancing: even out whatever imbalance remains.
+	fmt.Println("\n*** rebalancing pass ***")
+	res, err := u.Rebalance(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.String())
+	printLoads(u)
+}
+
+// printLoads dumps the per-element master load the planner sees.
+func printLoads(u *udr.UDR) {
+	fmt.Println("\nper-element master load:")
+	for _, l := range u.ElementLoads() {
+		rows := 0
+		for _, m := range l.Masters {
+			rows += m.Rows
+		}
+		fmt.Printf("  %-16s site=%-10s masters=%d rows=%d\n", l.Element, l.Site, len(l.Masters), rows)
+	}
+}

@@ -59,6 +59,13 @@ type Config struct {
 	FaultMin, FaultMax int
 	// SettleTimeout bounds each replication settle wait.
 	SettleTimeout time.Duration
+	// Migrations adds live partition migrations to the fault schedule
+	// and doubles the storage elements per site so eligible targets
+	// (elements hosting no replica of a partition) exist. A migrate
+	// fired across an open backbone cut exercises the abort path; a
+	// successful one moves the master mid-history, and the checkers
+	// hold the same linearizability/convergence bar across it.
+	Migrations bool
 }
 
 // DefaultConfig returns the CI-sized deterministic profile.
@@ -219,6 +226,16 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	ucfg.AntiEntropy = true
 	ucfg.RepairInterval = 0           // rounds run only when the schedule says so
 	ucfg.HealPollInterval = time.Hour // background heal watch effectively off
+	if cfg.Migrations {
+		for i := range ucfg.Sites {
+			ucfg.Sites[i].SEs = 2
+		}
+		// Keep the deterministic profile fast: events fire on a settled
+		// cluster, so catch-up is instant and the cutover freeze only
+		// ever waits on unreachable peers — bound that wait tightly.
+		ucfg.MigrateFreezeTimeout = 20 * time.Millisecond
+		ucfg.MigrateCatchUpTimeout = 500 * time.Millisecond
+	}
 	if cfg.WALDir != "" {
 		ucfg.WALDir = cfg.WALDir
 		ucfg.WALMode = wal.SyncEveryCommit // crash recovery is an exact replay
@@ -246,8 +263,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := h.seed(ctx); err != nil {
 		return nil, err
 	}
-	sched := GenerateSchedule(cfg.Seed, cfg.Ops, u.Sites(), u.Elements(),
-		cfg.FaultMin, cfg.FaultMax, cfg.WALDir != "")
+	sched := GenerateSchedule(cfg.Seed, cfg.Ops, u.Sites(), u.Elements(), u.Partitions(),
+		cfg.FaultMin, cfg.FaultMax, cfg.WALDir != "", cfg.Migrations)
 	opsRng := rand.New(rand.NewSource(cfg.Seed + 7919))
 	stream := generateOps(cfg, opsRng)
 
@@ -499,8 +516,62 @@ func (h *harness) applyEvent(ctx context.Context, ev Event) error {
 			rows += s.RowsTransferred()
 		}
 		h.eventf("ev at=%d kind=repair rounds=%d rows=%d", ev.AtOp, len(stats), rows)
+	case EvMigrate:
+		// Quiesce first so the bulk-copy row count and catch-up are
+		// functions of the schedule, not sender timing.
+		if err := h.settleReachable(ctx); err != nil {
+			return err
+		}
+		target, ok := h.migrateTarget(ev)
+		if !ok {
+			h.eventf("ev at=%d kind=migrate part=%s noop (no eligible target)", ev.AtOp, ev.Part)
+			return nil
+		}
+		rep, err := h.u.MigratePartition(ctx, ev.Part, target, false)
+		switch {
+		case err == nil:
+			// Peers the cutover could not drain (partitioned away) are
+			// gap-stuck on the new master's stream until repair
+			// re-attaches them — the same bookkeeping as a failover's
+			// demoted old master.
+			if part, ok := h.u.Partition(ev.Part); ok {
+				for _, ref := range part.Replicas[1:] {
+					for _, left := range rep.LeftBehind {
+						if ref.Addr == left {
+							h.stuck[ev.Part+"/"+ref.Element] = true
+						}
+					}
+				}
+			}
+			h.eventf("ev at=%d kind=migrate part=%s to=%s rows=%d left-behind=%d",
+				ev.AtOp, ev.Part, target, rep.RowsCopied, len(rep.LeftBehind))
+		case rep != nil:
+			// Aborted: the source must still be authoritative. Log the
+			// phase, not the error text (its details may carry timing).
+			h.eventf("ev at=%d kind=migrate part=%s to=%s aborted phase=%s", ev.AtOp, ev.Part, target, rep.Phase)
+		default:
+			h.eventf("ev at=%d kind=migrate part=%s to=%s rejected", ev.AtOp, ev.Part, target)
+		}
 	}
 	return nil
+}
+
+// migrateTarget resolves a migrate event's pick to a concrete element:
+// the pick-th entry of the sorted eligible set (elements hosting no
+// replica of the partition) at fire time. Hosting evolves as earlier
+// migrations land, but it evolves deterministically, so the choice is
+// a pure function of schedule prefix + seed.
+func (h *harness) migrateTarget(ev Event) (string, bool) {
+	var eligible []string
+	for _, elID := range h.u.Elements() {
+		if el := h.u.Element(elID); el != nil && el.Replica(ev.Part) == nil {
+			eligible = append(eligible, elID)
+		}
+	}
+	if len(eligible) == 0 {
+		return "", false
+	}
+	return eligible[ev.Pick%len(eligible)], true
 }
 
 // recoverElement runs WAL recovery and the OSS restore: master

@@ -213,6 +213,93 @@ func TestChaosSessionGuarantees(t *testing.T) {
 	}
 }
 
+// TestChaosMigrate folds live partition migration into the chaos
+// schedule: under sync-all durability the linearizability and
+// convergence bar must hold unchanged while masters move between
+// storage elements mid-history — including migrations fired across an
+// open backbone cut, which must abort and leave the source
+// authoritative. The seed set is chosen so both outcomes actually
+// occur; the assertions below keep that honest.
+func TestChaosMigrate(t *testing.T) {
+	ctx := context.Background()
+	var res *Result
+	defer func() { dumpOnFail(t, res) }()
+	moved, aborted := 0, 0
+	for _, seed := range []int64{1, 2, 3, 4} {
+		cfg := DefaultConfig(seed)
+		cfg.Ops = 300
+		cfg.FaultMin, cfg.FaultMax = 6, 14
+		cfg.Durability = replication.SyncAll
+		cfg.WALDir = t.TempDir()
+		cfg.Migrations = true
+		var err error
+		res, err = Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.LinViolations != 0 {
+			t.Fatalf("seed %d: %d linearizability violations under sync-all with migrations", seed, res.LinViolations)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: replicas did not converge: %v", seed, res.Diverged)
+		}
+		for _, ev := range res.Events {
+			if strings.Contains(ev, "kind=migrate") {
+				switch {
+				case strings.Contains(ev, " rows="):
+					moved++
+				case strings.Contains(ev, " aborted "):
+					aborted++
+				}
+			}
+		}
+	}
+	t.Logf("migrations over 4 seeds: %d completed, %d aborted", moved, aborted)
+	if moved == 0 {
+		t.Fatal("no migration completed; the schedules never exercised a live cutover")
+	}
+	if aborted == 0 {
+		t.Fatal("no migration aborted; the schedules never exercised the abort path")
+	}
+}
+
+// TestChaosMigrateDeterminism extends the determinism gate to migrate
+// events: target resolution depends on the evolving hosting map, and
+// it must still be a pure function of seed + schedule prefix.
+func TestChaosMigrateDeterminism(t *testing.T) {
+	ctx := context.Background()
+	run := func(walDir string) *Result {
+		cfg := DefaultConfig(2)
+		cfg.Ops = 200
+		cfg.Durability = replication.Async
+		cfg.WALDir = walDir
+		cfg.Migrations = true
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("chaos run: %v", err)
+		}
+		return res
+	}
+	a := run(t.TempDir())
+	b := run(t.TempDir())
+	defer dumpOnFail(t, a)
+	if as, bs := a.Schedule.String(), b.Schedule.String(); as != bs {
+		t.Errorf("schedules differ:\n--- run A ---\n%s--- run B ---\n%s", as, bs)
+	}
+	if ah, bh := a.History.String(), b.History.String(); ah != bh {
+		t.Errorf("histories differ")
+		diffFirstLine(t, ah, bh)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event logs differ in length: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs:\nA: %s\nB: %s", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
 // TestChaosSoak is the -chaos.long profile: a much longer seeded run
 // with crash-restarts, more clients and a denser fault schedule. Same
 // checks, bigger surface.

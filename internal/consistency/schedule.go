@@ -10,7 +10,7 @@
 //	schedule   := event*
 //	event      := "ev at=" INT " kind=" kind args
 //	kind       := "partition" | "heal" | "failover" | "crash"
-//	            | "recover" | "repair"
+//	            | "recover" | "repair" | "migrate"
 //	args(partition) := " site=" SITE     // isolate one site (glitch
 //	                                     // start: §2.5/§4.1 backbone cut)
 //	args(heal)      := ""                // glitch end
@@ -22,6 +22,17 @@
 //	                                     // lost, WAL survives (§3.1)
 //	args(recover)   := " el=" ELEMENT    // WAL recovery + OSS restore
 //	args(repair)    := ""                // anti-entropy round (E16)
+//	args(migrate)   := " part=" PART " pick=" INT
+//	                                     // live-migrate the partition's
+//	                                     // master; the target is the
+//	                                     // pick-th eligible element (an
+//	                                     // element hosting no replica) at
+//	                                     // execution time, so the choice
+//	                                     // is deterministic even though
+//	                                     // hosting changes as earlier
+//	                                     // migrations land. A migrate
+//	                                     // fired across an open backbone
+//	                                     // cut exercises the abort path.
 //
 // "at=N" fires before client operation N. Short partition→heal pairs
 // are the paper's §4.1 network glitches; the soak profile additionally
@@ -45,6 +56,7 @@ const (
 	EvCrash
 	EvRecover
 	EvRepair
+	EvMigrate
 )
 
 // String returns the event kind token used in the schedule grammar.
@@ -62,6 +74,8 @@ func (k EventKind) String() string {
 		return "recover"
 	case EvRepair:
 		return "repair"
+	case EvMigrate:
+		return "migrate"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -72,6 +86,8 @@ type Event struct {
 	Kind    EventKind
 	Site    string // partition / failover
 	Element string // crash / recover
+	Part    string // migrate: partition to move
+	Pick    int    // migrate: index into the eligible targets at fire time
 }
 
 // format renders the event as one stable schedule line.
@@ -82,6 +98,9 @@ func (e Event) format(b *strings.Builder) {
 	}
 	if e.Element != "" {
 		fmt.Fprintf(b, " el=%s", e.Element)
+	}
+	if e.Part != "" {
+		fmt.Fprintf(b, " part=%s pick=%d", e.Part, e.Pick)
 	}
 	b.WriteByte('\n')
 }
@@ -109,8 +128,11 @@ const maxEpisode = 3
 // GenerateSchedule draws a fault schedule for a run of totalOps client
 // operations over the given sites and storage elements. faultMin and
 // faultMax bound the operation gap between consecutive fault slots.
-// crashes may be disabled (no WAL configured).
-func GenerateSchedule(seed int64, totalOps int, sites, elements []string, faultMin, faultMax int, crashes bool) *Schedule {
+// crashes may be disabled (no WAL configured); migrations are drawn
+// over parts when enabled, and may fire inside partition or crash
+// episodes — migrating across a backbone cut is the abort path under
+// test, not an illegal schedule.
+func GenerateSchedule(seed int64, totalOps int, sites, elements, parts []string, faultMin, faultMax int, crashes, migrations bool) *Schedule {
 	if faultMin < 1 {
 		faultMin = 1 // a zero gap would pin every event to op 0 forever
 	}
@@ -139,6 +161,12 @@ func GenerateSchedule(seed int64, totalOps int, sites, elements []string, faultM
 				choices = append(choices, choice{EvCrash, 3})
 			}
 			choices = append(choices, choice{EvRepair, 2})
+		}
+		if migrations && len(parts) > 0 {
+			// Migrations are legal in any state: across an open cut
+			// they abort (the path under test), in a whole network
+			// they cut over live.
+			choices = append(choices, choice{EvMigrate, 2})
 		}
 		if partitioned != "" {
 			if episode >= maxEpisode {
@@ -196,6 +224,12 @@ func GenerateSchedule(seed int64, totalOps int, sites, elements []string, faultM
 			episode = 0
 		case EvRepair:
 			episode++
+		case EvMigrate:
+			ev.Part = parts[rng.Intn(len(parts))]
+			ev.Pick = rng.Intn(len(elements))
+			if partitioned != "" || crashed != "" {
+				episode++
+			}
 		}
 		s.Events = append(s.Events, ev)
 		at += gap()

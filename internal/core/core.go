@@ -57,6 +57,15 @@ var (
 	ErrUnknownSubscriber = errors.New("core: unknown subscriber")
 	// ErrNoCapacity reports placement failure at provisioning time.
 	ErrNoCapacity = errors.New("core: no partition with spare capacity in requested region")
+	// ErrMigrationInFlight reports a second migration requested for a
+	// partition whose move has not finished.
+	ErrMigrationInFlight = errors.New("core: partition migration already in flight")
+	// ErrUnknownPartition reports a control-plane request naming a
+	// partition absent from the table.
+	ErrUnknownPartition = errors.New("core: unknown partition")
+	// ErrUnknownElement reports a control-plane request naming a
+	// storage element this UDR does not host.
+	ErrUnknownElement = errors.New("core: unknown element")
 )
 
 // Policy identifies the client class, which selects the paper's
@@ -149,6 +158,26 @@ type Config struct {
 	// and disables index maintenance. E9/E17 use it to keep the scan
 	// cost measurable.
 	LegacyFindScan bool
+	// RebalanceOnAddSite runs a rebalancing pass after a scale-out
+	// site joins (§3.4.2), migrating master partitions onto the new
+	// capacity so it takes load immediately instead of only serving
+	// future subscribers. Off by default: E9 measures the bare join.
+	RebalanceOnAddSite bool
+	// RebalanceMaxMoves bounds one rebalancing pass (default 8).
+	RebalanceMaxMoves int
+	// RebalanceConcurrency caps concurrently executing moves in a
+	// rebalancing pass (default 2; each move streams a partition over
+	// the backbone).
+	RebalanceConcurrency int
+	// MigrateBatchRows bounds rows per migration bulk-copy round trip
+	// (default 128).
+	MigrateBatchRows int
+	// MigrateCatchUpTimeout bounds a migration's catch-up phase
+	// (default 2s).
+	MigrateCatchUpTimeout time.Duration
+	// MigrateFreezeTimeout bounds a migration's cutover write-freeze
+	// (default 100ms): the client-visible blip ceiling E20 measures.
+	MigrateFreezeTimeout time.Duration
 }
 
 // DefaultConfig returns the paper's baseline: three sites (the
@@ -183,6 +212,11 @@ type Partition struct {
 	ID       string
 	HomeSite string
 	Replicas []ReplicaRef
+	// Epoch is the placement epoch: bumped at every master change
+	// (failover, migration cutover) and pushed to the hosting
+	// elements, so a request routed under a stale placement gets a
+	// retryable referral instead of landing on a demoted master.
+	Epoch uint64
 }
 
 // Master returns the current master replica.
@@ -203,6 +237,8 @@ type UDR struct {
 	partIDs  []string
 	// rr tracks round-robin placement per home site.
 	rr map[string]int
+	// migrating marks partitions with a move in flight.
+	migrating map[string]bool
 
 	seq int // element numbering for scale-out
 }
@@ -216,14 +252,15 @@ func New(net *simnet.Network, cfg Config) (*UDR, error) {
 		return nil, errors.New("core: no sites configured")
 	}
 	u := &UDR{
-		net:      net,
-		cfg:      cfg,
-		clusters: make(map[string]*cluster.Cluster),
-		elements: make(map[string]*se.Element),
-		stages:   make(map[string]*locator.Stage),
-		poas:     make(map[string]*AccessPoint),
-		parts:    make(map[string]*Partition),
-		rr:       make(map[string]int),
+		net:       net,
+		cfg:       cfg,
+		clusters:  make(map[string]*cluster.Cluster),
+		elements:  make(map[string]*se.Element),
+		stages:    make(map[string]*locator.Stage),
+		poas:      make(map[string]*AccessPoint),
+		parts:     make(map[string]*Partition),
+		rr:        make(map[string]int),
+		migrating: make(map[string]bool),
 	}
 	// All bootstrap sites start with ready (empty) location stages;
 	// only scale-out sites added later must sync before serving
@@ -419,11 +456,25 @@ func (u *UDR) assignSitePartitionsLocked(spec SiteSpec) error {
 			masterRep.Repl.SetPeers(slaveAddrs...)
 		}
 
+		part.Epoch = 1
+		u.pushEpochLocked(part)
 		u.parts[partID] = part
 		u.partIDs = append(u.partIDs, partID)
 	}
 	sort.Strings(u.partIDs)
 	return nil
+}
+
+// pushEpochLocked installs a partition's current placement epoch on
+// every element hosting one of its replicas. The push is an
+// in-process OSS action (like Failover's promote), so it reaches even
+// elements the backbone has partitioned away.
+func (u *UDR) pushEpochLocked(part *Partition) {
+	for _, ref := range part.Replicas {
+		if el := u.elements[ref.Element]; el != nil {
+			el.SetPartitionEpoch(part.ID, part.Epoch)
+		}
+	}
 }
 
 func indexOf(list []string, s string) int {
@@ -589,8 +640,13 @@ func (u *UDR) Failover(partID string) (ReplicaRef, error) {
 			}
 		}
 		el.Replica(partID).Repl.Promote(peers...)
-		// Reorder the partition table: new master first.
+		// Reorder the partition table: new master first. The master
+		// moved, so the placement epoch advances and every replica
+		// learns it — requests routed under the old placement now get
+		// the retryable referral.
 		part.Replicas[0], part.Replicas[i] = part.Replicas[i], part.Replicas[0]
+		part.Epoch++
+		u.pushEpochLocked(part)
 		return part.Replicas[0], nil
 	}
 	return ReplicaRef{}, fmt.Errorf("core: partition %q has no live replica", partID)
@@ -673,9 +729,19 @@ func (u *UDR) AddSite(ctx context.Context, spec SiteSpec) (syncTime time.Duratio
 		if err != nil {
 			return time.Since(start), n, err
 		}
-		return time.Since(start), n, nil
+		syncTime = time.Since(start)
+		entries = n
 	}
-	return 0, 0, nil
+	// Without rebalancing, a scale-out site only receives *future*
+	// subscribers (fresh home partitions): existing load never moves,
+	// which is the placement gap the paper's §3.4.2 story glosses
+	// over. Flag-gated so E9 keeps measuring the bare join.
+	if u.cfg.RebalanceOnAddSite {
+		if _, err := u.Rebalance(ctx); err != nil {
+			return syncTime, entries, fmt.Errorf("core: post-scale-out rebalance: %w", err)
+		}
+	}
+	return syncTime, entries, nil
 }
 
 // choosePartition picks a partition for a new subscription:

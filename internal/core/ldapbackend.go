@@ -10,6 +10,7 @@ import (
 	"repro/internal/antientropy"
 	"repro/internal/ldap"
 	"repro/internal/locator"
+	"repro/internal/rebalance"
 	"repro/internal/se"
 	"repro/internal/simnet"
 	"repro/internal/store"
@@ -64,8 +65,58 @@ func (b *LDAPBackend) Extended(name string, value []byte) (ldap.Result, []byte) 
 			return ldap.Result{Code: ldap.ResultOther, Message: err.Error()}, []byte(text)
 		}
 		return ldap.Result{Code: ldap.ResultSuccess}, []byte(text)
+	case ldap.OIDMove:
+		if b.topology == nil {
+			return ldap.Result{Code: ldap.ResultUnwillingToPerform, Message: "move not available on this endpoint"}, nil
+		}
+		fields := strings.Fields(string(value))
+		if len(fields) != 2 {
+			return ldap.Result{Code: ldap.ResultProtocolError, Message: "move wants '<partition> <target-element>'"}, nil
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), b.timeout)
+		defer cancel()
+		rep, err := b.topology.MigratePartition(ctx, fields[0], fields[1], false)
+		if err != nil {
+			var text []byte
+			if rep != nil {
+				text = []byte(rep.String() + "\n")
+			}
+			return ldap.Result{Code: moveResultCode(err), Message: err.Error()}, text
+		}
+		return ldap.Result{Code: ldap.ResultSuccess}, []byte(rep.String() + "\n")
+	case ldap.OIDRebalance:
+		if b.topology == nil {
+			return ldap.Result{Code: ldap.ResultUnwillingToPerform, Message: "rebalance not available on this endpoint"}, nil
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), b.timeout)
+		defer cancel()
+		res, err := b.topology.Rebalance(ctx)
+		text := []byte(res.String())
+		if err != nil {
+			return ldap.Result{Code: ldap.ResultOther, Message: err.Error()}, text
+		}
+		if res.Failed > 0 {
+			return ldap.Result{Code: ldap.ResultOther,
+				Message: fmt.Sprintf("%d of %d moves failed", res.Failed, len(res.Plan))}, text
+		}
+		return ldap.Result{Code: ldap.ResultSuccess}, text
 	default:
 		return ldap.Result{Code: ldap.ResultProtocolError, Message: "unknown extended op " + name}, nil
+	}
+}
+
+// moveResultCode maps migration errors onto LDAP result codes so
+// udrctl can distinguish operator mistakes from transient conflicts.
+func moveResultCode(err error) ldap.ResultCode {
+	switch {
+	case errors.Is(err, ErrMigrationInFlight):
+		return ldap.ResultBusy
+	case errors.Is(err, rebalance.ErrConflict):
+		return ldap.ResultUnwillingToPerform
+	case errors.Is(err, ErrUnknownPartition), errors.Is(err, ErrUnknownElement):
+		return ldap.ResultNoSuchObject
+	default:
+		return ldap.ResultOther
 	}
 }
 
@@ -347,7 +398,8 @@ func resultFromErr(err error) ldap.Result {
 	switch {
 	case errors.Is(err, ErrUnknownSubscriber), errors.Is(err, locator.ErrNotFound):
 		return ldap.Result{Code: ldap.ResultNoSuchObject, Message: err.Error()}
-	case errors.Is(err, locator.ErrNotReady):
+	case errors.Is(err, locator.ErrNotReady), errors.Is(err, se.ErrStalePlacement),
+		errors.Is(err, ErrMigrationInFlight):
 		return ldap.Result{Code: ldap.ResultBusy, Message: err.Error()}
 	case errors.Is(err, ErrMasterUnreachable), errors.Is(err, ErrNoReplica),
 		errors.Is(err, simnet.ErrUnreachable), errors.Is(err, simnet.ErrLost):

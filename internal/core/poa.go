@@ -227,11 +227,6 @@ func (ap *AccessPoint) exec(ctx context.Context, req ExecReq) (ExecResp, error) 
 		}
 		subID, partID = p.SubscriberID, p.Partition
 	}
-	part, ok := ap.u.Partition(partID)
-	if !ok {
-		return ExecResp{}, fmt.Errorf("core: unknown partition %q", partID)
-	}
-
 	// Rewrite op keys: clients address ops by subscriber; the keys
 	// are already subscriber IDs, so nothing to translate — but we
 	// validate emptiness here once.
@@ -241,33 +236,65 @@ func (ap *AccessPoint) exec(ctx context.Context, req ExecReq) (ExecResp, error) 
 		}
 	}
 
-	targets := ap.orderTargets(part, req)
-	txn := se.TxnReq{Partition: partID, Iso: store.ReadCommitted, Ops: req.Ops, Tag: req.Tag}
-
+	// Placement-refresh loop: a request that races a migration
+	// cutover or failover gets a stale-placement referral from the
+	// demoted master (or a read-only refusal from a commit that
+	// parked on the cutover freeze). Both mean "your placement is
+	// stale, not unavailable": re-read the partition table — the
+	// cutover flipped it atomically with the epoch — and retry.
+	const maxPlacementRefresh = 4
 	var lastErr error
-	for _, ref := range targets {
-		raw, err := ap.u.net.Call(ctx, ap.addr, ref.Addr, txn)
-		if err != nil {
-			lastErr = err
+	for attempt := 0; attempt < maxPlacementRefresh; attempt++ {
+		part, ok := ap.u.Partition(partID)
+		if !ok {
+			// A placement pointing at a partition the table no longer
+			// knows is stale forever: evict it so the next lookup
+			// re-resolves instead of replaying the dead mapping.
+			if stage := ap.u.Stage(ap.site); stage != nil {
+				stage.InvalidatePartition(partID)
+			}
+			return ExecResp{}, fmt.Errorf("core: unknown partition %q", partID)
+		}
+		targets := ap.orderTargets(part, req)
+		txn := se.TxnReq{Partition: partID, Iso: store.ReadCommitted,
+			Ops: req.Ops, Tag: req.Tag, Epoch: part.Epoch}
+
+		referred := false
+		for _, ref := range targets {
+			raw, err := ap.u.net.Call(ctx, ap.addr, ref.Addr, txn)
+			if err != nil {
+				lastErr = err
+				if errors.Is(err, se.ErrStalePlacement) || errors.Is(err, store.ErrReadOnly) {
+					referred = true
+					break
+				}
+				continue
+			}
+			resp, ok := raw.(se.TxnResp)
+			if !ok {
+				return ExecResp{}, fmt.Errorf("core: unexpected SE response %T", raw)
+			}
+			return ExecResp{
+				Results:      resp.Results,
+				CSN:          resp.CSN,
+				ServedBy:     ref.Addr,
+				Role:         resp.Role,
+				Partition:    partID,
+				SubscriberID: subID,
+			}, nil
+		}
+		if referred {
+			// Let the in-flight cutover settle before re-reading the
+			// table; the freeze window is bounded.
+			time.Sleep(200 * time.Microsecond)
 			continue
 		}
-		resp, ok := raw.(se.TxnResp)
-		if !ok {
-			return ExecResp{}, fmt.Errorf("core: unexpected SE response %T", raw)
+		if len(targets) == 1 {
+			return ExecResp{}, fmt.Errorf("%w: %v", ErrMasterUnreachable, lastErr)
 		}
-		return ExecResp{
-			Results:      resp.Results,
-			CSN:          resp.CSN,
-			ServedBy:     ref.Addr,
-			Role:         resp.Role,
-			Partition:    partID,
-			SubscriberID: subID,
-		}, nil
+		return ExecResp{}, fmt.Errorf("%w: %v", ErrNoReplica, lastErr)
 	}
-	if len(targets) == 1 {
-		return ExecResp{}, fmt.Errorf("%w: %v", ErrMasterUnreachable, lastErr)
-	}
-	return ExecResp{}, fmt.Errorf("%w: %v", ErrNoReplica, lastErr)
+	return ExecResp{}, fmt.Errorf("%w: %v", ErrMasterUnreachable, lastErr)
 }
 
 // orderTargets returns the replicas to try, in order.

@@ -43,7 +43,7 @@ func runE19(ctx context.Context, opts Options) (*Report, error) {
 		seeds = seeds[:1]
 	}
 
-	run := func(seed int64, d replication.Durability) (*consistency.Result, error) {
+	run := func(seed int64, d replication.Durability, migrations bool) (*consistency.Result, error) {
 		walDir, err := os.MkdirTemp("", "e19-wal")
 		if err != nil {
 			return nil, err
@@ -54,6 +54,7 @@ func runE19(ctx context.Context, opts Options) (*Report, error) {
 		cfg.FaultMin, cfg.FaultMax = 6, 14
 		cfg.Durability = d
 		cfg.WALDir = walDir
+		cfg.Migrations = migrations
 		return consistency.Run(ctx, cfg)
 	}
 
@@ -65,11 +66,11 @@ func runE19(ctx context.Context, opts Options) (*Report, error) {
 	// runMode aggregates over the seeds and keeps the first seed's
 	// result so the determinism probe can compare against it without
 	// paying for an extra run.
-	runMode := func(d replication.Durability) (agg, *consistency.Result, error) {
+	runMode := func(d replication.Durability, migrations bool) (agg, *consistency.Result, error) {
 		out := agg{converged: true}
 		var first *consistency.Result
 		for _, seed := range seeds {
-			res, err := run(seed, d)
+			res, err := run(seed, d, migrations)
 			if err != nil {
 				return out, nil, fmt.Errorf("e19: durability=%s seed=%d: %w", d, seed, err)
 			}
@@ -89,18 +90,25 @@ func runE19(ctx context.Context, opts Options) (*Report, error) {
 		return out, first, nil
 	}
 
-	async, asyncFirst, err := runMode(replication.Async)
+	async, asyncFirst, err := runMode(replication.Async, false)
 	if err != nil {
 		return nil, err
 	}
-	syncAll, _, err := runMode(replication.SyncAll)
+	syncAll, _, err := runMode(replication.SyncAll, false)
+	if err != nil {
+		return nil, err
+	}
+	// Migration profile: the same sync-all contract must hold while
+	// live partition migrations interleave with partitions, failovers
+	// and crash-restarts (PR-5's acceptance bar).
+	syncMig, _, err := runMode(replication.SyncAll, true)
 	if err != nil {
 		return nil, err
 	}
 
 	// Determinism probe: rerun the first async seed — schedule and
 	// history must be byte-identical with the run already measured.
-	detB, err := run(seeds[0], replication.Async)
+	detB, err := run(seeds[0], replication.Async, false)
 	if err != nil {
 		return nil, err
 	}
@@ -114,12 +122,17 @@ func runE19(ctx context.Context, opts Options) (*Report, error) {
 	rep.AddRow("sync-all", fmt.Sprint(syncAll.ops), fmt.Sprint(syncAll.faults),
 		fmt.Sprint(syncAll.linViol), fmt.Sprint(syncAll.slaveReads),
 		fmt.Sprint(syncAll.stale), fmt.Sprint(syncAll.maxStale), fmt.Sprint(syncAll.converged))
+	rep.AddRow("sync-all+migrate", fmt.Sprint(syncMig.ops), fmt.Sprint(syncMig.faults),
+		fmt.Sprint(syncMig.linViol), fmt.Sprint(syncMig.slaveReads),
+		fmt.Sprint(syncMig.stale), fmt.Sprint(syncMig.maxStale), fmt.Sprint(syncMig.converged))
 
 	rep.Check("sync-all keeps the master path linearizable under chaos", syncAll.linViol == 0)
 	rep.Check("async loses acknowledged writes at failover (the paper's §3.3.1 gap, detected)",
 		async.linViol > 0)
 	rep.Check("replicas reconverge after heal + repair in both modes",
 		async.converged && syncAll.converged)
+	rep.Check("live migrations preserve linearizability and convergence under sync-all",
+		syncMig.linViol == 0 && syncMig.converged)
 	rep.Check("slave reads were driven and measured", async.slaveReads+syncAll.slaveReads > 0)
 	rep.Check("same seed reproduces a byte-identical schedule and history", deterministic)
 

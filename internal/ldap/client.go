@@ -214,6 +214,21 @@ func (c *Client) Repair() (string, Result, error) {
 	return string(value), r, err
 }
 
+// Move migrates a partition's master replica onto the target storage
+// element and returns the server's migration report (udrctl move).
+// The request value is "<partition> <target-element>".
+func (c *Client) Move(partition, targetElement string) (string, Result, error) {
+	r, value, err := c.extendedCallFull(OIDMove, []byte(partition+" "+targetElement))
+	return string(value), r, err
+}
+
+// Rebalance runs one elastic rebalancing pass (plan + migrations) and
+// returns the server's plan/outcome report (udrctl rebalance).
+func (c *Client) Rebalance() (string, Result, error) {
+	r, value, err := c.extendedCallFull(OIDRebalance, nil)
+	return string(value), r, err
+}
+
 // TxnBegin opens a write transaction on this connection: subsequent
 // Add/Modify/Delete calls are staged server-side and executed
 // atomically by TxnCommit.

@@ -300,6 +300,8 @@ const (
 	OIDTxnAbort  = "1.3.6.1.4.1.193.99.3"  // discard buffered writes
 	OIDStatus    = "1.3.6.1.4.1.193.99.10" // OaM: topology status dump
 	OIDRepair    = "1.3.6.1.4.1.193.99.11" // OaM: anti-entropy repair round
+	OIDMove      = "1.3.6.1.4.1.193.99.12" // OaM: live partition migration
+	OIDRebalance = "1.3.6.1.4.1.193.99.13" // OaM: elastic rebalancing pass
 )
 
 // Message is one LDAPMessage envelope.

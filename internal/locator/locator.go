@@ -58,6 +58,12 @@ type Locator interface {
 	PutProfile(ids []subscriber.Identity, p Placement)
 	// RemoveProfile removes all identity mappings of a subscription.
 	RemoveProfile(ids []subscriber.Identity)
+	// InvalidatePartition evicts every placement pointing at the
+	// partition and returns how many were dropped. PoAs call it when
+	// a resolved placement turns out stale (the partition was retired
+	// or re-placed behind the locator's back) so the next lookup
+	// re-resolves instead of replaying the stale mapping forever.
+	InvalidatePartition(partition string) int
 	// SupportsSelectivePlacement reports whether the locator can pin
 	// a subscription to an arbitrary partition (§3.5's regulatory /
 	// home-region requirement).
@@ -226,6 +232,26 @@ func (s *Stage) RemoveProfile(ids []subscriber.Identity) {
 	}
 }
 
+// InvalidatePartition implements Locator: every identity mapped to
+// the partition is evicted. Provisioned stages relearn evicted
+// entries from the provisioning flow; cached stages re-resolve on the
+// next miss.
+func (s *Stage) InvalidatePartition(partition string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var stale []string
+	s.byID.Ascend(func(k string, p Placement) bool {
+		if p.Partition == partition {
+			stale = append(stale, k)
+		}
+		return true
+	})
+	for _, k := range stale {
+		s.byID.Delete(k)
+	}
+	return len(stale)
+}
+
 // SupportsSelectivePlacement implements Locator: state-full maps can
 // pin any subscription anywhere.
 func (s *Stage) SupportsSelectivePlacement() bool { return true }
@@ -337,6 +363,12 @@ func (h *HashLocator) RemoveProfile(ids []subscriber.Identity) {
 		delete(h.subID, id.String())
 	}
 }
+
+// InvalidatePartition implements Locator. The hash dictates every
+// placement, so there is no per-partition state to evict: re-placing
+// a partition's data is exactly what the ring cannot express (§3.5's
+// argument against hashing) and the method reports zero evictions.
+func (h *HashLocator) InvalidatePartition(partition string) int { return 0 }
 
 // SupportsSelectivePlacement implements Locator: a hash cannot honor
 // a requested placement.

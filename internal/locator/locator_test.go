@@ -251,3 +251,31 @@ func TestModeString(t *testing.T) {
 		t.Fatal("mode strings")
 	}
 }
+
+func TestStageInvalidatePartition(t *testing.T) {
+	s := NewStage("eu", Cached, true)
+	s.PutProfile([]subscriber.Identity{id(subscriber.IMSI, "1"), id(subscriber.MSISDN, "11")},
+		Placement{SubscriberID: "a", Partition: "p-dead"})
+	s.PutProfile([]subscriber.Identity{id(subscriber.IMSI, "2")},
+		Placement{SubscriberID: "b", Partition: "p-live"})
+	if n := s.InvalidatePartition("p-dead"); n != 2 {
+		t.Fatalf("evicted %d, want 2", n)
+	}
+	if _, err := s.Lookup(context.Background(), id(subscriber.IMSI, "1")); err == nil {
+		t.Fatal("stale placement survived invalidation")
+	}
+	if p, err := s.Lookup(context.Background(), id(subscriber.IMSI, "2")); err != nil || p.Partition != "p-live" {
+		t.Fatalf("live placement evicted: %+v %v", p, err)
+	}
+	if n := s.InvalidatePartition("p-dead"); n != 0 {
+		t.Fatalf("second invalidation evicted %d", n)
+	}
+}
+
+func TestHashLocatorInvalidatePartitionIsNoop(t *testing.T) {
+	h := NewHashLocator([]string{"p-0"})
+	h.PutProfile([]subscriber.Identity{id(subscriber.MSISDN, "1")}, Placement{SubscriberID: "s", Partition: "p-0"})
+	if n := h.InvalidatePartition("p-0"); n != 0 {
+		t.Fatalf("hash locator evicted %d; the ring has no per-partition state", n)
+	}
+}

@@ -1,0 +1,503 @@
+package rebalance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/replication"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+// Errors reported by migrations.
+var (
+	// ErrConflict reports a move whose target already hosts a replica
+	// of the partition (a master move onto a slave copy is a failover,
+	// not a migration).
+	ErrConflict = errors.New("rebalance: target already hosts a replica of the partition")
+	// ErrAborted wraps any phase failure: the move was rolled back and
+	// the source is still authoritative.
+	ErrAborted = errors.New("rebalance: migration aborted")
+	// ErrSourceLost is returned (wrapped) by a Move.Commit callback
+	// when the partition table no longer names the source as master —
+	// a concurrent failover won the race. The abort rollback must NOT
+	// re-promote the source then: another replica holds the master
+	// role, and a second master would fork the commit sequence.
+	ErrSourceLost = errors.New("rebalance: source lost mastership mid-migration")
+)
+
+// Phase identifies how far a migration progressed.
+type Phase int
+
+// Migration phases, in execution order.
+const (
+	PhasePrepare Phase = iota
+	PhaseCopy
+	PhaseCatchUp
+	PhaseCutover
+	PhaseRelease
+	PhaseDone
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhasePrepare:
+		return "prepare"
+	case PhaseCopy:
+		return "copy"
+	case PhaseCatchUp:
+		return "catch-up"
+	case PhaseCutover:
+		return "cutover"
+	case PhaseRelease:
+		return "release"
+	case PhaseDone:
+		return "done"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Replica is the migrator's view of one hosted partition replica.
+type Replica struct {
+	Store *store.Store
+	Repl  *replication.Replica
+}
+
+// Host is the slice of a storage element the migrator drives. se.Element
+// implements it; the indirection keeps this package importable from se
+// (which hosts the protocol Peer) without a cycle.
+type Host interface {
+	ID() string
+	Site() string
+	Addr() simnet.Addr
+	Down() bool
+	// MigrationHandle returns the hosted replica of a partition.
+	MigrationHandle(partition string) (Replica, bool)
+	// AddMigrationTarget hosts a fresh slave replica for an incoming
+	// migration (wiping any stale on-disk state for the partition).
+	AddMigrationTarget(partition string) (Replica, error)
+	// DropReplica removes a hosted replica and its on-disk state
+	// (abort rollback, source retirement).
+	DropReplica(partition string) error
+	// PersistReplica snapshots the replica's store to its WAL so the
+	// bulk-copied rows survive a crash (the copied prefix never went
+	// through the commit log). No-op without a WAL.
+	PersistReplica(partition string) error
+}
+
+// Move describes one partition migration.
+type Move struct {
+	Partition string
+	Source    Host
+	Target    Host
+	// Durability is applied to the promoted target's replication.
+	Durability replication.Durability
+	// Release retires the source replica after cutover instead of
+	// demoting it to a slave copy.
+	Release bool
+	// Commit is invoked exactly once, at the cutover point: the source
+	// is frozen at frozenCSN, the target has applied every commit up
+	// to it, roles are already flipped. It must atomically repoint the
+	// partition table at the target and bump the placement epoch. An
+	// error rolls the roles back and aborts. May be nil (tests,
+	// table-less deployments).
+	Commit func(frozenCSN uint64) error
+}
+
+// Report describes one migration's outcome and cost.
+type Report struct {
+	Partition      string
+	Source, Target string
+	// SnapshotCSN is the source CSN at stream-attach: every commit at
+	// or below it ships in the bulk copy; later commits ride the live
+	// stream.
+	SnapshotCSN uint64
+	// RowsCopied / Batches measure the bulk copy.
+	RowsCopied int
+	Batches    int
+	// FrozenCSN is the source CSN the cutover handed over at.
+	FrozenCSN uint64
+	// CatchUpRecords counts live-stream commits the target applied
+	// between snapshot and cutover.
+	CatchUpRecords uint64
+	// FreezeDuration is the client-visible write-freeze window.
+	FreezeDuration time.Duration
+	// Duration is the whole migration, bulk copy included.
+	Duration time.Duration
+	// Phase is the last phase reached (PhaseDone on success).
+	Phase Phase
+	// Aborted reports a rolled-back migration; Err holds the cause.
+	Aborted bool
+	Err     error
+	// ReleaseErr reports a post-cutover release failure — most
+	// seriously a failed target WAL snapshot, which leaves the
+	// bulk-copied prefix (never in the target's commit log)
+	// unrecoverable across a target crash. The move itself committed;
+	// the operator must re-snapshot or re-seed before trusting the
+	// new master's durability.
+	ReleaseErr error
+	// Released reports the source replica was retired.
+	Released bool
+	// LeftBehind lists replication peers that had not applied
+	// FrozenCSN when the freeze deadline expired (partitioned slaves).
+	// Their replication stream is gap-stuck on the new master — the
+	// records they miss are not in its fresh sender queues — until an
+	// anti-entropy round repairs and re-attaches them after heal.
+	LeftBehind []simnet.Addr
+}
+
+// PeersLeftBehind counts the peers the cutover left behind.
+func (r *Report) PeersLeftBehind() int { return len(r.LeftBehind) }
+
+// String renders the report as one operator-facing line.
+func (r *Report) String() string {
+	if r.Aborted {
+		return fmt.Sprintf("migrate %s %s->%s ABORTED at %s: %v",
+			r.Partition, r.Source, r.Target, r.Phase, r.Err)
+	}
+	line := fmt.Sprintf("migrate %s %s->%s rows=%d batches=%d catch-up=%d freeze=%s left-behind=%d released=%t",
+		r.Partition, r.Source, r.Target, r.RowsCopied, r.Batches,
+		r.CatchUpRecords, r.FreezeDuration, len(r.LeftBehind), r.Released)
+	if r.ReleaseErr != nil {
+		line += fmt.Sprintf(" RELEASE-ERROR=%v (target not crash-durable until re-snapshotted)", r.ReleaseErr)
+	}
+	return line
+}
+
+// Hooks are test-only injection points between phases (fault-schedule
+// tests cut the network at exact phase boundaries through them).
+type Hooks struct {
+	// AfterCopy runs after the bulk copy completes, before catch-up.
+	AfterCopy func()
+	// BeforeCutover runs after catch-up converges, before the freeze.
+	BeforeCutover func()
+}
+
+// Migrator executes partition moves. The zero value is usable; the
+// knobs default sensibly for the simulated network scale.
+type Migrator struct {
+	Net *simnet.Network
+
+	// BatchRows bounds rows per bulk-copy round trip (default 128).
+	BatchRows int
+	// LagThreshold is the stream lag (records) at which catch-up ends
+	// and cutover starts (default 64). Under sustained writes the
+	// observed lag floors at the replication pipeline depth (write
+	// rate × round-trip time), so the threshold must sit above it;
+	// whatever lag remains is drained inside the cutover freeze, one
+	// or two batch round trips.
+	LagThreshold uint64
+	// CatchUpTimeout bounds the catch-up phase (default 2s).
+	CatchUpTimeout time.Duration
+	// FreezeTimeout bounds the cutover write-freeze: the target must
+	// confirm the frozen CSN within it or the move aborts; other peers
+	// get best-effort drain until it expires (default 100ms).
+	FreezeTimeout time.Duration
+	// CallTimeout bounds each protocol RPC (default 50ms).
+	CallTimeout time.Duration
+
+	// Hooks are test-only phase-boundary injection points.
+	Hooks Hooks
+}
+
+func (m *Migrator) batchRows() int {
+	if m.BatchRows > 0 {
+		return m.BatchRows
+	}
+	return 128
+}
+
+func (m *Migrator) lagThreshold() uint64 {
+	if m.LagThreshold > 0 {
+		return m.LagThreshold
+	}
+	return 64
+}
+
+func (m *Migrator) catchUpTimeout() time.Duration {
+	if m.CatchUpTimeout > 0 {
+		return m.CatchUpTimeout
+	}
+	return 2 * time.Second
+}
+
+func (m *Migrator) freezeTimeout() time.Duration {
+	if m.FreezeTimeout > 0 {
+		return m.FreezeTimeout
+	}
+	return 100 * time.Millisecond
+}
+
+func (m *Migrator) call(ctx context.Context, from, to simnet.Addr, req any) (any, error) {
+	timeout := m.CallTimeout
+	if timeout == 0 {
+		timeout = 50 * time.Millisecond
+	}
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	return m.Net.Call(cctx, from, to, req)
+}
+
+// progress polls the target's applied watermark over the network (from
+// the source address, so reachability is the real source→target path).
+func (m *Migrator) progress(ctx context.Context, from, to simnet.Addr, partition string) (ProgressResp, error) {
+	raw, err := m.call(ctx, from, to, ProgressReq{Partition: partition})
+	if err != nil {
+		return ProgressResp{}, err
+	}
+	resp, ok := raw.(ProgressResp)
+	if !ok {
+		return ProgressResp{}, fmt.Errorf("rebalance: unexpected progress response %T", raw)
+	}
+	return resp, nil
+}
+
+// Run executes one migration. On success the target is the partition
+// master and the report's Phase is PhaseDone. On any failure before
+// the Commit callback returns, the move is rolled back — the target
+// replica is dropped, the source keeps the master role — and the
+// returned error wraps ErrAborted. The report is always non-nil.
+func (m *Migrator) Run(ctx context.Context, mv Move) (*Report, error) {
+	start := time.Now()
+	rep := &Report{
+		Partition: mv.Partition,
+		Source:    mv.Source.ID(),
+		Target:    mv.Target.ID(),
+		Phase:     PhasePrepare,
+	}
+	abort := func(err error) (*Report, error) {
+		rep.Aborted = true
+		rep.Err = err
+		rep.Duration = time.Since(start)
+		// Both wraps survive errors.Is: callers branch on ErrAborted
+		// for the rollback guarantee and on the cause (ErrConflict,
+		// ErrSourceLost, network errors) for the error class.
+		return rep, fmt.Errorf("%w: %s %s->%s at %s: %w",
+			ErrAborted, mv.Partition, rep.Source, rep.Target, rep.Phase, err)
+	}
+
+	// Prepare: the source must master the partition, the target must
+	// not host any copy of it, both ends must be up.
+	if mv.Source.Down() {
+		return abort(fmt.Errorf("source element %s is down", rep.Source))
+	}
+	if mv.Target.Down() {
+		return abort(fmt.Errorf("target element %s is down", rep.Target))
+	}
+	src, ok := mv.Source.MigrationHandle(mv.Partition)
+	if !ok {
+		return abort(fmt.Errorf("source does not host %s", mv.Partition))
+	}
+	if src.Store.Role() != store.Master {
+		return abort(fmt.Errorf("source replica of %s is not the master", mv.Partition))
+	}
+	if _, hosted := mv.Target.MigrationHandle(mv.Partition); hosted {
+		return abort(ErrConflict)
+	}
+
+	// Bulk copy: host the target replica, attach it to the live
+	// replication stream under a momentary freeze (so no commit can
+	// slip between the snapshot CSN and the sender attach), then
+	// stream the snapshot. Records committed during the copy are both
+	// racy-included in the iteration and re-delivered by the stream;
+	// post-images are full rows, so double apply converges.
+	rep.Phase = PhaseCopy
+	tgt, err := mv.Target.AddMigrationTarget(mv.Partition)
+	if err != nil {
+		return abort(err)
+	}
+	srcAddr, tgtAddr := mv.Source.Addr(), mv.Target.Addr()
+	rollback := func() {
+		src.Repl.RemovePeer(tgtAddr)
+		_ = mv.Target.DropReplica(mv.Partition)
+	}
+
+	snapCSN, release := src.Store.FreezeWrites()
+	src.Repl.AddStandbyPeer(tgtAddr)
+	release()
+	rep.SnapshotCSN = snapCSN
+
+	// Collect the snapshot zero-copy — entries are immutable shared
+	// versions, so this gathers references, not row data — and ship in
+	// batches outside the iteration: a network round trip under a
+	// shard read lock would stall that shard's writers for the RTT.
+	rows := make([]replication.RowTransfer, 0, src.Store.Len())
+	src.Store.ForEachAny(func(key string, e store.Entry, meta store.Meta) bool {
+		rows = append(rows, replication.RowTransfer{Key: key, Entry: e, Meta: meta})
+		return true
+	})
+	var shipErr error
+	for off := 0; off < len(rows) && shipErr == nil; off += m.batchRows() {
+		end := off + m.batchRows()
+		if end > len(rows) {
+			end = len(rows)
+		}
+		_, shipErr = m.call(ctx, srcAddr, tgtAddr,
+			RowBatchMsg{Partition: mv.Partition, Rows: rows[off:end]})
+		if shipErr == nil {
+			rep.RowsCopied += end - off
+			rep.Batches++
+		}
+	}
+	if shipErr == nil {
+		_, shipErr = m.call(ctx, srcAddr, tgtAddr, WatermarkMsg{Partition: mv.Partition, CSN: snapCSN})
+	}
+	if shipErr != nil {
+		rollback()
+		return abort(shipErr)
+	}
+	if m.Hooks.AfterCopy != nil {
+		m.Hooks.AfterCopy()
+	}
+
+	// Catch-up: the target applies the live stream until its lag
+	// behind the source master falls under the threshold.
+	rep.Phase = PhaseCatchUp
+	deadline := time.Now().Add(m.catchUpTimeout())
+	for {
+		p, err := m.progress(ctx, srcAddr, tgtAddr, mv.Partition)
+		if err == nil && src.Store.CSN()-p.AppliedCSN <= m.lagThreshold() {
+			break
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("lag %d above threshold at deadline", src.Store.CSN()-p.AppliedCSN)
+			}
+			rollback()
+			return abort(fmt.Errorf("catch-up: %w", err))
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			rollback()
+			return abort(cerr)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if m.Hooks.BeforeCutover != nil {
+		m.Hooks.BeforeCutover()
+	}
+
+	// Cutover: freeze source commits, drain the stream to the target
+	// (required) and the other peers (best-effort within the freeze
+	// budget), flip roles, commit the table flip, unfreeze. The source
+	// stays authoritative until Commit returns nil.
+	rep.Phase = PhaseCutover
+	origPeers := src.Repl.Peers()
+	frozenCSN, release := src.Store.FreezeWrites()
+	freezeStart := time.Now()
+	unfreeze := func() {
+		rep.FreezeDuration = time.Since(freezeStart)
+		release()
+	}
+	rep.FrozenCSN = frozenCSN
+	rep.CatchUpRecords = frozenCSN - snapCSN
+
+	freezeDeadline := time.Now().Add(m.freezeTimeout())
+	for {
+		p, err := m.progress(ctx, srcAddr, tgtAddr, mv.Partition)
+		if err == nil && p.AppliedCSN >= frozenCSN {
+			break
+		}
+		if time.Now().After(freezeDeadline) {
+			if err == nil {
+				err = fmt.Errorf("target applied %d < frozen %d at freeze deadline", p.AppliedCSN, frozenCSN)
+			}
+			unfreeze()
+			rollback()
+			return abort(fmt.Errorf("cutover drain: %w", err))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Best-effort drain of the remaining peers so they can follow the
+	// new master's stream without an anti-entropy round. Unreachable
+	// peers are left behind, exactly like a failover leaves them.
+	for _, peer := range origPeers {
+		if peer == tgtAddr {
+			continue
+		}
+		for {
+			p, err := m.progress(ctx, srcAddr, peer, mv.Partition)
+			if err == nil && p.AppliedCSN >= frozenCSN {
+				break
+			}
+			if time.Now().After(freezeDeadline) {
+				rep.LeftBehind = append(rep.LeftBehind, peer)
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	// Role flip under the freeze: the target becomes master and ships
+	// to every old peer plus (unless released) the demoted source; the
+	// source stops shipping and rejoins as a slave at the frozen
+	// watermark. No commit can land anywhere in between: the source is
+	// frozen and the partition table still routes to it.
+	src.Repl.RemovePeer(tgtAddr)
+	targetPeers := make([]simnet.Addr, 0, len(origPeers))
+	for _, peer := range origPeers {
+		if peer != tgtAddr {
+			targetPeers = append(targetPeers, peer)
+		}
+	}
+	if !mv.Release {
+		targetPeers = append(targetPeers, srcAddr)
+	}
+	tgt.Repl.Promote(targetPeers...)
+	tgt.Repl.SetDurability(mv.Durability)
+	src.Repl.Demote()
+	src.Store.SetAppliedCSN(frozenCSN)
+
+	if mv.Commit != nil {
+		if err := mv.Commit(frozenCSN); err != nil {
+			tgt.Repl.Demote()
+			if !errors.Is(err, ErrSourceLost) {
+				// The table still points at the source, which is whole
+				// through frozenCSN: give it the master role back. The
+				// restored peer set excludes the target — its replica
+				// is about to be dropped, and re-adding it as a
+				// regular peer would gate synchronous commits on an
+				// undeliverable sender.
+				restorePeers := make([]simnet.Addr, 0, len(origPeers))
+				for _, peer := range origPeers {
+					if peer != tgtAddr {
+						restorePeers = append(restorePeers, peer)
+					}
+				}
+				src.Store.SetRole(store.Master)
+				src.Repl.SetPeers(restorePeers...)
+			}
+			// ErrSourceLost: a concurrent failover promoted another
+			// replica; the source stays the demoted slave it already
+			// is — re-promoting it would create a second master.
+			// Rollback completes before the freeze lifts so no client
+			// commit can observe the half-unwound state.
+			rollback()
+			unfreeze()
+			return abort(fmt.Errorf("commit: %w", err))
+		}
+	}
+	unfreeze()
+
+	// Release: retire or keep the source copy; persist the target's
+	// bulk-copied prefix (it never went through the target's WAL).
+	// Failures here cannot un-commit the move — they surface on the
+	// report for the operator instead.
+	rep.Phase = PhaseRelease
+	if mv.Release {
+		if err := mv.Source.DropReplica(mv.Partition); err == nil {
+			rep.Released = true
+		} else {
+			rep.ReleaseErr = err
+		}
+	}
+	if err := mv.Target.PersistReplica(mv.Partition); err != nil && rep.ReleaseErr == nil {
+		rep.ReleaseErr = err
+	}
+
+	rep.Phase = PhaseDone
+	rep.Duration = time.Since(start)
+	return rep, nil
+}

@@ -1,0 +1,160 @@
+// Package rebalance implements live partition migration and elastic
+// rebalancing: moving a partition replica — including the master role
+// — from one storage element to another while front-end and
+// provisioning traffic keeps flowing.
+//
+// The paper's scale story (§3.4.2 scale-out by site, §3.5 selective
+// placement) assumes partitions can be *re*-placed as load grows; the
+// subsystem makes placement a runtime operation:
+//
+//   - A Migrator executes one move in phases: bulk copy (consistent
+//     snapshot streamed over the network), catch-up (the target joins
+//     the live replication stream at the snapshot watermark), cutover
+//     (a bounded write-freeze drains in-flight commits, hands over the
+//     master role and bumps the placement epoch) and release (the
+//     source demotes to slave or retires). The source stays
+//     authoritative until cutover commits; an abort at any earlier
+//     phase rolls the target back and leaves the cluster untouched.
+//   - A load model and planner (Plan) turn per-element master row
+//     counts into a bounded list of moves, the policy loop behind
+//     elastic rebalancing (core.UDR.Rebalance).
+//
+// This file is the wire protocol: the messages a migration target
+// serves and the Peer that answers them on behalf of a storage
+// element's hosted replicas.
+package rebalance
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/replication"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+// RowBatchMsg carries one batch of snapshot rows from the migration
+// source to the target. Batches arrive sequentially (the migrator
+// round-trips each one) and strictly before the WatermarkMsg, so the
+// target installs them blindly: no stream apply can interleave, the
+// target's replication watermark is still unset and gap-stuck.
+type RowBatchMsg struct {
+	Partition string
+	Rows      []replication.RowTransfer
+}
+
+// RowBatchResp acknowledges a RowBatchMsg.
+type RowBatchResp struct {
+	Applied int
+}
+
+// WatermarkMsg primes the target's replication high-water mark to the
+// snapshot CSN after the last row batch: every commit at or below CSN
+// is reflected in the shipped rows, so the target can start applying
+// the live stream at CSN+1.
+type WatermarkMsg struct {
+	Partition string
+	CSN       uint64
+}
+
+// WatermarkResp acknowledges a WatermarkMsg.
+type WatermarkResp struct{}
+
+// ProgressReq asks a replica how far it has applied. The migrator
+// polls the target with it during catch-up and cutover; sender
+// acknowledgements cannot serve here because a freshly attached peer's
+// sender has seen none of the pre-attach records.
+type ProgressReq struct {
+	Partition string
+}
+
+// ProgressResp answers a ProgressReq.
+type ProgressResp struct {
+	AppliedCSN uint64
+	Rows       int
+}
+
+// Peer serves the migration protocol for the partition replicas
+// hosted on one storage element, mirroring the antientropy.Peer and
+// replication.Node handler idiom.
+type Peer struct {
+	mu    sync.RWMutex
+	parts map[string]*store.Store
+
+	// RowsReceived counts snapshot rows installed; Batches counts
+	// row batches served.
+	RowsReceived metrics.Counter
+	Batches      metrics.Counter
+}
+
+// NewPeer returns an empty protocol server.
+func NewPeer() *Peer {
+	return &Peer{parts: make(map[string]*store.Store)}
+}
+
+// Register serves the migration protocol for a partition replica,
+// replacing any previous registration (element recovery rebuilds the
+// store and re-registers).
+func (p *Peer) Register(partition string, st *store.Store) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.parts[partition] = st
+}
+
+// Unregister stops serving a partition (replica dropped).
+func (p *Peer) Unregister(partition string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.parts, partition)
+}
+
+func (p *Peer) part(partition string) (*store.Store, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	st := p.parts[partition]
+	if st == nil {
+		return nil, fmt.Errorf("rebalance: partition %q not hosted here", partition)
+	}
+	return st, nil
+}
+
+// HandleMessage processes a migration-protocol message. It reports
+// handled = false for messages belonging to other subsystems so the
+// storage element can route them elsewhere.
+func (p *Peer) HandleMessage(ctx context.Context, from simnet.Addr, msg any) (resp any, handled bool, err error) {
+	switch m := msg.(type) {
+	case RowBatchMsg:
+		st, err := p.part(m.Partition)
+		if err != nil {
+			return nil, true, err
+		}
+		for _, row := range m.Rows {
+			st.PutDirect(row.Key, row.Entry, row.Meta)
+		}
+		p.RowsReceived.Add(int64(len(m.Rows)))
+		p.Batches.Inc()
+		return RowBatchResp{Applied: len(m.Rows)}, true, nil
+	case WatermarkMsg:
+		st, err := p.part(m.Partition)
+		if err != nil {
+			return nil, true, err
+		}
+		// Advance only: on a young partition (snapshot CSN 0 or near
+		// it) the live stream may have applied records past the
+		// snapshot point before this message lands — rewinding the
+		// watermark would make the already-acked records re-deliverable
+		// by nobody and gap-stick the stream forever.
+		st.AdvanceAppliedCSN(m.CSN)
+		return WatermarkResp{}, true, nil
+	case ProgressReq:
+		st, err := p.part(m.Partition)
+		if err != nil {
+			return nil, true, err
+		}
+		return ProgressResp{AppliedCSN: st.AppliedCSN(), Rows: st.Len()}, true, nil
+	default:
+		return nil, false, nil
+	}
+}

@@ -1,0 +1,81 @@
+package rebalance
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/replication"
+	"repro/internal/store"
+)
+
+func TestPeerRowBatchWatermarkProgress(t *testing.T) {
+	p := NewPeer()
+	st := store.New("el/p1")
+	st.SetRole(store.Slave)
+	p.Register("p1", st)
+
+	rows := []replication.RowTransfer{
+		{Key: "k1", Entry: store.Entry{"v": {"1"}}, Meta: store.Meta{CSN: 3}},
+		{Key: "k2", Entry: store.Entry{"v": {"2"}}, Meta: store.Meta{CSN: 5, Tombstone: true}},
+	}
+	raw, handled, err := p.HandleMessage(context.Background(), "", RowBatchMsg{Partition: "p1", Rows: rows})
+	if !handled || err != nil {
+		t.Fatalf("row batch: handled=%v err=%v", handled, err)
+	}
+	if resp := raw.(RowBatchResp); resp.Applied != 2 {
+		t.Fatalf("applied = %d", resp.Applied)
+	}
+	if e, _, ok := st.GetCommitted("k1"); !ok || e.First("v") != "1" {
+		t.Fatalf("k1 = %v %v", e, ok)
+	}
+	if _, _, ok := st.GetCommitted("k2"); ok {
+		t.Fatal("tombstone row visible as live")
+	}
+	if _, m, ok := st.GetAny("k2"); !ok || !m.Tombstone {
+		t.Fatal("tombstone not installed")
+	}
+
+	if _, handled, err = p.HandleMessage(context.Background(), "", WatermarkMsg{Partition: "p1", CSN: 7}); !handled || err != nil {
+		t.Fatalf("watermark: %v %v", handled, err)
+	}
+	raw, _, err = p.HandleMessage(context.Background(), "", ProgressReq{Partition: "p1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := raw.(ProgressResp)
+	if prog.AppliedCSN != 7 || prog.Rows != 1 {
+		t.Fatalf("progress = %+v", prog)
+	}
+
+	p.Unregister("p1")
+	if _, handled, err = p.HandleMessage(context.Background(), "", ProgressReq{Partition: "p1"}); !handled || err == nil {
+		t.Fatal("unregistered partition still served")
+	}
+	// Foreign messages pass through.
+	if _, handled, _ = p.HandleMessage(context.Background(), "", struct{}{}); handled {
+		t.Fatal("peer claimed a foreign message")
+	}
+}
+
+func TestWatermarkNeverRewinds(t *testing.T) {
+	p := NewPeer()
+	st := store.New("el/p1")
+	st.SetRole(store.Slave)
+	p.Register("p1", st)
+	// The live stream already applied past the snapshot point (young
+	// partition: records ship and ack before the watermark message
+	// lands). Priming with the older snapshot CSN must be a no-op.
+	st.SetAppliedCSN(3)
+	if _, _, err := p.HandleMessage(context.Background(), "", WatermarkMsg{Partition: "p1", CSN: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.AppliedCSN(); got != 3 {
+		t.Fatalf("watermark rewound to %d", got)
+	}
+	if _, _, err := p.HandleMessage(context.Background(), "", WatermarkMsg{Partition: "p1", CSN: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.AppliedCSN(); got != 9 {
+		t.Fatalf("watermark did not advance: %d", got)
+	}
+}

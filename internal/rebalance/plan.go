@@ -1,0 +1,212 @@
+package rebalance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PartitionLoad is one master partition's contribution to an
+// element's load.
+type PartitionLoad struct {
+	Partition string
+	// Rows is the live row count, the RAM footprint proxy.
+	Rows int
+	// CommitRate is the recent commit throughput (records shipped);
+	// it breaks ties between equally sized partitions so the hotter
+	// one stays put.
+	CommitRate int64
+}
+
+// ElementLoad is one storage element's load snapshot, the planner's
+// input (core.UDR.ElementLoads builds it from store row counts and
+// replication SenderStats).
+type ElementLoad struct {
+	Element string
+	Site    string
+	// Masters lists the master partitions hosted, with their loads.
+	Masters []PartitionLoad
+	// Hosted is every partition with any replica here; the planner
+	// never moves a master onto an element already holding a copy.
+	Hosted map[string]bool
+}
+
+// rows sums the element's master rows.
+func (l *ElementLoad) rows() int {
+	n := 0
+	for _, p := range l.Masters {
+		n += p.Rows
+	}
+	return n
+}
+
+// MoveSpec is one planned move.
+type MoveSpec struct {
+	Partition string
+	From, To  string
+	Rows      int
+}
+
+// String renders the move.
+func (s MoveSpec) String() string {
+	return fmt.Sprintf("move %s %s->%s (%d rows)", s.Partition, s.From, s.To, s.Rows)
+}
+
+// PlanOpts tunes the planner.
+type PlanOpts struct {
+	// Tolerance is the acceptable master-row spread as a fraction of
+	// the mean element load (default 0.10): elements within it are
+	// considered balanced.
+	Tolerance float64
+	// MaxMoves bounds the plan length (default 8). Migrations are not
+	// free — each ships a partition over the backbone — so the plan
+	// converges toward balance rather than chasing it exactly.
+	MaxMoves int
+}
+
+// Plan computes a bounded move list that narrows the master-row
+// spread across elements: repeatedly take the most loaded element and
+// move its best-fitting master partition to the least loaded element
+// that holds no replica of it. The greedy choice is the partition
+// closest to half the load gap (never the whole gap — that would just
+// swap the imbalance). Deterministic for a given input: ties break on
+// element and partition IDs.
+func Plan(loads []ElementLoad, opts PlanOpts) []MoveSpec {
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 0.10
+	}
+	if opts.MaxMoves <= 0 {
+		opts.MaxMoves = 8
+	}
+	if len(loads) < 2 {
+		return nil
+	}
+
+	// Work on a private copy, sorted for determinism.
+	work := make([]ElementLoad, len(loads))
+	for i, l := range loads {
+		cp := l
+		cp.Masters = append([]PartitionLoad(nil), l.Masters...)
+		sort.Slice(cp.Masters, func(a, b int) bool { return cp.Masters[a].Partition < cp.Masters[b].Partition })
+		cp.Hosted = make(map[string]bool, len(l.Hosted))
+		for p := range l.Hosted {
+			cp.Hosted[p] = true
+		}
+		work[i] = cp
+	}
+	sort.Slice(work, func(a, b int) bool { return work[a].Element < work[b].Element })
+
+	total := 0
+	for i := range work {
+		total += work[i].rows()
+	}
+	mean := float64(total) / float64(len(work))
+	slack := mean * opts.Tolerance
+	if slack < 1 {
+		slack = 1
+	}
+
+	var plan []MoveSpec
+	// moved guards against chained moves of one partition inside one
+	// plan (A→B then B→C): the executor runs moves concurrently, so a
+	// second hop would race the first and spuriously conflict. One
+	// hop per partition per pass; the next pass replans.
+	moved := make(map[string]bool)
+	for len(plan) < opts.MaxMoves {
+		// Heaviest and lightest elements this round.
+		hi, lo := 0, 0
+		for i := range work {
+			if work[i].rows() > work[hi].rows() {
+				hi = i
+			}
+			if work[i].rows() < work[lo].rows() {
+				lo = i
+			}
+		}
+		gap := work[hi].rows() - work[lo].rows()
+		if float64(gap) <= slack {
+			break
+		}
+
+		// Lightest eligible receiver: no replica of the candidate. Try
+		// receivers lightest-first so the move lands where it helps
+		// most; within the heaviest element pick the partition closest
+		// to half the gap (strictly under the gap, so the spread
+		// shrinks and the loop terminates), colder first on ties.
+		order := make([]int, 0, len(work))
+		for i := range work {
+			if i != hi {
+				order = append(order, i)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ra, rb := work[order[a]].rows(), work[order[b]].rows()
+			if ra != rb {
+				return ra < rb
+			}
+			return work[order[a]].Element < work[order[b]].Element
+		})
+
+		var spec *MoveSpec
+		var toIdx, fromPart int
+		for _, to := range order {
+			if work[hi].rows()-work[to].rows() <= int(slack) {
+				break // every remaining receiver is as loaded as the donor
+			}
+			target := float64(work[hi].rows()-work[to].rows()) / 2
+			best, bestDist := -1, 0.0
+			for pi, p := range work[hi].Masters {
+				if moved[p.Partition] || work[to].Hosted[p.Partition] {
+					continue
+				}
+				if p.Rows == 0 {
+					continue // ships nothing, shrinks nothing: not worth a freeze
+				}
+				if p.Rows >= work[hi].rows()-work[to].rows() {
+					continue // would overshoot and swap the imbalance
+				}
+				dist := target - float64(p.Rows)
+				if dist < 0 {
+					dist = -dist
+				}
+				if best == -1 || dist < bestDist ||
+					(dist == bestDist && p.CommitRate < work[hi].Masters[best].CommitRate) {
+					best, bestDist = pi, dist
+				}
+			}
+			if best >= 0 {
+				p := work[hi].Masters[best]
+				spec = &MoveSpec{Partition: p.Partition, From: work[hi].Element, To: work[to].Element, Rows: p.Rows}
+				toIdx, fromPart = to, best
+				break
+			}
+		}
+		if spec == nil {
+			break // no legal move narrows the spread
+		}
+
+		// Apply the move to the working model. The donor keeps a slave
+		// copy after the move (non-release migration), so it stays in
+		// Hosted: no later move may bounce the partition back.
+		p := work[hi].Masters[fromPart]
+		work[hi].Masters = append(work[hi].Masters[:fromPart], work[hi].Masters[fromPart+1:]...)
+		work[toIdx].Masters = append(work[toIdx].Masters, p)
+		work[toIdx].Hosted[p.Partition] = true
+		moved[p.Partition] = true
+		plan = append(plan, *spec)
+	}
+	return plan
+}
+
+// PlanString renders a plan for operator output.
+func PlanString(plan []MoveSpec) string {
+	if len(plan) == 0 {
+		return "balanced: no moves\n"
+	}
+	var b strings.Builder
+	for _, s := range plan {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

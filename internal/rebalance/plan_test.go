@@ -1,0 +1,155 @@
+package rebalance
+
+import (
+	"testing"
+)
+
+func load(el, site string, hosted []string, masters ...PartitionLoad) ElementLoad {
+	h := make(map[string]bool)
+	for _, p := range hosted {
+		h[p] = true
+	}
+	for _, m := range masters {
+		h[m.Partition] = true
+	}
+	return ElementLoad{Element: el, Site: site, Masters: masters, Hosted: h}
+}
+
+func TestPlanBalancedIsEmpty(t *testing.T) {
+	plan := Plan([]ElementLoad{
+		load("se-a", "a", nil, PartitionLoad{Partition: "p1", Rows: 100}),
+		load("se-b", "a", nil, PartitionLoad{Partition: "p2", Rows: 100}),
+	}, PlanOpts{})
+	if len(plan) != 0 {
+		t.Fatalf("balanced cluster planned %v", plan)
+	}
+}
+
+func TestPlanMovesTowardEmptyElement(t *testing.T) {
+	plan := Plan([]ElementLoad{
+		load("se-a", "a", nil,
+			PartitionLoad{Partition: "p1", Rows: 100},
+			PartitionLoad{Partition: "p2", Rows: 100},
+			PartitionLoad{Partition: "p3", Rows: 100},
+			PartitionLoad{Partition: "p4", Rows: 100}),
+		load("se-b", "b", nil),
+	}, PlanOpts{})
+	if len(plan) != 2 {
+		t.Fatalf("plan = %v, want 2 moves", plan)
+	}
+	moved := 0
+	for _, s := range plan {
+		if s.From != "se-a" || s.To != "se-b" {
+			t.Fatalf("unexpected direction: %v", s)
+		}
+		moved += s.Rows
+	}
+	if moved != 200 {
+		t.Fatalf("moved %d rows, want 200 (half)", moved)
+	}
+}
+
+func TestPlanRespectsHosting(t *testing.T) {
+	// se-b already hosts replicas of everything but p3: only p3 may
+	// move there.
+	plan := Plan([]ElementLoad{
+		load("se-a", "a", nil,
+			PartitionLoad{Partition: "p1", Rows: 100},
+			PartitionLoad{Partition: "p2", Rows: 100},
+			PartitionLoad{Partition: "p3", Rows: 100}),
+		load("se-b", "b", []string{"p1", "p2"}),
+	}, PlanOpts{})
+	if len(plan) != 1 || plan[0].Partition != "p3" {
+		t.Fatalf("plan = %v, want exactly [move p3]", plan)
+	}
+}
+
+func TestPlanNeverSwapsImbalance(t *testing.T) {
+	// One giant partition: moving it would just relocate the hot spot.
+	plan := Plan([]ElementLoad{
+		load("se-a", "a", nil, PartitionLoad{Partition: "p1", Rows: 1000}),
+		load("se-b", "b", nil, PartitionLoad{Partition: "p2", Rows: 10}),
+	}, PlanOpts{})
+	if len(plan) != 0 {
+		t.Fatalf("plan = %v, want none (indivisible hot partition)", plan)
+	}
+}
+
+func TestPlanBoundedMoves(t *testing.T) {
+	masters := make([]PartitionLoad, 20)
+	for i := range masters {
+		masters[i] = PartitionLoad{Partition: string(rune('a' + i)), Rows: 50}
+	}
+	plan := Plan([]ElementLoad{
+		load("se-a", "a", nil, masters...),
+		load("se-b", "b", nil),
+		load("se-c", "c", nil),
+	}, PlanOpts{MaxMoves: 3})
+	if len(plan) > 3 {
+		t.Fatalf("plan length %d exceeds MaxMoves", len(plan))
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	mk := func() []ElementLoad {
+		return []ElementLoad{
+			load("se-b", "b", nil),
+			load("se-a", "a", nil,
+				PartitionLoad{Partition: "p2", Rows: 80},
+				PartitionLoad{Partition: "p1", Rows: 80},
+				PartitionLoad{Partition: "p3", Rows: 40}),
+			load("se-c", "c", nil, PartitionLoad{Partition: "p4", Rows: 60}),
+		}
+	}
+	a, b := Plan(mk(), PlanOpts{}), Plan(mk(), PlanOpts{})
+	if len(a) != len(b) {
+		t.Fatalf("plans differ in length: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plans differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("expected at least one move")
+	}
+}
+
+func TestPlanSkipsEmptyPartitions(t *testing.T) {
+	// The gap is wide but only empty partitions could move: shipping
+	// them shrinks nothing, so the plan must be empty.
+	plan := Plan([]ElementLoad{
+		load("se-a", "a", nil,
+			PartitionLoad{Partition: "hot", Rows: 500},
+			PartitionLoad{Partition: "empty1"},
+			PartitionLoad{Partition: "empty2"}),
+		load("se-b", "b", []string{"hot"}),
+	}, PlanOpts{})
+	if len(plan) != 0 {
+		t.Fatalf("plan = %v, want none (only empty partitions movable)", plan)
+	}
+}
+
+func TestPlanOneHopPerPartition(t *testing.T) {
+	// Moves execute concurrently: a plan must never chain two hops of
+	// the same partition.
+	masters := make([]PartitionLoad, 6)
+	for i := range masters {
+		masters[i] = PartitionLoad{Partition: string(rune('a' + i)), Rows: 100}
+	}
+	plan := Plan([]ElementLoad{
+		load("se-a", "a", nil, masters...),
+		load("se-b", "b", nil),
+		load("se-c", "c", nil),
+	}, PlanOpts{MaxMoves: 10})
+	seen := make(map[string]bool)
+	for _, s := range plan {
+		if seen[s.Partition] {
+			t.Fatalf("partition %s moved twice in one plan: %v", s.Partition, plan)
+		}
+		seen[s.Partition] = true
+	}
+	if len(plan) == 0 {
+		t.Fatal("expected moves")
+	}
+}

@@ -198,6 +198,19 @@ func (n *Node) Replica(partition string) *Replica {
 	return n.replicas[partition]
 }
 
+// RemoveReplica stops a replica's senders and unregisters it (replica
+// retirement after a released migration). Later messages for the
+// partition get the unknown-partition error.
+func (n *Node) RemoveReplica(partition string) {
+	n.mu.Lock()
+	r := n.replicas[partition]
+	delete(n.replicas, partition)
+	n.mu.Unlock()
+	if r != nil {
+		r.stopSenders()
+	}
+}
+
 // Stop terminates all background senders.
 func (n *Node) Stop() {
 	n.mu.RLock()
@@ -280,6 +293,50 @@ func (r *Replica) SetPeers(peers ...simnet.Addr) {
 	r.peers = append([]simnet.Addr(nil), peers...)
 	for _, p := range r.peers {
 		r.senders[p] = newSender(r, p)
+	}
+}
+
+// AddStandbyPeer attaches one replication target without disturbing
+// the senders — and queued records — of the existing peers (SetPeers
+// restarts every sender, dropping unshipped tails). Migration uses it
+// to attach the bulk-copy target to the live stream; the new sender
+// ships only records committed after the attach, so the caller must
+// prime the peer's applied watermark to the attach-point CSN.
+//
+// The peer is standby: excluded from the DualSeq/SyncAll durability
+// wait. Until its watermark is primed (after the bulk copy) it
+// rejects every batch on a CSN gap, and making client commits wait on
+// it would fail their durability deadline for the whole copy phase.
+// The cutover drain checks its applied watermark directly; a standby
+// peer is removed (RemovePeer) or replaced by SetPeers at cutover, so
+// the flag never needs clearing.
+func (r *Replica) AddStandbyPeer(p simnet.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.senders[p]; ok {
+		return
+	}
+	r.peers = append(r.peers, p)
+	s := newSender(r, p)
+	s.standby = true
+	r.senders[p] = s
+}
+
+// RemovePeer detaches one replication target, stopping its sender and
+// dropping whatever it had queued. The other peers' senders are
+// untouched.
+func (r *Replica) RemovePeer(p simnet.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.senders[p]; ok {
+		s.stop()
+		delete(r.senders, p)
+	}
+	for i, q := range r.peers {
+		if q == p {
+			r.peers = append(r.peers[:i], r.peers[i+1:]...)
+			break
+		}
 	}
 }
 
@@ -377,7 +434,10 @@ func (r *Replica) commitPipeline(rec *store.CommitRecord) (func() error, error) 
 	if !mm && durability != Async {
 		senders = make([]*sender, 0, len(r.peers))
 		for _, p := range r.peers {
-			if s, ok := r.senders[p]; ok {
+			// Standby peers (a migration target mid-bulk-copy) never
+			// gate commit durability: their stream is gap-stuck until
+			// the copy primes their watermark.
+			if s, ok := r.senders[p]; ok && !s.standby {
 				senders = append(senders, s)
 			}
 		}
@@ -637,6 +697,9 @@ type sender struct {
 	mu    sync.Mutex
 	queue []*store.CommitRecord
 	acked uint64
+	// standby excludes the peer from synchronous durability waits
+	// (set once at creation, before the sender is published).
+	standby bool
 	// batchCap is the adaptive per-round-trip record ceiling.
 	batchCap int
 	wake     chan struct{}

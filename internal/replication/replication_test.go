@@ -407,3 +407,32 @@ func TestHandleMessageUnknownPartition(t *testing.T) {
 		t.Fatal("foreign message should pass through")
 	}
 }
+
+// TestStandbyPeerExcludedFromDurabilityWait pins the migration
+// bulk-copy contract: a standby peer (gap-stuck until its watermark
+// is primed) must not gate synchronous commit durability, while the
+// regular peers still must.
+func TestStandbyPeerExcludedFromDurabilityWait(t *testing.T) {
+	r := newRig(t, 1, "eu", "us")
+	r.master.SetDurability(SyncAll)
+	// A standby peer at an address nobody serves: its sender can
+	// never deliver, exactly like a migration target mid-copy.
+	r.master.AddStandbyPeer(simnet.MakeAddr("eu", "nobody"))
+
+	txn := r.master.Store().Begin(store.ReadCommitted)
+	txn.Put("k", store.Entry{"v": {"1"}})
+	if _, err := txn.Commit(); err != nil {
+		t.Fatalf("sync-all commit gated by standby peer: %v", err)
+	}
+	if applied := r.slaves[0].Store().AppliedCSN(); applied != 1 {
+		t.Fatalf("regular peer did not confirm: applied=%d", applied)
+	}
+	// RemovePeer detaches only the named peer; the standby one stays
+	// listed but still must not gate the (now peerless) wait.
+	r.master.RemovePeer(r.nodes[1].Addr())
+	txn = r.master.Store().Begin(store.ReadCommitted)
+	txn.Put("k2", store.Entry{"v": {"2"}})
+	if _, err := txn.Commit(); err != nil {
+		t.Fatalf("commit with only a standby peer: %v", err)
+	}
+}

@@ -17,12 +17,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/antientropy"
 	"repro/internal/metrics"
+	"repro/internal/rebalance"
 	"repro/internal/replication"
 	"repro/internal/simnet"
 	"repro/internal/store"
@@ -34,6 +36,14 @@ import (
 var (
 	ErrUnknownPartition = errors.New("se: partition not hosted here")
 	ErrBadRequest       = errors.New("se: malformed request")
+	// ErrStalePlacement is the retryable referral a request carrying
+	// an out-of-date placement epoch gets: the partition's master
+	// moved (migration cutover, failover) since the caller read its
+	// placement. The caller must refresh the partition table and
+	// retry instead of treating the response as authoritative — a
+	// write accepted under a stale epoch could land on a demoted
+	// master and be lost.
+	ErrStalePlacement = errors.New("se: stale placement epoch, refresh and retry")
 )
 
 // TxnOpKind enumerates the operations a one-shot transaction may
@@ -74,6 +84,11 @@ type TxnReq struct {
 	// server-side commit windows to client operations whose response
 	// was lost in a partition.
 	Tag string
+	// Epoch is the placement epoch the caller routed under (0 skips
+	// the check). A mismatch against the replica's current epoch gets
+	// the ErrStalePlacement referral: the partition's master moved
+	// since the caller read its placement.
+	Epoch uint64
 }
 
 // OpResult is the per-operation outcome inside a TxnResp.
@@ -196,13 +211,21 @@ type Element struct {
 	mu        sync.RWMutex
 	replicas  map[string]*PartitionReplica
 	repairers map[string]*antientropy.Repairer
-	txnObs    TxnObserver
-	down      bool
+	// epochs holds each hosted partition's placement epoch, pushed by
+	// the topology owner at every master change; requests carrying an
+	// older epoch get the ErrStalePlacement referral.
+	epochs map[string]uint64
+	txnObs TxnObserver
+	down   bool
 
 	// ae serves the anti-entropy repair protocol; sched paces master
 	// repair rounds. Both are nil unless cfg.AntiEntropy.
 	ae    *antientropy.Peer
 	sched *antientropy.Scheduler
+
+	// reb serves the partition-migration protocol (always on: any
+	// element can become a migration source or target).
+	reb *rebalance.Peer
 
 	snapStop chan struct{}
 	snapWG   sync.WaitGroup
@@ -240,6 +263,8 @@ func New(net *simnet.Network, cfg Config) *Element {
 		addr:      simnet.MakeAddr(cfg.Site, cfg.ID),
 		replicas:  make(map[string]*PartitionReplica),
 		repairers: make(map[string]*antientropy.Repairer),
+		epochs:    make(map[string]uint64),
+		reb:       rebalance.NewPeer(),
 	}
 	e.node = replication.NewNode(net, e.addr)
 	if cfg.AntiEntropy {
@@ -343,6 +368,12 @@ func (e *Element) Node() *replication.Node { return e.node }
 // returned PartitionReplica carries the store and replication handle
 // for topology wiring.
 func (e *Element) AddReplica(partition string, role store.Role) (*PartitionReplica, error) {
+	e.mu.RLock()
+	_, dup := e.replicas[partition]
+	e.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("se %s: already hosts a replica of %q", e.cfg.ID, partition)
+	}
 	st := store.New(e.cfg.ID + "/" + partition)
 	st.SetRole(role)
 	if !e.cfg.LegacyFindScan {
@@ -368,12 +399,98 @@ func (e *Element) AddReplica(partition string, role store.Role) (*PartitionRepli
 		st.SetCommitPipeline(commitPipeline(pr.Log, pr.Repl))
 	}
 	e.attachAntiEntropy(pr)
+	e.reb.Register(partition, st)
 
 	e.mu.Lock()
 	e.replicas[partition] = pr
 	e.mu.Unlock()
 	return pr, nil
 }
+
+// SetPartitionEpoch installs a hosted partition's placement epoch
+// (pushed by the topology owner at master changes).
+func (e *Element) SetPartitionEpoch(partition string, epoch uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.epochs[partition] = epoch
+}
+
+// PartitionEpoch returns the hosted partition's placement epoch (0 if
+// never set).
+func (e *Element) PartitionEpoch(partition string) uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epochs[partition]
+}
+
+// DropReplica retires a hosted replica: senders stop, the WAL closes
+// and its on-disk state is removed so a later re-hosting of the
+// partition cannot replay a retired history. Used by migration abort
+// rollback (target side) and released migrations (source side).
+func (e *Element) DropReplica(partition string) error {
+	e.mu.Lock()
+	pr := e.replicas[partition]
+	delete(e.replicas, partition)
+	delete(e.repairers, partition)
+	delete(e.epochs, partition)
+	e.mu.Unlock()
+	if pr == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownPartition, partition)
+	}
+	pr.Repl.SetPeers() // stop senders
+	e.node.RemoveReplica(partition)
+	e.reb.Unregister(partition)
+	if pr.Log != nil {
+		_ = pr.Log.Close()
+		if e.cfg.WALDir != "" {
+			_ = os.RemoveAll(e.cfg.WALDir + "/" + partition)
+		}
+	}
+	return nil
+}
+
+// MigrationHandle implements rebalance.Host.
+func (e *Element) MigrationHandle(partition string) (rebalance.Replica, bool) {
+	pr := e.Replica(partition)
+	if pr == nil {
+		return rebalance.Replica{}, false
+	}
+	return rebalance.Replica{Store: pr.Store, Repl: pr.Repl}, true
+}
+
+// AddMigrationTarget implements rebalance.Host: host a fresh slave
+// replica for an incoming migration. Stale on-disk WAL state for the
+// partition (a previous hosting) is wiped first — replaying a retired
+// history under bulk-copied rows would corrupt recovery.
+func (e *Element) AddMigrationTarget(partition string) (rebalance.Replica, error) {
+	if e.cfg.WALDir != "" {
+		if err := os.RemoveAll(e.cfg.WALDir + "/" + partition); err != nil {
+			return rebalance.Replica{}, fmt.Errorf("se %s: wipe stale wal: %w", e.cfg.ID, err)
+		}
+	}
+	pr, err := e.AddReplica(partition, store.Slave)
+	if err != nil {
+		return rebalance.Replica{}, err
+	}
+	return rebalance.Replica{Store: pr.Store, Repl: pr.Repl}, nil
+}
+
+// PersistReplica implements rebalance.Host: snapshot the replica's
+// store into its WAL so state that never went through the commit log
+// (a migration's bulk-copied prefix) survives a crash. No-op without
+// a WAL.
+func (e *Element) PersistReplica(partition string) error {
+	pr := e.Replica(partition)
+	if pr == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownPartition, partition)
+	}
+	if pr.Log == nil {
+		return nil
+	}
+	return pr.Log.Snapshot(pr.Store)
+}
+
+var _ rebalance.Host = (*Element)(nil)
 
 // commitPipeline chains WAL persistence in front of replication
 // shipping as the store's two-phase commit hook. Both stage phases —
@@ -596,6 +713,7 @@ func (e *Element) Recover() (map[string]int, error) {
 		if e.ae != nil {
 			e.attachAntiEntropyLocked(pr)
 		}
+		e.reb.Register(part, st)
 	}
 	e.down = false
 	e.net.SetDown(e.addr, false)
@@ -644,6 +762,9 @@ func (e *Element) handle(ctx context.Context, from simnet.Addr, msg any) (any, e
 			return resp, err
 		}
 	}
+	if resp, handled, err := e.reb.HandleMessage(ctx, from, msg); handled {
+		return resp, err
+	}
 	switch m := msg.(type) {
 	case TxnReq:
 		return e.applyTxn(from, m)
@@ -660,10 +781,20 @@ func (e *Element) handle(ctx context.Context, from simnet.Addr, msg any) (any, e
 func (e *Element) applyTxn(from simnet.Addr, req TxnReq) (TxnResp, error) {
 	e.mu.RLock()
 	pr := e.replicas[req.Partition]
+	epoch := e.epochs[req.Partition]
 	obs := e.txnObs
 	e.mu.RUnlock()
 	if pr == nil {
 		return TxnResp{}, fmt.Errorf("%w: %q", ErrUnknownPartition, req.Partition)
+	}
+	if req.Epoch != 0 && epoch != 0 && req.Epoch != epoch {
+		// The caller routed under an epoch that is no longer this
+		// replica's: the master moved (cutover, failover) after the
+		// caller read its placement. Refuse before executing anything —
+		// accepting a stale-epoch write here could land it on a demoted
+		// master — with the retryable referral.
+		return TxnResp{}, fmt.Errorf("%w: partition %s at epoch %d, request epoch %d",
+			ErrStalePlacement, req.Partition, epoch, req.Epoch)
 	}
 
 	txn := pr.Store.Begin(req.Iso)

@@ -649,6 +649,20 @@ func (s *Store) ForEachMeta(fn func(key string, m Meta) bool) {
 	}
 }
 
+// FreezeWrites blocks every local commit until the returned release
+// func runs, and returns the CSN of the last commit staged before the
+// freeze. Migration uses it twice: a momentary freeze to attach the
+// target to the replication stream exactly at the snapshot CSN, and
+// the bounded cutover freeze that drains in-flight replication and
+// hands over the master role. Replicated applies and direct puts are
+// not blocked (the frozen store is a master; those paths are idle on
+// it). The caller must not commit or read CSN on this store while
+// frozen.
+func (s *Store) FreezeWrites() (csn uint64, release func()) {
+	s.commitMu.Lock()
+	return s.csn, s.commitMu.Unlock
+}
+
 // StableSnapshot runs fn with the commit and replicated-apply paths
 // excluded: while fn runs, no multi-row transaction can be observed
 // half-installed across shards, and the CSN / applied-CSN passed to
@@ -837,16 +851,21 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 	}
 
 	s := t.s
+	s.commitMu.Lock()
+	// The role gate lives under the commit lock: a commit parked on a
+	// migration cutover's write-freeze must re-observe the demotion
+	// the freeze protected, or it would install rows on a store that
+	// stopped being the master while it waited (a lost write — the new
+	// master never sees it).
 	s.mu.RLock()
 	roleOK := s.role == Master || s.multiMaster
 	mm := s.multiMaster
 	capacity := s.capacity
 	s.mu.RUnlock()
 	if !roleOK {
+		s.commitMu.Unlock()
 		return nil, ErrReadOnly
 	}
-
-	s.commitMu.Lock()
 
 	rec := &CommitRecord{
 		CSN:    s.csn + 1,
@@ -1061,6 +1080,19 @@ func (s *Store) SetAppliedCSN(csn uint64) {
 	s.applyMu.Lock()
 	defer s.applyMu.Unlock()
 	s.appliedCSN.Store(csn)
+}
+
+// AdvanceAppliedCSN raises the replication high-water mark to csn
+// only if it is currently lower, atomically with respect to stream
+// applies (migration watermark priming: the live stream may already
+// have applied past the snapshot point, and rewinding would gap-stick
+// it on records nobody will re-deliver).
+func (s *Store) AdvanceAppliedCSN(csn uint64) {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	if s.appliedCSN.Load() < csn {
+		s.appliedCSN.Store(csn)
+	}
 }
 
 // SetCSN primes the commit sequence number (used by WAL recovery so

@@ -34,6 +34,7 @@ import (
 	"repro/internal/ldap"
 	"repro/internal/locator"
 	"repro/internal/ps"
+	"repro/internal/rebalance"
 	"repro/internal/replication"
 	"repro/internal/se"
 	"repro/internal/simnet"
@@ -155,6 +156,25 @@ type (
 	MerkleTree = antientropy.Tree
 )
 
+// Live partition migration and elastic rebalancing (internal/
+// rebalance). Move a partition master with UDR.MigratePartition or
+// udrctl move; rebalance the whole cluster with UDR.Rebalance,
+// udrctl rebalance, or automatically on scale-out via
+// Config.RebalanceOnAddSite.
+type (
+	// MoveReport describes one migration's outcome and cost (rows
+	// shipped, catch-up records, the bounded write-freeze window).
+	MoveReport = rebalance.Report
+	// MoveSpec is one planned rebalancing move.
+	MoveSpec = rebalance.MoveSpec
+	// ElementLoad is one storage element's load snapshot, the
+	// rebalancing planner's input.
+	ElementLoad = rebalance.ElementLoad
+	// RebalanceResult is one rebalancing pass: plan + per-move
+	// outcomes.
+	RebalanceResult = core.RebalanceResult
+)
+
 // Policy classes.
 const (
 	// PolicyFE marks application front-end traffic: slave reads
@@ -208,6 +228,12 @@ var (
 	ErrIdentityNotFound = locator.ErrNotFound
 	// ErrStoreFull reports a storage element at capacity.
 	ErrStoreFull = store.ErrStoreFull
+	// ErrMigrationAborted wraps any migration phase failure: the move
+	// rolled back and the source is still authoritative.
+	ErrMigrationAborted = rebalance.ErrAborted
+	// ErrMigrationInFlight reports a second move of a partition whose
+	// migration has not finished.
+	ErrMigrationInFlight = core.ErrMigrationInFlight
 )
 
 // New builds a UDR NF on the given network.
@@ -256,11 +282,12 @@ func NewLDAPBackendWithTopology(session *Session, u *UDR) *LDAPBackend {
 	return core.NewLDAPBackend(session).WithTopology(u)
 }
 
-// IMSI, MSISDN, IMPU and IMPI build typed identities.
+// IMSI, MSISDN, IMPU, IMPI and UID build typed identities.
 func IMSI(v string) Identity   { return Identity{Type: subscriber.IMSI, Value: v} }
 func MSISDN(v string) Identity { return Identity{Type: subscriber.MSISDN, Value: v} }
 func IMPU(v string) Identity   { return Identity{Type: subscriber.IMPU, Value: v} }
 func IMPI(v string) Identity   { return Identity{Type: subscriber.IMPI, Value: v} }
+func UID(v string) Identity    { return Identity{Type: subscriber.UID, Value: v} }
 
 // DN returns the LDAP distinguished name for a subscription ID.
 func DN(id string) string { return subscriber.DN(id) }
