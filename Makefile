@@ -5,7 +5,7 @@ SMOKE_BENCH ?= ^(BenchmarkStoreRead|BenchmarkStoreReadParallel|BenchmarkStoreCom
 SMOKE_BENCHTIME ?= 2000x
 BENCH_JSON ?= BENCH_PR5.json
 
-.PHONY: build test test-race bench bench-json chaos chaos-long lint clean
+.PHONY: build test test-race bench bench-json chaos chaos-long obs-smoke lint clean
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,11 @@ bench:
 # trajectory; CI runs this as the smoke-bench job).
 bench-json:
 	$(GO) test -run xxx -bench '$(SMOKE_BENCH)' -benchtime=$(SMOKE_BENCHTIME) . | tee bench.out | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+
+# Boot udrd -admin and verify the /healthz + /metrics scrape contract
+# (the acceptance metric families). CI runs this as the obs-smoke job.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -7,9 +7,15 @@
 // subscribers with -subs, pick the served PoA with -poa-site, and
 // point cmd/udrctl or cmd/provision at the listener.
 //
+// With -admin, udrd also serves an operations HTTP listener:
+// GET /metrics (Prometheus text exposition), GET /healthz,
+// GET /status (topology, placement epochs, replication lag as JSON),
+// net/http/pprof under /debug/pprof/, and POST /admin/{repair,move,
+// rebalance} mirroring the udrctl extended operations.
+//
 // Usage:
 //
-//	udrd -addr :3890 -subs 1000
+//	udrd -addr :3890 -subs 1000 -admin :9100
 //	udrd -sites eu-south,eu-north,americas -poa-site americas -policy fe
 package main
 
@@ -26,14 +32,27 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ldap"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/subscriber"
 	"repro/internal/wal"
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("udrd: %v", err)
+	}
+}
+
+// run owns the daemon lifecycle so every shutdown path — signal,
+// listener failure, seeding error — flows through one exit and the
+// deferred teardown runs in order: admin listener first, then the
+// LDAP server, then the UDR itself.
+func run() error {
 	var (
 		addr     = flag.String("addr", ":3890", "TCP listen address for the LDAP interface")
+		adminAdr = flag.String("admin", "", "TCP listen address for the admin HTTP interface (metrics, status, pprof); empty disables")
 		sites    = flag.String("sites", "eu-south,eu-north,americas", "comma-separated site names")
 		sesPer   = flag.Int("se-per-site", 1, "storage elements per site")
 		rf       = flag.Int("rf", 3, "replication factor (copies per partition)")
@@ -65,14 +84,14 @@ func main() {
 	network := simnet.New(simnet.DefaultConfig())
 	u, err := core.New(network, cfg)
 	if err != nil {
-		log.Fatalf("udrd: %v", err)
+		return err
 	}
 	defer u.Stop()
 
 	gen := subscriber.NewGenerator(u.Sites()...)
 	for i := 0; i < *subs; i++ {
 		if err := u.SeedDirect(gen.Profile(i)); err != nil {
-			log.Fatalf("udrd: seeding: %v", err)
+			return fmt.Errorf("seeding subscriber %d: %w", i, err)
 		}
 	}
 
@@ -89,9 +108,32 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("udrd: %v", err)
+		return err
 	}
+	defer server.Close()
 	defer ln.Close()
+
+	// serveErr carries fatal listener failures back onto the main
+	// goroutine so they are logged and torn down like a signal.
+	serveErr := make(chan error, 2)
+	go func() { serveErr <- fmt.Errorf("ldap server: %w", server.Serve(ln)) }()
+
+	if *adminAdr != "" {
+		reg := metrics.NewRegistry()
+		u.RegisterMetrics(reg)
+		admin := obs.NewServer(obs.Config{Registry: reg, UDR: u})
+		adminLn, err := net.Listen("tcp", *adminAdr)
+		if err != nil {
+			return fmt.Errorf("admin listener: %w", err)
+		}
+		defer admin.Close()
+		go func() {
+			if err := admin.Serve(adminLn); err != nil {
+				serveErr <- fmt.Errorf("admin server: %w", err)
+			}
+		}()
+		fmt.Printf("udrd: admin HTTP (metrics, status, pprof) on %s\n", adminLn.Addr())
+	}
 
 	fmt.Printf("udrd: UDR NF up — %d sites, %d partitions, %d elements, RF=%d\n",
 		len(u.Sites()), len(u.Partitions()), len(u.Elements()), *rf)
@@ -106,15 +148,13 @@ func main() {
 	fmt.Printf("udrd: %d subscribers seeded; LDAP (%s policy, PoA %s) on %s\n",
 		*subs, pol, served, ln.Addr())
 
-	go func() {
-		if err := server.Serve(ln); err != nil {
-			log.Printf("udrd: ldap server: %v", err)
-		}
-	}()
-
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("udrd: shutting down")
-	server.Close()
+	select {
+	case s := <-sig:
+		fmt.Printf("udrd: %s — shutting down\n", s)
+		return nil
+	case err := <-serveErr:
+		return err
+	}
 }

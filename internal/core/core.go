@@ -37,6 +37,8 @@ import (
 	"repro/internal/antientropy"
 	"repro/internal/cluster"
 	"repro/internal/locator"
+	"repro/internal/metrics"
+	"repro/internal/rebalance"
 	"repro/internal/replication"
 	"repro/internal/se"
 	"repro/internal/simnet"
@@ -237,8 +239,14 @@ type UDR struct {
 	partIDs  []string
 	// rr tracks round-robin placement per home site.
 	rr map[string]int
-	// migrating marks partitions with a move in flight.
-	migrating map[string]bool
+	// migrating marks partitions with a move in flight, tracking the
+	// phase the move last reported (the /status and metrics view).
+	migrating map[string]rebalance.Phase
+
+	// obsReg is the metrics registry RegisterMetrics installed, if
+	// any; AddSite re-runs the attach pass against it so new sites'
+	// histograms are exported too.
+	obsReg *metrics.Registry
 
 	seq int // element numbering for scale-out
 }
@@ -260,7 +268,7 @@ func New(net *simnet.Network, cfg Config) (*UDR, error) {
 		poas:      make(map[string]*AccessPoint),
 		parts:     make(map[string]*Partition),
 		rr:        make(map[string]int),
-		migrating: make(map[string]bool),
+		migrating: make(map[string]rebalance.Phase),
 	}
 	// All bootstrap sites start with ready (empty) location stages;
 	// only scale-out sites added later must sync before serving
@@ -721,6 +729,12 @@ func (u *UDR) AddSite(ctx context.Context, spec SiteSpec) (syncTime time.Duratio
 	stage := u.stages[spec.Name]
 	u.mu.Unlock()
 
+	// Re-run the metrics attach pass so the new site's PoA histogram
+	// is exported (collectors pick the new elements up on their own).
+	if reg := u.obsRegistry(); reg != nil {
+		u.attachInstruments(reg)
+	}
+
 	if u.cfg.LocatorMode == locator.Provisioned {
 		start := time.Now()
 		n, err := stage.SyncFrom(ctx, u.net,
@@ -824,7 +838,7 @@ func (u *UDR) RepairPartition(ctx context.Context, partID string) ([]antientropy
 	}
 	u.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("core: unknown partition %q", partID)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPartition, partID)
 	}
 	if el == nil || el.Down() {
 		return nil, fmt.Errorf("core: master element of %q unavailable", partID)

@@ -58,7 +58,8 @@ func (u *UDR) MigratePartition(ctx context.Context, partID, targetID string, rel
 	}
 	if srcEl.ID() == targetID {
 		u.mu.Unlock()
-		return nil, fmt.Errorf("core: partition %q is already mastered on %s", partID, targetID)
+		return nil, fmt.Errorf("%w: partition %q is already mastered on %s",
+			rebalance.ErrConflict, partID, targetID)
 	}
 	for _, ref := range part.Replicas {
 		if ref.Element == targetID {
@@ -66,11 +67,11 @@ func (u *UDR) MigratePartition(ctx context.Context, partID, targetID string, rel
 			return nil, fmt.Errorf("%w: %s on %s", rebalance.ErrConflict, partID, targetID)
 		}
 	}
-	if u.migrating[partID] {
+	if _, inflight := u.migrating[partID]; inflight {
 		u.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrMigrationInFlight, partID)
 	}
-	u.migrating[partID] = true
+	u.migrating[partID] = rebalance.PhaseCopy
 	u.mu.Unlock()
 	defer func() {
 		u.mu.Lock()
@@ -81,6 +82,23 @@ func (u *UDR) MigratePartition(ctx context.Context, partID, targetID string, rel
 	mig := u.newMigrator()
 	for _, opt := range opts {
 		opt(mig)
+	}
+	// Chain phase tracking in front of any caller-installed hooks so
+	// the /status and metrics views see how far an in-flight move got.
+	user := mig.Hooks
+	mig.Hooks = rebalance.Hooks{
+		AfterCopy: func() {
+			u.setMigrationPhase(partID, rebalance.PhaseCatchUp)
+			if user.AfterCopy != nil {
+				user.AfterCopy()
+			}
+		},
+		BeforeCutover: func() {
+			u.setMigrationPhase(partID, rebalance.PhaseCutover)
+			if user.BeforeCutover != nil {
+				user.BeforeCutover()
+			}
+		},
 	}
 	mv := rebalance.Move{
 		Partition:  partID,
@@ -93,6 +111,27 @@ func (u *UDR) MigratePartition(ctx context.Context, partID, targetID string, rel
 		},
 	}
 	return mig.Run(ctx, mv)
+}
+
+// setMigrationPhase records how far an in-flight move progressed.
+func (u *UDR) setMigrationPhase(partID string, ph rebalance.Phase) {
+	u.mu.Lock()
+	if _, ok := u.migrating[partID]; ok {
+		u.migrating[partID] = ph
+	}
+	u.mu.Unlock()
+}
+
+// MigrationsInFlight snapshots the partitions with a move in flight
+// and the phase each last reported — the OaM migration-progress view.
+func (u *UDR) MigrationsInFlight() map[string]rebalance.Phase {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	out := make(map[string]rebalance.Phase, len(u.migrating))
+	for p, ph := range u.migrating {
+		out[p] = ph
+	}
+	return out
 }
 
 // commitMigration flips the partition table at the cutover point: the

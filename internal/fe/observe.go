@@ -1,0 +1,41 @@
+package fe
+
+import "repro/internal/metrics"
+
+// RegisterMetrics attaches the front-end's per-procedure instruments
+// to a registry. instance names this FE in the labels (front-ends
+// carry no name of their own — callers typically pass the simnet
+// endpoint name they were created with). Safe to call again: Attach
+// replaces any prior binding for the same label set.
+func (f *FE) RegisterMetrics(reg *metrics.Registry, instance string) {
+	invocations := reg.Counter("udr_fe_proc_invocations_total",
+		"Front-end procedure invocations.", "site", "fe", "kind", "proc")
+	ops := reg.Counter("udr_fe_proc_ldap_ops_total",
+		"LDAP operations issued by front-end procedures.", "site", "fe", "kind", "proc")
+	failures := reg.Counter("udr_fe_proc_failures_total",
+		"Front-end procedure availability failures (not business denials).", "site", "fe", "kind", "proc")
+	latency := reg.Histogram("udr_fe_proc_latency_seconds",
+		"Front-end procedure latency.", "site", "fe", "kind", "proc")
+
+	kind := f.kind.String()
+	for _, p := range []struct {
+		name  string
+		stats *ProcStats
+	}{
+		{"LocationUpdate", &f.LocationUpdateStats},
+		{"Authenticate", &f.AuthenticateStats},
+		{"MOCall", &f.MOCallStats},
+		{"MTCall", &f.MTCallStats},
+		{"SMS", &f.SMSStats},
+		{"IMSRegister", &f.IMSRegisterStats},
+	} {
+		invocations.Attach(&p.stats.Invocations, f.site, instance, kind, p.name)
+		ops.Attach(&p.stats.Ops, f.site, instance, kind, p.name)
+		failures.Attach(&p.stats.Failures, f.site, instance, kind, p.name)
+		latency.Attach(&p.stats.Latency, f.site, instance, kind, p.name)
+	}
+
+	reg.Counter("udr_fe_stale_reads_total",
+		"Reads detectably served from a stale slave copy.",
+		"site", "fe", "kind").Attach(&f.StaleReads, f.site, instance, kind)
+}

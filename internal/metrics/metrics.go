@@ -11,6 +11,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -43,23 +44,11 @@ func bucketFor(d time.Duration) int {
 	if us < 1 {
 		return 0
 	}
-	b := 63 - leadingZeros64(uint64(us))
+	b := 63 - bits.LeadingZeros64(uint64(us))
 	if b >= bucketCount {
 		b = bucketCount - 1
 	}
 	return b
-}
-
-func leadingZeros64(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
-	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
 }
 
 // Record adds one observation.
@@ -178,6 +167,77 @@ func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n.Load() }
 
+// Gauge is an atomic float64 instantaneous value. The zero value is
+// ready to use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// exportBucketCount caps the number of histogram buckets exposed to
+// scrapers: buckets 0..exportBucketCount-1 get explicit upper bounds
+// (2^1 µs .. 2^exportBucketCount µs ≈ 67s); everything above folds
+// into the +Inf bucket. The bound set is fixed, so rate() and
+// histogram_quantile() work across scrapes.
+const exportBucketCount = 26
+
+// HistogramBucket is one cumulative bucket of an exported histogram.
+type HistogramBucket struct {
+	// LE is the inclusive upper bound in seconds.
+	LE float64
+	// Count is the cumulative observation count at or below LE.
+	Count int64
+}
+
+// HistogramExport is a scraper-facing histogram snapshot with
+// Prometheus-style cumulative buckets.
+type HistogramExport struct {
+	Buckets []HistogramBucket
+	// Count is the total observation count (the +Inf bucket).
+	Count int64
+	// Sum is the observation sum in seconds.
+	Sum float64
+}
+
+// Export snapshots the histogram with cumulative buckets in seconds.
+// Count is derived from the bucket array (not the separate count
+// field) so the exported snapshot is always internally consistent:
+// the +Inf bucket equals Count even if observations land mid-export.
+func (h *Histogram) Export() *HistogramExport {
+	out := &HistogramExport{
+		Buckets: make([]HistogramBucket, exportBucketCount),
+		Sum:     float64(h.sum.Load()) / 1e6,
+	}
+	var cum int64
+	for i := 0; i < bucketCount; i++ {
+		n := h.buckets[i].Load()
+		cum += n
+		if i < exportBucketCount {
+			out.Buckets[i] = HistogramBucket{
+				// Upper edge of bucket i is 2^(i+1) µs.
+				LE:    float64(int64(1)<<uint(i+1)) / 1e6,
+				Count: cum,
+			}
+		}
+	}
+	out.Count = cum
+	return out
+}
+
 // Availability tracks success/failure outcomes and derives an
 // availability ratio, the metric behind the paper's five-nines
 // requirement (§2.3 req 3). The zero value is ready to use.
@@ -221,7 +281,6 @@ func Nines(ratio float64) float64 {
 type Meter struct {
 	start time.Time
 	n     atomic.Int64
-	mu    sync.Mutex
 }
 
 // NewMeter returns a meter whose clock starts now.

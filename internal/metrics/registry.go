@@ -1,0 +1,359 @@
+// Registry: the exportable metrics surface.
+//
+// A Registry names instruments, attaches label sets to them, and
+// snapshots everything with Gather — the substrate the Prometheus
+// exposition in internal/obs serves. Instruments stay the lock-free
+// primitives of this package; the registry only adds naming, labels
+// and enumeration, so recording costs nothing extra.
+//
+// Three ways to populate a family:
+//
+//   - With(values...) creates a registry-owned instrument;
+//   - Attach(inst, values...) registers an instrument that already
+//     lives inside a subsystem struct (the repo's dominant idiom:
+//     se.Element.Reads, AccessPoint.Latency, ...);
+//   - Collect(fn) registers a callback that emits samples at Gather
+//     time — the shape for values derived from dynamic topology
+//     (per-partition replication lag, migration phase), where the
+//     label sets themselves change at runtime.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind is the exported metric family type.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Registry is a named, labeled metric family set. The zero value is
+// not usable; call NewRegistry. All methods are safe for concurrent
+// use.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric family: fixed kind and label names, a
+// set of labeled children, and optional gather-time collectors.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+
+	mu         sync.Mutex
+	children   map[string]*child
+	order      []string // insertion-keyed child keys, sorted at Gather
+	collectors []func(emit Emit)
+}
+
+// child is one labeled series of a family. Exactly one of the value
+// sources is set, matching the family kind.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	gaugeFn     func() float64
+	hist        *Histogram
+}
+
+// Emit adds one sample from a Collect callback. The number of label
+// values must match the family's label names.
+type Emit func(value float64, labelValues ...string)
+
+// nameValid reports a legal Prometheus metric or label name.
+func nameValid(s string, label bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		letter := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(!label && c == ':')
+		if !letter && !(i > 0 && c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// family returns the named family, creating it on first use. A
+// re-registration with a different kind, help or label set is a
+// programming error and panics.
+func (r *Registry) family(name, help string, kind Kind, labels []string) *family {
+	if !nameValid(name, false) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !nameValid(l, true) {
+			panic(fmt.Sprintf("metrics: invalid label name %q in %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %q re-registered with different kind or labels", name))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("metrics: %q re-registered with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		children: make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter returns the named counter family, creating it on first use.
+func (r *Registry) Counter(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, KindCounter, labelNames)}
+}
+
+// Gauge returns the named gauge family, creating it on first use.
+func (r *Registry) Gauge(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, KindGauge, labelNames)}
+}
+
+// Histogram returns the named histogram family, creating it on first
+// use.
+func (r *Registry) Histogram(name, help string, labelNames ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, KindHistogram, labelNames)}
+}
+
+// childKey joins label values into a map key. \xff cannot appear in
+// UTF-8 text, so the join is unambiguous.
+func childKey(values []string) string { return strings.Join(values, "\xff") }
+
+// child returns the labeled child, creating it with mk on first use.
+func (f *family) child(values []string, mk func() *child) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %q wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := childKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := mk()
+	c.labelValues = append([]string(nil), values...)
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// replaceChild installs a child, overwriting any previous series with
+// the same label values (re-registration after topology changes).
+func (f *family) replaceChild(values []string, c *child) {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %q wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	c.labelValues = append([]string(nil), values...)
+	key := childKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.children[key]; !ok {
+		f.order = append(f.order, key)
+	}
+	f.children[key] = c
+}
+
+// collect registers a gather-time sample callback.
+func (f *family) collect(fn func(emit Emit)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.collectors = append(f.collectors, fn)
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the registry-owned counter for the label values,
+// creating it on first use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.child(labelValues, func() *child { return &child{counter: &Counter{}} }).counter
+}
+
+// Attach registers an externally owned counter as the series for the
+// label values, replacing any previous series, and returns it.
+func (v *CounterVec) Attach(c *Counter, labelValues ...string) *Counter {
+	v.f.replaceChild(labelValues, &child{counter: c})
+	return c
+}
+
+// Collect registers a callback that emits counter samples at Gather
+// time. Emitted values must be monotonically non-decreasing per label
+// set for counter semantics to hold.
+func (v *CounterVec) Collect(fn func(emit Emit)) { v.f.collect(fn) }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the registry-owned gauge for the label values,
+// creating it on first use.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.child(labelValues, func() *child { return &child{gauge: &Gauge{}} }).gauge
+}
+
+// Attach registers an externally owned gauge as the series for the
+// label values, replacing any previous series, and returns it.
+func (v *GaugeVec) Attach(g *Gauge, labelValues ...string) *Gauge {
+	v.f.replaceChild(labelValues, &child{gauge: g})
+	return g
+}
+
+// Func registers a callback sampled at Gather time as the series for
+// the label values.
+func (v *GaugeVec) Func(fn func() float64, labelValues ...string) {
+	v.f.replaceChild(labelValues, &child{gaugeFn: fn})
+}
+
+// Collect registers a callback that emits gauge samples at Gather
+// time — the shape for label sets that change with topology.
+func (v *GaugeVec) Collect(fn func(emit Emit)) { v.f.collect(fn) }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the registry-owned histogram for the label values,
+// creating it on first use.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.child(labelValues, func() *child { return &child{hist: &Histogram{}} }).hist
+}
+
+// Attach registers an externally owned histogram as the series for
+// the label values, replacing any previous series, and returns it.
+func (v *HistogramVec) Attach(h *Histogram, labelValues ...string) *Histogram {
+	v.f.replaceChild(labelValues, &child{hist: h})
+	return h
+}
+
+// Sample is one gathered series of a family.
+type Sample struct {
+	LabelValues []string
+	// Value is the counter or gauge value; unset for histograms.
+	Value float64
+	// Hist is the cumulative-bucket snapshot; nil unless the family
+	// is a histogram.
+	Hist *HistogramExport
+}
+
+// FamilySnapshot is one gathered metric family, ready for exposition.
+type FamilySnapshot struct {
+	Name       string
+	Help       string
+	Kind       Kind
+	LabelNames []string
+	Samples    []Sample
+}
+
+// Gather snapshots every family: registered children plus collector
+// output, families sorted by name, samples sorted by label values. A
+// family with no samples still appears (its HELP/TYPE header is part
+// of the scrape contract).
+func (r *Registry) Gather() []FamilySnapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.gather())
+	}
+	return out
+}
+
+func (f *family) gather() FamilySnapshot {
+	f.mu.Lock()
+	children := make([]*child, 0, len(f.children))
+	for _, key := range f.order {
+		children = append(children, f.children[key])
+	}
+	collectors := make([]func(Emit), len(f.collectors))
+	copy(collectors, f.collectors)
+	f.mu.Unlock()
+
+	snap := FamilySnapshot{
+		Name:       f.name,
+		Help:       f.help,
+		Kind:       f.kind,
+		LabelNames: f.labels,
+	}
+	for _, c := range children {
+		s := Sample{LabelValues: c.labelValues}
+		switch {
+		case c.counter != nil:
+			s.Value = float64(c.counter.Value())
+		case c.gauge != nil:
+			s.Value = c.gauge.Value()
+		case c.gaugeFn != nil:
+			s.Value = c.gaugeFn()
+		case c.hist != nil:
+			s.Hist = c.hist.Export()
+		}
+		snap.Samples = append(snap.Samples, s)
+	}
+	for _, fn := range collectors {
+		fn(func(value float64, labelValues ...string) {
+			if len(labelValues) != len(f.labels) {
+				panic(fmt.Sprintf("metrics: %q collector emitted %d label values, want %d",
+					f.name, len(labelValues), len(f.labels)))
+			}
+			snap.Samples = append(snap.Samples, Sample{
+				LabelValues: append([]string(nil), labelValues...),
+				Value:       value,
+			})
+		})
+	}
+	sort.SliceStable(snap.Samples, func(i, j int) bool {
+		a, b := snap.Samples[i].LabelValues, snap.Samples[j].LabelValues
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return snap
+}

@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func findFamily(t *testing.T, snaps []FamilySnapshot, name string) FamilySnapshot {
+	t.Helper()
+	for _, f := range snaps {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("family %q not gathered", name)
+	return FamilySnapshot{}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("udr_test_total", "help", "site").With("eu")
+	b := r.Counter("udr_test_total", "help", "site").With("eu")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatalf("value = %d, want 3", b.Value())
+	}
+}
+
+func TestRegistryMismatchPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("udr_a_total", "h", "site")
+	expectPanic("kind change", func() { r.Gauge("udr_a_total", "h", "site") })
+	expectPanic("label count change", func() { r.Counter("udr_a_total", "h", "site", "el") })
+	expectPanic("label name change", func() { r.Counter("udr_a_total", "h", "element") })
+	expectPanic("bad metric name", func() { r.Counter("udr-bad", "h") })
+	expectPanic("bad label name", func() { r.Counter("udr_b_total", "h", "le-gal") })
+	expectPanic("label value arity", func() { r.Counter("udr_c_total", "h", "site").With("eu", "x") })
+}
+
+func TestRegistryPopulationModes(t *testing.T) {
+	r := NewRegistry()
+
+	r.Counter("udr_owned_total", "registry-owned", "site").With("eu").Add(7)
+
+	var ext Counter
+	ext.Add(11)
+	r.Counter("udr_attached_total", "attached", "site").Attach(&ext, "us")
+
+	r.Gauge("udr_fn", "func-backed", "site").Func(func() float64 { return 2.5 }, "eu")
+
+	r.Gauge("udr_collected", "collector-backed", "part").Collect(func(emit Emit) {
+		emit(1, "p1")
+		emit(2, "p0") // out of order: Gather must sort
+	})
+
+	snaps := r.Gather()
+
+	if f := findFamily(t, snaps, "udr_owned_total"); f.Samples[0].Value != 7 {
+		t.Fatalf("owned = %v", f.Samples[0].Value)
+	}
+	if f := findFamily(t, snaps, "udr_attached_total"); f.Samples[0].Value != 11 {
+		t.Fatalf("attached = %v", f.Samples[0].Value)
+	}
+	if f := findFamily(t, snaps, "udr_fn"); f.Samples[0].Value != 2.5 {
+		t.Fatalf("func = %v", f.Samples[0].Value)
+	}
+	f := findFamily(t, snaps, "udr_collected")
+	if len(f.Samples) != 2 || f.Samples[0].LabelValues[0] != "p0" || f.Samples[1].LabelValues[0] != "p1" {
+		t.Fatalf("collector samples unsorted: %+v", f.Samples)
+	}
+
+	// Families gathered in name order.
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i-1].Name >= snaps[i].Name {
+			t.Fatalf("families unsorted: %s before %s", snaps[i-1].Name, snaps[i].Name)
+		}
+	}
+}
+
+func TestRegistryAttachReplaces(t *testing.T) {
+	r := NewRegistry()
+	v := r.Counter("udr_re_total", "h", "site")
+	var first, second Counter
+	first.Add(1)
+	second.Add(2)
+	v.Attach(&first, "eu")
+	v.Attach(&second, "eu") // same labels: replaces, no duplicate series
+	f := findFamily(t, r.Gather(), "udr_re_total")
+	if len(f.Samples) != 1 || f.Samples[0].Value != 2 {
+		t.Fatalf("samples = %+v, want single value 2", f.Samples)
+	}
+}
+
+func TestRegistryEmptyFamilyStillGathered(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("udr_idle_seconds", "never recorded", "site")
+	f := findFamily(t, r.Gather(), "udr_idle_seconds")
+	if len(f.Samples) != 0 {
+		t.Fatalf("idle family has %d samples", len(f.Samples))
+	}
+}
+
+func TestHistogramExportCumulative(t *testing.T) {
+	var h Histogram
+	h.Record(3 * time.Microsecond)   // bucket 1: [2µs, 4µs)
+	h.Record(3 * time.Microsecond)   // bucket 1
+	h.Record(100 * time.Microsecond) // bucket 6: [64µs, 128µs)
+	h.Record(time.Hour)              // beyond export bound: +Inf only
+
+	e := h.Export()
+	if len(e.Buckets) != exportBucketCount {
+		t.Fatalf("bucket count = %d, want %d", len(e.Buckets), exportBucketCount)
+	}
+	if e.Buckets[0].LE != 2e-06 || e.Buckets[1].LE != 4e-06 {
+		t.Fatalf("bucket bounds = %v, %v", e.Buckets[0].LE, e.Buckets[1].LE)
+	}
+	if e.Buckets[0].Count != 0 {
+		t.Fatalf("le=2µs count = %d, want 0", e.Buckets[0].Count)
+	}
+	if e.Buckets[1].Count != 2 {
+		t.Fatalf("le=4µs count = %d, want 2 (cumulative)", e.Buckets[1].Count)
+	}
+	if e.Buckets[6].Count != 3 {
+		t.Fatalf("le=128µs count = %d, want 3 (cumulative)", e.Buckets[6].Count)
+	}
+	last := e.Buckets[exportBucketCount-1]
+	if last.Count != 3 {
+		t.Fatalf("last bound count = %d, want 3 (hour-long outlier excluded)", last.Count)
+	}
+	if e.Count != 4 {
+		t.Fatalf("total = %d, want 4 (+Inf catches the outlier)", e.Count)
+	}
+	wantSum := float64(int64(3+3+100)+time.Hour.Microseconds()) / 1e6
+	if e.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", e.Sum, wantSum)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	vec := r.Counter("udr_conc_total", "h", "worker")
+	r.Gauge("udr_conc_collected", "h", "worker").Collect(func(emit Emit) {
+		emit(1, "fixed")
+	})
+	hist := r.Histogram("udr_conc_seconds", "h", "worker")
+
+	var wg sync.WaitGroup
+	workers := []string{"a", "b", "c", "d"}
+	for _, w := range workers {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(w string) {
+				defer wg.Done()
+				for n := 0; n < 200; n++ {
+					vec.With(w).Inc()
+					hist.With(w).Record(time.Duration(n) * time.Microsecond)
+				}
+			}(w)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 50; n++ {
+				r.Gather()
+			}
+		}()
+	}
+	wg.Wait()
+
+	f := findFamily(t, r.Gather(), "udr_conc_total")
+	if len(f.Samples) != len(workers) {
+		t.Fatalf("series = %d, want %d", len(f.Samples), len(workers))
+	}
+	for _, s := range f.Samples {
+		if s.Value != 800 {
+			t.Fatalf("worker %v = %v, want 800", s.LabelValues, s.Value)
+		}
+	}
+}

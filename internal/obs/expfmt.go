@@ -1,0 +1,149 @@
+// Package obs is the UDR's operator-facing observability surface: a
+// hand-rolled Prometheus text exposition of the metrics registry and
+// an admin HTTP server (metrics, health, status, pprof, and the
+// repair/move/rebalance control operations udrctl exposes over LDAP).
+//
+// The exposition writer implements the Prometheus text format
+// version 0.0.4 directly — no client library dependency — because
+// the format is small and the repo's no-new-deps rule is absolute.
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// ExpositionContentType is the Content-Type of the /metrics response.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeHelp escapes a HELP line per the exposition format: backslash
+// and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value. Prometheus accepts Go 'g'
+// formatting; infinities spell +Inf / -Inf, NaN spells NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeLabels renders {a="x",b="y"}; nothing when both slices are
+// empty. extraName/extraValue append a trailing label (the histogram
+// "le" bound).
+func writeLabels(w *bufio.Writer, names, values []string, extraName, extraValue string) {
+	if len(names) == 0 && extraName == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(n)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(values[i]))
+		w.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(extraName)
+		w.WriteString(`="`)
+		w.WriteString(extraValue)
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// WriteExposition renders gathered families in the Prometheus text
+// exposition format, families and samples in the (already sorted)
+// Gather order. Families without samples still get their HELP/TYPE
+// header: an instrumented-but-idle metric is part of the scrape
+// contract, and the CI smoke job greps for exactly these lines.
+func WriteExposition(out io.Writer, families []metrics.FamilySnapshot) error {
+	w := bufio.NewWriter(out)
+	for _, f := range families {
+		w.WriteString("# HELP ")
+		w.WriteString(f.Name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.Help))
+		w.WriteByte('\n')
+		w.WriteString("# TYPE ")
+		w.WriteString(f.Name)
+		w.WriteByte(' ')
+		w.WriteString(f.Kind.String())
+		w.WriteByte('\n')
+		for _, s := range f.Samples {
+			if f.Kind == metrics.KindHistogram {
+				writeHistogram(w, f, s)
+				continue
+			}
+			w.WriteString(f.Name)
+			writeLabels(w, f.LabelNames, s.LabelValues, "", "")
+			w.WriteByte(' ')
+			w.WriteString(formatValue(s.Value))
+			w.WriteByte('\n')
+		}
+	}
+	return w.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket
+// lines (fixed upper bounds plus +Inf), then _sum and _count.
+func writeHistogram(w *bufio.Writer, f metrics.FamilySnapshot, s metrics.Sample) {
+	h := s.Hist
+	if h == nil {
+		return
+	}
+	for _, b := range h.Buckets {
+		w.WriteString(f.Name)
+		w.WriteString("_bucket")
+		writeLabels(w, f.LabelNames, s.LabelValues, "le", formatValue(b.LE))
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatInt(b.Count, 10))
+		w.WriteByte('\n')
+	}
+	w.WriteString(f.Name)
+	w.WriteString("_bucket")
+	writeLabels(w, f.LabelNames, s.LabelValues, "le", "+Inf")
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatInt(h.Count, 10))
+	w.WriteByte('\n')
+
+	w.WriteString(f.Name)
+	w.WriteString("_sum")
+	writeLabels(w, f.LabelNames, s.LabelValues, "", "")
+	w.WriteByte(' ')
+	w.WriteString(formatValue(h.Sum))
+	w.WriteByte('\n')
+
+	w.WriteString(f.Name)
+	w.WriteString("_count")
+	writeLabels(w, f.LabelNames, s.LabelValues, "", "")
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatInt(h.Count, 10))
+	w.WriteByte('\n')
+}

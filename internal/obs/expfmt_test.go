@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestExpositionGolden pins the exact exposition output for hand-built
+// family snapshots: HELP/TYPE headers, label ordering and escaping,
+// cumulative histogram buckets with the trailing le label, and the
+// header-only rendering of an empty family.
+func TestExpositionGolden(t *testing.T) {
+	families := []metrics.FamilySnapshot{
+		{
+			Name: "udr_requests_total",
+			Help: `Requests with a backslash \ and` + "\nnewline.",
+			Kind: metrics.KindCounter, LabelNames: []string{"site", "op"},
+			Samples: []metrics.Sample{
+				{LabelValues: []string{"eu-south", "read"}, Value: 42},
+				{LabelValues: []string{`quo"te`, `back\slash` + "\nnl"}, Value: 1},
+			},
+		},
+		{
+			Name: "udr_queue_depth",
+			Help: "Depth.",
+			Kind: metrics.KindGauge, LabelNames: nil,
+			Samples: []metrics.Sample{{Value: 2.5}},
+		},
+		{
+			Name: "udr_idle_seconds",
+			Help: "Never recorded.",
+			Kind: metrics.KindHistogram, LabelNames: []string{"site"},
+		},
+		{
+			Name: "udr_latency_seconds",
+			Help: "Latency.",
+			Kind: metrics.KindHistogram, LabelNames: []string{"site"},
+			Samples: []metrics.Sample{{
+				LabelValues: []string{"eu"},
+				Hist: &metrics.HistogramExport{
+					Buckets: []metrics.HistogramBucket{
+						{LE: 2e-06, Count: 0},
+						{LE: 4e-06, Count: 2},
+						{LE: 8e-06, Count: 3},
+					},
+					Count: 4, // one observation beyond the last bound
+					Sum:   0.0123,
+				},
+			}},
+		},
+	}
+
+	var b strings.Builder
+	if err := WriteExposition(&b, families); err != nil {
+		t.Fatal(err)
+	}
+
+	want := `# HELP udr_requests_total Requests with a backslash \\ and\nnewline.
+# TYPE udr_requests_total counter
+udr_requests_total{site="eu-south",op="read"} 42
+udr_requests_total{site="quo\"te",op="back\\slash\nnl"} 1
+# HELP udr_queue_depth Depth.
+# TYPE udr_queue_depth gauge
+udr_queue_depth 2.5
+# HELP udr_idle_seconds Never recorded.
+# TYPE udr_idle_seconds histogram
+# HELP udr_latency_seconds Latency.
+# TYPE udr_latency_seconds histogram
+udr_latency_seconds_bucket{site="eu",le="2e-06"} 0
+udr_latency_seconds_bucket{site="eu",le="4e-06"} 2
+udr_latency_seconds_bucket{site="eu",le="8e-06"} 3
+udr_latency_seconds_bucket{site="eu",le="+Inf"} 4
+udr_latency_seconds_sum{site="eu"} 0.0123
+udr_latency_seconds_count{site="eu"} 4
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionFromRegistry round-trips a live registry: recorded
+// observations must land in the right cumulative bucket of the fixed
+// export bound set.
+func TestExpositionFromRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("udr_ops_total", "Ops.", "site").With("eu").Add(5)
+	h := reg.Histogram("udr_op_latency_seconds", "Op latency.", "site").With("eu")
+	h.Record(3 * time.Microsecond) // [2µs,4µs) → cumulative at le=4e-06
+
+	var b strings.Builder
+	if err := WriteExposition(&b, reg.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, line := range []string{
+		"# TYPE udr_ops_total counter",
+		`udr_ops_total{site="eu"} 5`,
+		"# TYPE udr_op_latency_seconds histogram",
+		`udr_op_latency_seconds_bucket{site="eu",le="2e-06"} 0`,
+		`udr_op_latency_seconds_bucket{site="eu",le="4e-06"} 1`,
+		`udr_op_latency_seconds_bucket{site="eu",le="+Inf"} 1`,
+		`udr_op_latency_seconds_count{site="eu"} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing line %q in exposition:\n%s", line, out)
+		}
+	}
+}

@@ -1,0 +1,452 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/antientropy"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rebalance"
+	"repro/internal/store"
+)
+
+// Config wires an admin server.
+type Config struct {
+	// Registry backs GET /metrics. Required.
+	Registry *metrics.Registry
+	// UDR, when set, enables GET /status and the POST /admin/*
+	// control operations. A metrics-only endpoint leaves it nil.
+	UDR *core.UDR
+	// AdminTimeout bounds each control operation (default 15s: a
+	// rebalance pass streams partitions over the backbone).
+	AdminTimeout time.Duration
+}
+
+// Server is the admin HTTP surface of one udrd process:
+//
+//	GET  /metrics           Prometheus text exposition
+//	GET  /healthz           liveness probe
+//	GET  /status            topology + placement epochs + replication lag (JSON)
+//	GET  /debug/pprof/*     net/http/pprof
+//	POST /admin/repair      anti-entropy round (all partitions or ?partition=)
+//	POST /admin/move        ?partition= &target= [&release=true]
+//	POST /admin/rebalance   plan + execute a rebalancing pass
+//
+// The admin operations mirror the udrctl LDAP extended operations,
+// including their error classes: unknown partition/element → 404,
+// conflicting or in-flight move → 409, disabled subsystem → 409.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	hs    *http.Server
+	start time.Time
+}
+
+// NewServer builds the server; Serve or Handler make it reachable.
+func NewServer(cfg Config) *Server {
+	if cfg.AdminTimeout <= 0 {
+		cfg.AdminTimeout = 15 * time.Second
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/status", s.handleStatus)
+	s.mux.HandleFunc("/admin/repair", s.handleRepair)
+	s.mux.HandleFunc("/admin/move", s.handleMove)
+	s.mux.HandleFunc("/admin/rebalance", s.handleRebalance)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.hs = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler returns the route table (httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve serves HTTP on the listener until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Close immediately closes the listener and all connections.
+func (s *Server) Close() error { return s.hs.Close() }
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errorJSON is the admin error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// httpCode maps control-plane errors onto HTTP status codes, the same
+// classes moveResultCode gives udrctl over LDAP.
+func httpCode(err error) int {
+	switch {
+	case errors.Is(err, core.ErrUnknownPartition), errors.Is(err, core.ErrUnknownElement):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrMigrationInFlight), errors.Is(err, rebalance.ErrConflict):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// requireUDR guards the topology-backed endpoints.
+func (s *Server) requireUDR(w http.ResponseWriter) bool {
+	if s.cfg.UDR == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "not available on this endpoint: no topology attached"})
+		return false
+	}
+	return true
+}
+
+// requirePost guards the mutating admin operations.
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "use POST"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", ExpositionContentType)
+	WriteExposition(w, s.cfg.Registry.Gather())
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// ReplicaStatus is one partition copy in the /status view.
+type ReplicaStatus struct {
+	Element    string `json:"element"`
+	Site       string `json:"site"`
+	Role       string `json:"role"`
+	Up         bool   `json:"up"`
+	Rows       int    `json:"rows"`
+	CSN        uint64 `json:"csn"`
+	AppliedCSN uint64 `json:"appliedCsn"`
+}
+
+// PeerLag is one replication sender's shipping state as seen from the
+// partition master.
+type PeerLag struct {
+	Peer       string `json:"peer"`
+	AckedCSN   uint64 `json:"ackedCsn"`
+	QueueDepth int    `json:"queueDepth"`
+	// LagRecords is master CSN minus the peer's acked CSN.
+	LagRecords uint64 `json:"lagRecords"`
+}
+
+// PartitionStatus is one partition-table entry plus live replication
+// state.
+type PartitionStatus struct {
+	ID             string          `json:"id"`
+	HomeSite       string          `json:"homeSite"`
+	Epoch          uint64          `json:"epoch"`
+	MasterCSN      uint64          `json:"masterCsn"`
+	Replicas       []ReplicaStatus `json:"replicas"`
+	ReplicationLag []PeerLag       `json:"replicationLag,omitempty"`
+}
+
+// ElementStatus is one storage element in the /status view.
+type ElementStatus struct {
+	ID         string   `json:"id"`
+	Site       string   `json:"site"`
+	Down       bool     `json:"down"`
+	Partitions []string `json:"partitions"`
+}
+
+// MigrationStatus is one in-flight partition move.
+type MigrationStatus struct {
+	Partition string `json:"partition"`
+	Phase     string `json:"phase"`
+}
+
+// StatusResponse is the /status body: the consolidated OaM view —
+// topology, placement epochs, replication lag, in-flight migrations.
+type StatusResponse struct {
+	Sites      []string          `json:"sites"`
+	Elements   []ElementStatus   `json:"elements"`
+	Partitions []PartitionStatus `json:"partitions"`
+	Migrations []MigrationStatus `json:"migrations"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if !s.requireUDR(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status())
+}
+
+func (s *Server) status() StatusResponse {
+	u := s.cfg.UDR
+	resp := StatusResponse{Sites: u.Sites(), Migrations: []MigrationStatus{}}
+	for _, elID := range u.Elements() {
+		el := u.Element(elID)
+		if el == nil {
+			continue
+		}
+		resp.Elements = append(resp.Elements, ElementStatus{
+			ID:         el.ID(),
+			Site:       el.Site(),
+			Down:       el.Down(),
+			Partitions: el.Partitions(),
+		})
+	}
+	for _, partID := range u.Partitions() {
+		part, ok := u.Partition(partID)
+		if !ok {
+			continue
+		}
+		ps := PartitionStatus{ID: part.ID, HomeSite: part.HomeSite, Epoch: part.Epoch}
+		for i, ref := range part.Replicas {
+			rs := ReplicaStatus{
+				Element: ref.Element,
+				Site:    ref.Site,
+				Role:    "slave",
+			}
+			if i == 0 {
+				rs.Role = "master"
+			}
+			if el := u.Element(ref.Element); el != nil {
+				rs.Up = !el.Down()
+				if pr := el.Replica(partID); pr != nil {
+					rs.Rows = pr.Store.Len()
+					rs.CSN = pr.Store.CSN()
+					rs.AppliedCSN = pr.Store.AppliedCSN()
+					if i == 0 && pr.Store.Role() == store.Master {
+						ps.MasterCSN = pr.Store.CSN()
+						for _, st := range pr.Repl.SenderStats() {
+							lag := uint64(0)
+							if ps.MasterCSN > st.AckedCSN {
+								lag = ps.MasterCSN - st.AckedCSN
+							}
+							ps.ReplicationLag = append(ps.ReplicationLag, PeerLag{
+								Peer:       string(st.Peer),
+								AckedCSN:   st.AckedCSN,
+								QueueDepth: st.QueueDepth,
+								LagRecords: lag,
+							})
+						}
+					}
+				}
+			}
+			ps.Replicas = append(ps.Replicas, rs)
+		}
+		resp.Partitions = append(resp.Partitions, ps)
+	}
+	for part, phase := range u.MigrationsInFlight() {
+		resp.Migrations = append(resp.Migrations, MigrationStatus{
+			Partition: part, Phase: phase.String(),
+		})
+	}
+	return resp
+}
+
+// RepairRound is one anti-entropy peer round in the /admin/repair
+// response.
+type RepairRound struct {
+	Partition         string `json:"partition"`
+	Peer              string `json:"peer"`
+	InSync            bool   `json:"inSync"`
+	LeavesDiffed      int    `json:"leavesDiffed"`
+	RowsShipped       int    `json:"rowsShipped"`
+	RowsPulled        int    `json:"rowsPulled"`
+	RowsRepairedLocal int    `json:"rowsRepairedLocal"`
+	RowsRepairedPeer  int    `json:"rowsRepairedPeer"`
+	Truncated         bool   `json:"truncated"`
+	WatermarkAdvanced bool   `json:"watermarkAdvanced"`
+}
+
+// RepairResponse is the /admin/repair body.
+type RepairResponse struct {
+	Rounds []RepairRound `json:"rounds"`
+	Error  string        `json:"error,omitempty"`
+}
+
+func repairRounds(stats []antientropy.Stats) []RepairRound {
+	out := make([]RepairRound, 0, len(stats))
+	for _, st := range stats {
+		out = append(out, RepairRound{
+			Partition:         st.Partition,
+			Peer:              string(st.Peer),
+			InSync:            st.InSync,
+			LeavesDiffed:      st.LeavesDiffed,
+			RowsShipped:       st.RowsShipped,
+			RowsPulled:        st.RowsPulled,
+			RowsRepairedLocal: st.RowsRepairedLocal,
+			RowsRepairedPeer:  st.RowsRepairedPeer,
+			Truncated:         st.Truncated,
+			WatermarkAdvanced: st.WatermarkAdvanced,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) || !s.requireUDR(w) {
+		return
+	}
+	u := s.cfg.UDR
+	if !u.Config().AntiEntropy {
+		writeJSON(w, http.StatusConflict, errorJSON{Error: "anti-entropy repair is disabled"})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AdminTimeout)
+	defer cancel()
+	var (
+		stats []antientropy.Stats
+		err   error
+	)
+	if part := r.FormValue("partition"); part != "" {
+		stats, err = u.RepairPartition(ctx, part)
+	} else {
+		stats, err = u.RepairAll(ctx)
+	}
+	resp := RepairResponse{Rounds: repairRounds(stats)}
+	if err != nil {
+		resp.Error = err.Error()
+		writeJSON(w, httpCode(err), resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// MoveResponse is the /admin/move body: the migration report.
+type MoveResponse struct {
+	Partition      string  `json:"partition"`
+	Source         string  `json:"source"`
+	Target         string  `json:"target"`
+	Phase          string  `json:"phase"`
+	RowsCopied     int     `json:"rowsCopied"`
+	Batches        int     `json:"batches"`
+	CatchUpRecords uint64  `json:"catchUpRecords"`
+	FreezeSeconds  float64 `json:"freezeSeconds"`
+	Seconds        float64 `json:"seconds"`
+	Released       bool    `json:"released"`
+	PeersLeft      int     `json:"peersLeftBehind"`
+	Aborted        bool    `json:"aborted"`
+	Error          string  `json:"error,omitempty"`
+}
+
+func moveResponse(rep *rebalance.Report, err error) MoveResponse {
+	resp := MoveResponse{}
+	if rep != nil {
+		resp = MoveResponse{
+			Partition:      rep.Partition,
+			Source:         rep.Source,
+			Target:         rep.Target,
+			Phase:          rep.Phase.String(),
+			RowsCopied:     rep.RowsCopied,
+			Batches:        rep.Batches,
+			CatchUpRecords: rep.CatchUpRecords,
+			FreezeSeconds:  rep.FreezeDuration.Seconds(),
+			Seconds:        rep.Duration.Seconds(),
+			Released:       rep.Released,
+			PeersLeft:      rep.PeersLeftBehind(),
+			Aborted:        rep.Aborted,
+		}
+	}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	return resp
+}
+
+func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) || !s.requireUDR(w) {
+		return
+	}
+	part := r.FormValue("partition")
+	target := r.FormValue("target")
+	if part == "" || target == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "move wants ?partition= and ?target="})
+		return
+	}
+	release := r.FormValue("release") == "true"
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AdminTimeout)
+	defer cancel()
+	rep, err := s.cfg.UDR.MigratePartition(ctx, part, target, release)
+	if err != nil {
+		writeJSON(w, httpCode(err), moveResponse(rep, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, moveResponse(rep, nil))
+}
+
+// RebalanceResponse is the /admin/rebalance body.
+type RebalanceResponse struct {
+	Planned int            `json:"planned"`
+	Failed  int            `json:"failed"`
+	Moves   []MoveResponse `json:"moves"`
+	Error   string         `json:"error,omitempty"`
+}
+
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) || !s.requireUDR(w) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AdminTimeout)
+	defer cancel()
+	res, err := s.cfg.UDR.Rebalance(ctx)
+	resp := RebalanceResponse{Planned: len(res.Plan), Failed: res.Failed, Moves: []MoveResponse{}}
+	for i, rep := range res.Reports {
+		mv := moveResponse(rep, nil)
+		if rep == nil {
+			mv = MoveResponse{
+				Partition: res.Plan[i].Partition,
+				Source:    res.Plan[i].From,
+				Target:    res.Plan[i].To,
+				Aborted:   true,
+				Error:     "rejected",
+			}
+		}
+		resp.Moves = append(resp.Moves, mv)
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		writeJSON(w, httpCode(err), resp)
+		return
+	}
+	if res.Failed > 0 {
+		resp.Error = fmt.Sprintf("%d of %d moves failed", res.Failed, len(res.Plan))
+		writeJSON(w, http.StatusInternalServerError, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

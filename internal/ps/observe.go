@@ -1,0 +1,19 @@
+package ps
+
+import "repro/internal/metrics"
+
+// RegisterMetrics attaches the provisioning system's instruments to a
+// registry. instance names this PS in the labels (a PS carries no
+// name of its own). Safe to call again: Attach replaces any prior
+// binding for the same label set.
+func (p *PS) RegisterMetrics(reg *metrics.Registry, instance string) {
+	reg.Counter("udr_ps_provisioned_total",
+		"Provisioning transactions completed.",
+		"site", "ps").Attach(&p.Provisioned, p.site, instance)
+	reg.Counter("udr_ps_failed_total",
+		"Provisioning transactions failed.",
+		"site", "ps").Attach(&p.Failed, p.site, instance)
+	reg.Histogram("udr_ps_latency_seconds",
+		"Provisioning transaction latency.",
+		"site", "ps").Attach(&p.Latency, p.site, instance)
+}

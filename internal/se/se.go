@@ -558,6 +558,15 @@ func (e *Element) Repairer(partition string) *antientropy.Repairer {
 	return e.repairers[partition]
 }
 
+// AntiEntropyPeer returns the element's repair-protocol server (its
+// slave-side row-repair counters feed the metrics registry), or nil
+// when the element runs without anti-entropy.
+func (e *Element) AntiEntropyPeer() *antientropy.Peer { return e.ae }
+
+// RebalancePeer returns the element's migration-protocol server (its
+// rows-received/batch counters feed the metrics registry).
+func (e *Element) RebalancePeer() *rebalance.Peer { return e.reb }
+
 // RepairNow kicks an immediate repair round (heal triggers, OaM).
 // It is a no-op without anti-entropy.
 func (e *Element) RepairNow() {

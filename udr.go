@@ -33,6 +33,8 @@ import (
 	"repro/internal/fe"
 	"repro/internal/ldap"
 	"repro/internal/locator"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/ps"
 	"repro/internal/rebalance"
 	"repro/internal/replication"
@@ -174,6 +176,28 @@ type (
 	// outcomes.
 	RebalanceResult = core.RebalanceResult
 )
+
+// Observability (internal/metrics registry + internal/obs HTTP
+// surface). Register a UDR's instruments with UDR.RegisterMetrics,
+// then serve them: obs.NewServer exposes GET /metrics (Prometheus
+// text exposition), /healthz, /status and the POST /admin/* mirrors
+// of the udrctl extended operations. udrd wires this up behind its
+// -admin flag.
+type (
+	// MetricsRegistry names, labels and gathers instruments.
+	MetricsRegistry = metrics.Registry
+	// ObsServer is the admin/metrics HTTP surface over a UDR.
+	ObsServer = obs.Server
+	// ObsConfig configures an ObsServer.
+	ObsConfig = obs.Config
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewObsServer builds the admin/metrics HTTP surface. Serve it with
+// (*ObsServer).Serve on a listener, or mount (*ObsServer).Handler.
+func NewObsServer(cfg ObsConfig) *ObsServer { return obs.NewServer(cfg) }
 
 // Policy classes.
 const (
