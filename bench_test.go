@@ -8,6 +8,7 @@ package udr
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/subscriber"
 	"repro/internal/wal"
+	"repro/internal/workload"
 )
 
 // benchExperiment runs one experiment per iteration in quick mode.
@@ -62,6 +64,7 @@ func BenchmarkE16AntiEntropy(b *testing.B) { benchExperiment(b, "E16") }
 func BenchmarkE17Concurrency(b *testing.B) { benchExperiment(b, "E17") }
 func BenchmarkE18GroupCommit(b *testing.B) { benchExperiment(b, "E18") }
 func BenchmarkE20Rebalance(b *testing.B)   { benchExperiment(b, "E20") }
+func BenchmarkE22FECache(b *testing.B)     { benchExperiment(b, "E22") }
 
 // --- Primitive benchmarks -------------------------------------------
 
@@ -361,6 +364,111 @@ func BenchmarkFEReadPathParallel(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// benchCachedSession builds a cached-FE benchmark fixture: the UDR
+// with the PoA subscriber cache on, a session with the in-process
+// fast path attached, and the cache warmed with one read-through per
+// subscriber so the measured loop starts hot.
+func benchCachedSession(b *testing.B, subs int) (*core.Session, []*subscriber.Profile) {
+	b.Helper()
+	net, u, profiles := benchUDR(b, subs, func(cfg *core.Config) {
+		cfg.FECache = true
+		cfg.FECacheSlaveLB = true
+	})
+	site := u.Sites()[0]
+	sess := core.NewSession(net, simnet.MakeAddr(site, "bench-fe"), site, core.PolicyFE)
+	sess.AttachCache(u.PoA(site).Cache())
+	ctx := context.Background()
+	for _, p := range profiles {
+		if _, err := sess.Exec(ctx, core.ExecReq{
+			Identity: subscriber.Identity{Type: subscriber.MSISDN, Value: p.MSISDNVal},
+			Ops:      []se.TxnOp{{Kind: se.TxnGet}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sess, profiles
+}
+
+// BenchmarkFECachedRead measures the FE read path with the PoA
+// subscriber cache enabled and warm: the session fast path resolves
+// the identity alias and serves the hit in-process, skipping the
+// client→PoA→SE round trip entirely — compare BenchmarkFEReadPath for
+// the cache-off cost of the same request stream.
+func BenchmarkFECachedRead(b *testing.B) {
+	sess, profiles := benchCachedSession(b, 1000)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := profiles[i%len(profiles)]
+		if _, err := sess.Exec(ctx, core.ExecReq{
+			Identity: subscriber.Identity{Type: subscriber.MSISDN, Value: p.MSISDNVal},
+			Ops:      []se.TxnOp{{Kind: se.TxnGet}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFECachedReadParallel fans the cached read path across
+// GOMAXPROCS goroutines on one shared session: hits touch only a
+// sharded LRU and two atomics, so this should scale like the striped
+// store rather than the simulated network.
+func BenchmarkFECachedReadParallel(b *testing.B) {
+	sess, profiles := benchCachedSession(b, 1000)
+	ctx := context.Background()
+	var worker atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := int(worker.Add(1)) * 7919
+		i := 0
+		for pb.Next() {
+			p := profiles[(base+i)%len(profiles)]
+			if _, err := sess.Exec(ctx, core.ExecReq{
+				Identity: subscriber.Identity{Type: subscriber.MSISDN, Value: p.MSISDNVal},
+				Ops:      []se.TxnOp{{Kind: se.TxnGet}},
+			}); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkFEHotKeyMixedCached drives the busy-hour hot-key profile —
+// Zipfian s=1.1 subscriber draws, 90/10 read/write — through the
+// cached FE path. Writes ride the master path and write through the
+// cache, so hot keys stay resident and fresh; the op cost lands
+// between the pure cached read and the uncached round trip.
+func BenchmarkFEHotKeyMixedCached(b *testing.B) {
+	sess, profiles := benchCachedSession(b, 1000)
+	ctx := context.Background()
+	pick := workload.Zipfian{S: 1.1}.Picker(rand.New(rand.NewSource(1)), len(profiles))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := profiles[pick()]
+		if i%10 == 9 {
+			if _, err := sess.Exec(ctx, core.ExecReq{
+				Identity: subscriber.Identity{Type: subscriber.IMSI, Value: p.IMSIVal},
+				Ops: []se.TxnOp{{Kind: se.TxnModify, Mods: []store.Mod{{
+					Kind: store.ModReplace, Attr: subscriber.AttrArea, Vals: []string{"bench"},
+				}}}},
+			}); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		if _, err := sess.Exec(ctx, core.ExecReq{
+			Identity: subscriber.Identity{Type: subscriber.MSISDN, Value: p.MSISDNVal},
+			Ops:      []se.TxnOp{{Kind: se.TxnGet}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkPSWritePath measures the provisioning write path

@@ -65,6 +65,8 @@ func run() error {
 		multiMas = flag.Bool("multi-master", false, "enable §5 multi-master mode")
 		antiEnt  = flag.Bool("anti-entropy", true, "enable Merkle-digest replica repair")
 		repairIv = flag.Duration("repair-interval", 2*time.Second, "periodic anti-entropy repair cadence")
+		feCache  = flag.Bool("fe-cache", true, "enable the FE/PoA subscriber read cache")
+		feCacheN = flag.Int("fe-cache-size", 0, "FE cache capacity in entries per site (0 = default)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,7 @@ func run() error {
 		ReplicationFactor: *rf, FESlaveReads: true, MultiMaster: *multiMas, WALDir: *walDir,
 		WALNoGroupCommit: *walNoGC,
 		AntiEntropy:      *antiEnt, RepairInterval: *repairIv,
+		FECache: *feCache, FECacheCapacity: *feCacheN, FECacheSlaveLB: *feCache,
 	}
 	if *walSync {
 		cfg.WALMode = wal.SyncEveryCommit
@@ -104,6 +107,9 @@ func run() error {
 		pol = core.PolicyFE
 	}
 	session := core.NewSession(network, simnet.MakeAddr(served, "ldap-bridge"), served, pol)
+	if c := u.PoA(served).Cache(); c != nil {
+		session.AttachCache(c)
+	}
 	server := ldap.NewServer(core.NewLDAPBackend(session).WithTopology(u))
 
 	ln, err := net.Listen("tcp", *addr)

@@ -66,6 +66,12 @@ type Config struct {
 	// successful one moves the master mid-history, and the checkers
 	// hold the same linearizability/convergence bar across it.
 	Migrations bool
+	// FECache routes FE reads through the PoA subscriber cache
+	// (capacity sized so eviction never drops a floor mid-run) and
+	// attaches the in-process fast path to every FE session. The
+	// session checkers then hold cached reads to the same
+	// read-your-writes/monotonic bar as slave reads.
+	FECache bool
 }
 
 // DefaultConfig returns the CI-sized deterministic profile.
@@ -105,9 +111,9 @@ type Result struct {
 // Reproducer renders the seed + schedule + history reproducer bundle.
 func (r *Result) Reproducer() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "chaos reproducer\nseed=%d ops=%d subs=%d clients=%d durability=%s wal=%t\n",
+	fmt.Fprintf(&b, "chaos reproducer\nseed=%d ops=%d subs=%d clients=%d durability=%s wal=%t fecache=%t\n",
 		r.Cfg.Seed, r.Cfg.Ops, r.Cfg.Subscribers, r.Cfg.Clients,
-		r.Cfg.Durability, r.Cfg.WALDir != "")
+		r.Cfg.Durability, r.Cfg.WALDir != "", r.Cfg.FECache)
 	b.WriteString(r.Schedule.String())
 	for _, e := range r.Events {
 		b.WriteString(e)
@@ -240,6 +246,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		ucfg.WALDir = cfg.WALDir
 		ucfg.WALMode = wal.SyncEveryCommit // crash recovery is an exact replay
 	}
+	if cfg.FECache {
+		ucfg.FECache = true
+		// Ample capacity: eviction is the only path that loses a key's
+		// staleness floor, so the deterministic profile sizes it out
+		// (the whole population fits in every shard).
+		ucfg.FECacheCapacity = cfg.Subscribers * 32
+		ucfg.FECacheSlaveLB = true
+	}
 	u, err := core.New(h.net, ucfg)
 	if err != nil {
 		return nil, err
@@ -335,7 +349,11 @@ func (h *harness) seed(ctx context.Context) error {
 	for c := 0; c < h.cfg.Clients; c++ {
 		site := sites[c%len(sites)]
 		from := simnet.MakeAddr(site, fmt.Sprintf("chaos-%d", c))
-		h.fe = append(h.fe, core.NewSession(h.net, from, site, core.PolicyFE))
+		fe := core.NewSession(h.net, from, site, core.PolicyFE)
+		if h.cfg.FECache {
+			fe.AttachCache(h.u.PoA(site).Cache())
+		}
+		h.fe = append(h.fe, fe)
 		h.ps = append(h.ps, core.NewSession(h.net, from, site, core.PolicyPS))
 	}
 	if err := h.u.WaitReplication(ctx); err != nil {

@@ -213,6 +213,161 @@ func TestChaosSessionGuarantees(t *testing.T) {
 	}
 }
 
+// TestChaosFECacheSessionGuarantees is the PR-7 acceptance gate: with
+// the FE/PoA read cache enabled, FE reads must flow through it
+// (CachedReads > 0) and the cache's floors, warm-source gating and
+// epoch guards must keep the per-client session guarantees intact —
+// zero read-your-writes and zero monotonic-read violations — across
+// the same partition/heal/failover schedule that measures nonzero
+// staleness without the cache.
+func TestChaosFECacheSessionGuarantees(t *testing.T) {
+	ctx := context.Background()
+	var res *Result
+	defer func() { dumpOnFail(t, res) }()
+	cached := 0
+	for _, seed := range []int64{1, 4, 6} {
+		cfg := DefaultConfig(seed)
+		cfg.Ops = 400
+		cfg.FECache = true
+		var err error
+		res, err = Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s := res.Session
+		if s.RYWViolations != 0 || s.MonotonicViolations != 0 {
+			t.Fatalf("seed %d: session violations through the cache: ryw=%d monotonic=%d (cached=%d slave=%d)",
+				seed, s.RYWViolations, s.MonotonicViolations, s.CachedReads, s.SlaveReads)
+		}
+		cached += s.CachedReads
+		t.Logf("seed %d: cached=%d slave=%d stale=%d maxStale=%d",
+			seed, s.CachedReads, s.SlaveReads, s.StaleReads, s.MaxStaleness)
+		if !res.Converged {
+			t.Fatalf("seed %d: replicas did not converge: %v", seed, res.Diverged)
+		}
+	}
+	if cached == 0 {
+		t.Fatal("no reads served from the FE cache; the cache path is not wired")
+	}
+}
+
+// TestChaosFECacheCrashRestart adds WAL-backed crash-restart events to
+// the cache runs: recovery re-wires the install observers on the
+// rebuilt stores, and the session bar must hold across the restarts.
+func TestChaosFECacheCrashRestart(t *testing.T) {
+	ctx := context.Background()
+	var res *Result
+	defer func() { dumpOnFail(t, res) }()
+	cached := 0
+	for _, seed := range []int64{2, 5} {
+		cfg := DefaultConfig(seed)
+		cfg.Ops = 400
+		cfg.WALDir = t.TempDir()
+		cfg.FECache = true
+		var err error
+		res, err = Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s := res.Session
+		if s.RYWViolations != 0 || s.MonotonicViolations != 0 {
+			t.Fatalf("seed %d: session violations through the cache: ryw=%d monotonic=%d (cached=%d slave=%d)",
+				seed, s.RYWViolations, s.MonotonicViolations, s.CachedReads, s.SlaveReads)
+		}
+		cached += s.CachedReads
+		if !res.Converged {
+			t.Fatalf("seed %d: replicas did not converge: %v", seed, res.Diverged)
+		}
+	}
+	if cached == 0 {
+		t.Fatal("no reads served from the FE cache across the crash-restart runs")
+	}
+}
+
+// TestChaosFECacheMigrate folds live migrations into the cache runs:
+// a cutover bumps the placement epoch on every PoA, which must guard
+// (not serve) every resident entry of the moved partition until a
+// new-lineage write replaces it. Same zero-violation bar.
+func TestChaosFECacheMigrate(t *testing.T) {
+	ctx := context.Background()
+	var res *Result
+	defer func() { dumpOnFail(t, res) }()
+	cached, moved := 0, 0
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := DefaultConfig(seed)
+		cfg.Ops = 300
+		cfg.FaultMin, cfg.FaultMax = 6, 14
+		cfg.WALDir = t.TempDir()
+		cfg.Migrations = true
+		cfg.FECache = true
+		var err error
+		res, err = Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s := res.Session
+		if s.RYWViolations != 0 || s.MonotonicViolations != 0 {
+			t.Fatalf("seed %d: session violations through the cache: ryw=%d monotonic=%d (cached=%d slave=%d)",
+				seed, s.RYWViolations, s.MonotonicViolations, s.CachedReads, s.SlaveReads)
+		}
+		cached += s.CachedReads
+		if !res.Converged {
+			t.Fatalf("seed %d: replicas did not converge: %v", seed, res.Diverged)
+		}
+		for _, ev := range res.Events {
+			if strings.Contains(ev, "kind=migrate") && strings.Contains(ev, " rows=") {
+				moved++
+			}
+		}
+	}
+	if cached == 0 {
+		t.Fatal("no reads served from the FE cache across the migration runs")
+	}
+	if moved == 0 {
+		t.Fatal("no migration completed; the schedules never moved a master under the cache")
+	}
+}
+
+// TestChaosFECacheDeterminism extends the determinism gate to the
+// cache path: hits, fills, floors and epoch guards all sit on the
+// serving path now, so the history (including which reads were served
+// with Role=cached) must still be a pure function of the seed.
+func TestChaosFECacheDeterminism(t *testing.T) {
+	ctx := context.Background()
+	run := func(walDir string) *Result {
+		cfg := DefaultConfig(3)
+		cfg.Ops = 200
+		cfg.WALDir = walDir
+		cfg.FECache = true
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("chaos run: %v", err)
+		}
+		return res
+	}
+	a := run(t.TempDir())
+	b := run(t.TempDir())
+	defer dumpOnFail(t, a)
+	if as, bs := a.Schedule.String(), b.Schedule.String(); as != bs {
+		t.Errorf("schedules differ:\n--- run A ---\n%s--- run B ---\n%s", as, bs)
+	}
+	if ah, bh := a.History.String(), b.History.String(); ah != bh {
+		t.Errorf("histories differ")
+		diffFirstLine(t, ah, bh)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event logs differ in length: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs:\nA: %s\nB: %s", i, a.Events[i], b.Events[i])
+		}
+	}
+	if a.Session.CachedReads == 0 {
+		t.Fatal("determinism run drove no cached reads")
+	}
+}
+
 // TestChaosMigrate folds live partition migration into the chaos
 // schedule: under sync-all durability the linearizability and
 // convergence bar must hold unchanged while masters move between

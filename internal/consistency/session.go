@@ -20,6 +20,11 @@ import (
 type SessionReport struct {
 	// SlaveReads is the number of successful reads served by slaves.
 	SlaveReads int
+	// CachedReads is the number of successful reads served by an
+	// FE/PoA cache (store.Cached). They are held to the same session
+	// guarantees as slave reads — the cache's floors and epoch guards
+	// exist precisely so these checks pass.
+	CachedReads int
 	// StaleReads is how many of them returned a value older than the
 	// key's acknowledged write frontier at invocation time.
 	StaleReads int
@@ -86,10 +91,16 @@ func CheckSessions(h *History) SessionReport {
 			// Deletions reset the register; absent reads are skipped
 			// below, so no ordinal is assigned.
 		case OpRead:
-			if !o.Ok || o.Role != store.Slave {
+			if !o.Ok || (o.Role != store.Slave && o.Role != store.Cached) {
+				// Master reads are authoritative by construction and
+				// excluded from the staleness measurement.
 				continue
 			}
-			rep.SlaveReads++
+			if o.Role == store.Cached {
+				rep.CachedReads++
+			} else {
+				rep.SlaveReads++
+			}
 			if !o.Found {
 				rep.SkippedNotFound++
 				continue

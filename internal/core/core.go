@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/antientropy"
 	"repro/internal/cluster"
+	"repro/internal/fecache"
 	"repro/internal/locator"
 	"repro/internal/metrics"
 	"repro/internal/rebalance"
@@ -122,6 +123,22 @@ type Config struct {
 	// FESlaveReads allows front-end reads on slave copies (§3.3.2,
 	// default true; set false for the ablation bench).
 	FESlaveReads bool
+	// FECache enables the per-site FE/PoA subscriber read cache
+	// (internal/fecache): repeat FE reads are served at the access
+	// layer, invalidated by the replication-stream CSN, placement-epoch
+	// bumps and local write-through. Off by default; experiments and
+	// the chaos harness flip it explicitly.
+	FECache bool
+	// FECacheCapacity bounds entries per site cache (0 selects
+	// fecache.DefaultCapacity). Eviction drops the per-key staleness
+	// floor with the entry — capacity is a staleness-protection bound,
+	// not just a memory bound.
+	FECacheCapacity int
+	// FECacheSlaveLB rotates cacheable read-through misses across the
+	// co-located replicas the cache has proven warm, spreading hot-key
+	// miss load off the master under the same bounded-staleness
+	// contract (floors still reject regressions).
+	FECacheSlaveLB bool
 	// CapacityPerSE bounds subscribers per master partition store
 	// (scaled stand-in for the 2M/SE limit); 0 = unbounded.
 	CapacityPerSE int
@@ -369,6 +386,20 @@ func (u *UDR) buildSiteLocked(spec SiteSpec, primed bool) error {
 		})
 
 	poa := newAccessPoint(u, site, spec.LDAPServers)
+	if u.cfg.FECache {
+		cache := fecache.New(site, u.cfg.FECacheCapacity)
+		poa.cache = cache
+		// Every commit a site element installs — local commit or
+		// replicated apply — feeds the cache's freshness tracking
+		// under the element's current placement epoch for the
+		// partition.
+		for _, el := range u.siteElementsLocked(site) {
+			el := el
+			el.SetInstallObserver(func(part string, rec *store.CommitRecord) {
+				cache.Observe(part, el.ID(), el.PartitionEpoch(part), rec)
+			})
+		}
+	}
 	u.poas[site] = poa
 	u.net.Register(simnet.MakeAddr(site, "poa"), poa.handle)
 
@@ -481,6 +512,14 @@ func (u *UDR) pushEpochLocked(part *Partition) {
 	for _, ref := range part.Replicas {
 		if el := u.elements[ref.Element]; el != nil {
 			el.SetPartitionEpoch(part.ID, part.Epoch)
+		}
+	}
+	// Every site's FE cache learns the bump, not just replica sites:
+	// any PoA may hold entries for the partition, and CSNs are not
+	// comparable across the master change.
+	for _, poa := range u.poas {
+		if poa.cache != nil {
+			poa.cache.OnEpochBump(part.ID, part.Epoch)
 		}
 	}
 }

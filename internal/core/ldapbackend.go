@@ -175,6 +175,15 @@ func (b *LDAPBackend) statusText() string {
 				role, ref.Element, ref.Site, rows, state)
 		}
 	}
+	for _, cs := range u.CacheStats() {
+		line := fmt.Sprintf("fe-cache %-12s entries=%d/%d hits=%d misses=%d evictions=%d invalidations(csn/epoch)=%d/%d",
+			cs.Site, cs.Entries, cs.Capacity, cs.Hits, cs.Misses,
+			cs.Evictions, cs.InvalidationsCSN, cs.InvalidationsEpoch)
+		if cs.LastInvalidatedPartition != "" {
+			line += fmt.Sprintf(" last-inv=%s@%d", cs.LastInvalidatedPartition, cs.LastInvalidationEpoch)
+		}
+		sb.WriteString(line + "\n")
+	}
 	return sb.String()
 }
 

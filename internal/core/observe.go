@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/fecache"
 	"repro/internal/locator"
 	"repro/internal/metrics"
 	"repro/internal/se"
@@ -57,6 +58,26 @@ func (u *UDR) elementIDsLocked() []string {
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// CacheStats snapshots every site's FE/PoA cache counters,
+// sorted by site for stable scrape output. Sites without a cache are
+// skipped.
+func (u *UDR) CacheStats() []fecache.Stats {
+	u.mu.RLock()
+	caches := make([]*fecache.Cache, 0, len(u.poas))
+	for _, poa := range u.poas {
+		if poa.cache != nil {
+			caches = append(caches, poa.cache)
+		}
+	}
+	u.mu.RUnlock()
+	out := make([]fecache.Stats, 0, len(caches))
+	for _, c := range caches {
+		out = append(out, c.Stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
 }
 
 // attachInstruments binds the per-site instruments that live inside
@@ -318,6 +339,54 @@ func (u *UDR) registerCollectors(reg *metrics.Registry) {
 					emit(float64(pr.Store.Len()), el.Site(), el.ID(), partID, pr.Store.Role().String())
 				}
 			}
+		}
+	})
+
+	// FE/PoA subscriber read cache: hit ratio, churn and the two
+	// invalidation streams (replication CSN advance vs placement-epoch
+	// bump). Families are always registered; sites without a cache
+	// simply emit no samples.
+	reg.Counter("udr_fe_cache_hits_total",
+		"Reads served from a site's FE/PoA subscriber cache.",
+		"site").Collect(func(emit metrics.Emit) {
+		for _, s := range u.CacheStats() {
+			emit(float64(s.Hits), s.Site)
+		}
+	})
+	reg.Counter("udr_fe_cache_misses_total",
+		"Cacheable reads that fell through to the storage elements.",
+		"site").Collect(func(emit metrics.Emit) {
+		for _, s := range u.CacheStats() {
+			emit(float64(s.Misses), s.Site)
+		}
+	})
+	reg.Counter("udr_fe_cache_evictions_total",
+		"Entries dropped from a site's FE/PoA cache by the LRU capacity bound.",
+		"site").Collect(func(emit metrics.Emit) {
+		for _, s := range u.CacheStats() {
+			emit(float64(s.Evictions), s.Site)
+		}
+	})
+	reg.Counter("udr_fe_cache_invalidations_total",
+		"Cache entries invalidated, by reason: csn (refreshed in place by the replication stream) or epoch (guarded after a failover/migration epoch bump).",
+		"site", "reason").Collect(func(emit metrics.Emit) {
+		for _, s := range u.CacheStats() {
+			emit(float64(s.InvalidationsCSN), s.Site, "csn")
+			emit(float64(s.InvalidationsEpoch), s.Site, "epoch")
+		}
+	})
+	reg.Counter("udr_fe_cache_stale_rejects_total",
+		"Slave read responses rejected for carrying a CSN below the key's per-PoA staleness floor.",
+		"site").Collect(func(emit metrics.Emit) {
+		for _, s := range u.CacheStats() {
+			emit(float64(s.StaleRejects), s.Site)
+		}
+	})
+	reg.Gauge("udr_fe_cache_entries",
+		"Entries resident in a site's FE/PoA subscriber cache.",
+		"site").Collect(func(emit metrics.Emit) {
+		for _, s := range u.CacheStats() {
+			emit(float64(s.Entries), s.Site)
 		}
 	})
 

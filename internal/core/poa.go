@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/fecache"
 	"repro/internal/locator"
 	"repro/internal/metrics"
 	"repro/internal/se"
@@ -32,6 +34,10 @@ type ExecReq struct {
 	// transaction, where the element's TxnObserver can see it (the
 	// consistency harness's server-side attribution hook).
 	Tag string
+	// cacheChecked marks that a session-side probe of the PoA's FE
+	// cache already missed for this request, so the PoA must not
+	// probe (and double-count a miss) again.
+	cacheChecked bool
 }
 
 // ExecResp reports the outcome.
@@ -96,6 +102,13 @@ type AccessPoint struct {
 	tokens      chan struct{}
 	serviceTime time.Duration
 
+	// cache is the site's FE subscriber read cache (nil unless
+	// Config.FECache); set before the PoA is registered, never after.
+	cache *fecache.Cache
+	// lbSeq rotates cacheable read-through misses across warm
+	// co-located replicas when Config.FECacheSlaveLB is set.
+	lbSeq atomic.Uint64
+
 	// Served and Failed count operations by outcome; Stale is
 	// incremented by sessions that detected a stale slave read
 	// (E5's accounting hook).
@@ -122,6 +135,9 @@ func newAccessPoint(u *UDR, site string, ldapServers int) *AccessPoint {
 
 // Site returns the PoA's site.
 func (ap *AccessPoint) Site() string { return ap.site }
+
+// Cache returns the PoA's FE read cache (nil when disabled).
+func (ap *AccessPoint) Cache() *fecache.Cache { return ap.cache }
 
 // SetLDAPServers resizes the modelled LDAP server pool (scale-up,
 // §3.4.1: the balancer detects new servers automatically).
@@ -209,6 +225,15 @@ func (ap *AccessPoint) locate(ctx context.Context, id subscriber.Identity) (loca
 //	writes          → master only (§3.2); in multi-master mode (§5)
 //	                  nearest replica.
 func (ap *AccessPoint) exec(ctx context.Context, req ExecReq) (ExecResp, error) {
+	cacheable := ap.cacheableRead(req)
+	if cacheable && !req.cacheChecked {
+		if key, ok := cacheLookupKey(ap.cache, req); ok {
+			if v, st := ap.cache.Lookup(key); st == fecache.Hit {
+				return cachedResp(ap.addr, key, v), nil
+			}
+			req.cacheChecked = true
+		}
+	}
 	partID := req.Partition
 	subID := req.SubscriberID
 	switch {
@@ -236,6 +261,20 @@ func (ap *AccessPoint) exec(ctx context.Context, req ExecReq) (ExecResp, error) 
 		}
 	}
 
+	if cacheable && !req.cacheChecked {
+		// The identity had no cache alias before locate resolved it;
+		// probe once more by primary key before going remote.
+		if v, st := ap.cache.Lookup(subID); st == fecache.Hit {
+			return cachedResp(ap.addr, subID, v), nil
+		}
+		req.cacheChecked = true
+	}
+	// An epoch-guarded key (resident entry whose floor predates the
+	// current placement epoch) must read master-direct: CSNs are not
+	// comparable across a master change, so neither a slave response
+	// nor a re-fill can be validated against the old floor.
+	guarded := cacheable && ap.cache.Peek(subID) == fecache.Guarded
+
 	// Placement-refresh loop: a request that races a migration
 	// cutover or failover gets a stale-placement referral from the
 	// demoted master (or a read-only refusal from a commit that
@@ -255,9 +294,10 @@ func (ap *AccessPoint) exec(ctx context.Context, req ExecReq) (ExecResp, error) 
 			}
 			return ExecResp{}, fmt.Errorf("core: unknown partition %q", partID)
 		}
-		targets := ap.orderTargets(part, req)
+		targets := ap.orderTargets(part, req, guarded)
 		txn := se.TxnReq{Partition: partID, Iso: store.ReadCommitted,
-			Ops: req.Ops, Tag: req.Tag, Epoch: part.Epoch}
+			Ops: req.Ops, Tag: req.Tag, Epoch: part.Epoch,
+			ReturnPostImage: ap.cache != nil && !req.ReadOnly}
 
 		referred := false
 		for _, ref := range targets {
@@ -273,6 +313,25 @@ func (ap *AccessPoint) exec(ctx context.Context, req ExecReq) (ExecResp, error) 
 			resp, ok := raw.(se.TxnResp)
 			if !ok {
 				return ExecResp{}, fmt.Errorf("core: unexpected SE response %T", raw)
+			}
+			fromMaster := resp.Role == store.Master
+			if cacheable && !guarded && len(resp.Results) == 1 {
+				r0 := resp.Results[0]
+				if !fromMaster {
+					if fl := ap.cache.Floor(subID); fl > 0 && (!r0.Found || r0.Meta.CSN < fl) {
+						// The slave is behind what this PoA already
+						// served or committed for the key; try the
+						// next replica rather than regress.
+						ap.cache.RecordStaleReject()
+						lastErr = errStaleRead
+						continue
+					}
+				}
+				ap.cache.Fill(partID, part.Epoch, ref.Element, fromMaster,
+					subID, r0.Entry, r0.Meta, r0.Found)
+			}
+			if ap.cache != nil && !req.ReadOnly {
+				ap.writeThrough(partID, part.Epoch, req.Ops, resp)
 			}
 			return ExecResp{
 				Results:      resp.Results,
@@ -298,7 +357,7 @@ func (ap *AccessPoint) exec(ctx context.Context, req ExecReq) (ExecResp, error) 
 }
 
 // orderTargets returns the replicas to try, in order.
-func (ap *AccessPoint) orderTargets(part Partition, req ExecReq) []ReplicaRef {
+func (ap *AccessPoint) orderTargets(part Partition, req ExecReq, guarded bool) []ReplicaRef {
 	master := part.Replicas[0]
 	slaveReadsOK := req.ReadOnly && req.Policy == PolicyFE && ap.u.cfg.FESlaveReads
 
@@ -307,7 +366,15 @@ func (ap *AccessPoint) orderTargets(part Partition, req ExecReq) []ReplicaRef {
 		// then the rest (availability over consistency, §5).
 		return ap.nearestFirst(part.Replicas)
 	}
+	if guarded {
+		// Cross-epoch guard: master only, no fallbacks — a stale
+		// slave could silently regress below the old-lineage floor.
+		return []ReplicaRef{master}
+	}
 	if slaveReadsOK {
+		if ap.cacheableRead(req) {
+			return ap.cacheTargets(part)
+		}
 		// Nearest replica first (a co-located slave turns a
 		// backbone round trip into a LAN one, §3.3.2), then the
 		// remaining replicas as fallbacks.
@@ -315,6 +382,130 @@ func (ap *AccessPoint) orderTargets(part Partition, req ExecReq) []ReplicaRef {
 	}
 	// Master only: writes (§3.2) and every PS operation (§3.3.3).
 	return []ReplicaRef{master}
+}
+
+// cacheTargets orders replicas for a cacheable read miss: co-located
+// replicas that are safe fill sources — the master, or slaves the
+// cache has observed applying the current lineage ("warm") — rotated
+// when FECacheSlaveLB spreads hot-key misses; master-first when no
+// local replica is safe (cold cache after an epoch bump); then the
+// remaining replicas as reachability fallbacks, whose responses the
+// caller still validates against the key's staleness floor.
+func (ap *AccessPoint) cacheTargets(part Partition) []ReplicaRef {
+	master := part.Replicas[0]
+	var pref []ReplicaRef
+	for _, r := range part.Replicas {
+		if r.Site != ap.site {
+			continue
+		}
+		if r.Element == master.Element || ap.cache.Warm(part.ID, r.Element) {
+			pref = append(pref, r)
+		}
+	}
+	if len(pref) == 0 {
+		pref = append(pref, master)
+	} else if len(pref) > 1 && ap.u.cfg.FECacheSlaveLB {
+		off := int(ap.lbSeq.Add(1)) % len(pref)
+		rot := make([]ReplicaRef, 0, len(pref))
+		rot = append(rot, pref[off:]...)
+		pref = append(rot, pref[:off]...)
+	}
+	out := pref
+	seen := make(map[string]bool, len(part.Replicas))
+	for _, r := range pref {
+		seen[r.Element] = true
+	}
+	for _, r := range ap.nearestFirst(part.Replicas) {
+		if !seen[r.Element] {
+			seen[r.Element] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// errStaleRead marks a slave response rejected for being below the
+// PoA's staleness floor for the key.
+var errStaleRead = errors.New("core: slave response below the PoA staleness floor")
+
+// cacheableRead reports whether the FE cache can serve or fill this
+// request: a single-Get front-end read. PS reads stay master-only by
+// policy, and multi-op transactions are not worth caching.
+func (ap *AccessPoint) cacheableRead(req ExecReq) bool {
+	return ap.cache != nil && req.ReadOnly && req.Policy == PolicyFE &&
+		len(req.Ops) == 1 && req.Ops[0].Kind == se.TxnGet
+}
+
+// writeThrough pushes this PoA's committed post-images into the cache
+// so the next read of the written subscriber — any local client's —
+// is served fresh without a round trip.
+func (ap *AccessPoint) writeThrough(part string, epoch uint64, ops []se.TxnOp, resp se.TxnResp) {
+	for i, op := range ops {
+		if i >= len(resp.Results) {
+			return
+		}
+		switch op.Kind {
+		case se.TxnPut, se.TxnModify, se.TxnDelete:
+			res := resp.Results[i]
+			if res.Meta.CSN == 0 {
+				continue // element did not return the post-image
+			}
+			ap.cache.WriteThrough(part, epoch, op.Key, res.Entry, res.Meta, res.Meta.Tombstone)
+		}
+	}
+}
+
+// cacheLookupKey resolves the primary key a cacheable read addresses:
+// directly via SubscriberID or the op key, or through the cache's
+// secondary-identity aliases.
+func cacheLookupKey(c *fecache.Cache, req ExecReq) (string, bool) {
+	if req.SubscriberID != "" {
+		return req.SubscriberID, true
+	}
+	if len(req.Ops) == 1 && req.Ops[0].Key != "" {
+		return req.Ops[0].Key, true
+	}
+	id := req.Identity
+	if id.Value == "" {
+		return "", false
+	}
+	if id.Type == subscriber.UID {
+		return id.Value, true
+	}
+	if attr := identityAttr(id.Type); attr != "" {
+		return c.ResolveIdentity(attr, id.Value)
+	}
+	return "", false
+}
+
+// identityAttr maps an identity type to the entry attribute indexed
+// for it (empty for UID, which is the primary key itself).
+func identityAttr(t subscriber.IdentityType) string {
+	switch t {
+	case subscriber.IMSI:
+		return subscriber.AttrIMSI
+	case subscriber.MSISDN:
+		return subscriber.AttrMSISDN
+	case subscriber.IMPI:
+		return subscriber.AttrIMPI
+	case subscriber.IMPU:
+		return subscriber.AttrIMPU
+	}
+	return ""
+}
+
+// cachedResp shapes a cache hit as a normal ExecResp carrying the
+// Cached role, so clients and the consistency checkers can account
+// for cache-served reads.
+func cachedResp(servedBy simnet.Addr, key string, v fecache.Value) ExecResp {
+	return ExecResp{
+		Results:      []se.OpResult{{Entry: v.Entry, Meta: v.Meta, Found: v.Found}},
+		CSN:          v.Meta.CSN,
+		ServedBy:     servedBy,
+		Role:         store.Cached,
+		Partition:    v.Part,
+		SubscriberID: key,
+	}
 }
 
 // nearestFirst orders replicas: co-located with this PoA first, then

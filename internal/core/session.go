@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/fecache"
 	"repro/internal/locator"
 	"repro/internal/se"
 	"repro/internal/simnet"
@@ -23,6 +24,10 @@ type Session struct {
 	from   simnet.Addr
 	poa    simnet.Addr
 	policy Policy
+	// cache, when attached, serves cacheable single-Get FE reads
+	// in-process — the co-located FE skips even the client→PoA hop on
+	// a hit, which is where the hot-key read multiplier comes from.
+	cache *fecache.Cache
 }
 
 // NewSession creates a session from a client address to the PoA of
@@ -35,6 +40,12 @@ func NewSession(net *simnet.Network, from simnet.Addr, poaSite string, policy Po
 		policy: policy,
 	}
 }
+
+// AttachCache wires the PoA's FE read cache into the session for the
+// in-process fast path. Only meaningful for front-ends co-located
+// with their PoA (the paper's deployment); attach before issuing
+// traffic — the field is not synchronized against in-flight calls.
+func (s *Session) AttachCache(c *fecache.Cache) { s.cache = c }
 
 // Policy returns the session's client class.
 func (s *Session) Policy() Policy { return s.policy }
@@ -52,6 +63,18 @@ func (s *Session) Exec(ctx context.Context, req ExecReq) (*ExecResp, error) {
 		if op.Kind != se.TxnGet && op.Kind != se.TxnCompare {
 			req.ReadOnly = false
 			break
+		}
+	}
+	if s.cache != nil && s.policy == PolicyFE && req.ReadOnly &&
+		len(req.Ops) == 1 && req.Ops[0].Kind == se.TxnGet {
+		if key, ok := cacheLookupKey(s.cache, req); ok {
+			if v, st := s.cache.Lookup(key); st == fecache.Hit {
+				resp := cachedResp(s.poa, key, v)
+				return &resp, nil
+			}
+			// Missed (or guarded) here; tell the PoA not to probe and
+			// double-count — it still re-checks the guard state.
+			req.cacheChecked = true
 		}
 	}
 	raw, err := s.net.Call(ctx, s.from, s.poa, req)

@@ -1,0 +1,545 @@
+// Package fecache is the FE/PoA subscriber read cache: a bounded,
+// sharded LRU over committed subscriber rows, keyed by primary key
+// with secondary-identity aliases (IMSI/MSISDN/IMPI/IMPU), serving
+// repeat reads at the access layer without an FE→SE round trip.
+//
+// Freshness is a contract, not best effort. Three signals keep the
+// cache honest:
+//
+//   - CSN advance: every commit a co-located storage element installs
+//     (local commit or replicated apply) flows through the store's
+//     install observer into Observe, which refreshes resident entries
+//     in commit order and marks the element "warm" for its partition.
+//   - Placement-epoch bump: failover and migration cutover bump the
+//     partition epoch (PR 5). CSNs are NOT comparable across epochs —
+//     a promoted slave continues from its applied watermark — so a
+//     bump flips every resident entry of the partition into a guarded
+//     state: it is never served again, and cacheable reads for those
+//     keys go master-direct until a new-lineage write-through replaces
+//     the entry. Deleting instead of guarding would forget the per-key
+//     read/write floor and let a stale slave or a stale re-fill
+//     violate read-your-writes after a lossy failover.
+//   - Local write-through: the PoA pushes its own committed
+//     post-images (any session policy) into the cache, so a client's
+//     next read observes its own write with zero round trips.
+//
+// The staleness bound is per-PoA: every entry carries a floor — the
+// highest CSN this PoA has served or committed for the key — and
+// read-through fills below the floor are rejected, which is what makes
+// the PR-4 session checkers (read-your-writes, monotonic reads) hold
+// through the cache for clients sticky to one PoA. Eviction drops the
+// floor with the entry: capacity bounds the protected set, which is
+// the explicit bounded-staleness trade documented in DESIGN.md.
+package fecache
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+// nShards is the lock-stripe count of the LRU; a power of two.
+const nShards = 16
+
+// DefaultCapacity bounds the cache when the config leaves it zero.
+const DefaultCapacity = 4096
+
+// LookupState classifies a cache probe.
+type LookupState int
+
+const (
+	// Miss: no resident entry; read through and Fill.
+	Miss LookupState = iota
+	// Hit: the entry is current-epoch and serveable.
+	Hit
+	// Guarded: an entry exists but its placement epoch is stale. It
+	// must not be served, and the key must read master-direct (whose
+	// response is neither served from nor filled into the cache)
+	// until a new-lineage write-through replaces it — the cross-epoch
+	// read-your-writes guard.
+	Guarded
+)
+
+// Value is a served cache hit.
+type Value struct {
+	Part  string
+	Entry store.Entry
+	Meta  store.Meta
+	Found bool
+}
+
+// record is one resident entry. Immutable post-images are shared with
+// the store; the record never mutates them.
+type record struct {
+	key     string
+	part    string
+	ps      *partState
+	epoch   uint64
+	entry   store.Entry
+	meta    store.Meta
+	found   bool
+	floor   uint64
+	aliases []string
+}
+
+// partState tracks per-partition freshness: the current placement
+// epoch, which co-located elements are provably applying the current
+// lineage ("warm"), and which keys this cache holds for the partition.
+type partState struct {
+	epoch atomic.Uint64
+
+	mu sync.Mutex
+	// warmAll short-circuits warmth at bootstrap (epoch 1): freshly
+	// assigned replicas are stream-attached from CSN 0, so every
+	// listed replica is a safe fill source until the first bump.
+	warmAll bool
+	warm    map[string]struct{}
+	keys    map[string]struct{}
+}
+
+func newPartState(epoch uint64, warmAll bool) *partState {
+	ps := &partState{warmAll: warmAll,
+		warm: make(map[string]struct{}), keys: make(map[string]struct{})}
+	ps.epoch.Store(epoch)
+	return ps
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	lru *list.List
+	idx map[string]*list.Element
+	cap int
+}
+
+// Cache is one site's FE/PoA subscriber read cache. Safe for
+// concurrent use. Lock hierarchy: shard.mu → partsMu → partState.mu;
+// no path acquires them in another order.
+type Cache struct {
+	site     string
+	capacity int
+	seed     maphash.Seed
+	shards   [nShards]cacheShard
+
+	// aliases maps "attr\x00value" → primary key for the secondary
+	// identities of resident positive entries.
+	aliases sync.Map
+
+	partsMu sync.RWMutex
+	parts   map[string]*partState
+
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	evictions    atomic.Uint64
+	invEpoch     atomic.Uint64
+	invCSN       atomic.Uint64
+	staleRejects atomic.Uint64
+
+	lastInvMu    sync.Mutex
+	lastInvPart  string
+	lastInvEpoch uint64
+}
+
+// Stats is a point-in-time counter snapshot for metrics and /status.
+type Stats struct {
+	Site               string
+	Entries            int
+	Capacity           int
+	Hits               uint64
+	Misses             uint64
+	Evictions          uint64
+	InvalidationsEpoch uint64
+	InvalidationsCSN   uint64
+	StaleRejects       uint64
+	// LastInvalidatedPartition/Epoch name the most recent epoch-bump
+	// invalidation, so an operator can see a cold cache after a
+	// migration or failover.
+	LastInvalidatedPartition string
+	LastInvalidationEpoch    uint64
+}
+
+// New returns an empty cache for one site's PoA. capacity ≤ 0 selects
+// DefaultCapacity.
+func New(site string, capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	c := &Cache{site: site, capacity: capacity, seed: maphash.MakeSeed(),
+		parts: make(map[string]*partState)}
+	per := (capacity + nShards - 1) / nShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{lru: list.New(),
+			idx: make(map[string]*list.Element), cap: per}
+	}
+	return c
+}
+
+// Site returns the owning PoA's site.
+func (c *Cache) Site() string { return c.site }
+
+// Capacity returns the configured entry bound.
+func (c *Cache) Capacity() int { return c.capacity }
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)&(nShards-1)]
+}
+
+func (c *Cache) part(part string) *partState {
+	c.partsMu.RLock()
+	ps := c.parts[part]
+	c.partsMu.RUnlock()
+	return ps
+}
+
+// Lookup probes the cache by primary key, counting the hit or miss.
+// A Hit advances the key's floor to the served CSN (monotonic reads:
+// later fills below what was just served will be rejected).
+func (c *Cache) Lookup(key string) (Value, LookupState) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	el := sh.idx[key]
+	if el == nil {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return Value{}, Miss
+	}
+	rec := el.Value.(*record)
+	if rec.epoch != rec.ps.epoch.Load() {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return Value{}, Guarded
+	}
+	sh.lru.MoveToFront(el)
+	if rec.meta.CSN > rec.floor {
+		rec.floor = rec.meta.CSN
+	}
+	v := Value{Part: rec.part, Entry: rec.entry, Meta: rec.meta, Found: rec.found}
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return v, Hit
+}
+
+// Peek reports the key's state without touching counters, LRU order
+// or floors. The PoA uses it to detect the guarded state after a
+// session-side probe already accounted the miss.
+func (c *Cache) Peek(key string) LookupState {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el := sh.idx[key]
+	if el == nil {
+		return Miss
+	}
+	rec := el.Value.(*record)
+	if rec.epoch != rec.ps.epoch.Load() {
+		return Guarded
+	}
+	return Hit
+}
+
+// ResolveIdentity maps a secondary identity (attribute name + value)
+// to the primary key of a resident entry.
+func (c *Cache) ResolveIdentity(attr, value string) (string, bool) {
+	v, ok := c.aliases.Load(attr + "\x00" + value)
+	if !ok {
+		return "", false
+	}
+	return v.(string), true
+}
+
+// Floor returns the key's current-epoch staleness floor: the minimum
+// CSN a read-through fill or slave response must carry to be
+// acceptable at this PoA. 0 means unconstrained.
+func (c *Cache) Floor(key string) uint64 {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el := sh.idx[key]; el != nil {
+		rec := el.Value.(*record)
+		if rec.epoch == rec.ps.epoch.Load() {
+			return rec.floor
+		}
+	}
+	return 0
+}
+
+// Fill installs a read-through result served by element under the
+// given placement epoch. Non-master sources must be warm (observed
+// applying the current lineage) — a demoted master stuck on a
+// divergent tail never becomes warm, so its rows cannot poison the
+// cache after a failover. Negative results are cached only from the
+// master (a slave's not-found may just be replication lag).
+func (c *Cache) Fill(part string, epoch uint64, element string, fromMaster bool,
+	key string, e store.Entry, m store.Meta, found bool) {
+	ps := c.part(part)
+	if ps == nil || (!found && !fromMaster) {
+		return
+	}
+	ps.mu.Lock()
+	if ps.epoch.Load() != epoch ||
+		(!fromMaster && !ps.warmAll && !member(ps.warm, element)) {
+		ps.mu.Unlock()
+		return
+	}
+	ps.keys[key] = struct{}{}
+	ps.mu.Unlock()
+	c.install(ps, part, epoch, key, e, m, found, false)
+}
+
+// WriteThrough installs this PoA's own committed post-image. It is
+// the only path allowed to replace a guarded (stale-epoch) entry: a
+// commit under the current lineage supersedes any floor obligation
+// the old lineage left behind, because its CSN is a valid floor in
+// the new lineage and the written value is by construction at least
+// as new as anything any local client has seen.
+func (c *Cache) WriteThrough(part string, epoch uint64, key string,
+	e store.Entry, m store.Meta, tombstone bool) {
+	ps := c.part(part)
+	if ps == nil || m.CSN == 0 {
+		return
+	}
+	ps.mu.Lock()
+	if ps.epoch.Load() != epoch {
+		ps.mu.Unlock()
+		return
+	}
+	ps.keys[key] = struct{}{}
+	ps.mu.Unlock()
+	c.install(ps, part, epoch, key, e, m, !tombstone, true)
+}
+
+// install is the shared insert/update path. writeThrough relaxes the
+// floor check (a commit may legitimately carry the floor CSN itself)
+// and is the only caller allowed to cross epochs.
+func (c *Cache) install(ps *partState, part string, epoch uint64, key string,
+	e store.Entry, m store.Meta, found, writeThrough bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el := sh.idx[key]; el != nil {
+		rec := el.Value.(*record)
+		if rec.epoch == epoch {
+			if rec.meta.CSN > m.CSN || (!writeThrough && m.CSN < rec.floor) {
+				return // resident state is already newer
+			}
+			c.setValueLocked(rec, e, m, found)
+			if m.CSN > rec.floor {
+				rec.floor = m.CSN
+			}
+			sh.lru.MoveToFront(el)
+			return
+		}
+		if !writeThrough || epoch < rec.epoch {
+			return // read-through must not lift the epoch guard
+		}
+		rec.part, rec.ps, rec.epoch, rec.floor = part, ps, epoch, m.CSN
+		c.setValueLocked(rec, e, m, found)
+		sh.lru.MoveToFront(el)
+		return
+	}
+	rec := &record{key: key, part: part, ps: ps, epoch: epoch, floor: m.CSN}
+	c.setValueLocked(rec, e, m, found)
+	sh.idx[key] = sh.lru.PushFront(rec)
+	if sh.lru.Len() > sh.cap {
+		c.evictLocked(sh)
+	}
+}
+
+// Observe feeds a commit record installed by a co-located element
+// (local commit or replicated apply) under the given epoch: it marks
+// the element warm for the partition and refreshes resident entries
+// in CSN order. It never inserts and never advances floors — it is a
+// freshness signal, not a read.
+func (c *Cache) Observe(part, element string, epoch uint64, rec *store.CommitRecord) {
+	if epoch == 0 {
+		return
+	}
+	ps := c.part(part)
+	if ps == nil {
+		return
+	}
+	ps.mu.Lock()
+	if ps.epoch.Load() != epoch {
+		ps.mu.Unlock()
+		return
+	}
+	if !ps.warmAll {
+		ps.warm[element] = struct{}{}
+	}
+	ps.mu.Unlock()
+	for _, op := range rec.Ops {
+		c.observeOp(part, epoch, rec, op)
+	}
+}
+
+func (c *Cache) observeOp(part string, epoch uint64, rec *store.CommitRecord, op store.Op) {
+	sh := c.shard(op.Key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el := sh.idx[op.Key]
+	if el == nil {
+		return
+	}
+	r := el.Value.(*record)
+	if r.part != part || r.epoch != epoch || rec.CSN <= r.meta.CSN {
+		return
+	}
+	m := store.Meta{CSN: rec.CSN, WallTS: rec.WallTS,
+		Tombstone: op.Kind == store.OpDelete}
+	c.setValueLocked(r, op.Entry, m, op.Kind != store.OpDelete)
+	c.invCSN.Add(1)
+}
+
+// OnEpochBump records a partition's new placement epoch. The first
+// call for a partition (initial assignment) bootstraps it with every
+// replica presumed warm; later calls flip resident entries into the
+// guarded state and reset warmth — replicas must re-prove themselves
+// by applying records under the new lineage.
+func (c *Cache) OnEpochBump(part string, epoch uint64) {
+	c.partsMu.Lock()
+	ps := c.parts[part]
+	if ps == nil {
+		c.parts[part] = newPartState(epoch, true)
+		c.partsMu.Unlock()
+		return
+	}
+	c.partsMu.Unlock()
+
+	ps.mu.Lock()
+	prev := ps.epoch.Load()
+	if epoch <= prev {
+		ps.mu.Unlock()
+		return
+	}
+	ps.epoch.Store(epoch)
+	ps.warmAll = false
+	ps.warm = make(map[string]struct{})
+	keys := make([]string, 0, len(ps.keys))
+	for k := range ps.keys {
+		keys = append(keys, k)
+	}
+	ps.mu.Unlock()
+
+	// Count the entries that just became guarded. They stay resident
+	// (served master-direct, never from cache) until a new-lineage
+	// write-through replaces them: CSNs are not comparable across
+	// epochs, and deleting would forget the per-key floor obligation.
+	var n uint64
+	for _, k := range keys {
+		sh := c.shard(k)
+		sh.mu.Lock()
+		if el := sh.idx[k]; el != nil {
+			if r := el.Value.(*record); r.part == part && r.epoch == prev {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if n > 0 {
+		c.invEpoch.Add(n)
+	}
+	c.lastInvMu.Lock()
+	c.lastInvPart, c.lastInvEpoch = part, epoch
+	c.lastInvMu.Unlock()
+}
+
+// Warm reports whether element is a safe read-through fill source for
+// the partition under its current epoch.
+func (c *Cache) Warm(part, element string) bool {
+	ps := c.part(part)
+	if ps == nil {
+		return false
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.warmAll || member(ps.warm, element)
+}
+
+// RecordStaleReject counts a slave response rejected for carrying a
+// CSN below the key's floor (the PoA then tries the next replica).
+func (c *Cache) RecordStaleReject() { c.staleRejects.Add(1) }
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Site:               c.site,
+		Entries:            c.Len(),
+		Capacity:           c.capacity,
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		Evictions:          c.evictions.Load(),
+		InvalidationsEpoch: c.invEpoch.Load(),
+		InvalidationsCSN:   c.invCSN.Load(),
+		StaleRejects:       c.staleRejects.Load(),
+	}
+	c.lastInvMu.Lock()
+	s.LastInvalidatedPartition, s.LastInvalidationEpoch = c.lastInvPart, c.lastInvEpoch
+	c.lastInvMu.Unlock()
+	return s
+}
+
+// setValueLocked replaces a record's value and re-derives its
+// secondary-identity aliases. Caller holds the record's shard lock.
+func (c *Cache) setValueLocked(rec *record, e store.Entry, m store.Meta, found bool) {
+	c.dropAliasesLocked(rec)
+	rec.entry, rec.meta, rec.found = e, m, found
+	rec.aliases = rec.aliases[:0]
+	if !found {
+		return
+	}
+	for _, attr := range subscriber.IdentityAttrs {
+		for _, v := range e[attr] {
+			a := attr + "\x00" + v
+			rec.aliases = append(rec.aliases, a)
+			c.aliases.Store(a, rec.key)
+		}
+	}
+}
+
+func (c *Cache) dropAliasesLocked(rec *record) {
+	for _, a := range rec.aliases {
+		if v, ok := c.aliases.Load(a); ok && v == rec.key {
+			c.aliases.Delete(a)
+		}
+	}
+}
+
+// evictLocked removes the shard's LRU tail. Eviction drops the key's
+// floor with it — the documented capacity/staleness-protection trade.
+func (c *Cache) evictLocked(sh *cacheShard) {
+	el := sh.lru.Back()
+	if el == nil {
+		return
+	}
+	rec := el.Value.(*record)
+	sh.lru.Remove(el)
+	delete(sh.idx, rec.key)
+	c.dropAliasesLocked(rec)
+	rec.ps.mu.Lock()
+	delete(rec.ps.keys, rec.key)
+	rec.ps.mu.Unlock()
+	c.evictions.Add(1)
+}
+
+func member(m map[string]struct{}, k string) bool {
+	_, ok := m[k]
+	return ok
+}

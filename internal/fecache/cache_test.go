@@ -1,0 +1,216 @@
+package fecache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/subscriber"
+)
+
+const (
+	part   = "p0"
+	master = "se-master"
+	slave  = "se-slave"
+)
+
+func ent(imsi string) store.Entry {
+	return store.Entry{subscriber.AttrIMSI: {imsi}}
+}
+
+func meta(csn uint64) store.Meta {
+	return store.Meta{CSN: csn, WallTS: int64(csn)}
+}
+
+// boot returns a cache with partition part bootstrapped at epoch 1
+// (initial assignment: every replica presumed warm).
+func boot(capacity int) *Cache {
+	c := New("site-a", capacity)
+	c.OnEpochBump(part, 1)
+	return c
+}
+
+func TestFillAndLookup(t *testing.T) {
+	c := boot(64)
+	c.Fill(part, 1, master, true, "k1", ent("imsi-1"), meta(3), true)
+
+	v, st := c.Lookup("k1")
+	if st != Hit || !v.Found || v.Meta.CSN != 3 || v.Part != part {
+		t.Fatalf("lookup = %+v state=%v, want hit at csn 3", v, st)
+	}
+	if _, st := c.Lookup("absent"); st != Miss {
+		t.Fatalf("lookup(absent) = %v, want Miss", st)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", s)
+	}
+}
+
+func TestFillFromColdSlaveIgnored(t *testing.T) {
+	c := boot(64)
+	// Bump past bootstrap so warmth must be proven per element.
+	c.OnEpochBump(part, 2)
+	c.Fill(part, 2, slave, false, "k1", ent("imsi-1"), meta(3), true)
+	if c.Len() != 0 {
+		t.Fatal("fill from a never-observed slave must not install")
+	}
+	// One applied record under the current epoch makes the slave warm.
+	c.Observe(part, slave, 2, &store.CommitRecord{CSN: 1})
+	if !c.Warm(part, slave) {
+		t.Fatal("slave should be warm after applying under epoch 2")
+	}
+	c.Fill(part, 2, slave, false, "k1", ent("imsi-1"), meta(3), true)
+	if _, st := c.Lookup("k1"); st != Hit {
+		t.Fatalf("warm-slave fill not served, state=%v", st)
+	}
+}
+
+func TestNegativeCachingMasterOnly(t *testing.T) {
+	c := boot(64)
+	c.Fill(part, 1, slave, false, "gone", nil, meta(2), false)
+	if c.Len() != 0 {
+		t.Fatal("slave not-found may be lag; must not be cached")
+	}
+	c.Fill(part, 1, master, true, "gone", nil, meta(2), false)
+	v, st := c.Lookup("gone")
+	if st != Hit || v.Found {
+		t.Fatalf("master not-found should cache a negative hit, got %+v/%v", v, st)
+	}
+}
+
+func TestIdentityAliases(t *testing.T) {
+	c := boot(64)
+	c.Fill(part, 1, master, true, "k1", ent("imsi-old"), meta(1), true)
+	if k, ok := c.ResolveIdentity(subscriber.AttrIMSI, "imsi-old"); !ok || k != "k1" {
+		t.Fatalf("resolve = %q/%v, want k1", k, ok)
+	}
+	// A newer value replaces the identity set; the old alias must die.
+	c.WriteThrough(part, 1, "k1", ent("imsi-new"), meta(2), false)
+	if _, ok := c.ResolveIdentity(subscriber.AttrIMSI, "imsi-old"); ok {
+		t.Fatal("stale alias survived a value replacement")
+	}
+	if k, ok := c.ResolveIdentity(subscriber.AttrIMSI, "imsi-new"); !ok || k != "k1" {
+		t.Fatalf("resolve(new) = %q/%v, want k1", k, ok)
+	}
+}
+
+func TestFloorRejectsStaleFill(t *testing.T) {
+	c := boot(64)
+	c.Fill(part, 1, master, true, "k1", ent("a"), meta(5), true)
+	c.Lookup("k1") // serving csn 5 sets the floor
+	if f := c.Floor("k1"); f != 5 {
+		t.Fatalf("floor = %d, want 5", f)
+	}
+	// A read-through fill below the floor must not regress the value.
+	c.Fill(part, 1, master, true, "k1", ent("stale"), meta(3), true)
+	if v, _ := c.Lookup("k1"); v.Meta.CSN != 5 {
+		t.Fatalf("stale fill regressed value to csn %d", v.Meta.CSN)
+	}
+}
+
+func TestEpochBumpGuardsUntilWriteThrough(t *testing.T) {
+	c := boot(64)
+	c.Fill(part, 1, master, true, "k1", ent("a"), meta(7), true)
+	c.OnEpochBump(part, 2)
+
+	if _, st := c.Lookup("k1"); st != Guarded {
+		t.Fatalf("post-bump lookup state = %v, want Guarded", st)
+	}
+	if st := c.Peek("k1"); st != Guarded {
+		t.Fatalf("peek = %v, want Guarded", st)
+	}
+	if f := c.Floor("k1"); f != 0 {
+		t.Fatalf("cross-epoch floor = %d, want 0 (not comparable)", f)
+	}
+	// A read-through fill under the new epoch must not lift the guard:
+	// only a current-lineage commit proves freshness for this key.
+	c.Fill(part, 2, master, true, "k1", ent("refill"), meta(2), true)
+	if st := c.Peek("k1"); st != Guarded {
+		t.Fatal("read-through fill lifted the epoch guard")
+	}
+	c.WriteThrough(part, 2, "k1", ent("b"), meta(2), false)
+	v, st := c.Lookup("k1")
+	if st != Hit || v.Meta.CSN != 2 {
+		t.Fatalf("post-write-through = %+v/%v, want hit at csn 2", v, st)
+	}
+	s := c.Stats()
+	if s.InvalidationsEpoch != 1 {
+		t.Fatalf("epoch invalidations = %d, want 1", s.InvalidationsEpoch)
+	}
+	if s.LastInvalidatedPartition != part || s.LastInvalidationEpoch != 2 {
+		t.Fatalf("last invalidation = %s@%d, want %s@2",
+			s.LastInvalidatedPartition, s.LastInvalidationEpoch, part)
+	}
+}
+
+func TestEpochBumpIsMonotonic(t *testing.T) {
+	c := boot(64)
+	c.Fill(part, 1, master, true, "k1", ent("a"), meta(1), true)
+	c.OnEpochBump(part, 3)
+	c.OnEpochBump(part, 2) // late, out-of-order: must not regress
+	if _, st := c.Lookup("k1"); st != Guarded {
+		t.Fatal("stale bump un-guarded the entry")
+	}
+	c.WriteThrough(part, 3, "k1", ent("b"), meta(1), false)
+	if _, st := c.Lookup("k1"); st != Hit {
+		t.Fatal("write-through under the surviving epoch should serve")
+	}
+}
+
+func TestObserveRefreshesButNeverInserts(t *testing.T) {
+	c := boot(64)
+	c.Fill(part, 1, master, true, "k1", ent("a"), meta(1), true)
+	c.Observe(part, master, 1, &store.CommitRecord{CSN: 4, Ops: []store.Op{
+		{Kind: store.OpModify, Key: "k1", Entry: ent("a2")},
+		{Kind: store.OpPut, Key: "k-new", Entry: ent("n")},
+	}})
+	v, st := c.Lookup("k1")
+	if st != Hit || v.Meta.CSN != 4 || v.Entry[subscriber.AttrIMSI][0] != "a2" {
+		t.Fatalf("observe did not refresh: %+v/%v", v, st)
+	}
+	if _, st := c.Lookup("k-new"); st != Miss {
+		t.Fatal("observe must never insert new keys")
+	}
+	// An older replayed record must not roll the entry back.
+	c.Observe(part, master, 1, &store.CommitRecord{CSN: 2, Ops: []store.Op{
+		{Kind: store.OpModify, Key: "k1", Entry: ent("old")}}})
+	if v, _ := c.Lookup("k1"); v.Meta.CSN != 4 {
+		t.Fatalf("observe rolled back to csn %d", v.Meta.CSN)
+	}
+	if s := c.Stats(); s.InvalidationsCSN != 1 {
+		t.Fatalf("csn invalidations = %d, want 1", s.InvalidationsCSN)
+	}
+}
+
+func TestObserveDelete(t *testing.T) {
+	c := boot(64)
+	c.Fill(part, 1, master, true, "k1", ent("a"), meta(1), true)
+	c.Observe(part, master, 1, &store.CommitRecord{CSN: 2, Ops: []store.Op{
+		{Kind: store.OpDelete, Key: "k1"}}})
+	v, st := c.Lookup("k1")
+	if st != Hit || v.Found {
+		t.Fatalf("observed delete should serve a negative hit, got %+v/%v", v, st)
+	}
+	if _, ok := c.ResolveIdentity(subscriber.AttrIMSI, "a"); ok {
+		t.Fatal("delete left the identity alias behind")
+	}
+}
+
+func TestEvictionBoundsResidency(t *testing.T) {
+	c := boot(16) // per-shard LRU capacity of 1
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		c.Fill(part, 1, master, true, k, ent("imsi-"+k), meta(uint64(i+1)), true)
+	}
+	if n := c.Len(); n > 16 {
+		t.Fatalf("resident entries = %d, want ≤ capacity 16", n)
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatal("expected evictions at capacity 16 with 64 inserts")
+	}
+	if int(s.Evictions)+c.Len() != 64 {
+		t.Fatalf("evictions %d + resident %d != 64 inserts", s.Evictions, c.Len())
+	}
+}

@@ -197,13 +197,33 @@ type MigrationStatus struct {
 	Phase     string `json:"phase"`
 }
 
+// CacheStatus is one site's FE/PoA subscriber read cache in the
+// /status view: occupancy, hit/miss churn and the most recent
+// epoch-bump invalidation (a fresh failover or migration shows up
+// here as a partly guarded cache).
+type CacheStatus struct {
+	Site                     string `json:"site"`
+	Entries                  int    `json:"entries"`
+	Capacity                 int    `json:"capacity"`
+	Hits                     uint64 `json:"hits"`
+	Misses                   uint64 `json:"misses"`
+	Evictions                uint64 `json:"evictions"`
+	InvalidationsEpoch       uint64 `json:"invalidationsEpoch"`
+	InvalidationsCSN         uint64 `json:"invalidationsCsn"`
+	StaleRejects             uint64 `json:"staleRejects"`
+	LastInvalidatedPartition string `json:"lastInvalidatedPartition,omitempty"`
+	LastInvalidationEpoch    uint64 `json:"lastInvalidationEpoch,omitempty"`
+}
+
 // StatusResponse is the /status body: the consolidated OaM view —
-// topology, placement epochs, replication lag, in-flight migrations.
+// topology, placement epochs, replication lag, in-flight migrations,
+// per-site FE cache state.
 type StatusResponse struct {
 	Sites      []string          `json:"sites"`
 	Elements   []ElementStatus   `json:"elements"`
 	Partitions []PartitionStatus `json:"partitions"`
 	Migrations []MigrationStatus `json:"migrations"`
+	Caches     []CacheStatus     `json:"caches,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -273,6 +293,21 @@ func (s *Server) status() StatusResponse {
 	for part, phase := range u.MigrationsInFlight() {
 		resp.Migrations = append(resp.Migrations, MigrationStatus{
 			Partition: part, Phase: phase.String(),
+		})
+	}
+	for _, cs := range u.CacheStats() {
+		resp.Caches = append(resp.Caches, CacheStatus{
+			Site:                     cs.Site,
+			Entries:                  cs.Entries,
+			Capacity:                 cs.Capacity,
+			Hits:                     cs.Hits,
+			Misses:                   cs.Misses,
+			Evictions:                cs.Evictions,
+			InvalidationsEpoch:       cs.InvalidationsEpoch,
+			InvalidationsCSN:         cs.InvalidationsCSN,
+			StaleRejects:             cs.StaleRejects,
+			LastInvalidatedPartition: cs.LastInvalidatedPartition,
+			LastInvalidationEpoch:    cs.LastInvalidationEpoch,
 		})
 	}
 	return resp

@@ -89,6 +89,11 @@ type TxnReq struct {
 	// the ErrStalePlacement referral: the partition's master moved
 	// since the caller read its placement.
 	Epoch uint64
+	// ReturnPostImage asks the element to copy each write op's
+	// committed post-image (and its commit CSN) into the matching
+	// OpResult slot. The PoA sets it when a front-end read cache wants
+	// to write-through its own commits without a second round trip.
+	ReturnPostImage bool
 }
 
 // OpResult is the per-operation outcome inside a TxnResp.
@@ -216,7 +221,11 @@ type Element struct {
 	// older epoch get the ErrStalePlacement referral.
 	epochs map[string]uint64
 	txnObs TxnObserver
-	down   bool
+	// installObs fans out every hosted store's install observer (see
+	// store.SetInstallObserver) tagged with the owning partition; the
+	// UDR wires the site's FE read cache freshness tracking here.
+	installObs func(partition string, rec *store.CommitRecord)
+	down       bool
 
 	// ae serves the anti-entropy repair protocol; sched paces master
 	// repair rounds. Both are nil unless cfg.AntiEntropy.
@@ -382,6 +391,7 @@ func (e *Element) AddReplica(partition string, role store.Role) (*PartitionRepli
 	if role == store.Master && e.cfg.CapacityPerPartition > 0 {
 		st.SetCapacity(e.cfg.CapacityPerPartition)
 	}
+	e.wireInstallObserver(partition, st)
 	pr := &PartitionReplica{Partition: partition, Store: st}
 
 	if e.cfg.WALDir != "" {
@@ -405,6 +415,30 @@ func (e *Element) AddReplica(partition string, role store.Role) (*PartitionRepli
 	e.replicas[partition] = pr
 	e.mu.Unlock()
 	return pr, nil
+}
+
+// SetInstallObserver installs fn to observe every commit record any
+// hosted replica installs (local commit or replicated apply), tagged
+// with the partition. Applies to replicas added or recovered later
+// too. The record is shared and must not be mutated.
+func (e *Element) SetInstallObserver(fn func(partition string, rec *store.CommitRecord)) {
+	e.mu.Lock()
+	e.installObs = fn
+	e.mu.Unlock()
+}
+
+// wireInstallObserver connects one store's install hook to the
+// element-level observer. The indirection survives observer swaps and
+// Recover's store replacement.
+func (e *Element) wireInstallObserver(partition string, st *store.Store) {
+	st.SetInstallObserver(func(rec *store.CommitRecord) {
+		e.mu.RLock()
+		fn := e.installObs
+		e.mu.RUnlock()
+		if fn != nil {
+			fn(partition, rec)
+		}
+	})
 }
 
 // SetPartitionEpoch installs a hosted partition's placement epoch
@@ -699,6 +733,7 @@ func (e *Element) Recover() (map[string]int, error) {
 		if pr.Store.Role() == store.Master && e.cfg.CapacityPerPartition > 0 {
 			st.SetCapacity(e.cfg.CapacityPerPartition)
 		}
+		e.wireInstallObserver(part, st)
 		if e.cfg.WALDir != "" {
 			dir := e.cfg.WALDir + "/" + part
 			_, n, err := wal.Recover(dir, st)
@@ -855,6 +890,9 @@ func (e *Element) applyTxn(from simnet.Addr, req TxnReq) (TxnResp, error) {
 		// and the observer needs the authoritative CSN.
 		resp.CSN = rec.CSN
 	}
+	if err == nil && rec != nil && req.ReturnPostImage {
+		fillPostImages(&resp, req.Ops, rec)
+	}
 	if obs != nil {
 		obs(from, req, resp, err)
 	}
@@ -865,6 +903,32 @@ func (e *Element) applyTxn(from simnet.Addr, req TxnReq) (TxnResp, error) {
 		e.Writes.Inc()
 	}
 	return resp, nil
+}
+
+// fillPostImages copies each committed write's post-image into the
+// matching OpResult slot. rec.Ops holds the installed writes in
+// request order (reads stage nothing), so one cursor pairs them. The
+// entries are the store's shared immutable post-images — safe to ship
+// and cache, never to mutate.
+func fillPostImages(resp *TxnResp, ops []TxnOp, rec *store.CommitRecord) {
+	ri := 0
+	for i, op := range ops {
+		switch op.Kind {
+		case TxnPut, TxnModify, TxnDelete:
+			if ri >= len(rec.Ops) || i >= len(resp.Results) {
+				return
+			}
+			rop := rec.Ops[ri]
+			ri++
+			resp.Results[i].Entry = rop.Entry
+			resp.Results[i].Found = rop.Kind != store.OpDelete
+			resp.Results[i].Meta = store.Meta{
+				CSN:       rec.CSN,
+				WallTS:    rec.WallTS,
+				Tombstone: rop.Kind == store.OpDelete,
+			}
+		}
+	}
 }
 
 // find resolves an identity against hosted master replicas: the

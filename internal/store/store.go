@@ -237,14 +237,23 @@ const (
 	Master Role = iota
 	// Slave copies apply the master's replication stream only.
 	Slave
+	// Cached marks a response served out of a front-end/PoA subscriber
+	// cache rather than by a replica. No store ever holds this role;
+	// it only travels in read responses so session-guarantee checkers
+	// can account for cache-served reads.
+	Cached
 )
 
 // String returns the role name.
 func (r Role) String() string {
-	if r == Master {
+	switch r {
+	case Master:
 		return "master"
+	case Cached:
+		return "cached"
+	default:
+		return "slave"
 	}
-	return "slave"
 }
 
 // numShards is the lock-stripe count. A power of two so the shard
@@ -347,6 +356,16 @@ type Store struct {
 	// and must not call back into the store; the entry is shared and
 	// must not be retained or mutated.
 	rowHook func(key string, e Entry, m Meta)
+	// installObs, when set, observes every commit record this store
+	// installs through the live paths — local commits (under commitMu,
+	// in CSN order) and replicated applies (under applyMu, in stream
+	// order, before the applied watermark advances so a caller that
+	// has seen AppliedCSN reach N knows the observer ran for ≤ N).
+	// WAL replay, snapshot seeding and repair merges do NOT fire it:
+	// it exists for freshness tracking (the FE read cache), and those
+	// paths reconstruct state rather than carry new commits. The
+	// record and its entries are shared and must not be mutated.
+	installObs func(rec *CommitRecord)
 
 	// keyMu guards keys, the ordered index over live keys that backs
 	// Keys and AscendKeys without a sort-per-call scan.
@@ -472,6 +491,23 @@ func (s *Store) loadRowHook() func(key string, e Entry, m Meta) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.rowHook
+}
+
+// SetInstallObserver installs fn to be called with every commit record
+// the store installs via Commit or ApplyReplicated. See the installObs
+// field contract; unlike SetRowHook this slot is not used by the
+// anti-entropy tracker, so both can coexist.
+func (s *Store) SetInstallObserver(fn func(rec *CommitRecord)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.installObs = fn
+}
+
+// loadInstallObserver reads the current install observer.
+func (s *Store) loadInstallObserver() func(rec *CommitRecord) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.installObs
 }
 
 // SetIndexedAttrs configures the secondary identity index over the
@@ -953,6 +989,10 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 		rec.Ops = append(rec.Ops, op)
 	}
 
+	if obs := s.loadInstallObserver(); obs != nil {
+		obs(rec)
+	}
+
 	var wait func() error
 	if s.commitPipeline != nil {
 		var err error
@@ -1070,6 +1110,12 @@ func (s *Store) ApplyReplicated(rec *CommitRecord) error {
 		return fmt.Errorf("%w: have %d, got %d", ErrBadCSN, applied, rec.CSN)
 	}
 	s.applyOps(rec, false)
+	if obs := s.loadInstallObserver(); obs != nil {
+		// Fire before the watermark advances: anyone who polls
+		// AppliedCSN() up to rec.CSN may rely on observer effects
+		// (cache freshness marks) being complete.
+		obs(rec)
+	}
 	s.appliedCSN.Store(rec.CSN)
 	return nil
 }

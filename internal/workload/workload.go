@@ -9,6 +9,7 @@ package workload
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -93,6 +94,102 @@ func (m Mix) pick(r *rand.Rand) Procedure {
 	return ProcMOCall
 }
 
+// KeyDist selects which subscriber a procedure targets. Pickers are
+// built per driver goroutine around that goroutine's seeded RNG, so a
+// run is reproducible at any concurrency.
+type KeyDist interface {
+	// Name labels the profile in Stats and experiment reports.
+	Name() string
+	// Picker returns a draw function over [0, n).
+	Picker(r *rand.Rand, n int) func() int
+}
+
+// Uniform is the classic flat draw (the pre-PR-7 behaviour and the
+// default when Config.KeyDist is nil).
+type Uniform struct{}
+
+// Name implements KeyDist.
+func (Uniform) Name() string { return "uniform" }
+
+// Picker implements KeyDist.
+func (Uniform) Picker(r *rand.Rand, n int) func() int {
+	return func() int { return r.Intn(n) }
+}
+
+// Zipfian draws subscriber indexes with Zipf skew: low indexes are
+// the hot set. S is the skew exponent (>1; busy-hour subscriber
+// traffic is commonly modelled near s≈1.1) and V the value offset
+// (≥1; 1 if zero).
+type Zipfian struct {
+	S float64
+	V float64
+}
+
+// Name implements KeyDist.
+func (z Zipfian) Name() string { return fmt.Sprintf("zipf-s%.2f", z.skew()) }
+
+func (z Zipfian) skew() float64 {
+	if z.S > 1 {
+		return z.S
+	}
+	return 1.1
+}
+
+// Picker implements KeyDist.
+func (z Zipfian) Picker(r *rand.Rand, n int) func() int {
+	v := z.V
+	if v < 1 {
+		v = 1
+	}
+	zf := rand.NewZipf(r, z.skew(), v, uint64(n-1))
+	return func() int { return int(zf.Uint64()) }
+}
+
+// HotSet models a registration storm: a fraction of subscribers (the
+// first HotFraction of the population) receives HotProbability of the
+// traffic, uniform within each class.
+type HotSet struct {
+	// HotFraction of the population that is hot (default 0.1).
+	HotFraction float64
+	// HotProbability that a draw targets the hot set (default 0.9).
+	HotProbability float64
+}
+
+func (h HotSet) params() (frac, prob float64) {
+	frac, prob = h.HotFraction, h.HotProbability
+	if frac <= 0 || frac >= 1 {
+		frac = 0.1
+	}
+	if prob <= 0 || prob > 1 {
+		prob = 0.9
+	}
+	return frac, prob
+}
+
+// Name implements KeyDist.
+func (h HotSet) Name() string {
+	frac, prob := h.params()
+	return fmt.Sprintf("hotset-%.0f/%.0f", frac*100, prob*100)
+}
+
+// Picker implements KeyDist.
+func (h HotSet) Picker(r *rand.Rand, n int) func() int {
+	frac, prob := h.params()
+	hot := int(frac * float64(n))
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= n {
+		return func() int { return r.Intn(n) }
+	}
+	return func() int {
+		if r.Float64() < prob {
+			return r.Intn(hot)
+		}
+		return hot + r.Intn(n-hot)
+	}
+}
+
 // Stats aggregates a driver run.
 type Stats struct {
 	// Issued and Failed count procedures (Failed counts availability
@@ -105,6 +202,8 @@ type Stats struct {
 	Availability metrics.Availability
 	// PerProc counts per procedure.
 	PerProc [procCount]metrics.Counter
+	// Profile names the key distribution that drove the run.
+	Profile string
 }
 
 // Config drives a workload run.
@@ -128,6 +227,10 @@ type Config struct {
 	Ops int
 	// Seed for reproducibility.
 	Seed int64
+	// KeyDist selects which subscriber each procedure targets
+	// (default Uniform{}). Zipfian/HotSet model busy-hour hot-key
+	// traffic against a small popular subscriber set.
+	KeyDist KeyDist
 }
 
 // Run drives the workload until ctx is cancelled or cfg.Ops
@@ -136,7 +239,10 @@ func Run(ctx context.Context, cfg Config) *Stats {
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 4
 	}
-	stats := &Stats{}
+	if cfg.KeyDist == nil {
+		cfg.KeyDist = Uniform{}
+	}
+	stats := &Stats{Profile: cfg.KeyDist.Name()}
 	var remaining chan struct{}
 	if cfg.Ops > 0 {
 		remaining = make(chan struct{}, cfg.Ops)
@@ -157,6 +263,7 @@ func Run(ctx context.Context, cfg Config) *Stats {
 		go func(seed int64) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(seed))
+			pick := cfg.KeyDist.Picker(r, len(cfg.Subscribers))
 			for {
 				if remaining != nil {
 					if _, ok := <-remaining; !ok {
@@ -168,7 +275,7 @@ func Run(ctx context.Context, cfg Config) *Stats {
 					return
 				default:
 				}
-				issueOne(ctx, cfg, stats, r, feBySite)
+				issueOne(ctx, cfg, stats, r, pick, feBySite)
 			}
 		}(cfg.Seed + int64(w))
 	}
@@ -178,8 +285,8 @@ func Run(ctx context.Context, cfg Config) *Stats {
 
 // issueOne picks a subscriber, front-end and procedure, runs it, and
 // records the outcome.
-func issueOne(ctx context.Context, cfg Config, stats *Stats, r *rand.Rand, feBySite map[string][]*fe.FE) {
-	sub := cfg.Subscribers[r.Intn(len(cfg.Subscribers))]
+func issueOne(ctx context.Context, cfg Config, stats *Stats, r *rand.Rand, pick func() int, feBySite map[string][]*fe.FE) {
+	sub := cfg.Subscribers[pick()]
 
 	// Choose the serving front-end: home region unless roaming.
 	var pool []*fe.FE

@@ -71,13 +71,19 @@ fetch "http://$ADMIN_ADDR/metrics" "$WORKDIR/metrics.txt"
 
 # The acceptance metric families (ISSUE 6): site-labeled per-op latency
 # histogram, replication queue depth, WAL fsyncs-per-commit ratio,
-# anti-entropy rows shipped, migration-progress gauge.
+# anti-entropy rows shipped, migration-progress gauge. ISSUE 7 adds
+# the FE/PoA read-cache counters.
 for family in \
     "udr_poa_op_latency_seconds histogram" \
     "udr_replication_queue_depth gauge" \
     "udr_wal_fsyncs_per_commit gauge" \
     "udr_antientropy_rows_shipped_total counter" \
-    "udr_migration_phase gauge"; do
+    "udr_migration_phase gauge" \
+    "udr_fe_cache_hits_total counter" \
+    "udr_fe_cache_misses_total counter" \
+    "udr_fe_cache_evictions_total counter" \
+    "udr_fe_cache_invalidations_total counter" \
+    "udr_fe_cache_entries gauge"; do
     if ! grep -q "^# TYPE $family\$" "$WORKDIR/metrics.txt"; then
         echo "obs-smoke: FAIL — missing family: # TYPE $family" >&2
         exit 1

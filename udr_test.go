@@ -224,7 +224,7 @@ func TestLDAPStackUnavailableDuringPartition(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 20 {
+	if len(ids) != 21 {
 		t.Fatalf("experiments = %v", ids)
 	}
 	title, source, ok := DescribeExperiment("E3")
