@@ -1,9 +1,9 @@
 GO ?= go
 
 # Benchmarks included in the archived perf trajectory (bench-json).
-SMOKE_BENCH ?= ^(BenchmarkStoreRead|BenchmarkStoreReadParallel|BenchmarkStoreCommit|BenchmarkStoreCommitParallel|BenchmarkStoreMixedParallel|BenchmarkStoreFindIndexed|BenchmarkFEReadPath|BenchmarkFEReadPathParallel|BenchmarkFECachedRead|BenchmarkFECachedReadParallel|BenchmarkFEHotKeyMixedCached|BenchmarkReplicationApply|BenchmarkWALAppendSync|BenchmarkWALGroupCommitParallel|BenchmarkCommitDurableParallel|BenchmarkMigratePartition)$$
+SMOKE_BENCH ?= ^(BenchmarkStoreRead|BenchmarkStoreReadParallel|BenchmarkStoreCommit|BenchmarkStoreCommitParallel|BenchmarkStoreMixedParallel|BenchmarkStoreFindIndexed|BenchmarkFEReadPath|BenchmarkFEReadPathParallel|BenchmarkFECachedRead|BenchmarkFECachedReadParallel|BenchmarkFEHotKeyMixedCached|BenchmarkReplicationApply|BenchmarkWALAppendSync|BenchmarkWALGroupCommitParallel|BenchmarkCommitDurableParallel|BenchmarkCommitQuorum|BenchmarkCommitSyncAll|BenchmarkMigratePartition)$$
 SMOKE_BENCHTIME ?= 2000x
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 
 .PHONY: build test test-race bench bench-json chaos chaos-long obs-smoke lint clean
 

@@ -771,6 +771,70 @@ func BenchmarkCommitDurableParallel(b *testing.B) {
 	}
 }
 
+// benchCommitWAN measures the durable commit path over a WAN
+// topology: master in eu, one near slave (metro profile) and one far
+// slave (continental profile). Under Quorum durability the commit
+// returns at the near replica's RTT; under SyncAll it pays the far
+// one's — the E23 headline at benchmark granularity. The replica RTTs
+// are reported alongside ns/op so the snapshot carries its own
+// baseline.
+func benchCommitWAN(b *testing.B, d replication.Durability) {
+	net := simnet.New(simnet.FastConfig())
+	for _, s := range []string{"eu", "us", "apac"} {
+		net.AddSite(s)
+	}
+	if err := net.ApplyWAN(simnet.WANSpec{
+		Default:   simnet.Metro,
+		Overrides: []simnet.WANPair{{A: "eu", B: "apac", Profile: simnet.Continental}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	newNode := func(site, name string) *replication.Node {
+		addr := simnet.MakeAddr(site, name)
+		node := replication.NewNode(net, addr)
+		net.Register(addr, func(ctx context.Context, from simnet.Addr, msg any) (any, error) {
+			resp, handled, err := node.HandleMessage(ctx, from, msg)
+			if !handled {
+				return nil, fmt.Errorf("unhandled %T", msg)
+			}
+			return resp, err
+		})
+		return node
+	}
+	master := newNode("eu", "m")
+	defer master.Stop()
+	rep := master.AddReplica("p1", store.New("m"))
+	var peers []simnet.Addr
+	for _, site := range []string{"us", "apac"} {
+		node := newNode(site, "s-"+site)
+		defer node.Stop()
+		ss := store.New("s-" + site)
+		ss.SetRole(store.Slave)
+		node.AddReplica("p1", ss)
+		peers = append(peers, node.Addr())
+	}
+	rep.SetPeers(peers...)
+	rep.SetDurability(d)
+
+	entry := store.Entry{"msisdn": {"34600000001"}, "active": {"TRUE"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := rep.Store().Begin(store.ReadCommitted)
+		txn.Put(fmt.Sprintf("sub-%d", i%10000), entry)
+		if _, err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rtts := net.ReplicaRTTs("eu", "us", "apac")
+	b.ReportMetric(float64(rtts[0].Microseconds()), "min-rtt-us")
+	b.ReportMetric(float64(rtts[len(rtts)-1].Microseconds()), "max-rtt-us")
+}
+
+func BenchmarkCommitQuorum(b *testing.B)  { benchCommitWAN(b, replication.Quorum) }
+func BenchmarkCommitSyncAll(b *testing.B) { benchCommitWAN(b, replication.SyncAll) }
+
 // BenchmarkReplicationApply measures slave-side ordered apply.
 func BenchmarkReplicationApply(b *testing.B) {
 	master := store.New("m")

@@ -17,6 +17,7 @@
 //
 //	udrd -addr :3890 -subs 1000 -admin :9100
 //	udrd -sites eu-south,eu-north,americas -poa-site americas -policy fe
+//	udrd -durability quorum -quorum-policy site:1+1
 package main
 
 import (
@@ -34,6 +35,7 @@ import (
 	"repro/internal/ldap"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/replication"
 	"repro/internal/simnet"
 	"repro/internal/subscriber"
 	"repro/internal/wal"
@@ -67,8 +69,19 @@ func run() error {
 		repairIv = flag.Duration("repair-interval", 2*time.Second, "periodic anti-entropy repair cadence")
 		feCache  = flag.Bool("fe-cache", true, "enable the FE/PoA subscriber read cache")
 		feCacheN = flag.Int("fe-cache-size", 0, "FE cache capacity in entries per site (0 = default)")
+		durab    = flag.String("durability", "async", "commit durability: async, dual-seq, quorum or sync-all")
+		quorumP  = flag.String("quorum-policy", "majority", "quorum shape under -durability quorum: majority, k=N or site:L+R")
 	)
 	flag.Parse()
+
+	durability, err := replication.ParseDurability(*durab)
+	if err != nil {
+		return err
+	}
+	qpol, err := replication.ParseQuorumPolicy(*quorumP)
+	if err != nil {
+		return err
+	}
 
 	siteNames := strings.Split(*sites, ",")
 	cfg := core.Config{
@@ -76,6 +89,7 @@ func run() error {
 		WALNoGroupCommit: *walNoGC,
 		AntiEntropy:      *antiEnt, RepairInterval: *repairIv,
 		FECache: *feCache, FECacheCapacity: *feCacheN, FECacheSlaveLB: *feCache,
+		Durability: durability, QuorumPolicy: qpol,
 	}
 	if *walSync {
 		cfg.WALMode = wal.SyncEveryCommit
@@ -141,8 +155,12 @@ func run() error {
 		fmt.Printf("udrd: admin HTTP (metrics, status, pprof) on %s\n", adminLn.Addr())
 	}
 
-	fmt.Printf("udrd: UDR NF up — %d sites, %d partitions, %d elements, RF=%d\n",
-		len(u.Sites()), len(u.Partitions()), len(u.Elements()), *rf)
+	fmt.Printf("udrd: UDR NF up — %d sites, %d partitions, %d elements, RF=%d, durability=%s",
+		len(u.Sites()), len(u.Partitions()), len(u.Elements()), *rf, durability)
+	if durability == replication.Quorum {
+		fmt.Printf(" (%s)", qpol)
+	}
+	fmt.Println()
 	for _, partID := range u.Partitions() {
 		p, _ := u.Partition(partID)
 		var replicas []string

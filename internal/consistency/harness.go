@@ -52,6 +52,9 @@ type Config struct {
 	Clients int
 	// Durability is the replication commit durability under test.
 	Durability replication.Durability
+	// QuorumPolicy configures the Quorum durability level (majority,
+	// fixed count or site-aware); ignored for other levels.
+	QuorumPolicy replication.QuorumPolicy
 	// WALDir, when non-empty, enables disk persistence and unlocks
 	// crash-restart events (real WAL recovery through internal/wal).
 	WALDir string
@@ -111,9 +114,9 @@ type Result struct {
 // Reproducer renders the seed + schedule + history reproducer bundle.
 func (r *Result) Reproducer() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "chaos reproducer\nseed=%d ops=%d subs=%d clients=%d durability=%s wal=%t fecache=%t\n",
+	fmt.Fprintf(&b, "chaos reproducer\nseed=%d ops=%d subs=%d clients=%d durability=%s quorum=%s wal=%t fecache=%t\n",
 		r.Cfg.Seed, r.Cfg.Ops, r.Cfg.Subscribers, r.Cfg.Clients,
-		r.Cfg.Durability, r.Cfg.WALDir != "", r.Cfg.FECache)
+		r.Cfg.Durability, r.Cfg.QuorumPolicy, r.Cfg.WALDir != "", r.Cfg.FECache)
 	b.WriteString(r.Schedule.String())
 	for _, e := range r.Events {
 		b.WriteString(e)
@@ -229,6 +232,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	ucfg := core.DefaultConfig()
 	ucfg.Durability = cfg.Durability
+	ucfg.QuorumPolicy = cfg.QuorumPolicy
 	ucfg.AntiEntropy = true
 	ucfg.RepairInterval = 0           // rounds run only when the schedule says so
 	ucfg.HealPollInterval = time.Hour // background heal watch effectively off
@@ -480,6 +484,7 @@ func (h *harness) applyEvent(ctx context.Context, ev Event) error {
 			// shipping its divergent tail (the E16 scenario). Its
 			// stream stays CSN-gap-stuck until repair re-attaches it.
 			h.u.Element(oldMaster).Replica(partID).Repl.Demote()
+			h.u.Element(ref.Element).Replica(partID).Repl.SetQuorumPolicy(h.cfg.QuorumPolicy)
 			h.u.Element(ref.Element).Replica(partID).Repl.SetDurability(h.cfg.Durability)
 			h.stuck[partID+"/"+oldMaster] = true
 			promoted++
@@ -510,6 +515,7 @@ func (h *harness) applyEvent(ctx context.Context, ev Event) error {
 				h.eventf("ev at=%d kind=crash el=%s part=%s failover-skipped", ev.AtOp, ev.Element, partID)
 				continue
 			}
+			h.u.Element(ref.Element).Replica(partID).Repl.SetQuorumPolicy(h.cfg.QuorumPolicy)
 			h.u.Element(ref.Element).Replica(partID).Repl.SetDurability(h.cfg.Durability)
 			h.eventf("ev at=%d kind=crash el=%s part=%s new-master=%s", ev.AtOp, ev.Element, partID, ref.Element)
 		}
@@ -617,6 +623,7 @@ func (h *harness) recoverElement(elID string) error {
 			}
 			rep := el.Replica(partID).Repl
 			rep.SetPeers(peers...)
+			rep.SetQuorumPolicy(h.cfg.QuorumPolicy)
 			rep.SetDurability(h.cfg.Durability)
 			continue
 		}

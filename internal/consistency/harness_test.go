@@ -146,6 +146,81 @@ func TestChaosSyncAllLinearizable(t *testing.T) {
 	}
 }
 
+// TestChaosQuorumLinearizable pins the middle of the durability
+// spectrum: with majority-quorum commits, every acknowledged write is
+// on the master plus at least one slave, and failover promotes the
+// most-caught-up live slave — which, because the replication stream is
+// CSN-ordered (slave states are prefixes), holds every quorum-acked
+// write. The master path must therefore stay linearizable per key at
+// median-replica commit latency, not sync-all's max.
+func TestChaosQuorumLinearizable(t *testing.T) {
+	ctx := context.Background()
+	var res *Result
+	defer func() { dumpOnFail(t, res) }()
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := DefaultConfig(seed)
+		cfg.Ops = 400
+		cfg.FaultMin, cfg.FaultMax = 6, 14
+		cfg.Durability = replication.Quorum
+		cfg.WALDir = t.TempDir()
+		var err error
+		res, err = Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.LinViolations != 0 {
+			for _, lr := range res.Lin {
+				if !lr.Linearizable {
+					t.Errorf("seed %d: key %s (%d ops) not linearizable", seed, lr.Key, lr.Ops)
+				}
+			}
+			t.Fatalf("seed %d: %d linearizability violations under quorum", seed, res.LinViolations)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: replicas did not converge: %v", seed, res.Diverged)
+		}
+	}
+}
+
+// TestChaosQuorumDeterminism holds the quorum profile to the same
+// reproducer bar as the default profile: same seed, byte-identical
+// schedule, history and applied-event log across two full runs.
+func TestChaosQuorumDeterminism(t *testing.T) {
+	ctx := context.Background()
+	run := func() *Result {
+		cfg := DefaultConfig(2)
+		cfg.Ops = 160
+		cfg.Durability = replication.Quorum
+		cfg.WALDir = t.TempDir()
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("chaos run: %v", err)
+		}
+		return res
+	}
+	a := run()
+	b := run()
+	defer dumpOnFail(t, a)
+	if as, bs := a.Schedule.String(), b.Schedule.String(); as != bs {
+		t.Errorf("schedules differ:\n--- run A ---\n%s--- run B ---\n%s", as, bs)
+	}
+	if ah, bh := a.History.String(), b.History.String(); ah != bh {
+		t.Errorf("histories differ (schedule identical: %v)", a.Schedule.String() == b.Schedule.String())
+		diffFirstLine(t, ah, bh)
+	}
+	if t.Failed() {
+		return
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event logs differ in length: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs:\nA: %s\nB: %s", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
 // TestChaosAsyncMeasuresGap pins the weak end: the paper's default
 // asynchronous replication leaves a durability gap at failover, and
 // the checker must detect the resulting lost acknowledged writes as

@@ -116,6 +116,9 @@ type Config struct {
 	ReplicationFactor int
 	// Durability is the default commit durability (§3.3.1: Async).
 	Durability replication.Durability
+	// QuorumPolicy configures the Quorum durability level (majority,
+	// fixed count or site-aware). Zero value: majority of all copies.
+	QuorumPolicy replication.QuorumPolicy
 	// LocatorMode selects provisioned or cached location maps.
 	LocatorMode locator.Mode
 	// MultiMaster enables the §5 evolution.
@@ -474,6 +477,7 @@ func (u *UDR) assignSitePartitionsLocked(spec SiteSpec) error {
 			slaveAddrs = append(slaveAddrs, slaveEl.Addr())
 		}
 
+		masterRep.Repl.SetQuorumPolicy(u.cfg.QuorumPolicy)
 		masterRep.Repl.SetDurability(u.cfg.Durability)
 		if u.cfg.MultiMaster {
 			masterRep.Store.SetMultiMaster(true)
@@ -658,9 +662,26 @@ func (u *UDR) missResolver(site string) locator.MissResolver {
 	}
 }
 
-// Failover promotes the first reachable slave of a partition to
-// master (OSS-triggered repair after an SE failure). It returns the
-// new master reference.
+// Failover promotes the most-caught-up reachable live slave of a
+// partition to master (OSS-triggered repair after an SE failure) and
+// returns the new master reference.
+//
+// Candidates are ranked by how many live slave peers their site can
+// currently reach — the OSS never promotes into a network cut when a
+// better-connected slave exists, because a master isolated with the
+// failed one serves nobody. Reachability to the old master itself is
+// deliberately not counted: being co-partitioned with the failure is
+// what the failover routes around.
+//
+// Among equally connected candidates the highest applied CSN wins:
+// the replication stream is CSN-ordered, so slave states are prefixes
+// of the master's commit order and the most-caught-up slave holds a
+// superset of every other slave. Under Quorum durability any
+// quorum-acked commit was applied by at least one slave — promoting
+// the most-caught-up one therefore preserves every quorum-acked write
+// whenever any acking slave is still live (the contract E19's quorum
+// column checks). Remaining ties keep the partition-table order, so
+// the choice is deterministic.
 func (u *UDR) Failover(partID string) (ReplicaRef, error) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
@@ -668,35 +689,69 @@ func (u *UDR) Failover(partID string) (ReplicaRef, error) {
 	if !ok {
 		return ReplicaRef{}, fmt.Errorf("core: unknown partition %q", partID)
 	}
+	best := -1
+	bestScore := -1
+	var bestCSN uint64
 	for i := 1; i < len(part.Replicas); i++ {
 		ref := part.Replicas[i]
 		el := u.elements[ref.Element]
 		if el == nil || el.Down() {
 			continue
 		}
-		// Promote: the slave's commit sequence continues from its
-		// replication high-water mark; transactions the old master
-		// committed but had not replicated are lost — the paper's
-		// async-replication durability gap (§3.3.1).
-		var peers []simnet.Addr
-		for j, other := range part.Replicas {
-			if j != i {
-				if otherEl := u.elements[other.Element]; otherEl != nil && !otherEl.Down() {
-					peers = append(peers, other.Addr)
-				}
+		pr := el.Replica(partID)
+		if pr == nil {
+			continue
+		}
+		score := 0
+		for j := 1; j < len(part.Replicas); j++ {
+			if j == i {
+				continue
+			}
+			other := part.Replicas[j]
+			if otherEl := u.elements[other.Element]; otherEl == nil || otherEl.Down() {
+				continue
+			}
+			if !u.net.Partitioned(ref.Site, other.Site) {
+				score++
 			}
 		}
-		el.Replica(partID).Repl.Promote(peers...)
-		// Reorder the partition table: new master first. The master
-		// moved, so the placement epoch advances and every replica
-		// learns it — requests routed under the old placement now get
-		// the retryable referral.
-		part.Replicas[0], part.Replicas[i] = part.Replicas[i], part.Replicas[0]
-		part.Epoch++
-		u.pushEpochLocked(part)
-		return part.Replicas[0], nil
+		applied := pr.Store.AppliedCSN()
+		if score > bestScore || (score == bestScore && applied > bestCSN) {
+			best, bestScore, bestCSN = i, score, applied
+		}
 	}
-	return ReplicaRef{}, fmt.Errorf("core: partition %q has no live replica", partID)
+	if best == -1 {
+		return ReplicaRef{}, fmt.Errorf("core: partition %q has no live replica", partID)
+	}
+	ref := part.Replicas[best]
+	el := u.elements[ref.Element]
+	// Promote: the slave's commit sequence continues from its
+	// replication high-water mark; transactions the old master
+	// committed but had not replicated (or, under async, not even
+	// shipped) are lost — the paper's durability gap (§3.3.1).
+	var peers []simnet.Addr
+	for j, other := range part.Replicas {
+		if j != best {
+			if otherEl := u.elements[other.Element]; otherEl != nil && !otherEl.Down() {
+				peers = append(peers, other.Addr)
+			}
+		}
+	}
+	rep := el.Replica(partID).Repl
+	rep.Promote(peers...)
+	// The promoted replica was a slave, whose durability level was
+	// never set: carry the configured level and quorum policy over so
+	// post-failover commits keep the same contract.
+	rep.SetQuorumPolicy(u.cfg.QuorumPolicy)
+	rep.SetDurability(u.cfg.Durability)
+	// Reorder the partition table: new master first. The master
+	// moved, so the placement epoch advances and every replica
+	// learns it — requests routed under the old placement now get
+	// the retryable referral.
+	part.Replicas[0], part.Replicas[best] = part.Replicas[best], part.Replicas[0]
+	part.Epoch++
+	u.pushEpochLocked(part)
+	return part.Replicas[0], nil
 }
 
 // ReseedSlave bulk-copies the current master state of a partition

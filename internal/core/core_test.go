@@ -372,6 +372,83 @@ func TestFailoverRestoresWrites(t *testing.T) {
 	}
 }
 
+func TestQuorumFailoverPromotesAckedSlave(t *testing.T) {
+	// Crash-restart durability contract: a quorum-acked write survives
+	// master failover because the most-caught-up live slave — which by
+	// the quorum holds the write — is the one promoted.
+	net, u, profiles := testUDR(t, 3, func(c *Config) { c.Durability = replication.Quorum })
+	ctx := ctxT(t)
+	if err := u.WaitReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
+	victim := profiles[0]
+	var partID string
+	for _, id := range u.Partitions() {
+		p, _ := u.Partition(id)
+		if p.HomeSite == victim.HomeRegion {
+			partID = id
+			break
+		}
+	}
+	part, _ := u.Partition(partID)
+	// Cut off the FIRST slave in table order, so a naive
+	// first-reachable failover would promote it after the heal even
+	// though it missed the quorum-acked write.
+	stale := part.Replicas[1]
+	acked := part.Replicas[2]
+	net.Partition([]string{stale.Site})
+
+	// Quorum write with one replica down: master + the reachable slave
+	// are the majority, so the commit succeeds where sync-all stalls.
+	ps := NewSession(net, simnet.MakeAddr(part.HomeSite, "ps"), part.HomeSite, PolicyPS)
+	writeReq := ExecReq{
+		Identity: subscriber.Identity{Type: subscriber.IMSI, Value: victim.IMSIVal},
+		Ops: []se.TxnOp{{Kind: se.TxnModify, Mods: []store.Mod{{
+			Kind: store.ModReplace, Attr: subscriber.AttrBarOutgoing, Vals: []string{"TRUE"},
+		}}}},
+	}
+	if _, err := ps.Exec(ctx, writeReq); err != nil {
+		t.Fatalf("quorum write with straggler partitioned: %v", err)
+	}
+
+	// Master dies before the straggler ever sees the write; then the
+	// partition heals, so BOTH slaves are reachable at repair time.
+	u.Element(part.Master().Element).Crash()
+	net.Heal()
+
+	newMaster, err := u.Failover(partID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newMaster.Element != acked.Element {
+		t.Fatalf("failover promoted %s; most-caught-up acked slave is %s",
+			newMaster.Element, acked.Element)
+	}
+	got, _, _, err := ps.ReadProfile(ctx, subscriber.Identity{Type: subscriber.IMSI, Value: victim.IMSIVal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Services.BarOutgoing {
+		t.Fatal("quorum-acked write lost across failover")
+	}
+
+	// The promoted master carries the configured durability level:
+	// after the straggler is repaired (its stream is gapped, so it
+	// needs the reseed anti-entropy would perform), the next quorum
+	// write completes against it.
+	if err := u.ReseedSlave(partID, stale.Element); err != nil {
+		t.Fatal(err)
+	}
+	writeReq.Ops[0].Mods[0].Attr = subscriber.AttrBarRoaming
+	if _, err := ps.Exec(ctx, writeReq); err != nil {
+		t.Fatalf("quorum write on promoted master: %v", err)
+	}
+	pr := u.Element(newMaster.Element).Replica(partID)
+	if lvl := pr.Repl.Durability(); lvl != replication.Quorum {
+		t.Fatalf("promoted master durability = %v, want Quorum", lvl)
+	}
+}
+
 func TestSupervisorAutoFailover(t *testing.T) {
 	net, u, profiles := testUDR(t, 3)
 	ctx := ctxT(t)

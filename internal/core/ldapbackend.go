@@ -11,6 +11,7 @@ import (
 	"repro/internal/ldap"
 	"repro/internal/locator"
 	"repro/internal/rebalance"
+	"repro/internal/replication"
 	"repro/internal/se"
 	"repro/internal/simnet"
 	"repro/internal/store"
@@ -156,7 +157,17 @@ func (b *LDAPBackend) statusText() string {
 		if !ok {
 			continue
 		}
-		fmt.Fprintf(&sb, "partition %s home=%s\n", part.ID, part.HomeSite)
+		line := fmt.Sprintf("partition %s home=%s", part.ID, part.HomeSite)
+		if el := u.Element(part.Master().Element); el != nil && !el.Down() {
+			if pr := el.Replica(partID); pr != nil && pr.Store.Role() == store.Master {
+				line += fmt.Sprintf(" durability=%s", pr.Repl.Durability())
+				if pr.Repl.Durability() == replication.Quorum {
+					line += fmt.Sprintf(" quorum=%s ack-watermark=%d/%d",
+						pr.Repl.QuorumPolicy(), pr.Repl.QuorumWatermark(), pr.Store.CSN())
+				}
+			}
+		}
+		sb.WriteString(line + "\n")
 		for i, ref := range part.Replicas {
 			role := "slave "
 			if i == 0 {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/fecache"
 	"repro/internal/locator"
 	"repro/internal/metrics"
+	"repro/internal/replication"
 	"repro/internal/se"
 	"repro/internal/store"
 )
@@ -94,6 +95,20 @@ func (u *UDR) attachInstruments(reg *metrics.Registry) {
 	u.mu.RUnlock()
 	for site, poa := range poas {
 		latency.Attach(&poa.Latency, site)
+	}
+
+	// Quorum ack-wait latency: recorded by the master's commit
+	// pipeline when Quorum durability is active. Attached on every
+	// replica so a promoted slave's histogram is already bound.
+	ackWait := reg.Histogram("udr_replication_quorum_ack_wait_seconds",
+		"Time a Quorum-durability commit waited for its quorum of acknowledgements.",
+		"site", "element", "partition")
+	for _, el := range u.elementsSnapshot() {
+		for _, partID := range el.Partitions() {
+			if pr := el.Replica(partID); pr != nil {
+				ackWait.Attach(&pr.Repl.AckWait, el.Site(), el.ID(), partID)
+			}
+		}
 	}
 
 	reg.Counter("udr_net_messages_total",
@@ -222,6 +237,39 @@ func (u *UDR) registerCollectors(reg *metrics.Registry) {
 						lag = csn - st.AckedCSN
 					}
 					emit(float64(lag), el.Site(), el.ID(), partID, string(st.Peer))
+				}
+			}
+		}
+	})
+
+	// Quorum durability: the configured quorum size on masters running
+	// at Quorum level, and per-peer commit records still pending behind
+	// the quorum watermark (stragglers catching up asynchronously).
+	reg.Gauge("udr_replication_quorum_size",
+		"Copies (master included) a Quorum-durability commit must reach before acknowledging.",
+		"site", "element", "partition").Collect(func(emit metrics.Emit) {
+		for _, el := range u.elementsSnapshot() {
+			for _, partID := range el.Partitions() {
+				pr := el.Replica(partID)
+				if pr == nil || pr.Store.Role() != store.Master ||
+					pr.Repl.Durability() != replication.Quorum {
+					continue
+				}
+				emit(float64(pr.Repl.QuorumSize()), el.Site(), el.ID(), partID)
+			}
+		}
+	})
+	reg.Gauge("udr_replication_acks_pending",
+		"Commit records a peer still has to acknowledge to reach the master's quorum watermark.",
+		"site", "element", "partition", "peer").Collect(func(emit metrics.Emit) {
+		for _, el := range u.elementsSnapshot() {
+			for _, partID := range el.Partitions() {
+				pr := el.Replica(partID)
+				if pr == nil || pr.Store.Role() != store.Master {
+					continue
+				}
+				for peer, pending := range pr.Repl.WatermarkLag() {
+					emit(float64(pending), el.Site(), el.ID(), partID, string(peer))
 				}
 			}
 		}

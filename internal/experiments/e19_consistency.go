@@ -26,6 +26,10 @@ func init() {
 //   - async (the paper's default): acknowledged writes committed on an
 //     isolated master are lost at failover — the checker must SEE that
 //     as linearizability violations (PA/EL, the §3.3.1 gap priced);
+//   - quorum: an acknowledged write is on the master plus a majority
+//     of copies, and failover promotes the most-caught-up live slave,
+//     so the master path must be linearizable too — at median-replica
+//     commit latency instead of sync-all's max (E23 prices that);
 //   - sync-all: every acknowledged write is on every replica before
 //     the commit returns, so the master path must be linearizable no
 //     matter what the schedule did (PC/EC).
@@ -94,6 +98,10 @@ func runE19(ctx context.Context, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	quorum, _, err := runMode(replication.Quorum, false)
+	if err != nil {
+		return nil, err
+	}
 	syncAll, _, err := runMode(replication.SyncAll, false)
 	if err != nil {
 		return nil, err
@@ -119,6 +127,9 @@ func runE19(ctx context.Context, opts Options) (*Report, error) {
 	rep.AddRow("async", fmt.Sprint(async.ops), fmt.Sprint(async.faults),
 		fmt.Sprint(async.linViol), fmt.Sprint(async.slaveReads),
 		fmt.Sprint(async.stale), fmt.Sprint(async.maxStale), fmt.Sprint(async.converged))
+	rep.AddRow("quorum", fmt.Sprint(quorum.ops), fmt.Sprint(quorum.faults),
+		fmt.Sprint(quorum.linViol), fmt.Sprint(quorum.slaveReads),
+		fmt.Sprint(quorum.stale), fmt.Sprint(quorum.maxStale), fmt.Sprint(quorum.converged))
 	rep.AddRow("sync-all", fmt.Sprint(syncAll.ops), fmt.Sprint(syncAll.faults),
 		fmt.Sprint(syncAll.linViol), fmt.Sprint(syncAll.slaveReads),
 		fmt.Sprint(syncAll.stale), fmt.Sprint(syncAll.maxStale), fmt.Sprint(syncAll.converged))
@@ -127,10 +138,12 @@ func runE19(ctx context.Context, opts Options) (*Report, error) {
 		fmt.Sprint(syncMig.stale), fmt.Sprint(syncMig.maxStale), fmt.Sprint(syncMig.converged))
 
 	rep.Check("sync-all keeps the master path linearizable under chaos", syncAll.linViol == 0)
+	rep.Check("quorum keeps the master path linearizable (failover promotes the most-caught-up acked slave)",
+		quorum.linViol == 0)
 	rep.Check("async loses acknowledged writes at failover (the paper's §3.3.1 gap, detected)",
 		async.linViol > 0)
-	rep.Check("replicas reconverge after heal + repair in both modes",
-		async.converged && syncAll.converged)
+	rep.Check("replicas reconverge after heal + repair in every mode",
+		async.converged && quorum.converged && syncAll.converged)
 	rep.Check("live migrations preserve linearizability and convergence under sync-all",
 		syncMig.linViol == 0 && syncMig.converged)
 	rep.Check("slave reads were driven and measured", async.slaveReads+syncAll.slaveReads > 0)

@@ -170,17 +170,26 @@ type PeerLag struct {
 	QueueDepth int    `json:"queueDepth"`
 	// LagRecords is master CSN minus the peer's acked CSN.
 	LagRecords uint64 `json:"lagRecords"`
+	// AcksPending is the quorum watermark minus the peer's acked CSN:
+	// records the peer still owes before it catches the quorum.
+	AcksPending uint64 `json:"acksPending,omitempty"`
 }
 
 // PartitionStatus is one partition-table entry plus live replication
 // state.
 type PartitionStatus struct {
-	ID             string          `json:"id"`
-	HomeSite       string          `json:"homeSite"`
-	Epoch          uint64          `json:"epoch"`
-	MasterCSN      uint64          `json:"masterCsn"`
-	Replicas       []ReplicaStatus `json:"replicas"`
-	ReplicationLag []PeerLag       `json:"replicationLag,omitempty"`
+	ID        string `json:"id"`
+	HomeSite  string `json:"homeSite"`
+	Epoch     uint64 `json:"epoch"`
+	MasterCSN uint64 `json:"masterCsn"`
+	// Durability is the master's commit durability level (async,
+	// dual-seq, quorum, sync-all).
+	Durability string `json:"durability,omitempty"`
+	// QuorumWatermark is the highest CSN durable under the master's
+	// quorum policy; commits at or below it have their quorum of acks.
+	QuorumWatermark uint64          `json:"quorumWatermark,omitempty"`
+	Replicas        []ReplicaStatus `json:"replicas"`
+	ReplicationLag  []PeerLag       `json:"replicationLag,omitempty"`
 }
 
 // ElementStatus is one storage element in the /status view.
@@ -271,16 +280,20 @@ func (s *Server) status() StatusResponse {
 					rs.AppliedCSN = pr.Store.AppliedCSN()
 					if i == 0 && pr.Store.Role() == store.Master {
 						ps.MasterCSN = pr.Store.CSN()
+						ps.Durability = pr.Repl.Durability().String()
+						ps.QuorumWatermark = pr.Repl.QuorumWatermark()
+						pending := pr.Repl.WatermarkLag()
 						for _, st := range pr.Repl.SenderStats() {
 							lag := uint64(0)
 							if ps.MasterCSN > st.AckedCSN {
 								lag = ps.MasterCSN - st.AckedCSN
 							}
 							ps.ReplicationLag = append(ps.ReplicationLag, PeerLag{
-								Peer:       string(st.Peer),
-								AckedCSN:   st.AckedCSN,
-								QueueDepth: st.QueueDepth,
-								LagRecords: lag,
+								Peer:        string(st.Peer),
+								AckedCSN:    st.AckedCSN,
+								QueueDepth:  st.QueueDepth,
+								LagRecords:  lag,
+								AcksPending: pending[st.Peer],
 							})
 						}
 					}

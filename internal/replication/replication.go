@@ -13,6 +13,9 @@
 //     lose the un-replicated tail — the durability gap E4 measures.
 //   - DualSeq and SyncAll durability levels implement the §5
 //     evolution: commit waits for one (in sequence) or all slaves.
+//   - Quorum (see quorum.go) is the tunable middle ground: commit
+//     waits for k of n acks (count, majority or site-aware), so a
+//     durable write pays the median replica's RTT, not the slowest's.
 //
 // Multi-master mode (§5 evolution): every replica accepts writes;
 // records propagate asynchronously to peers and are merged using
@@ -25,7 +28,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -50,6 +55,13 @@ const (
 	DualSeq
 	// SyncAll waits for every slave: the Cassandra-like high end.
 	SyncAll
+	// Quorum waits until the configured QuorumPolicy is satisfied —
+	// k of n peer acks, a majority of all copies, or a site-aware
+	// split ("one local + one remote") — so a durable commit pays the
+	// median replica's RTT instead of the slowest's, and stays live
+	// with a replica down. Stragglers catch up asynchronously behind
+	// the quorum watermark.
+	Quorum
 )
 
 // String returns the durability level name.
@@ -61,8 +73,25 @@ func (d Durability) String() string {
 		return "dual-seq"
 	case SyncAll:
 		return "sync-all"
+	case Quorum:
+		return "quorum"
 	}
 	return fmt.Sprintf("Durability(%d)", int(d))
+}
+
+// ParseDurability parses an operator-facing durability level name.
+func ParseDurability(s string) (Durability, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "async", "":
+		return Async, nil
+	case "dual-seq", "dualseq":
+		return DualSeq, nil
+	case "sync-all", "syncall", "sync":
+		return SyncAll, nil
+	case "quorum":
+		return Quorum, nil
+	}
+	return Async, fmt.Errorf("replication: unknown durability %q", s)
 }
 
 // ErrDurability reports a commit that could not reach its required
@@ -132,15 +161,30 @@ type Replica struct {
 
 	mu         sync.Mutex
 	durability Durability
+	policy     QuorumPolicy
 	peers      []simnet.Addr
 	senders    map[simnet.Addr]*sender
 	resolver   Resolver
+
+	// quorumWM is the highest CSN satisfying the quorum policy; ackCh
+	// (lazily created) is closed whenever it may have advanced.
+	quorumWM uint64
+	ackCh    chan struct{}
+	// headCSN mirrors the highest CSN staged through commitPipeline.
+	// The quorum refresh runs under r.mu on every ack and must not
+	// touch the store's commit lock (the commit path holds it while
+	// taking r.mu), so the head is tracked here atomically.
+	headCSN atomic.Uint64
 
 	// Conflicts counts concurrent-write conflicts resolved in
 	// multi-master mode.
 	Conflicts metrics.Counter
 	// Shipped counts records handed to background senders.
 	Shipped metrics.Counter
+	// AckWait records how long quorum commits waited for their
+	// acknowledgements (the udr_replication_quorum_ack_wait_seconds
+	// histogram).
+	AckWait metrics.Histogram
 }
 
 // Node multiplexes the replication traffic of every partition replica
@@ -157,6 +201,13 @@ type Node struct {
 	RetryInterval time.Duration
 	// CallTimeout bounds each replication RPC.
 	CallTimeout time.Duration
+	// InFlightWindow bounds each non-standby sender's unacknowledged
+	// backlog (records). When a straggler falls further behind, its
+	// oldest queued records are shed: the peer's stream gaps and the
+	// periodic anti-entropy repair re-attaches it, so one slow WAN
+	// link bounds its memory instead of growing without limit. Zero
+	// means unbounded (the default).
+	InFlightWindow int
 }
 
 // NewNode returns a replication node for the storage element at addr.
@@ -184,6 +235,9 @@ func (n *Node) AddReplica(partition string, st *store.Store) *Replica {
 		senders:   make(map[simnet.Addr]*sender),
 		resolver:  LWW{},
 	}
+	// Seed the staged-head mirror from the store (nonzero after WAL
+	// recovery) so quorum accounting starts from the recovered CSN.
+	r.headCSN.Store(st.CSN())
 	st.SetCommitPipeline(r.commitPipeline)
 	n.mu.Lock()
 	n.replicas[partition] = r
@@ -267,6 +321,7 @@ func (r *Replica) SetDurability(d Durability) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.durability = d
+	r.refreshQuorumLocked()
 }
 
 // Durability returns the current level.
@@ -294,6 +349,7 @@ func (r *Replica) SetPeers(peers ...simnet.Addr) {
 	for _, p := range r.peers {
 		r.senders[p] = newSender(r, p)
 	}
+	r.refreshQuorumLocked()
 }
 
 // AddStandbyPeer attaches one replication target without disturbing
@@ -338,6 +394,9 @@ func (r *Replica) RemovePeer(p simnet.Addr) {
 			break
 		}
 	}
+	// Shrinking the peer set can complete a pending quorum (a dead
+	// peer no longer counts toward n): re-evaluate and wake waiters.
+	r.refreshQuorumLocked()
 }
 
 // Peers returns the current replication targets.
@@ -363,9 +422,12 @@ func (r *Replica) stopSendersLocked() {
 // Lag returns, per peer, how many committed records have not yet been
 // acknowledged — the staleness window behind E5's slave reads.
 func (r *Replica) Lag() map[simnet.Addr]uint64 {
+	// Read the CSN before taking r.mu: the commit path holds the
+	// store's commit lock while taking r.mu, so the reverse order
+	// here would risk deadlock.
+	csn := r.store.CSN()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	csn := r.store.CSN()
 	out := make(map[simnet.Addr]uint64, len(r.senders))
 	for a, s := range r.senders {
 		acked := s.ackedCSN()
@@ -420,6 +482,7 @@ func (r *Replica) CommitPipeline(rec *store.CommitRecord) (wait func() error, er
 // commit lock lets concurrent synchronous commits overlap their
 // replication round trips instead of serializing them.
 func (r *Replica) commitPipeline(rec *store.CommitRecord) (func() error, error) {
+	r.headCSN.Store(rec.CSN)
 	r.mu.Lock()
 	durability := r.durability
 	mm := r.store.MultiMaster()
@@ -431,7 +494,21 @@ func (r *Replica) commitPipeline(rec *store.CommitRecord) (func() error, error) 
 	}
 	r.Shipped.Inc()
 	var senders []*sender
-	if !mm && durability != Async {
+	quorumDone := false
+	switch {
+	case mm || durability == Async:
+	case durability == Quorum:
+		// The quorum wait rides the watermark, not a fixed sender
+		// list, so peers added or removed mid-wait are accounted for.
+		if nl, nr := r.requiredAcksLocked(); nl+nr == 0 {
+			// No eligible peers (single-copy partition, or every peer
+			// standby): the local commit is the whole quorum.
+			if rec.CSN > r.quorumWM {
+				r.quorumWM = rec.CSN
+			}
+			quorumDone = true
+		}
+	default:
 		senders = make([]*sender, 0, len(r.peers))
 		for _, p := range r.peers {
 			// Standby peers (a migration target mid-bulk-copy) never
@@ -444,6 +521,9 @@ func (r *Replica) commitPipeline(rec *store.CommitRecord) (func() error, error) 
 	}
 	r.mu.Unlock()
 
+	if !mm && durability == Quorum && !quorumDone {
+		return r.quorumWait(rec.CSN), nil
+	}
 	if len(senders) == 0 {
 		return nil, nil
 	}
@@ -473,12 +553,73 @@ func (r *Replica) commitPipeline(rec *store.CommitRecord) (func() error, error) 
 	}, nil
 }
 
+// quorumWait builds the wait closure for a Quorum commit: block until
+// the quorum watermark covers csn (event-driven — senders wake it on
+// every acknowledgement) or the durability deadline expires. On
+// timeout the commit returns ErrDurability but the record stays
+// applied locally and keeps shipping; a late quorum still advances the
+// watermark.
+func (r *Replica) quorumWait(csn uint64) func() error {
+	timeout := r.node.CallTimeout
+	return func() error {
+		start := time.Now()
+		deadline := start.Add(timeout)
+		for {
+			if r.QuorumWatermark() >= csn {
+				r.AckWait.Record(time.Since(start))
+				return nil
+			}
+			ch := r.ackSignal()
+			// Re-check after subscribing: an ack between the check and
+			// the subscription would otherwise be missed.
+			if r.QuorumWatermark() >= csn {
+				r.AckWait.Record(time.Since(start))
+				return nil
+			}
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				return fmt.Errorf("%w: quorum (%s) not reached for CSN %d",
+					ErrDurability, r.QuorumPolicy(), csn)
+			}
+			t := time.NewTimer(remain)
+			select {
+			case <-ch:
+				t.Stop()
+			case <-t.C:
+			}
+		}
+	}
+}
+
+// WaitQuorum blocks until the quorum watermark reaches the master's
+// CSN at the time of the call — every commit so far is quorum-durable
+// — or the context expires. The catch-up counterpart of WaitCaughtUp
+// under quorum mode: it does not require stragglers.
+func (r *Replica) WaitQuorum(ctx context.Context) error {
+	target := r.store.CSN()
+	for {
+		if r.QuorumWatermark() >= target {
+			return nil
+		}
+		ch := r.ackSignal()
+		if r.QuorumWatermark() >= target {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
 // Promote turns a slave replica into the partition master after the
 // previous master failed: the store starts accepting writes and its
 // commit sequence continues from the replication high-water mark.
 func (r *Replica) Promote(newPeers ...simnet.Addr) {
 	r.store.SetCSN(r.store.AppliedCSN())
 	r.store.SetRole(store.Master)
+	r.headCSN.Store(r.store.AppliedCSN())
 	r.SetPeers(newPeers...)
 }
 
@@ -653,6 +794,10 @@ type SenderStats struct {
 	// delivered; Records/Batches is the achieved amortization.
 	Batches int64
 	Records int64
+	// Shed counts records dropped by the per-peer in-flight window;
+	// nonzero means the peer's stream gapped and is waiting on
+	// anti-entropy re-attach.
+	Shed int64
 }
 
 // SenderStats returns a snapshot of every peer sender's shipping
@@ -674,6 +819,7 @@ func (r *Replica) SenderStats() []SenderStats {
 			BatchCap:   s.batchCap,
 			Batches:    s.batches.Value(),
 			Records:    s.records.Value(),
+			Shed:       s.shed.Value(),
 		})
 		s.mu.Unlock()
 	}
@@ -711,6 +857,10 @@ type sender struct {
 
 	batches metrics.Counter
 	records metrics.Counter
+	// shed counts records dropped by the in-flight window; a nonzero
+	// value means the peer's stream gapped and anti-entropy repair
+	// must re-attach it.
+	shed metrics.Counter
 }
 
 func newSender(r *Replica, peer simnet.Addr) *sender {
@@ -758,6 +908,23 @@ func (s *sender) stop() {
 func (s *sender) run() {
 	for {
 		s.mu.Lock()
+		// Per-peer in-flight window: a straggler behind a slow WAN
+		// link sheds its oldest queued records instead of holding them
+		// (and their row images) without bound. The peer's stream gaps
+		// — its next delivered batch is rejected on the CSN gap —
+		// until the periodic anti-entropy repair advances its
+		// watermark and re-attaches it; quorum commits never waited on
+		// it anyway. Shedding happens only here, between round trips,
+		// so the queue prefix always matches the batch in flight.
+		// Standby peers are exempt: migration owns their backlog.
+		if w := s.r.node.InFlightWindow; w > 0 && !s.standby && len(s.queue) > w {
+			drop := len(s.queue) - w
+			clear(s.queue[:drop])
+			m := copy(s.queue, s.queue[drop:])
+			clear(s.queue[m:])
+			s.queue = s.queue[:m]
+			s.shed.Add(int64(drop))
+		}
 		depth := len(s.queue)
 		n := depth
 		if n > s.batchCap {
@@ -809,8 +976,10 @@ func (s *sender) run() {
 		m := copy(s.queue, s.queue[len(batch):])
 		clear(s.queue[m:])
 		s.queue = s.queue[:m]
+		advanced := false
 		if last.CSN > s.acked {
 			s.acked = last.CSN
+			advanced = true
 		}
 		// Adapt the ceiling: a backlog deeper than what we just
 		// shipped means round trips are the bottleneck — grow; a
@@ -823,5 +992,11 @@ func (s *sender) run() {
 			s.batchCap /= 2
 		}
 		s.mu.Unlock()
+		if advanced {
+			// Outside s.mu: the replica takes r.mu then s.mu when it
+			// polls acked CSNs, so notifying under s.mu would invert
+			// the lock order.
+			s.r.noteAck()
+		}
 	}
 }

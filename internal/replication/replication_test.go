@@ -21,6 +21,13 @@ type rig struct {
 }
 
 func newRig(t *testing.T, slaves int, sites ...string) *rig {
+	return newTunedRig(t, slaves, nil, sites...)
+}
+
+// newTunedRig is newRig with a per-node tuning hook that runs before
+// any sender goroutine starts, so tests can set Node knobs without
+// racing the background senders.
+func newTunedRig(t *testing.T, slaves int, tune func(*Node), sites ...string) *rig {
 	t.Helper()
 	if len(sites) != slaves+1 {
 		t.Fatalf("need %d sites", slaves+1)
@@ -33,6 +40,9 @@ func newRig(t *testing.T, slaves int, sites ...string) *rig {
 		node := NewNode(n, addr)
 		node.RetryInterval = time.Millisecond
 		node.CallTimeout = 100 * time.Millisecond
+		if tune != nil {
+			tune(node)
+		}
 		n.Register(addr, func(ctx context.Context, from simnet.Addr, msg any) (any, error) {
 			resp, handled, err := node.HandleMessage(ctx, from, msg)
 			if !handled {

@@ -318,31 +318,35 @@ func (n *Network) lose(l Link) bool {
 // spinThreshold is the delay below which sleep busy-waits. OS timers
 // on shared hosts have ~1ms granularity, which would flatten the
 // local-vs-backbone asymmetry the experiments measure; sub-
-// millisecond link latencies therefore spin.
+// millisecond link latencies therefore spin. Longer sleeps use a
+// timer for all but the final spinThreshold and spin the remainder,
+// so multi-millisecond WAN latencies land on target instead of
+// overshooting by the timer granularity (E23 compares commit p50
+// against replica RTTs at 1.5x tolerances).
 const spinThreshold = time.Millisecond
 
 func sleep(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
 		return ctx.Err()
 	}
-	if d < spinThreshold {
-		deadline := time.Now().Add(d)
-		for time.Now().Before(deadline) {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			runtime.Gosched()
+	deadline := time.Now().Add(d)
+	if d >= spinThreshold {
+		t := time.NewTimer(d - spinThreshold)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
 		}
-		return nil
+		t.Stop()
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		runtime.Gosched()
 	}
+	return nil
 }
 
 // lookup fetches the endpoint and partition status under one lock.

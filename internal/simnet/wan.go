@@ -1,0 +1,122 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// WAN profiles: named latency/jitter/loss presets for the inter-site
+// links of a geo-replicated deployment, at the simulator's 10x
+// compressed time scale (a 30ms real-world one-way delay becomes 3ms
+// here). Cross-site quorum experiments pick a profile per site pair so
+// durable-commit latencies are measured against realistic RTT mixes
+// instead of one uniform backbone.
+//
+// One-way figures, compressed scale:
+//
+//	metro             250µs ± 50µs,  loss 0       (same metro area)
+//	continental       1.5ms ± 300µs, loss 0.01%   (same continent)
+//	intercontinental  4ms   ± 800µs, loss 0.05%   (submarine cable)
+
+// WANProfile names a preset inter-site link class.
+type WANProfile string
+
+const (
+	// Metro is a same-metro-area fiber ring.
+	Metro WANProfile = "metro"
+	// Continental is a same-continent backbone span.
+	Continental WANProfile = "continental"
+	// Intercontinental is a submarine-cable span between continents.
+	Intercontinental WANProfile = "intercontinental"
+)
+
+// WANLink returns the Link preset for a profile.
+func WANLink(p WANProfile) (Link, error) {
+	switch p {
+	case Metro:
+		return Link{
+			Latency: 250 * time.Microsecond,
+			Jitter:  50 * time.Microsecond,
+			Timeout: 3 * time.Millisecond,
+		}, nil
+	case Continental:
+		return Link{
+			Latency: 1500 * time.Microsecond,
+			Jitter:  300 * time.Microsecond,
+			Loss:    0.0001,
+			Timeout: 8 * time.Millisecond,
+		}, nil
+	case Intercontinental:
+		return Link{
+			Latency: 4 * time.Millisecond,
+			Jitter:  800 * time.Microsecond,
+			Loss:    0.0005,
+			Timeout: 15 * time.Millisecond,
+		}, nil
+	}
+	return Link{}, fmt.Errorf("simnet: unknown WAN profile %q", p)
+}
+
+// WANPair overrides the profile of one site pair (both directions).
+type WANPair struct {
+	A, B    string
+	Profile WANProfile
+}
+
+// WANSpec describes a WAN topology: a default profile for every
+// inter-site link plus per-site-pair overrides.
+type WANSpec struct {
+	Default   WANProfile
+	Overrides []WANPair
+}
+
+// ApplyWAN installs a WAN topology over the registered sites: every
+// inter-site pair gets the default profile's link, then the overrides
+// are applied. Intra-site (Local) links are untouched. Sites named
+// only in overrides are registered implicitly.
+func (n *Network) ApplyWAN(spec WANSpec) error {
+	def, err := WANLink(spec.Default)
+	if err != nil {
+		return err
+	}
+	for _, o := range spec.Overrides {
+		if _, err := WANLink(o.Profile); err != nil {
+			return err
+		}
+		n.AddSite(o.A)
+		n.AddSite(o.B)
+	}
+	sites := n.Sites()
+	for i, a := range sites {
+		for _, b := range sites[i+1:] {
+			n.SetLink(a, b, def)
+		}
+	}
+	for _, o := range spec.Overrides {
+		l, _ := WANLink(o.Profile)
+		n.SetLink(o.A, o.B, l)
+	}
+	return nil
+}
+
+// RTTBetween reports the expected round-trip time between two sites
+// under the current link parameters: twice the one-way latency plus
+// the mean jitter in each direction. Experiments use it to compare
+// measured commit latency against the topology's replica RTTs.
+func (n *Network) RTTBetween(a, b string) time.Duration {
+	l := n.LinkBetween(a, b)
+	return 2 * (l.Latency + l.Jitter/2)
+}
+
+// ReplicaRTTs returns the sorted RTTs from one site to each of the
+// given peer sites — the distribution a cross-site quorum commits
+// against (median vs max is the quorum-vs-sync-all headline).
+func (n *Network) ReplicaRTTs(from string, peers ...string) []time.Duration {
+	out := make([]time.Duration, 0, len(peers))
+	for _, p := range peers {
+		out = append(out, n.RTTBetween(from, p))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,90 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWANLinkPresets(t *testing.T) {
+	m, err := WANLink(Metro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := WANLink(Continental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := WANLink(Intercontinental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m.Latency < c.Latency && c.Latency < ic.Latency) {
+		t.Fatalf("latency ordering broken: %v %v %v", m.Latency, c.Latency, ic.Latency)
+	}
+	if _, err := WANLink(WANProfile("dial-up")); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestApplyWANDefaultAndOverrides(t *testing.T) {
+	n := New(FastConfig())
+	n.AddSite("eu-south")
+	n.AddSite("eu-north")
+	n.AddSite("americas")
+	spec := WANSpec{
+		Default: Continental,
+		Overrides: []WANPair{
+			{A: "eu-south", B: "americas", Profile: Intercontinental},
+			{A: "eu-north", B: "americas", Profile: Intercontinental},
+		},
+	}
+	if err := n.ApplyWAN(spec); err != nil {
+		t.Fatal(err)
+	}
+	cont, _ := WANLink(Continental)
+	inter, _ := WANLink(Intercontinental)
+	if got := n.LinkBetween("eu-south", "eu-north"); got != cont {
+		t.Fatalf("eu-south<->eu-north = %+v, want continental", got)
+	}
+	for _, eu := range []string{"eu-south", "eu-north"} {
+		if got := n.LinkBetween(eu, "americas"); got != inter {
+			t.Fatalf("%s<->americas = %+v, want intercontinental", eu, got)
+		}
+		if got := n.LinkBetween("americas", eu); got != inter {
+			t.Fatalf("americas<->%s = %+v, want intercontinental (reverse)", eu, got)
+		}
+	}
+	// Intra-site links stay local.
+	if got := n.LinkBetween("eu-south", "eu-south"); got != FastConfig().Local {
+		t.Fatalf("local link overridden: %+v", got)
+	}
+
+	if err := n.ApplyWAN(WANSpec{Default: WANProfile("nope")}); err == nil {
+		t.Fatal("bad default profile accepted")
+	}
+}
+
+func TestReplicaRTTs(t *testing.T) {
+	n := New(FastConfig())
+	n.AddSite("a")
+	n.AddSite("b")
+	n.AddSite("c")
+	if err := n.ApplyWAN(WANSpec{
+		Default:   Metro,
+		Overrides: []WANPair{{A: "a", B: "c", Profile: Intercontinental}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rtts := n.ReplicaRTTs("a", "b", "c")
+	if len(rtts) != 2 || rtts[0] >= rtts[1] {
+		t.Fatalf("ReplicaRTTs = %v, want sorted ascending", rtts)
+	}
+	metro, _ := WANLink(Metro)
+	wantMin := 2 * (metro.Latency + metro.Jitter/2)
+	if rtts[0] != wantMin {
+		t.Fatalf("min RTT = %v, want %v", rtts[0], wantMin)
+	}
+	if rtts[1] < 8*time.Millisecond {
+		t.Fatalf("intercontinental RTT = %v, want >= 8ms", rtts[1])
+	}
+}

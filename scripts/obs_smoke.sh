@@ -37,6 +37,7 @@ echo "obs-smoke: starting udrd (admin on $ADMIN_ADDR)"
     -admin "$ADMIN_ADDR" \
     -subs 20 \
     -wal-dir "$WORKDIR/wal" -wal-sync \
+    -durability quorum -quorum-policy majority \
     >"$WORKDIR/udrd.log" 2>&1 &
 UDRD_PID=$!
 
@@ -72,10 +73,14 @@ fetch "http://$ADMIN_ADDR/metrics" "$WORKDIR/metrics.txt"
 # The acceptance metric families (ISSUE 6): site-labeled per-op latency
 # histogram, replication queue depth, WAL fsyncs-per-commit ratio,
 # anti-entropy rows shipped, migration-progress gauge. ISSUE 7 adds
-# the FE/PoA read-cache counters.
+# the FE/PoA read-cache counters; ISSUE 8 the quorum-durability
+# families (the daemon above runs with -durability quorum).
 for family in \
     "udr_poa_op_latency_seconds histogram" \
     "udr_replication_queue_depth gauge" \
+    "udr_replication_acks_pending gauge" \
+    "udr_replication_quorum_size gauge" \
+    "udr_replication_quorum_ack_wait_seconds histogram" \
     "udr_wal_fsyncs_per_commit gauge" \
     "udr_antientropy_rows_shipped_total counter" \
     "udr_migration_phase gauge" \
@@ -100,6 +105,10 @@ grep -q '^udr_partition_rows{site=' "$WORKDIR/metrics.txt" || {
 fetch "http://$ADMIN_ADDR/status" "$WORKDIR/status.json"
 grep -q '"partitions"' "$WORKDIR/status.json" || {
     echo "obs-smoke: FAIL — /status body unexpected" >&2
+    exit 1
+}
+grep -q '"durability": "quorum"' "$WORKDIR/status.json" || {
+    echo "obs-smoke: FAIL — /status missing per-partition durability level" >&2
     exit 1
 }
 echo "obs-smoke: /status ok"
