@@ -3,9 +3,12 @@ GO ?= go
 # Benchmarks included in the archived perf trajectory (bench-json).
 SMOKE_BENCH ?= ^(BenchmarkStoreRead|BenchmarkStoreReadParallel|BenchmarkStoreCommit|BenchmarkStoreCommitParallel|BenchmarkStoreMixedParallel|BenchmarkStoreFindIndexed|BenchmarkFEReadPath|BenchmarkFEReadPathParallel|BenchmarkFECachedRead|BenchmarkFECachedReadParallel|BenchmarkFEHotKeyMixedCached|BenchmarkReplicationApply|BenchmarkWALAppendSync|BenchmarkWALGroupCommitParallel|BenchmarkCommitDurableParallel|BenchmarkCommitQuorum|BenchmarkCommitSyncAll|BenchmarkMigratePartition)$$
 SMOKE_BENCHTIME ?= 2000x
-BENCH_JSON ?= BENCH_PR8.json
+# Heavy 100k-row scale benchmarks: run once each (throughput/footprint
+# figures, not per-op latencies) and appended to the same snapshot.
+SCALE_BENCH ?= ^(BenchmarkWALCheckpoint|BenchmarkWALRecover|BenchmarkStoreResident)$$
+BENCH_JSON ?= BENCH_PR9.json
 
-.PHONY: build test test-race bench bench-json chaos chaos-long obs-smoke lint clean
+.PHONY: build test test-race bench bench-json chaos chaos-long obs-smoke scale-smoke lint clean
 
 build:
 	$(GO) build ./...
@@ -33,12 +36,19 @@ bench:
 # Short benchmark suite → machine-readable perf snapshot (the per-PR
 # trajectory; CI runs this as the smoke-bench job).
 bench-json:
-	$(GO) test -run xxx -bench '$(SMOKE_BENCH)' -benchtime=$(SMOKE_BENCHTIME) . | tee bench.out | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+	( $(GO) test -run xxx -bench '$(SMOKE_BENCH)' -benchtime=$(SMOKE_BENCHTIME) . && \
+	  $(GO) test -run xxx -bench '$(SCALE_BENCH)' -benchtime=1x . ) \
+	  | tee bench.out | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # Boot udrd -admin and verify the /healthz + /metrics scrape contract
 # (the acceptance metric families). CI runs this as the obs-smoke job.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# Provision ~100k subscribers, checkpoint, crash, recover; assert the
+# recovered digest and the recovery-time budget (CI's scale-smoke job).
+scale-smoke:
+	SCALE_SMOKE=1 $(GO) test -race -run TestScaleSmoke -v ./internal/wal/
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -65,6 +66,7 @@ func BenchmarkE17Concurrency(b *testing.B) { benchExperiment(b, "E17") }
 func BenchmarkE18GroupCommit(b *testing.B) { benchExperiment(b, "E18") }
 func BenchmarkE20Rebalance(b *testing.B)   { benchExperiment(b, "E20") }
 func BenchmarkE22FECache(b *testing.B)     { benchExperiment(b, "E22") }
+func BenchmarkE24Checkpoint(b *testing.B)  { benchExperiment(b, "E24") }
 
 // --- Primitive benchmarks -------------------------------------------
 
@@ -658,6 +660,132 @@ func BenchmarkWALAppendSync(b *testing.B) {
 		if err := l.Append(rec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Scale benchmarks (bench-json's SCALE_BENCH pass) ---------------
+//
+// These run once (-benchtime=1x) in the archived perf snapshot: a
+// 2000x pass over 100k-row populations would take minutes, and the
+// numbers of interest (image rows/s, recovery rows/s, resident
+// bytes/subscriber) are throughput and footprint figures, not
+// per-op latencies that need iteration averaging.
+
+// benchScaleSubs is the population the scale benchmarks provision —
+// large enough that checkpoint/recovery cost is dominated by rows,
+// small enough for the smoke-bench CI budget.
+const benchScaleSubs = 100_000
+
+// provisionScale fills st with benchScaleSubs subscriber rows in
+// batched transactions (the E24 row shape).
+func provisionScale(b *testing.B, st *store.Store) {
+	b.Helper()
+	const batch = 1000
+	for i := 0; i < benchScaleSubs; i += batch {
+		txn := st.Begin(store.ReadCommitted)
+		for j := i; j < i+batch; j++ {
+			txn.Put(fmt.Sprintf("imsi-%09d", j), store.Entry{
+				"objectClass": {"subscriber"},
+				"imsi":        {fmt.Sprintf("24001%09d", j)},
+				"msisdn":      {fmt.Sprintf("4670%08d", j)},
+				"cell":        {fmt.Sprintf("cell-%04d", j%4096)},
+			})
+		}
+		if _, err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALCheckpoint measures one incremental checkpoint of a
+// 100k-row element: image streaming + segment rotation + prune.
+func BenchmarkWALCheckpoint(b *testing.B) {
+	l, err := wal.Open(b.TempDir(), wal.Periodic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	st := store.New("bench")
+	st.SetCommitHook(l.Append)
+	provisionScale(b, st)
+	if err := l.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Checkpoint(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cs := l.CheckpointStats()
+	b.ReportMetric(float64(cs.LastBytes), "image-bytes")
+	b.ReportMetric(float64(benchScaleSubs)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkWALRecover measures crash-restart of a checkpointed
+// 100k-row element: image verify + load plus suffix-only replay.
+func BenchmarkWALRecover(b *testing.B) {
+	const suffix = 500
+	dir := b.TempDir()
+	l, err := wal.Open(dir, wal.Periodic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := store.New("bench")
+	st.SetCommitHook(l.Append)
+	provisionScale(b, st)
+	if err := l.Checkpoint(st); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < suffix; i++ {
+		txn := st.Begin(store.ReadCommitted)
+		txn.Modify(fmt.Sprintf("imsi-%09d", i), store.Mod{
+			Kind: store.ModReplace, Attr: "cell", Vals: []string{"cell-moved"},
+		})
+		if _, err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rst wal.RecoverStats
+	for i := 0; i < b.N; i++ {
+		rec := store.New("bench")
+		rst, err = wal.RecoverWithStats(dir, rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Len() != benchScaleSubs || rst.Replayed != suffix {
+			b.Fatalf("len=%d replayed=%d", rec.Len(), rst.Replayed)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rst.Replayed), "replayed")
+	b.ReportMetric(float64(benchScaleSubs)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkStoreResident measures the resident heap cost per
+// subscriber row under the interned, compact entry layout.
+func BenchmarkStoreResident(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		st := store.New("bench")
+		provisionScale(b, st)
+		runtime.GC()
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		b.ReportMetric(float64(int64(m1.HeapInuse)-int64(m0.HeapInuse))/benchScaleSubs, "bytes/subscriber")
+		runtime.KeepAlive(st)
 	}
 }
 

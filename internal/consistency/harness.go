@@ -58,6 +58,12 @@ type Config struct {
 	// WALDir, when non-empty, enables disk persistence and unlocks
 	// crash-restart events (real WAL recovery through internal/wal).
 	WALDir string
+	// Checkpoints adds incremental WAL checkpoint events to the fault
+	// schedule (requires WALDir), so crash-restart paths recover from
+	// an image + log suffix instead of a whole-log replay. A separate
+	// knob: enabling it changes what a seed generates, and existing
+	// seeded schedules must stay byte-identical.
+	Checkpoints bool
 	// FaultMin/FaultMax bound the operation gap between fault events.
 	FaultMin, FaultMax int
 	// SettleTimeout bounds each replication settle wait.
@@ -117,6 +123,9 @@ func (r *Result) Reproducer() string {
 	fmt.Fprintf(&b, "chaos reproducer\nseed=%d ops=%d subs=%d clients=%d durability=%s quorum=%s wal=%t fecache=%t\n",
 		r.Cfg.Seed, r.Cfg.Ops, r.Cfg.Subscribers, r.Cfg.Clients,
 		r.Cfg.Durability, r.Cfg.QuorumPolicy, r.Cfg.WALDir != "", r.Cfg.FECache)
+	if r.Cfg.Checkpoints {
+		b.WriteString("checkpoints=true\n")
+	}
 	b.WriteString(r.Schedule.String())
 	for _, e := range r.Events {
 		b.WriteString(e)
@@ -282,7 +291,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	sched := GenerateSchedule(cfg.Seed, cfg.Ops, u.Sites(), u.Elements(), u.Partitions(),
-		cfg.FaultMin, cfg.FaultMax, cfg.WALDir != "", cfg.Migrations)
+		cfg.FaultMin, cfg.FaultMax, cfg.WALDir != "", cfg.Migrations,
+		cfg.WALDir != "" && cfg.Checkpoints)
 	opsRng := rand.New(rand.NewSource(cfg.Seed + 7919))
 	stream := generateOps(cfg, opsRng)
 
@@ -540,6 +550,18 @@ func (h *harness) applyEvent(ctx context.Context, ev Event) error {
 			rows += s.RowsTransferred()
 		}
 		h.eventf("ev at=%d kind=repair rounds=%d rows=%d", ev.AtOp, len(stats), rows)
+	case EvCheckpoint:
+		// Deliberately no settle: the checkpoint streams its image
+		// while client commits keep flowing — that concurrency is the
+		// thing under test. The replica count is a function of the
+		// schedule (hosting only changes at migrate events), so the
+		// line stays deterministic.
+		if h.crashed[ev.Element] {
+			h.eventf("ev at=%d kind=checkpoint el=%s noop (crashed)", ev.AtOp, ev.Element)
+			return nil
+		}
+		n := h.u.Element(ev.Element).CheckpointAll()
+		h.eventf("ev at=%d kind=checkpoint el=%s replicas=%d", ev.AtOp, ev.Element, n)
 	case EvMigrate:
 		// Quiesce first so the bulk-copy row count and catch-up are
 		// functions of the schedule, not sender timing.

@@ -359,6 +359,78 @@ func TestChaosFECacheCrashRestart(t *testing.T) {
 	}
 }
 
+// TestChaosCheckpointCrashRestart folds incremental checkpoints into
+// the fault schedule: an element checkpoints (image + log prune) while
+// client traffic keeps committing, then later crashes and restarts —
+// so recovery runs from a snapshot image plus a log suffix instead of
+// a whole-log replay. The bar is unchanged: zero linearizability
+// violations under sync-all and full convergence. The test insists at
+// least one run actually crossed the boundary (a completed checkpoint
+// on an element that subsequently crashed); otherwise the recovery
+// path under test never executed.
+func TestChaosCheckpointCrashRestart(t *testing.T) {
+	ctx := context.Background()
+	var res *Result
+	defer func() { dumpOnFail(t, res) }()
+	crossed := 0
+	for _, seed := range []int64{1, 2, 3, 5, 8} {
+		cfg := DefaultConfig(seed)
+		cfg.Ops = 400
+		cfg.FaultMin, cfg.FaultMax = 6, 14
+		cfg.Durability = replication.SyncAll
+		cfg.WALDir = t.TempDir()
+		cfg.Checkpoints = true
+		var err error
+		res, err = Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.LinViolations != 0 {
+			for _, lr := range res.Lin {
+				if !lr.Linearizable {
+					t.Errorf("seed %d: key %s (%d ops) not linearizable", seed, lr.Key, lr.Ops)
+				}
+			}
+			t.Fatalf("seed %d: %d linearizability violations with checkpoints", seed, res.LinViolations)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: replicas did not converge: %v", seed, res.Diverged)
+		}
+		// Did a crash land on an element that had already completed a
+		// checkpoint? That is the image-plus-suffix recovery path.
+		ckpted := map[string]bool{}
+		for _, ev := range res.Events {
+			if strings.Contains(ev, "kind=checkpoint") && strings.Contains(ev, "replicas=") {
+				if el, ok := eventField(ev, "el="); ok {
+					ckpted[el] = true
+				}
+			}
+			if strings.Contains(ev, "kind=crash") {
+				if el, ok := eventField(ev, "el="); ok && ckpted[el] {
+					crossed++
+				}
+			}
+		}
+	}
+	if crossed == 0 {
+		t.Fatal("no run crashed an element after a completed checkpoint; recovery never crossed a checkpoint boundary")
+	}
+}
+
+// eventField extracts the space-terminated value of key (e.g. "el=")
+// from an applied-event line.
+func eventField(ev, key string) (string, bool) {
+	i := strings.Index(ev, key)
+	if i < 0 {
+		return "", false
+	}
+	v := ev[i+len(key):]
+	if j := strings.IndexByte(v, ' '); j >= 0 {
+		v = v[:j]
+	}
+	return v, v != ""
+}
+
 // TestChaosFECacheMigrate folds live migrations into the cache runs:
 // a cutover bumps the placement epoch on every PoA, which must guard
 // (not serve) every resident entry of the moved partition until a

@@ -10,7 +10,7 @@
 //	schedule   := event*
 //	event      := "ev at=" INT " kind=" kind args
 //	kind       := "partition" | "heal" | "failover" | "crash"
-//	            | "recover" | "repair" | "migrate"
+//	            | "recover" | "repair" | "migrate" | "checkpoint"
 //	args(partition) := " site=" SITE     // isolate one site (glitch
 //	                                     // start: §2.5/§4.1 backbone cut)
 //	args(heal)      := ""                // glitch end
@@ -33,6 +33,12 @@
 //	                                     // migrations land. A migrate
 //	                                     // fired across an open backbone
 //	                                     // cut exercises the abort path.
+//	args(checkpoint) := " el=" ELEMENT   // incremental WAL checkpoint of
+//	                                     // every replica the element
+//	                                     // hosts (§3.1 periodic save); a
+//	                                     // later crash of that element
+//	                                     // recovers image + suffix
+//	                                     // instead of whole-log replay
 //
 // "at=N" fires before client operation N. Short partition→heal pairs
 // are the paper's §4.1 network glitches; the soak profile additionally
@@ -57,6 +63,7 @@ const (
 	EvRecover
 	EvRepair
 	EvMigrate
+	EvCheckpoint
 )
 
 // String returns the event kind token used in the schedule grammar.
@@ -76,6 +83,8 @@ func (k EventKind) String() string {
 		return "repair"
 	case EvMigrate:
 		return "migrate"
+	case EvCheckpoint:
+		return "checkpoint"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -131,8 +140,12 @@ const maxEpisode = 3
 // crashes may be disabled (no WAL configured); migrations are drawn
 // over parts when enabled, and may fire inside partition or crash
 // episodes — migrating across a backbone cut is the abort path under
-// test, not an illegal schedule.
-func GenerateSchedule(seed int64, totalOps int, sites, elements, parts []string, faultMin, faultMax int, crashes, migrations bool) *Schedule {
+// test, not an illegal schedule. checkpoints (also WAL-gated) draws
+// incremental checkpoint events against up elements, so crash-restart
+// paths cross checkpoint boundaries; it is a separate knob so
+// schedules generated before the checkpoint event existed stay
+// byte-identical for their seeds.
+func GenerateSchedule(seed int64, totalOps int, sites, elements, parts []string, faultMin, faultMax int, crashes, migrations, checkpoints bool) *Schedule {
 	if faultMin < 1 {
 		faultMin = 1 // a zero gap would pin every event to op 0 forever
 	}
@@ -167,6 +180,11 @@ func GenerateSchedule(seed int64, totalOps int, sites, elements, parts []string,
 			// they abort (the path under test), in a whole network
 			// they cut over live.
 			choices = append(choices, choice{EvMigrate, 2})
+		}
+		if checkpoints {
+			// Checkpoints are local to one element and legal whenever
+			// it is up; the generator steers away from the crashed one.
+			choices = append(choices, choice{EvCheckpoint, 2})
 		}
 		if partitioned != "" {
 			if episode >= maxEpisode {
@@ -227,6 +245,15 @@ func GenerateSchedule(seed int64, totalOps int, sites, elements, parts []string,
 		case EvMigrate:
 			ev.Part = parts[rng.Intn(len(parts))]
 			ev.Pick = rng.Intn(len(elements))
+			if partitioned != "" || crashed != "" {
+				episode++
+			}
+		case EvCheckpoint:
+			i := rng.Intn(len(elements))
+			if elements[i] == crashed {
+				i = (i + 1) % len(elements)
+			}
+			ev.Element = elements[i]
 			if partitioned != "" || crashed != "" {
 				episode++
 			}

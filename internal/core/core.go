@@ -151,6 +151,10 @@ type Config struct {
 	WALMode wal.Mode
 	// WALInterval is the periodic WAL flush interval.
 	WALInterval time.Duration
+	// CheckpointInterval, when non-zero, runs an incremental WAL
+	// checkpoint (durable store image + log prefix prune) on every
+	// storage element at this cadence. Requires WALDir.
+	CheckpointInterval time.Duration
 	// WALNoGroupCommit disables WAL fsync coalescing in
 	// sync-every-commit mode (one fsync per commit, serialized): the
 	// E18 baseline. Leave false for group commit.
@@ -351,6 +355,7 @@ func (u *UDR) buildSiteLocked(spec SiteSpec, primed bool) error {
 			WALMode:              u.cfg.WALMode,
 			WALInterval:          u.cfg.WALInterval,
 			WALNoGroupCommit:     u.cfg.WALNoGroupCommit,
+			CheckpointInterval:   u.cfg.CheckpointInterval,
 			AntiEntropy:          u.cfg.AntiEntropy,
 			RepairInterval:       u.cfg.RepairInterval,
 			RepairMaxRows:        u.cfg.RepairMaxRows,

@@ -9,6 +9,7 @@ import (
 	"repro/internal/replication"
 	"repro/internal/se"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // RegisterMetrics exports the UDR's instruments into a registry under
@@ -139,7 +140,7 @@ func (u *UDR) registerCollectors(reg *metrics.Registry) {
 		"Completed WAL-compaction snapshot passes.",
 		"site", "element").Collect(func(emit metrics.Emit) {
 		for _, el := range u.elementsSnapshot() {
-			emit(float64(el.Snapshots.Value()), el.Site(), el.ID())
+			emit(float64(el.Checkpoints.Value()), el.Site(), el.ID())
 		}
 	})
 
@@ -181,6 +182,52 @@ func (u *UDR) registerCollectors(reg *metrics.Registry) {
 			emit(ratio, el.Site(), el.ID())
 		}
 	})
+
+	// Incremental checkpoint activity, per partition replica: pass
+	// count, last image size/watermark/duration, and the on-disk
+	// segment count (whose growth means checkpointing is falling
+	// behind log production).
+	type ckptStat struct {
+		name, help string
+		gauge      bool
+		value      func(cs wal.CheckpointStats) float64
+	}
+	for _, c := range []ckptStat{
+		{"udr_wal_checkpoints_total",
+			"Incremental checkpoints completed by a partition replica's WAL.",
+			false, func(cs wal.CheckpointStats) float64 { return float64(cs.Checkpoints) }},
+		{"udr_wal_checkpoint_duration_seconds",
+			"Wall time of the last completed checkpoint pass.",
+			true, func(cs wal.CheckpointStats) float64 { return cs.LastDuration.Seconds() }},
+		{"udr_wal_checkpoint_bytes",
+			"Size of the last checkpoint image on disk.",
+			true, func(cs wal.CheckpointStats) float64 { return float64(cs.LastBytes) }},
+		{"udr_wal_checkpoint_rows",
+			"Rows captured by the last checkpoint image.",
+			true, func(cs wal.CheckpointStats) float64 { return float64(cs.LastRows) }},
+		{"udr_wal_checkpoint_csn",
+			"Commit watermark covered by the last checkpoint image.",
+			true, func(cs wal.CheckpointStats) float64 { return float64(cs.LastCSN) }},
+		{"udr_wal_segments",
+			"Log segment files on disk, including the active one.",
+			true, func(cs wal.CheckpointStats) float64 { return float64(cs.Segments) }},
+	} {
+		c := c
+		collect := func(emit metrics.Emit) {
+			for _, el := range u.elementsSnapshot() {
+				for _, partID := range el.Partitions() {
+					if pr := el.Replica(partID); pr != nil && pr.Log != nil {
+						emit(c.value(pr.Log.CheckpointStats()), el.Site(), el.ID(), partID)
+					}
+				}
+			}
+		}
+		if c.gauge {
+			reg.Gauge(c.name, c.help, "site", "element", "partition").Collect(collect)
+		} else {
+			reg.Counter(c.name, c.help, "site", "element", "partition").Collect(collect)
+		}
+	}
 
 	// Replication shipping: per-partition counters on the mastering
 	// element, per-peer queue depth and lag.

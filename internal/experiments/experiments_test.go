@@ -10,7 +10,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
 	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
-		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E22", "E23"}
+		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E22", "E23", "E24"}
 	if len(ids) != len(want) {
 		t.Fatalf("registered %v, want %v", ids, want)
 	}
@@ -76,6 +76,7 @@ func TestE19Consistency(t *testing.T)  { runQuick(t, "E19") }
 func TestE20Rebalance(t *testing.T)    { runQuick(t, "E20") }
 func TestE22FECache(t *testing.T)      { runQuick(t, "E22") }
 func TestE23Quorum(t *testing.T)       { runQuick(t, "E23") }
+func TestE24Checkpoint(t *testing.T)   { runQuick(t, "E24") }
 
 func TestReportRendering(t *testing.T) {
 	rep := NewReport("EX", "test report")

@@ -171,11 +171,12 @@ type Config struct {
 	// mode: every commit pays its own fsync, serialized — the seed
 	// behavior E18 compares against. Leave false for group commit.
 	WALNoGroupCommit bool
-	// SnapshotInterval, when non-zero, compacts every replica's WAL
-	// into a full store snapshot on this cadence — the paper's §3.1
+	// CheckpointInterval, when non-zero, runs an incremental WAL
+	// checkpoint on every replica on this cadence — the paper's §3.1
 	// "saves data in RAM to local persistent storage on a periodic
-	// basis" at its coarsest granularity.
-	SnapshotInterval time.Duration
+	// basis". The image streams while commits flow; only the covered
+	// log prefix is dropped.
+	CheckpointInterval time.Duration
 	// AntiEntropy enables Merkle-digest replica repair: every hosted
 	// replica keeps a hash tree over its rows and serves the repair
 	// protocol; master replicas additionally run repair rounds.
@@ -236,14 +237,14 @@ type Element struct {
 	// element can become a migration source or target).
 	reb *rebalance.Peer
 
-	snapStop chan struct{}
-	snapWG   sync.WaitGroup
+	ckptStop chan struct{}
+	ckptWG   sync.WaitGroup
 
 	// Reads / Writes count client operations served.
 	Reads  metrics.Counter
 	Writes metrics.Counter
-	// Snapshots counts completed snapshot passes.
-	Snapshots metrics.Counter
+	// Checkpoints counts completed checkpoint passes.
+	Checkpoints metrics.Counter
 }
 
 // PartitionReplica bundles one partition copy's moving parts.
@@ -284,61 +285,62 @@ func New(net *simnet.Network, cfg Config) *Element {
 		e.sched.Start()
 	}
 	net.Register(e.addr, e.handle)
-	if cfg.WALDir != "" && cfg.SnapshotInterval > 0 {
-		e.startSnapshotter()
+	if cfg.WALDir != "" && cfg.CheckpointInterval > 0 {
+		e.startCheckpointer()
 	}
 	return e
 }
 
-// startSnapshotter launches the periodic WAL-compaction pass.
-func (e *Element) startSnapshotter() {
+// startCheckpointer launches the periodic WAL-compaction pass.
+func (e *Element) startCheckpointer() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.startSnapshotterLocked()
+	e.startCheckpointerLocked()
 }
 
-// startSnapshotterLocked is the e.mu-held variant (element recovery
+// startCheckpointerLocked is the e.mu-held variant (element recovery
 // restarts the pass while already holding the lock). Keeping the
-// WaitGroup Add under the same lock stopSnapshotter reads under gives
+// WaitGroup Add under the same lock stopCheckpointer reads under gives
 // Add/Wait the happens-before ordering the race detector demands.
-func (e *Element) startSnapshotterLocked() {
-	if e.snapStop != nil {
+func (e *Element) startCheckpointerLocked() {
+	if e.ckptStop != nil {
 		return
 	}
 	stop := make(chan struct{})
-	e.snapStop = stop
+	e.ckptStop = stop
 
-	e.snapWG.Add(1)
+	e.ckptWG.Add(1)
 	go func() {
-		defer e.snapWG.Done()
-		t := time.NewTicker(e.cfg.SnapshotInterval)
+		defer e.ckptWG.Done()
+		t := time.NewTicker(e.cfg.CheckpointInterval)
 		defer t.Stop()
 		for {
 			select {
 			case <-stop:
 				return
 			case <-t.C:
-				e.SnapshotAll()
+				e.CheckpointAll()
 			}
 		}
 	}()
 }
 
-// stopSnapshotter halts the periodic pass (crash or shutdown).
-func (e *Element) stopSnapshotter() {
+// stopCheckpointer halts the periodic pass (crash or shutdown).
+func (e *Element) stopCheckpointer() {
 	e.mu.Lock()
-	stop := e.snapStop
-	e.snapStop = nil
+	stop := e.ckptStop
+	e.ckptStop = nil
 	e.mu.Unlock()
 	if stop != nil {
 		close(stop)
-		e.snapWG.Wait()
+		e.ckptWG.Wait()
 	}
 }
 
-// SnapshotAll writes a full snapshot of every replica's store and
-// truncates its WAL. It returns the number of replicas snapshotted.
-func (e *Element) SnapshotAll() int {
+// CheckpointAll runs an incremental checkpoint on every replica's
+// WAL: a durable store image plus pruning of the covered log prefix.
+// It returns the number of replicas checkpointed.
+func (e *Element) CheckpointAll() int {
 	e.mu.RLock()
 	prs := make([]*PartitionReplica, 0, len(e.replicas))
 	if !e.down {
@@ -351,12 +353,12 @@ func (e *Element) SnapshotAll() int {
 	e.mu.RUnlock()
 	n := 0
 	for _, pr := range prs {
-		if err := pr.Log.Snapshot(pr.Store); err == nil {
+		if err := pr.Log.Checkpoint(pr.Store); err == nil {
 			n++
 		}
 	}
 	if n > 0 {
-		e.Snapshots.Inc()
+		e.Checkpoints.Inc()
 	}
 	return n
 }
@@ -521,7 +523,7 @@ func (e *Element) PersistReplica(partition string) error {
 	if pr.Log == nil {
 		return nil
 	}
-	return pr.Log.Snapshot(pr.Store)
+	return pr.Log.Checkpoint(pr.Store)
 }
 
 var _ rebalance.Host = (*Element)(nil)
@@ -695,7 +697,7 @@ func (e *Element) Partitions() []string {
 // store contents are dropped. WAL files survive on "disk" with only
 // their synced contents.
 func (e *Element) Crash() {
-	e.stopSnapshotter()
+	e.stopCheckpointer()
 	if e.sched != nil {
 		e.sched.Stop()
 	}
@@ -764,8 +766,8 @@ func (e *Element) Recover() (map[string]int, error) {
 	if e.sched != nil {
 		e.sched.Start()
 	}
-	if e.cfg.WALDir != "" && e.cfg.SnapshotInterval > 0 {
-		e.startSnapshotterLocked()
+	if e.cfg.WALDir != "" && e.cfg.CheckpointInterval > 0 {
+		e.startCheckpointerLocked()
 	}
 	return replayed, nil
 }
@@ -779,7 +781,7 @@ func (e *Element) Down() bool {
 
 // Stop shuts the element down cleanly (final WAL sync).
 func (e *Element) Stop() {
-	e.stopSnapshotter()
+	e.stopCheckpointer()
 	if e.sched != nil {
 		e.sched.Stop()
 	}

@@ -389,7 +389,7 @@ func TestPeriodicSnapshotCompactsWAL(t *testing.T) {
 	el := New(n, Config{
 		ID: "se-1", Site: "eu",
 		WALDir: dir, WALMode: wal.SyncEveryCommit,
-		SnapshotInterval: 10 * time.Millisecond,
+		CheckpointInterval: 10 * time.Millisecond,
 	})
 	t.Cleanup(el.Stop)
 	if _, err := el.AddReplica("p1", store.Master); err != nil {
@@ -403,7 +403,7 @@ func TestPeriodicSnapshotCompactsWAL(t *testing.T) {
 		}
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for el.Snapshots.Value() == 0 {
+	for el.Checkpoints.Value() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("snapshotter never ran")
 		}
@@ -424,7 +424,7 @@ func TestPeriodicSnapshotCompactsWAL(t *testing.T) {
 	}
 }
 
-func TestSnapshotAllManual(t *testing.T) {
+func TestCheckpointAllManual(t *testing.T) {
 	n := simnet.New(simnet.FastConfig())
 	el := New(n, Config{
 		ID: "se-1", Site: "eu",
@@ -433,7 +433,7 @@ func TestSnapshotAllManual(t *testing.T) {
 	t.Cleanup(el.Stop)
 	el.AddReplica("p1", store.Master)
 	el.AddReplica("p2", store.Slave)
-	if got := el.SnapshotAll(); got != 2 {
+	if got := el.CheckpointAll(); got != 2 {
 		t.Fatalf("snapshotted %d replicas, want 2", got)
 	}
 }

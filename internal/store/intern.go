@@ -1,0 +1,104 @@
+package store
+
+import (
+	"strings"
+	"sync"
+)
+
+// Attribute-name interning.
+//
+// A subscriber row carries the same handful of attribute names
+// (objectClass, IMSI, MSISDN, serviceProfile, ...) as every other
+// row, yet a naive Entry clone allocates a fresh copy of each name
+// string per resident row. At the ROADMAP's millions-of-subscribers
+// target those duplicate name bytes — plus the per-attribute value
+// slice headers — dominate resident overhead. Interning collapses all
+// copies of an attribute name to one shared string, and the compact
+// clone below collapses a row's value slices into one backing array.
+//
+// The table is capped (entry count and string length) so hostile or
+// high-cardinality attribute names degrade to the non-interned path
+// instead of growing the table without bound.
+
+const (
+	// internMaxLen bounds the length of strings worth interning;
+	// attribute names are short, long strings are likely values that
+	// leaked into a name position.
+	internMaxLen = 80
+	// internMaxPerShard bounds each shard's table. 16 shards × 4096
+	// names is far beyond any real subscriber schema.
+	internMaxPerShard = 4096
+	internShardCount  = 16
+)
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+var internTable [internShardCount]internShard
+
+// Intern returns a canonical shared copy of s, so that repeated
+// attribute names across millions of rows share one allocation. The
+// returned string is cloned from s, so callers may hand in substrings
+// of large decode buffers without retaining them.
+func Intern(s string) string {
+	if len(s) == 0 || len(s) > internMaxLen {
+		return s
+	}
+	sh := &internTable[internHash(s)%internShardCount]
+	sh.mu.RLock()
+	v, ok := sh.m[s]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v, ok := sh.m[s]; ok {
+		return v
+	}
+	if sh.m == nil {
+		sh.m = make(map[string]string)
+	}
+	if len(sh.m) >= internMaxPerShard {
+		return s
+	}
+	c := strings.Clone(s)
+	sh.m[c] = c
+	return c
+}
+
+// internHash is FNV-1a over the string bytes.
+func internHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// compactClone deep-copies an entry into the tight resident layout:
+// attribute names interned, and all value slices carved out of a
+// single backing array (one allocation instead of one per attribute).
+// Each sub-slice is capacity-clamped with a three-index slice, so a
+// later append on any attribute reallocates instead of clobbering its
+// neighbour — the clone stays safe to mutate, same as the naive copy.
+func compactClone(e Entry) Entry {
+	if e == nil {
+		return nil
+	}
+	total := 0
+	for _, vs := range e {
+		total += len(vs)
+	}
+	out := make(Entry, len(e))
+	back := make([]string, 0, total)
+	for k, vs := range e {
+		start := len(back)
+		back = append(back, vs...)
+		out[Intern(k)] = back[start:len(back):len(back)]
+	}
+	return out
+}

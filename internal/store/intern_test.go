@@ -1,0 +1,89 @@
+package store
+
+import (
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+func TestInternCanonicalizes(t *testing.T) {
+	a := Intern("objectClass")
+	b := Intern(string([]byte("objectClass"))) // distinct backing
+	if a != b {
+		t.Fatalf("interned values differ: %q %q", a, b)
+	}
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Fatal("interned copies do not share backing storage")
+	}
+	long := strings.Repeat("x", internMaxLen+1)
+	if got := Intern(long); unsafe.StringData(got) != unsafe.StringData(long) {
+		t.Fatal("over-length string should be returned as-is")
+	}
+	if got := Intern(""); got != "" {
+		t.Fatalf("empty intern = %q", got)
+	}
+}
+
+// TestCloneCompactLayout verifies the compact clone shares one
+// backing array across attributes but stays mutation-safe.
+func TestCloneCompactLayout(t *testing.T) {
+	e := Entry{
+		"imsi":         {"262011234567890"},
+		"msisdn":       {"4915201234567", "4915207654321"},
+		"objectClass":  {"subscriber", "top"},
+		"empty":        {},
+		"serviceFlags": {"a", "b", "c"},
+	}
+	c := e.Clone()
+	if !c.Equal(e) {
+		t.Fatalf("clone differs: %v vs %v", c, e)
+	}
+
+	// Appending to one attribute must not clobber a neighbour carved
+	// from the same backing array: cap clamping forces a realloc.
+	c["msisdn"] = append(c["msisdn"], "999")
+	if got := len(c["msisdn"]); got != 3 {
+		t.Fatalf("append lost: %v", c["msisdn"])
+	}
+	for k, vs := range e {
+		if k == "msisdn" {
+			continue
+		}
+		if !slicesEq(c[k], vs) {
+			t.Fatalf("append to msisdn clobbered %q: %v vs %v", k, c[k], vs)
+		}
+	}
+
+	// In-place value writes stay private to the clone.
+	c2 := e.Clone()
+	c2["imsi"][0] = "overwritten"
+	if e["imsi"][0] != "262011234567890" {
+		t.Fatal("clone mutation leaked into source")
+	}
+
+	// ModDelete's in-place filter must not disturb neighbours either.
+	c3 := e.Clone()
+	Mod{Kind: ModDelete, Attr: "objectClass", Vals: []string{"top"}}.apply(c3)
+	if !slicesEq(c3["objectClass"], []string{"subscriber"}) {
+		t.Fatalf("delete result: %v", c3["objectClass"])
+	}
+	if !slicesEq(c3["serviceFlags"], []string{"a", "b", "c"}) {
+		t.Fatalf("delete clobbered neighbour: %v", c3["serviceFlags"])
+	}
+
+	if c := Entry(nil).Clone(); c != nil {
+		t.Fatal("nil clone should be nil")
+	}
+}
+
+func slicesEq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -79,16 +79,12 @@ var (
 // immutable. Clone before mutating.
 type Entry map[string][]string
 
-// Clone deep-copies the entry.
+// Clone deep-copies the entry into the compact resident layout:
+// interned attribute names and one shared backing array for all value
+// slices (see intern.go). The result is safe to mutate independently
+// of e.
 func (e Entry) Clone() Entry {
-	if e == nil {
-		return nil
-	}
-	out := make(Entry, len(e))
-	for k, vs := range e {
-		out[k] = append([]string(nil), vs...)
-	}
-	return out
+	return compactClone(e)
 }
 
 // First returns the first value of an attribute, or "".
@@ -1169,6 +1165,27 @@ func (s *Store) PutDirect(key string, e Entry, m Meta) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	s.putShardLocked(sh, key, e, m)
+}
+
+// PutOwned is PutDirect without the defensive clone: ownership of e
+// transfers to the store, and the caller must not retain or mutate it
+// afterwards. Streaming snapshot load uses it so a multi-million-row
+// image is decoded and installed with one allocation per row instead
+// of two.
+func (s *Store) PutOwned(key string, e Entry, m Meta) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.rows[key]
+	wasLive := ok && !r.meta.Tombstone
+	if !ok {
+		r = &row{}
+		sh.rows[key] = r
+	}
+	oldEntry := r.entry
+	r.entry = e
+	r.meta = m
+	s.finishInstallLocked(key, oldEntry, wasLive, r)
 }
 
 // CompareAndPut installs a row version only if the row's current

@@ -1,0 +1,236 @@
+// Incremental, non-blocking checkpointing.
+//
+// The seed implementation held the store's stable-snapshot section —
+// which excludes every commit — for the whole collect/encode/write/
+// truncate cycle: seconds of write freeze at millions of resident
+// subscribers. The checkpoint is now split so the stable section
+// covers only a segment rotation (microseconds):
+//
+//  1. Watermark (stop-the-world, O(1)): inside StableSnapshot, read
+//     the commit CSN and rotate the log onto a fresh segment. Commit
+//     records are staged under the store's commit lock, so every
+//     record in the sealed segments has CSN ≤ the watermark, and every
+//     later commit lands in the new segment.
+//  2. Image (concurrent): stream the store shard-by-shard into a
+//     CRC-framed snapshot file while commits flow. Installed entries
+//     are immutable COW versions, so captured rows need no copying
+//     and no store-wide lock; a row committed after the watermark may
+//     be captured at its newer version, which is harmless because
+//     suffix replay reinstalls post-images idempotently.
+//  3. Durability point: fsync image, rename into place, fsync the
+//     directory. Only past this point is the image allowed to replace
+//     any log prefix.
+//  4. Prune (concurrent): delete sealed segments — whole files, no
+//     byte-level truncation — and all snapshot generations older than
+//     the previous one, which is kept as the corruption fallback.
+//
+// Crash anywhere in the cycle is safe by construction: before step 3
+// completes, recovery uses the previous image + all segments; after
+// it, the new image + the surviving suffix. Nothing is ever deleted
+// before its replacement's directory entry is on disk.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/store"
+)
+
+// CheckpointStep identifies the durability milestones inside a
+// checkpoint pass, in order. The crash-at-every-point test aborts the
+// pass at each step to prove recovery holds across any crash
+// boundary.
+type CheckpointStep int
+
+const (
+	// StepImageWritten: image bytes handed to the OS, not fsynced.
+	StepImageWritten CheckpointStep = iota
+	// StepImageSynced: temp image fsynced and closed, not yet renamed.
+	StepImageSynced
+	// StepRenamed: renamed to its final name; the directory entry is
+	// not yet durable.
+	StepRenamed
+	// StepDirSynced: directory fsynced — the image is now the durable
+	// recovery root; pruning has not started.
+	StepDirSynced
+	// StepPruned: sealed segments and superseded images deleted.
+	StepPruned
+)
+
+// rotateSegment seals the active segment and switches appends to the
+// next one. Called from inside the store's stable-snapshot section:
+// no commit can stage concurrently, so flushing the staged buffer
+// here makes the sealing segment self-contained, holding exactly the
+// records up to the checkpoint watermark.
+func (l *Log) rotateSegment() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.stateErrLocked(); err != nil {
+		return err
+	}
+	// Drain any in-flight group flush: its leader holds l.file.
+	for l.flushing {
+		l.cond.Wait()
+		if err := l.stateErrLocked(); err != nil {
+			return err
+		}
+	}
+	// Write+fsync the staged records into the sealing segment. Their
+	// waiters are released as durable — truthfully, unlike the seed's
+	// truncation path which released them against a not-yet-durable
+	// image.
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if err := l.file.Close(); err != nil {
+		l.failed = fmt.Errorf("wal: seal segment: %w", err)
+		l.cond.Broadcast()
+		return l.failed
+	}
+	// From here the log has no usable file handle until the new
+	// segment opens; any failure must poison the log so later appends
+	// fail coherently instead of writing into a closed descriptor.
+	nf, err := os.OpenFile(segPath(l.dir, l.segSeq+1), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.failed = fmt.Errorf("wal: open segment: %w", err)
+		l.cond.Broadcast()
+		return l.failed
+	}
+	// The new segment's directory entry must be durable before any
+	// append into it is acknowledged, or a crash could unlink fsynced
+	// records wholesale.
+	if err := fsyncDir(l.dir); err != nil {
+		nf.Close()
+		l.failed = fmt.Errorf("wal: segment %w", err)
+		l.cond.Broadcast()
+		return l.failed
+	}
+	l.file = nf
+	l.segSeq++
+	return nil
+}
+
+// Checkpoint writes a durable image of s and drops the log prefix it
+// covers. Commits continue to flow for all but the watermark step;
+// E24 measures the residual commit-latency impact. One checkpoint
+// runs at a time; callers must be the store's single checkpoint
+// driver (records are staged under the store's commit lock, which the
+// watermark step relies on).
+func (l *Log) Checkpoint(s *store.Store) error {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+	start := time.Now()
+
+	var csn, appliedCSN uint64
+	var rotErr error
+	s.StableSnapshot(func(c, a uint64) {
+		csn, appliedCSN = c, a
+		rotErr = l.rotateSegment()
+	})
+	if rotErr != nil {
+		return rotErr
+	}
+
+	l.mu.Lock()
+	gen := l.snapGen + 1
+	sealedThrough := l.segSeq - 1
+	hook := l.hook
+	l.mu.Unlock()
+
+	written, rows, err := writeSnapshot(l.dir, gen, s, csn, appliedCSN, hook)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.snapGen = gen
+	l.mu.Unlock()
+
+	if err := l.prune(gen, sealedThrough); err != nil {
+		return err
+	}
+	if hook != nil {
+		if err := hook(StepPruned); err != nil {
+			return err
+		}
+	}
+
+	l.ckpts.Add(1)
+	l.ckptNanos.Store(time.Since(start).Nanoseconds())
+	l.ckptCSN.Store(csn)
+	l.ckptBytes.Store(written)
+	l.ckptRows.Store(rows)
+	return nil
+}
+
+// prune deletes the log prefix the generation-gen image covers: every
+// sealed segment ≤ sealedThrough (all their records have CSN ≤ the
+// image watermark) and every snapshot generation older than gen-1.
+// The immediately previous generation survives as the fallback for a
+// later corruption of gen. Only called after the image's directory
+// entry is durable; a crash mid-prune merely leaves extra files that
+// recovery skips and the next checkpoint re-prunes.
+func (l *Log) prune(gen, sealedThrough uint64) error {
+	segs, err := listSeqs(l.dir, segPrefix, segSuffix)
+	if err != nil {
+		return err
+	}
+	for _, q := range segs {
+		if q <= sealedThrough {
+			if err := os.Remove(segPath(l.dir, q)); err != nil {
+				return fmt.Errorf("wal: prune segment: %w", err)
+			}
+		}
+	}
+	gens, err := listSeqs(l.dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return err
+	}
+	for _, g := range gens {
+		if g+1 < gen {
+			if err := os.Remove(snapPath(l.dir, g)); err != nil {
+				return fmt.Errorf("wal: prune snapshot: %w", err)
+			}
+		}
+	}
+	l.mu.Lock()
+	if sealedThrough+1 > l.firstSeg {
+		l.firstSeg = sealedThrough + 1
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// CheckpointStats is a point-in-time view of checkpoint activity,
+// exported as the udr_wal_checkpoint_* metric family.
+type CheckpointStats struct {
+	// Checkpoints completed over the log's life.
+	Checkpoints uint64
+	// LastDuration is the wall time of the last completed pass.
+	LastDuration time.Duration
+	// LastCSN is the last completed pass's watermark.
+	LastCSN uint64
+	// LastBytes / LastRows describe the last image.
+	LastBytes int64
+	LastRows  int64
+	// Segments is the number of log segments on disk, including the
+	// active one. Growth means checkpoints are falling behind log
+	// production.
+	Segments uint64
+}
+
+// CheckpointStats returns current checkpoint counters.
+func (l *Log) CheckpointStats() CheckpointStats {
+	l.mu.Lock()
+	segs := l.segSeq - l.firstSeg + 1
+	l.mu.Unlock()
+	return CheckpointStats{
+		Checkpoints:  l.ckpts.Load(),
+		LastDuration: time.Duration(l.ckptNanos.Load()),
+		LastCSN:      l.ckptCSN.Load(),
+		LastBytes:    l.ckptBytes.Load(),
+		LastRows:     l.ckptRows.Load(),
+		Segments:     segs,
+	}
+}

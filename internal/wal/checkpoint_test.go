@@ -1,0 +1,357 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/store"
+)
+
+var errSimCrash = errors.New("simulated crash")
+
+// commitRange commits keys [lo,hi) durably, mixing puts and modifies
+// so a double replay of any record over snapshot state would be
+// visible (a re-applied delta would duplicate values; post-image
+// replay must not).
+func commitRange(t *testing.T, s *store.Store, l *Log, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		txn := s.Begin(store.ReadCommitted)
+		key := fmt.Sprintf("sub-%04d", i%7) // revisit keys: later versions supersede
+		if i%3 == 0 {
+			txn.Put(key, store.Entry{"imsi": {fmt.Sprint(i)}, "objectClass": {"subscriber"}})
+		} else {
+			txn.Modify(key, store.Mod{Kind: store.ModAdd, Attr: "visit", Vals: []string{fmt.Sprint(i)}})
+		}
+		rec, err := txn.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// assertStoresEqual compares full row state including metadata.
+func assertStoresEqual(t *testing.T, want, got *store.Store) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("len: want %d got %d", want.Len(), got.Len())
+	}
+	want.ForEachAny(func(key string, e store.Entry, m store.Meta) bool {
+		ge, gm, ok := got.GetAny(key)
+		if !ok {
+			t.Fatalf("row %q lost", key)
+		}
+		if !e.Equal(ge) {
+			t.Fatalf("row %q: want %v got %v", key, e, ge)
+		}
+		if m.CSN != gm.CSN || m.Tombstone != gm.Tombstone {
+			t.Fatalf("row %q meta: want %+v got %+v", key, m, gm)
+		}
+		return true
+	})
+	if want.CSN() != got.CSN() {
+		t.Fatalf("csn: want %d got %d", want.CSN(), got.CSN())
+	}
+}
+
+// TestCheckpointCrashAtEveryPoint kills a checkpoint at each
+// durability milestone — after the image write, after its fsync,
+// after the rename, after the directory fsync, after pruning — plus
+// the lost-rename variant where the crash undoes a renamed-but-not-
+// dir-synced image. Every acknowledged-durable commit must survive
+// recovery, and nothing may double-apply, regardless of where the
+// kill lands.
+func TestCheckpointCrashAtEveryPoint(t *testing.T) {
+	steps := []struct {
+		name     string
+		step     CheckpointStep
+		artifact func(t *testing.T, dir string) // post-crash disk surgery
+	}{
+		{"after-image-write", StepImageWritten, func(t *testing.T, dir string) {
+			// The tmp image was never fsynced: a real crash can leave
+			// any prefix of it. Cut it in half.
+			tmp := snapPath(dir, 2) + tmpSuffix
+			fi, err := os.Stat(tmp)
+			if err != nil {
+				t.Fatalf("expected in-flight tmp image: %v", err)
+			}
+			if err := os.Truncate(tmp, fi.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"after-image-fsync", StepImageSynced, nil},
+		{"after-rename", StepRenamed, nil},
+		{"after-rename-dirent-lost", StepRenamed, func(t *testing.T, dir string) {
+			// The rename was not followed by a directory fsync, so the
+			// crash may revert it: the new image vanishes. This is the
+			// exact ordering bug the seed had — it truncated the log
+			// at this point and lost acked writes.
+			if err := os.Remove(snapPath(dir, 2)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"after-dir-fsync", StepDirSynced, nil},
+		{"after-prune", StepPruned, nil},
+	}
+	for _, tc := range steps {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, SyncEveryCommit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := store.New("r1")
+			commitRange(t, s, l, 0, 8)
+			if err := l.Checkpoint(s); err != nil { // gen 1, clean
+				t.Fatal(err)
+			}
+			commitRange(t, s, l, 8, 14)
+
+			l.hook = func(step CheckpointStep) error {
+				if step == tc.step {
+					return errSimCrash
+				}
+				return nil
+			}
+			if err := l.Checkpoint(s); !errors.Is(err, errSimCrash) {
+				t.Fatalf("checkpoint = %v, want simulated crash", err)
+			}
+			l.Close() // crash: no final sync; everything was acked durable
+
+			if tc.artifact != nil {
+				tc.artifact(t, dir)
+			}
+
+			recovered := store.New("r1")
+			st, err := RecoverWithStats(dir, recovered)
+			if err != nil {
+				t.Fatalf("recover: %v (stats %+v)", err, st)
+			}
+			assertStoresEqual(t, s, recovered)
+
+			// Recovery must also leave a log a reopened element can
+			// keep appending to, and a second recovery must agree.
+			l2, err := Open(dir, SyncEveryCommit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			commitRange(t, recovered, l2, 14, 16)
+			l2.Close()
+			again := store.New("r1")
+			if _, err := RecoverWithStats(dir, again); err != nil {
+				t.Fatal(err)
+			}
+			assertStoresEqual(t, recovered, again)
+		})
+	}
+}
+
+// TestCheckpointCommitsFlowDuringImage proves the checkpoint is
+// non-blocking: a durable commit issued while the image is being
+// written (from inside the crash hook, i.e. strictly between the
+// watermark and the image's durability point) must complete instead
+// of deadlocking, and must survive recovery. The seed implementation
+// held the store's stable-snapshot section across the whole image
+// write, so this exact sequence would hang forever.
+func TestCheckpointCommitsFlowDuringImage(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncEveryCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := store.New("r1")
+	commitRange(t, s, l, 0, 6)
+
+	midCkpt := 0
+	l.hook = func(step CheckpointStep) error {
+		if step == StepImageWritten {
+			commitRange(t, s, l, 100, 103) // commits during the image write
+			midCkpt = 3
+		}
+		return nil
+	}
+	if err := l.Checkpoint(s); err != nil {
+		t.Fatal(err)
+	}
+	if midCkpt != 3 {
+		t.Fatal("hook never ran")
+	}
+	l.Close()
+
+	recovered := store.New("r1")
+	st, err := RecoverWithStats(dir, recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, s, recovered)
+	// The mid-checkpoint commits are above the watermark: they must
+	// have been replayed from the post-rotation segment.
+	if st.Replayed != midCkpt {
+		t.Fatalf("replayed %d, want %d (mid-checkpoint suffix)", st.Replayed, midCkpt)
+	}
+}
+
+// TestRecoverReplaysOnlySuffix asserts the bounded-restart contract:
+// after a checkpoint at CSN W, recovery installs the image and
+// replays exactly the records above W.
+func TestRecoverReplaysOnlySuffix(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncEveryCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := store.New("r1")
+	commitRange(t, s, l, 0, 20)
+	if err := l.Checkpoint(s); err != nil {
+		t.Fatal(err)
+	}
+	commitRange(t, s, l, 20, 25)
+	l.Close()
+
+	recovered := store.New("r1")
+	st, err := RecoverWithStats(dir, recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replayed != 5 || st.Skipped != 0 {
+		t.Fatalf("replayed=%d skipped=%d, want 5/0", st.Replayed, st.Skipped)
+	}
+	if st.SnapshotCSN != 20 || st.SnapshotGen != 1 {
+		t.Fatalf("snapshot csn=%d gen=%d", st.SnapshotCSN, st.SnapshotGen)
+	}
+	if st.CSN != 25 {
+		t.Fatalf("csn=%d", st.CSN)
+	}
+	assertStoresEqual(t, s, recovered)
+}
+
+// TestCorruptImageFallsBackToPreviousGeneration flips a byte in the
+// newest image of a log whose previous generation and full segment
+// suffix are still on disk (the crash-before-prune window) and
+// expects recovery to reject the bad image with ErrSnapshotCorrupt
+// accounting, fall back, and reconstruct everything from the older
+// image plus replay.
+func TestCorruptImageFallsBackToPreviousGeneration(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncEveryCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := store.New("r1")
+	commitRange(t, s, l, 0, 8)
+	if err := l.Checkpoint(s); err != nil { // gen 1
+		t.Fatal(err)
+	}
+	commitRange(t, s, l, 8, 14)
+	// Second checkpoint crashes after the image is durable but before
+	// pruning: gen 2 exists, gen 1 and all segments survive.
+	l.hook = func(step CheckpointStep) error {
+		if step == StepDirSynced {
+			return errSimCrash
+		}
+		return nil
+	}
+	if err := l.Checkpoint(s); !errors.Is(err, errSimCrash) {
+		t.Fatalf("checkpoint = %v", err)
+	}
+	l.Close()
+
+	// Bit-rot the newest image mid-file.
+	path := snapPath(dir, 2)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := store.New("r1")
+	st, err := RecoverWithStats(dir, recovered)
+	if err != nil {
+		t.Fatalf("recover should fall back, got %v", err)
+	}
+	if st.CorruptSnapshots != 1 || st.SnapshotGen != 1 {
+		t.Fatalf("stats %+v, want 1 corrupt image and fallback to gen 1", st)
+	}
+	assertStoresEqual(t, s, recovered)
+
+	// With every generation corrupt, recovery must refuse: the log
+	// prefix those images covered may already be pruned, so replaying
+	// segments alone could resurrect a truncated past as if it were
+	// current.
+	g1, err := os.ReadFile(snapPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1[len(g1)/3] ^= 0x40
+	if err := os.WriteFile(snapPath(dir, 1), g1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverWithStats(dir, store.New("r1")); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("all-corrupt recover = %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestTornFrameInSealedSegmentIsCorruption: sealed segments are
+// flushed and fsynced before the log moves past them, so a short
+// frame there can only be damage — recovery must surface it, not
+// truncate it away like an active-segment torn tail.
+func TestTornFrameInSealedSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, SyncEveryCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := store.New("r1")
+	commitRange(t, s, l, 0, 5)
+	// Crash the checkpoint before its image is durable: segment 1 is
+	// sealed but nothing covers it.
+	l.hook = func(step CheckpointStep) error { return errSimCrash }
+	if err := l.Checkpoint(s); !errors.Is(err, errSimCrash) {
+		t.Fatalf("checkpoint = %v", err)
+	}
+	l.hook = nil
+	commitRange(t, s, l, 5, 8)
+	l.Close()
+
+	seg := segPath(dir, 1)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverWithStats(dir, store.New("r1")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sealed torn frame recover = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCheckpointStatsAndSegments sanity-checks the metrics surface.
+func TestCheckpointStatsAndSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := store.New("r1")
+	commitRange(t, s, l, 0, 10)
+	if st := l.CheckpointStats(); st.Checkpoints != 0 || st.Segments != 1 {
+		t.Fatalf("pre stats %+v", st)
+	}
+	if err := l.Checkpoint(s); err != nil {
+		t.Fatal(err)
+	}
+	st := l.CheckpointStats()
+	if st.Checkpoints != 1 || st.Segments != 1 || st.LastCSN != 10 || st.LastRows == 0 || st.LastBytes == 0 {
+		t.Fatalf("post stats %+v", st)
+	}
+	l.Close()
+}

@@ -83,11 +83,7 @@ func appendRecord(b []byte, rec *store.CommitRecord) []byte {
 				b = appendString(b, v)
 			}
 		}
-		b = binary.AppendUvarint(b, uint64(len(op.VC)))
-		for id, n := range op.VC {
-			b = appendString(b, id)
-			b = binary.AppendUvarint(b, n)
-		}
+		b = appendVC(b, op.VC)
 	}
 	return b
 }
@@ -100,10 +96,27 @@ func appendFrame(b, payload []byte) []byte {
 	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
 }
 
+// appendVC appends a version vector: uvarint(nIDs) (str uvarint)*.
+func appendVC(b []byte, vc vclock.VC) []byte {
+	b = binary.AppendUvarint(b, uint64(len(vc)))
+	for id, n := range vc {
+		b = appendString(b, id)
+		b = binary.AppendUvarint(b, n)
+	}
+	return b
+}
+
 // decoder walks one payload.
 type decoder struct {
 	buf []byte
 	off int
+	// spans is per-entry scratch for the compact decode below.
+	spans []attrSpan
+}
+
+type attrSpan struct {
+	name       string
+	start, end int
 }
 
 func (d *decoder) uvarint() (uint64, error) {
@@ -167,6 +180,12 @@ func (d *decoder) strings(n int) ([]string, error) {
 // payload could possibly hold is corruption, not data.
 func (d *decoder) maxCount() uint64 { return uint64(len(d.buf)) + 1 }
 
+// entry decodes an entry straight into the store's compact resident
+// layout: attribute names interned, all values packed into one
+// backing array carved into capacity-clamped sub-slices (see
+// store/intern.go). Decoded entries become resident rows verbatim on
+// replay and snapshot load, so building them tight here is what keeps
+// a recovered element as small as a freshly provisioned one.
 func (d *decoder) entry() (store.Entry, error) {
 	n, err := d.count(d.maxCount())
 	if err != nil {
@@ -175,8 +194,15 @@ func (d *decoder) entry() (store.Entry, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	e := make(store.Entry, n-1)
-	for i := 0; i < n-1; i++ {
+	nAttr := n - 1
+	if cap(d.spans) < nAttr {
+		d.spans = make([]attrSpan, nAttr)
+	}
+	spans := d.spans[:nAttr]
+	// back must be fresh per entry: its final array is retained by the
+	// entry's value slices.
+	back := make([]string, 0, nAttr)
+	for i := range spans {
 		name, err := d.string()
 		if err != nil {
 			return nil, err
@@ -185,13 +211,51 @@ func (d *decoder) entry() (store.Entry, error) {
 		if err != nil {
 			return nil, err
 		}
-		vals, err := d.strings(nv)
+		start := len(back)
+		for j := 0; j < nv; j++ {
+			v, err := d.string()
+			if err != nil {
+				return nil, err
+			}
+			back = append(back, v)
+		}
+		spans[i] = attrSpan{name: store.Intern(name), start: start, end: len(back)}
+	}
+	// Sub-slice only after all appends: growth may have moved the
+	// backing array, and every span must point into the final one.
+	e := make(store.Entry, nAttr)
+	for _, sp := range spans {
+		if sp.start == sp.end {
+			e[sp.name] = nil // zero values round-trip as nil
+			continue
+		}
+		e[sp.name] = back[sp.start:sp.end:sp.end]
+	}
+	return e, nil
+}
+
+// vc decodes a version vector written by appendVC.
+func (d *decoder) vc() (vclock.VC, error) {
+	n, err := d.count(d.maxCount())
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	vc := make(vclock.VC, n)
+	for i := 0; i < n; i++ {
+		id, err := d.string()
 		if err != nil {
 			return nil, err
 		}
-		e[name] = vals
+		c, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		vc[id] = c
 	}
-	return e, nil
+	return vc, nil
 }
 
 // decodeRecord parses one payload into rec.
@@ -239,9 +303,11 @@ func decodeRecord(payload []byte, rec *store.CommitRecord) error {
 					return err
 				}
 				op.Mods[j].Kind = store.ModKind(mk)
-				if op.Mods[j].Attr, err = d.string(); err != nil {
+				attr, err := d.string()
+				if err != nil {
 					return err
 				}
+				op.Mods[j].Attr = store.Intern(attr)
 				nv, err := d.count(d.maxCount())
 				if err != nil {
 					return err
@@ -251,23 +317,8 @@ func decodeRecord(payload []byte, rec *store.CommitRecord) error {
 				}
 			}
 		}
-		nVC, err := d.count(d.maxCount())
-		if err != nil {
+		if op.VC, err = d.vc(); err != nil {
 			return err
-		}
-		if nVC > 0 {
-			op.VC = make(vclock.VC, nVC)
-			for j := 0; j < nVC; j++ {
-				id, err := d.string()
-				if err != nil {
-					return err
-				}
-				n, err := d.uvarint()
-				if err != nil {
-					return err
-				}
-				op.VC[id] = n
-			}
 		}
 	}
 	if d.off != len(payload) {

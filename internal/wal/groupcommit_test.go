@@ -165,7 +165,7 @@ func TestTornTailBatchRecovery(t *testing.T) {
 
 	// Tear the last frame: drop its trailing 3 bytes, as if the crash
 	// cut the cohort write short.
-	path := filepath.Join(dir, logName)
+	path := filepath.Join(dir, seg1)
 	fi, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)
@@ -234,7 +234,7 @@ func TestRecoverSurfacesMidFileCorruption(t *testing.T) {
 	commitN(t, s, l, 5)
 	l.Close()
 
-	path := filepath.Join(dir, logName)
+	path := filepath.Join(dir, seg1)
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -314,7 +314,7 @@ func TestGroupCommitAppendSyncSnapshotRace(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 5; i++ {
-			if err := l.Snapshot(s); err != nil {
+			if err := l.Checkpoint(s); err != nil {
 				t.Error(err)
 				return
 			}
@@ -403,11 +403,11 @@ func TestCrashMidCohortProperty(t *testing.T) {
 			ackedBefore[i] = acked[i].Load()
 		}
 		crashDir := t.TempDir()
-		buf, err := os.ReadFile(filepath.Join(dir, logName))
+		buf, err := os.ReadFile(filepath.Join(dir, seg1))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(crashDir, logName), buf, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(crashDir, seg1), buf, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		wg.Wait()
@@ -450,7 +450,7 @@ func TestTornTailEveryOffset(t *testing.T) {
 	const n = 5
 	commitN(t, s, l, n)
 	l.Close()
-	buf, err := os.ReadFile(filepath.Join(master, logName))
+	buf, err := os.ReadFile(filepath.Join(master, seg1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,7 +458,7 @@ func TestTornTailEveryOffset(t *testing.T) {
 	lastCSN := uint64(0)
 	for off := len(buf); off >= 0; off-- {
 		dir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(dir, logName), buf[:off], 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, seg1), buf[:off], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		recovered := store.New("r1")

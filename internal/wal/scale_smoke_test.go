@@ -1,0 +1,102 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// TestScaleSmoke is the CI scale-smoke job (make scale-smoke): it
+// provisions a ~100k-subscriber element through the commit pipeline,
+// checkpoints it under live suffix traffic, crashes, and asserts that
+// recovery (a) reproduces the exact pre-crash store digest and (b)
+// fits a wall-clock budget — the bounded-recovery claim of PR 9 at a
+// size where a whole-log O(history) replay would already hurt.
+//
+// Gated behind SCALE_SMOKE=1: the provisioning loop is deliberately
+// heavy for an ordinary `go test ./...` run.
+func TestScaleSmoke(t *testing.T) {
+	if os.Getenv("SCALE_SMOKE") == "" {
+		t.Skip("set SCALE_SMOKE=1 to run the scale smoke test")
+	}
+	const (
+		subs   = 100_000
+		batch  = 1000
+		suffix = 1000
+		// Generous on shared CI iron; local runs finish in ~1s. The
+		// budget still catches a regression to whole-history replay or
+		// an accidental O(n^2) in image load.
+		recoveryBudget = 30 * time.Second
+	)
+
+	dir := t.TempDir()
+	l, err := Open(dir, Periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := store.New("scale")
+	s.SetCommitHook(l.Append)
+
+	for i := 0; i < subs; i += batch {
+		txn := s.Begin(store.ReadCommitted)
+		for j := i; j < i+batch; j++ {
+			txn.Put(fmt.Sprintf("imsi-%09d", j), store.Entry{
+				"objectClass": {"subscriber"},
+				"imsi":        {fmt.Sprintf("24001%09d", j)},
+				"msisdn":      {fmt.Sprintf("4670%08d", j)},
+				"cell":        {fmt.Sprintf("cell-%04d", j%4096)},
+			})
+		}
+		if _, err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := l.Checkpoint(s); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint suffix: what recovery must replay — and all of it.
+	for i := 0; i < suffix; i++ {
+		txn := s.Begin(store.ReadCommitted)
+		txn.Modify(fmt.Sprintf("imsi-%09d", i), store.Mod{
+			Kind: store.ModReplace, Attr: "cell", Vals: []string{"cell-moved"},
+		})
+		if _, err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no checkpoint of the suffix, just process death.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := store.New("scale")
+	start := time.Now()
+	st, err := RecoverWithStats(dir, recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("recovered %d rows (image %d + replayed %d, skipped %d) in %s",
+		recovered.Len(), st.SnapshotRows, st.Replayed, st.Skipped, elapsed)
+
+	if st.SnapshotRows != subs {
+		t.Fatalf("image rows = %d, want %d", st.SnapshotRows, subs)
+	}
+	if st.Replayed != suffix {
+		t.Fatalf("replayed = %d, want the %d-record suffix only", st.Replayed, suffix)
+	}
+	if st.Skipped != 0 {
+		t.Fatalf("recovery re-read %d pre-checkpoint records", st.Skipped)
+	}
+	if elapsed > recoveryBudget {
+		t.Fatalf("recovery took %s, budget %s", elapsed, recoveryBudget)
+	}
+	assertStoresEqual(t, s, recovered)
+}

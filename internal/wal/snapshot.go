@@ -1,0 +1,332 @@
+// Checkpoint image codec.
+//
+// PR 3 removed gob from the log because corruption was undetectable;
+// the snapshot kept it until now. The image reuses the log's framing
+// so every byte is covered by a CRC and recovery can tell a good
+// image from a torn or rotted one:
+//
+//	file    := magic frame(header) frame(batch)* frame(end)
+//	magic   := "UDRSNAP" byte(version)
+//	header  := 'H' str(replicaID) uvarint(CSN) uvarint(AppliedCSN)
+//	batch   := 'B' uvarint(nRows) row*
+//	row     := str(key) entry meta
+//	meta    := uvarint(CSN) uvarint(WallTS) byte(flags) vc
+//	end     := 'E' uvarint(totalRows)
+//
+// entry, vc, str and the frame layout are the log codec's (codec.go).
+// The end frame doubles as a completeness marker: an image without
+// one was cut short, however plausible its prefix looks.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/store"
+)
+
+// ErrSnapshotCorrupt reports a checkpoint image that fails its
+// magic, checksum, structure or completeness check. It is distinct
+// from log ErrCorrupt so callers can see which artifact is damaged;
+// recovery reacts by falling back to the previous intact generation.
+var ErrSnapshotCorrupt = errors.New("wal: corrupt snapshot")
+
+const (
+	snapMagic         = "UDRSNAP\x01"
+	snapTagHdr        = 'H'
+	snapTagRows       = 'B'
+	snapTagEnd        = 'E'
+	metaFlagTombstone = 1
+	// snapBatchTarget is the payload size at which a row batch is
+	// framed and handed to the buffered writer.
+	snapBatchTarget = 64 << 10
+)
+
+// snapHeader is the decoded header (+ totals once the end frame is
+// read).
+type snapHeader struct {
+	replicaID  string
+	csn        uint64
+	appliedCSN uint64
+	rows       int64
+}
+
+func appendMeta(b []byte, m store.Meta) []byte {
+	b = binary.AppendUvarint(b, m.CSN)
+	b = binary.AppendUvarint(b, uint64(m.WallTS))
+	var flags byte
+	if m.Tombstone {
+		flags |= metaFlagTombstone
+	}
+	b = append(b, flags)
+	return appendVC(b, m.VC)
+}
+
+func (d *decoder) meta() (store.Meta, error) {
+	var m store.Meta
+	var err error
+	if m.CSN, err = d.uvarint(); err != nil {
+		return m, err
+	}
+	ts, err := d.uvarint()
+	if err != nil {
+		return m, err
+	}
+	m.WallTS = int64(ts)
+	flags, err := d.byte()
+	if err != nil {
+		return m, err
+	}
+	m.Tombstone = flags&metaFlagTombstone != 0
+	if m.VC, err = d.vc(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// writeSnapshot streams a full image of s into dir as generation gen
+// and makes it durable: tmp file → fsync → rename → directory fsync.
+// It runs outside any store or log lock — ForEachAny takes each
+// shard's read lock briefly and the captured entries are immutable
+// COW versions, so commits flow while the image streams. Rows
+// committed after the watermark may appear in the image with
+// CSN > csn; replay is idempotent (post-images, not deltas), so the
+// suffix replay simply reinstalls them.
+//
+// The temp file is removed on every failure path — unless the
+// configured crash hook aborted the pass, in which case the on-disk
+// state is deliberately left exactly as a real crash would, for the
+// crash-at-every-point test.
+func writeSnapshot(dir string, gen uint64, s *store.Store, csn, appliedCSN uint64,
+	hook func(CheckpointStep) error) (written int64, rows int64, err error) {
+	tmp := snapPath(dir, gen) + tmpSuffix
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: snapshot create: %w", err)
+	}
+	cleanup := true
+	defer func() {
+		if err != nil && cleanup {
+			if f != nil {
+				f.Close()
+			}
+			os.Remove(tmp)
+		}
+	}()
+	fire := func(step CheckpointStep) error {
+		if hook == nil {
+			return nil
+		}
+		if herr := hook(step); herr != nil {
+			cleanup = false // simulated crash: leave artifacts in place
+			return herr
+		}
+		return nil
+	}
+
+	w := bufio.NewWriterSize(f, 256<<10)
+	if _, err = w.WriteString(snapMagic); err != nil {
+		return 0, 0, fmt.Errorf("wal: snapshot write: %w", err)
+	}
+
+	hdr := binary.AppendUvarint(append([]byte{snapTagHdr}, // header payload
+		appendString(nil, s.ReplicaID())...), csn)
+	hdr = binary.AppendUvarint(hdr, appliedCSN)
+	if _, err = w.Write(appendFrame(nil, hdr)); err != nil {
+		return 0, 0, fmt.Errorf("wal: snapshot write: %w", err)
+	}
+
+	// Row batches: encode into a scratch payload, frame it whenever it
+	// crosses the target size. Encoding happens inside the ForEachAny
+	// callback (under one shard's read lock), but it is pure memory
+	// work; file writes happen through the buffered writer.
+	payload := make([]byte, 0, snapBatchTarget+4096)
+	frame := make([]byte, 0, snapBatchTarget+4096)
+	batchRows := 0
+	var werr error
+	emit := func() bool {
+		p := binary.AppendUvarint([]byte{snapTagRows}, uint64(batchRows))
+		p = append(p, payload...)
+		frame = appendFrame(frame[:0], p)
+		if _, werr = w.Write(frame); werr != nil {
+			return false
+		}
+		payload = payload[:0]
+		batchRows = 0
+		return true
+	}
+	s.ForEachAny(func(key string, e store.Entry, m store.Meta) bool {
+		payload = appendString(payload, key)
+		payload = appendEntry(payload, e)
+		payload = appendMeta(payload, m)
+		rows++
+		batchRows++
+		if len(payload) >= snapBatchTarget {
+			return emit()
+		}
+		return true
+	})
+	if werr != nil {
+		err = fmt.Errorf("wal: snapshot write: %w", werr)
+		return 0, 0, err
+	}
+	if batchRows > 0 && !emit() {
+		err = fmt.Errorf("wal: snapshot write: %w", werr)
+		return 0, 0, err
+	}
+
+	end := binary.AppendUvarint([]byte{snapTagEnd}, uint64(rows))
+	if _, err = w.Write(appendFrame(frame[:0], end)); err != nil {
+		return 0, 0, fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err = w.Flush(); err != nil {
+		return 0, 0, fmt.Errorf("wal: snapshot flush: %w", err)
+	}
+	if err = fire(StepImageWritten); err != nil {
+		return 0, 0, err
+	}
+	if err = f.Sync(); err != nil {
+		return 0, 0, fmt.Errorf("wal: snapshot fsync: %w", err)
+	}
+	st, serr := f.Stat()
+	if serr == nil {
+		written = st.Size()
+	}
+	if err = f.Close(); err != nil {
+		f = nil // already closed; cleanup must not double-close
+		return 0, 0, fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	f = nil
+	if err = fire(StepImageSynced); err != nil {
+		return 0, 0, err
+	}
+
+	// Durability ordering from here on is the crux of the bugfix:
+	//  1. rename tmp → final   (atomic swap of the image name)
+	//  2. fsync the directory  (the rename itself becomes durable)
+	//  3. only then may the caller prune the log prefix / old images.
+	// A crash between 1 and 2 can leave the OLD directory contents on
+	// disk; if the prefix had already been pruned, acked commits would
+	// exist in neither image nor log. With the fsync in between, prune
+	// only ever runs once the new image's directory entry is on disk.
+	if err = os.Rename(tmp, snapPath(dir, gen)); err != nil {
+		return 0, 0, fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if err = fire(StepRenamed); err != nil {
+		return 0, 0, err
+	}
+	if err = fsyncDir(dir); err != nil {
+		return 0, 0, err
+	}
+	if err = fire(StepDirSynced); err != nil {
+		return 0, 0, err
+	}
+	return written, rows, nil
+}
+
+// readSnapshot streams one image, verifying magic, per-frame CRCs,
+// structure and the end marker. install is called for every row when
+// non-nil; a verify-only pass passes nil. Any integrity failure maps
+// to ErrSnapshotCorrupt.
+func readSnapshot(path string, install func(key string, e store.Entry, m store.Meta)) (snapHeader, error) {
+	var hdr snapHeader
+	f, err := os.Open(path)
+	if err != nil {
+		return hdr, err
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 256<<10)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != snapMagic {
+		return hdr, fmt.Errorf("%w: bad magic in %s", ErrSnapshotCorrupt, path)
+	}
+
+	fs := &frameScan{r: br}
+	corrupt := func(why string) (snapHeader, error) {
+		return hdr, fmt.Errorf("%w: %s in %s", ErrSnapshotCorrupt, why, path)
+	}
+	payload, err := fs.next()
+	if err != nil {
+		return corrupt("unreadable header frame")
+	}
+	d := decoder{buf: payload}
+	tag, err := d.byte()
+	if err != nil || tag != snapTagHdr {
+		return corrupt("missing header")
+	}
+	if hdr.replicaID, err = d.string(); err != nil {
+		return corrupt("bad header")
+	}
+	if hdr.csn, err = d.uvarint(); err != nil {
+		return corrupt("bad header")
+	}
+	if hdr.appliedCSN, err = d.uvarint(); err != nil {
+		return corrupt("bad header")
+	}
+
+	var rows int64
+	var bd decoder // reused across batches so the span scratch persists
+	for {
+		payload, err := fs.next()
+		if err != nil {
+			// io.EOF here means the end marker never arrived: the
+			// image was cut short, even though every present frame
+			// checks out.
+			return corrupt("truncated or unreadable frame")
+		}
+		d := &bd
+		d.buf, d.off = payload, 0
+		tag, err := d.byte()
+		if err != nil {
+			return corrupt("empty frame")
+		}
+		switch tag {
+		case snapTagRows:
+			n, err := d.count(d.maxCount())
+			if err != nil {
+				return corrupt("bad batch count")
+			}
+			for i := 0; i < n; i++ {
+				key, err := d.string()
+				if err != nil {
+					return corrupt("bad row key")
+				}
+				e, err := d.entry()
+				if err != nil {
+					return corrupt("bad row entry")
+				}
+				m, err := d.meta()
+				if err != nil {
+					return corrupt("bad row meta")
+				}
+				if install != nil {
+					install(key, e, m)
+				}
+				rows++
+			}
+			if d.off != len(payload) {
+				return corrupt("trailing bytes in batch")
+			}
+		case snapTagEnd:
+			want, err := d.uvarint()
+			if err != nil || d.off != len(payload) {
+				return corrupt("bad end frame")
+			}
+			if int64(want) != rows {
+				return corrupt(fmt.Sprintf("row count mismatch: image says %d, read %d", want, rows))
+			}
+			if _, err := fs.next(); err != io.EOF {
+				return corrupt("data past end frame")
+			}
+			hdr.rows = rows
+			return hdr, nil
+		default:
+			return corrupt("unknown frame tag")
+		}
+	}
+}

@@ -24,18 +24,18 @@
 // commits on one partition overlap their durability waits. E18 and
 // BenchmarkWALGroupCommitParallel measure the amortization.
 //
-// A Log persists one store (one partition replica). Snapshots compact
-// the log: the full store image is written atomically, then the log
-// restarts empty.
+// A Log persists one store (one partition replica) as numbered
+// segment files plus CRC-framed checkpoint images (segment.go,
+// snapshot.go). Checkpoints compact the log incrementally: the image
+// streams while commits flow, and the covered prefix is dropped by
+// deleting whole sealed segments (checkpoint.go).
 package wal
 
 import (
-	"bufio"
-	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -63,12 +63,6 @@ func (m Mode) String() string {
 	}
 	return "periodic"
 }
-
-const (
-	logName      = "wal.log"
-	snapName     = "snapshot.gob"
-	snapTempName = "snapshot.gob.tmp"
-)
 
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
@@ -116,6 +110,25 @@ type Log struct {
 	appends atomic.Uint64
 	syncs   atomic.Uint64
 
+	// segSeq is the active segment's sequence number; firstSeg the
+	// oldest segment still on disk; snapGen the newest durable
+	// checkpoint image generation. All under l.mu.
+	segSeq   uint64
+	firstSeg uint64
+	snapGen  uint64
+
+	// ckptMu serializes checkpoint passes (checkpoint.go).
+	ckptMu sync.Mutex
+	// hook, when set (tests only), is called at each CheckpointStep;
+	// a non-nil return aborts the pass like a crash at that point.
+	hook func(CheckpointStep) error
+
+	ckpts     atomic.Uint64
+	ckptNanos atomic.Int64
+	ckptCSN   atomic.Uint64
+	ckptBytes atomic.Int64
+	ckptRows  atomic.Int64
+
 	stopPeriodic chan struct{}
 	wg           sync.WaitGroup
 }
@@ -127,11 +140,42 @@ func Open(dir string, mode Mode) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	// A checkpoint that crashed mid-image leaves a .tmp file behind;
+	// it was never durable state, so sweep it.
+	sweepTemps(dir)
+
+	segs, err := listSeqs(dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, err
+	}
+	seq, first := uint64(1), uint64(1)
+	created := len(segs) == 0
+	if !created {
+		seq, first = segs[len(segs)-1], segs[0]
+	}
+	f, err := os.OpenFile(segPath(dir, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, mode: mode, file: f, groupCommit: true}
+	if created {
+		// The first segment's directory entry must be durable before
+		// any append into it is acknowledged.
+		if err := fsyncDir(dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	gens, err := listSeqs(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	var gen uint64
+	if len(gens) > 0 {
+		gen = gens[len(gens)-1]
+	}
+	l := &Log{dir: dir, mode: mode, file: f, groupCommit: true,
+		segSeq: seq, firstSeg: first, snapGen: gen}
 	l.cond = sync.NewCond(&l.mu)
 	return l, nil
 }
@@ -400,106 +444,6 @@ func (l *Log) StartPeriodic(interval time.Duration) {
 	}()
 }
 
-// snapshot is the on-disk snapshot format.
-type snapshot struct {
-	ReplicaID  string
-	CSN        uint64
-	AppliedCSN uint64
-	Rows       []snapRow
-}
-
-type snapRow struct {
-	Key   string
-	Entry store.Entry
-	Meta  store.Meta
-}
-
-// Snapshot atomically writes a full image of s and truncates the log.
-// This is the paper's periodic RAM→disk save at its coarsest. The
-// whole cycle — row collection, file write, log truncation — runs
-// inside the store's stable-snapshot section, which excludes commits
-// and replicated applies: a multi-row transaction can never be
-// captured half-installed, and a record can never be truncated away
-// unless the image already covers it. Commits stall for the duration;
-// that is the §3.1 periodic-save cost, paid at snapshot cadence.
-func (l *Log) Snapshot(s *store.Store) error {
-	var err error
-	s.StableSnapshot(func(csn, appliedCSN uint64) {
-		snap := snapshot{
-			ReplicaID:  s.ReplicaID(),
-			CSN:        csn,
-			AppliedCSN: appliedCSN,
-		}
-		// Shared immutable row versions are collected in place — safe
-		// to encode after the iteration since installed entries are
-		// never mutated, only replaced.
-		s.ForEachAny(func(key string, e store.Entry, m store.Meta) bool {
-			snap.Rows = append(snap.Rows, snapRow{Key: key, Entry: e, Meta: m})
-			return true
-		})
-		err = l.writeSnapshotLocked(&snap)
-	})
-	return err
-}
-
-// writeSnapshotLocked persists the image and truncates the log. The
-// caller holds the store's stable-snapshot section.
-func (l *Log) writeSnapshotLocked(snap *snapshot) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.stateErrLocked(); err != nil {
-		return err
-	}
-	// Drain any in-flight group flush: it holds l.file.
-	for l.flushing {
-		l.cond.Wait()
-		if err := l.stateErrLocked(); err != nil {
-			return err
-		}
-	}
-
-	tmp := filepath.Join(l.dir, snapTempName)
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("wal: snapshot: %w", err)
-	}
-	w := bufio.NewWriter(f)
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
-		f.Close()
-		return fmt.Errorf("wal: snapshot encode: %w", err)
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("wal: snapshot flush: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("wal: snapshot fsync: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("wal: snapshot close: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
-		return fmt.Errorf("wal: snapshot rename: %w", err)
-	}
-
-	// Truncate the log: everything it held — staged or written — is
-	// in the snapshot image, so staged bytes are simply dropped and
-	// their waiters released as durable.
-	if err := l.file.Close(); err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	nf, err := os.OpenFile(filepath.Join(l.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	l.file = nf
-	l.stage = l.stage[:0]
-	l.durableSeq = l.stagedSeq
-	l.cond.Broadcast()
-	return nil
-}
-
 // Close stops the periodic flusher and closes the file WITHOUT a
 // final sync: data appended since the last sync is lost, exactly like
 // the RAM contents of a failed storage element. Call Sync first for a
@@ -529,76 +473,166 @@ func (l *Log) Close() error {
 	return f.Close()
 }
 
-// Recover rebuilds a store from dir: snapshot first, then replay of
-// every intact log record. It returns the recovered commit CSN and
-// the number of replayed records. A torn tail (a crash mid batch
-// write) is discarded AND truncated off the file, so records appended
-// after recovery are never hidden behind unreadable garbage. A record
-// failing its checksum mid-file is different — that is corruption,
-// not a crash artifact, and anything after it is untrusted: Recover
-// returns an error without truncating, and the element owner decides
-// (typically reseed from a replica).
-func Recover(dir string, s *store.Store) (csn uint64, replayed int, err error) {
-	// Load the snapshot if present.
-	snapPath := filepath.Join(dir, snapName)
-	if f, err2 := os.Open(snapPath); err2 == nil {
-		var snap snapshot
-		derr := gob.NewDecoder(bufio.NewReader(f)).Decode(&snap)
-		f.Close()
-		if derr != nil {
-			return 0, 0, fmt.Errorf("wal: snapshot decode: %w", derr)
-		}
-		for _, r := range snap.Rows {
-			s.PutDirect(r.Key, r.Entry, r.Meta)
-		}
-		s.SetCSN(snap.CSN)
-		s.SetAppliedCSN(snap.AppliedCSN)
-		csn = snap.CSN
-	} else if !errors.Is(err2, os.ErrNotExist) {
-		return 0, 0, fmt.Errorf("wal: %w", err2)
-	}
-	snapCSN := csn
+// RecoverStats describes what one recovery pass did; E24 and the
+// scale smoke assert on it (suffix-only replay, bounded restart).
+type RecoverStats struct {
+	// CSN / AppliedCSN are the recovered store's positions.
+	CSN        uint64
+	AppliedCSN uint64
+	// SnapshotGen / SnapshotCSN / SnapshotRows describe the image the
+	// recovery started from (zero values if none existed).
+	SnapshotGen  uint64
+	SnapshotCSN  uint64
+	SnapshotRows int64
+	// CorruptSnapshots counts image generations rejected before an
+	// intact one loaded.
+	CorruptSnapshots int
+	// Replayed counts log records applied — the post-checkpoint
+	// suffix only. Skipped counts records below the image watermark
+	// (sealed-segment leftovers a crashed prune didn't remove).
+	Replayed int
+	Skipped  int
+	// Segments is the number of segment files scanned.
+	Segments int
+	// TornTail reports that the last segment ended mid-frame (crash
+	// during a batch write) and was truncated at the last intact
+	// frame boundary.
+	TornTail bool
+}
 
-	// Replay the log.
-	path := filepath.Join(dir, logName)
-	buf, err2 := os.ReadFile(path)
-	if err2 != nil {
-		if errors.Is(err2, os.ErrNotExist) {
-			return csn, 0, nil
-		}
-		return 0, 0, fmt.Errorf("wal: %w", err2)
+// Recover rebuilds a store from dir: newest intact checkpoint image
+// first, then streaming replay of the log suffix above the image
+// watermark.
+func Recover(dir string, s *store.Store) (csn uint64, replayed int, err error) {
+	st, err := RecoverWithStats(dir, s)
+	return st.CSN, st.Replayed, err
+}
+
+// RecoverWithStats is Recover with the full pass description.
+//
+// Memory is O(largest frame), not O(log size): the image and every
+// segment are read through a streaming frame scanner, so a restart at
+// 10M subscribers does not double-buffer the dataset.
+//
+// Failure handling, from benign to fatal:
+//   - A torn tail in the LAST segment is a crash artifact: replay
+//     stops at the last intact frame and the partial frame is
+//     truncated off so post-recovery appends start clean.
+//   - A corrupt newest image (ErrSnapshotCorrupt) falls back to the
+//     previous generation, which pruning deliberately retains; the
+//     segments still on disk then carry the delta. The rejection is
+//     reported in CorruptSnapshots.
+//   - A corrupt record mid-segment, a torn frame in a SEALED segment,
+//     or no intact image generation at all is real damage, not a
+//     crash artifact: surfaced as an error without truncating, and
+//     the element owner decides (typically reseed from a replica).
+func RecoverWithStats(dir string, s *store.Store) (RecoverStats, error) {
+	var st RecoverStats
+
+	// Newest intact image wins. Each candidate is verified with a
+	// streaming pass BEFORE any row is installed, so a corrupt image
+	// can never half-populate the store it is rejected from.
+	gens, err := listSeqs(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return st, err
 	}
-	off := 0
-	for off < len(buf) {
-		var rec store.CommitRecord
-		next, derr := readFrame(buf, off, &rec)
-		if derr != nil {
-			if !errors.Is(derr, errShort) {
-				// A checksum or structure failure inside a complete
-				// frame is corruption, not a crash artifact: the
-				// records already replayed are good, but everything
-				// after the bad frame is untrusted and must not be
-				// silently truncated away. Surface it; the element
-				// owner decides (reseed from a replica).
-				return 0, 0, fmt.Errorf("wal: recover at offset %d: %w", off, derr)
+	for i := len(gens) - 1; i >= 0; i-- {
+		path := snapPath(dir, gens[i])
+		if _, verr := readSnapshot(path, nil); verr != nil {
+			if errors.Is(verr, ErrSnapshotCorrupt) {
+				st.CorruptSnapshots++
+				continue
 			}
-			// Torn tail: the crash cut a cohort write short. The redo
-			// pass ends here and the partial frame is cut off so
-			// post-recovery appends start at a clean frame boundary.
-			if terr := os.Truncate(path, int64(off)); terr != nil {
-				return 0, 0, fmt.Errorf("wal: truncate torn tail: %w", terr)
-			}
-			break
+			return st, verr
 		}
-		off = next
-		if rec.CSN <= snapCSN {
-			continue // already covered by the snapshot
+		hdr, lerr := readSnapshot(path, func(key string, e store.Entry, m store.Meta) {
+			// Decoded entries are fresh compact copies: install them
+			// without the defensive clone.
+			s.PutOwned(key, e, m)
+		})
+		if lerr != nil {
+			// The file passed verification a moment ago; treat a
+			// second-pass failure as I/O trouble, not a fallback case.
+			return st, lerr
 		}
-		s.Replay(&rec)
-		if rec.CSN > csn {
-			csn = rec.CSN
-		}
-		replayed++
+		s.SetCSN(hdr.csn)
+		s.SetAppliedCSN(hdr.appliedCSN)
+		st.SnapshotGen = gens[i]
+		st.SnapshotCSN = hdr.csn
+		st.SnapshotRows = hdr.rows
+		st.CSN = hdr.csn
+		st.AppliedCSN = hdr.appliedCSN
+		break
 	}
-	return csn, replayed, nil
+	if st.CorruptSnapshots > 0 && st.SnapshotGen == 0 {
+		// Generations existed but none verified. The log prefix they
+		// covered may already be pruned; recovering from the segments
+		// alone could silently resurrect a truncated past.
+		return st, fmt.Errorf("%w: no intact generation among %d", ErrSnapshotCorrupt, len(gens))
+	}
+
+	// Replay segments oldest→newest, one bounded frame at a time.
+	segs, err := listSeqs(dir, segPrefix, segSuffix)
+	if err != nil {
+		return st, err
+	}
+	st.Segments = len(segs)
+	var rec store.CommitRecord
+	for i, seq := range segs {
+		path := segPath(dir, seq)
+		f, oerr := os.Open(path)
+		if oerr != nil {
+			return st, fmt.Errorf("wal: %w", oerr)
+		}
+		fs := newFrameScan(f)
+		for {
+			payload, rerr := fs.next()
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				f.Close()
+				if !errors.Is(rerr, errShort) {
+					// Checksum/structure failure inside a complete
+					// frame: corruption. Records already replayed are
+					// good; everything after is untrusted and must not
+					// be silently truncated away.
+					return st, fmt.Errorf("wal: recover %s at offset %d: %w", path, fs.consumed, rerr)
+				}
+				if i != len(segs)-1 {
+					// Sealed segments are flushed+fsynced before the
+					// active segment moves on; a short frame here is
+					// damage, not a crash artifact.
+					return st, fmt.Errorf("wal: recover %s at offset %d: torn frame in sealed segment: %w", path, fs.consumed, ErrCorrupt)
+				}
+				// Torn tail of the active segment: the crash cut a
+				// cohort write short. Truncate at the last intact
+				// frame so post-recovery appends start clean.
+				if terr := os.Truncate(path, fs.consumed); terr != nil {
+					return st, fmt.Errorf("wal: truncate torn tail: %w", terr)
+				}
+				st.TornTail = true
+				break
+			}
+			rec = store.CommitRecord{}
+			if derr := decodeRecord(payload, &rec); derr != nil {
+				f.Close()
+				if errors.Is(derr, errShort) {
+					derr = fmt.Errorf("%w: truncated payload inside intact frame", ErrCorrupt)
+				}
+				return st, fmt.Errorf("wal: recover %s: %w", path, derr)
+			}
+			if rec.CSN <= st.SnapshotCSN {
+				st.Skipped++
+				continue
+			}
+			s.Replay(&rec)
+			if rec.CSN > st.CSN {
+				st.CSN = rec.CSN
+			}
+			st.Replayed++
+		}
+		f.Close()
+	}
+	return st, nil
 }

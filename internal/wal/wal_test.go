@@ -10,6 +10,10 @@ import (
 	"repro/internal/store"
 )
 
+// seg1 is the first segment's file name — the entire log for tests
+// that never checkpoint.
+var seg1 = fmt.Sprintf("%s%08d%s", segPrefix, 1, segSuffix)
+
 func commitN(t *testing.T, s *store.Store, l *Log, n int) {
 	t.Helper()
 	for i := 0; i < n; i++ {
@@ -122,7 +126,7 @@ func TestSyncEveryCommitLosesNothing(t *testing.T) {
 	}
 }
 
-func TestSnapshotTruncatesLog(t *testing.T) {
+func TestCheckpointPrunesLog(t *testing.T) {
 	dir := t.TempDir()
 	l, err := Open(dir, Periodic)
 	if err != nil {
@@ -130,16 +134,20 @@ func TestSnapshotTruncatesLog(t *testing.T) {
 	}
 	s := store.New("r1")
 	commitN(t, s, l, 20)
-	if err := l.Snapshot(s); err != nil {
+	if err := l.Checkpoint(s); err != nil {
 		t.Fatal(err)
 	}
-	// The log restarts empty.
-	fi, err := os.Stat(filepath.Join(dir, logName))
+	// The sealed segment holding the 20 commits is gone; appends
+	// continue in a fresh segment.
+	if _, err := os.Stat(segPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatalf("sealed segment survived checkpoint: %v", err)
+	}
+	fi, err := os.Stat(segPath(dir, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fi.Size() != 0 {
-		t.Fatalf("log size after snapshot = %d", fi.Size())
+		t.Fatalf("active segment size after checkpoint = %d", fi.Size())
 	}
 	// More commits after the snapshot.
 	for i := 20; i < 25; i++ {
@@ -173,7 +181,7 @@ func TestSnapshotPreservesTombstones(t *testing.T) {
 	txn.Delete("k0001")
 	rec, _ := txn.Commit()
 	l.Append(rec)
-	if err := l.Snapshot(s); err != nil {
+	if err := l.Checkpoint(s); err != nil {
 		t.Fatal(err)
 	}
 	l.Close()
@@ -207,7 +215,7 @@ func TestTornTailDiscarded(t *testing.T) {
 	l.Close()
 
 	// Corrupt the tail: append garbage bytes.
-	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_APPEND|os.O_WRONLY, 0)
+	f, err := os.OpenFile(filepath.Join(dir, seg1), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +283,7 @@ func TestRecoverSlaveAppliedCSN(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := l.Snapshot(s); err != nil {
+	if err := l.Checkpoint(s); err != nil {
 		t.Fatal(err)
 	}
 	l.Close()

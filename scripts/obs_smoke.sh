@@ -37,6 +37,7 @@ echo "obs-smoke: starting udrd (admin on $ADMIN_ADDR)"
     -admin "$ADMIN_ADDR" \
     -subs 20 \
     -wal-dir "$WORKDIR/wal" -wal-sync \
+    -checkpoint-interval 500ms \
     -durability quorum -quorum-policy majority \
     >"$WORKDIR/udrd.log" 2>&1 &
 UDRD_PID=$!
@@ -74,7 +75,9 @@ fetch "http://$ADMIN_ADDR/metrics" "$WORKDIR/metrics.txt"
 # histogram, replication queue depth, WAL fsyncs-per-commit ratio,
 # anti-entropy rows shipped, migration-progress gauge. ISSUE 7 adds
 # the FE/PoA read-cache counters; ISSUE 8 the quorum-durability
-# families (the daemon above runs with -durability quorum).
+# families (the daemon above runs with -durability quorum); ISSUE 9
+# the incremental-checkpoint families (the daemon above runs with
+# -checkpoint-interval).
 for family in \
     "udr_poa_op_latency_seconds histogram" \
     "udr_replication_queue_depth gauge" \
@@ -88,7 +91,12 @@ for family in \
     "udr_fe_cache_misses_total counter" \
     "udr_fe_cache_evictions_total counter" \
     "udr_fe_cache_invalidations_total counter" \
-    "udr_fe_cache_entries gauge"; do
+    "udr_fe_cache_entries gauge" \
+    "udr_wal_checkpoints_total counter" \
+    "udr_wal_checkpoint_duration_seconds gauge" \
+    "udr_wal_checkpoint_bytes gauge" \
+    "udr_wal_checkpoint_csn gauge" \
+    "udr_wal_segments gauge"; do
     if ! grep -q "^# TYPE $family\$" "$WORKDIR/metrics.txt"; then
         echo "obs-smoke: FAIL — missing family: # TYPE $family" >&2
         exit 1
@@ -101,6 +109,22 @@ grep -q '^udr_partition_rows{site=' "$WORKDIR/metrics.txt" || {
     echo "obs-smoke: FAIL — no labeled udr_partition_rows sample" >&2
     exit 1
 }
+
+# With a 500ms cadence at least one checkpoint must have completed by
+# now on every element; a labeled non-zero sample proves the ticker
+# and the stats plumbing are live.
+sleep 1
+fetch "http://$ADMIN_ADDR/metrics" "$WORKDIR/metrics2.txt"
+grep -q '^udr_wal_checkpoints_total{site=' "$WORKDIR/metrics2.txt" || {
+    echo "obs-smoke: FAIL — no labeled udr_wal_checkpoints_total sample" >&2
+    exit 1
+}
+if ! grep '^udr_wal_checkpoints_total{site=' "$WORKDIR/metrics2.txt" | grep -qv ' 0$'; then
+    echo "obs-smoke: FAIL — no checkpoint completed under -checkpoint-interval" >&2
+    grep '^udr_wal_checkpoints_total' "$WORKDIR/metrics2.txt" >&2
+    exit 1
+fi
+echo "obs-smoke: checkpoints ticking"
 
 fetch "http://$ADMIN_ADDR/status" "$WORKDIR/status.json"
 grep -q '"partitions"' "$WORKDIR/status.json" || {

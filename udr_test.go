@@ -224,7 +224,7 @@ func TestLDAPStackUnavailableDuringPartition(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 22 {
+	if len(ids) != 23 {
 		t.Fatalf("experiments = %v", ids)
 	}
 	title, source, ok := DescribeExperiment("E3")
