@@ -1,14 +1,14 @@
 GO ?= go
 
 # Benchmarks included in the archived perf trajectory (bench-json).
-SMOKE_BENCH ?= ^(BenchmarkStoreRead|BenchmarkStoreReadParallel|BenchmarkStoreCommit|BenchmarkStoreCommitParallel|BenchmarkStoreMixedParallel|BenchmarkStoreFindIndexed|BenchmarkFEReadPath|BenchmarkFEReadPathParallel|BenchmarkFECachedRead|BenchmarkFECachedReadParallel|BenchmarkFEHotKeyMixedCached|BenchmarkReplicationApply|BenchmarkWALAppendSync|BenchmarkWALGroupCommitParallel|BenchmarkCommitDurableParallel|BenchmarkCommitQuorum|BenchmarkCommitSyncAll|BenchmarkMigratePartition)$$
+SMOKE_BENCH ?= ^(BenchmarkStoreRead|BenchmarkStoreReadParallel|BenchmarkStoreCommit|BenchmarkStoreCommitParallel|BenchmarkStoreMixedParallel|BenchmarkStoreFindIndexed|BenchmarkFEReadPath|BenchmarkFEReadPathParallel|BenchmarkFECachedRead|BenchmarkFECachedReadParallel|BenchmarkFEHotKeyMixedCached|BenchmarkReplicationApply|BenchmarkWALAppendSync|BenchmarkWALGroupCommitParallel|BenchmarkCommitDurableParallel|BenchmarkCommitQuorum|BenchmarkCommitSyncAll|BenchmarkMigratePartition|BenchmarkTracedCommit|BenchmarkUntracedCommit)$$
 SMOKE_BENCHTIME ?= 2000x
 # Heavy 100k-row scale benchmarks: run once each (throughput/footprint
 # figures, not per-op latencies) and appended to the same snapshot.
 SCALE_BENCH ?= ^(BenchmarkWALCheckpoint|BenchmarkWALRecover|BenchmarkStoreResident)$$
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 
-.PHONY: build test test-race bench bench-json chaos chaos-long obs-smoke scale-smoke lint clean
+.PHONY: build test test-race bench bench-json chaos chaos-long obs-smoke cluster-demo scale-smoke lint clean
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,12 @@ bench-json:
 # (the acceptance metric families). CI runs this as the obs-smoke job.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# Three udrd nodes over real TCP LDAP: provision through one, kill it,
+# verify the survivors' /metrics + /trace/slow surfaces and the
+# shutdown summary line. CI runs this as the cluster-demo job.
+cluster-demo:
+	sh scripts/cluster_demo.sh
 
 # Provision ~100k subscribers, checkpoint, crash, recover; assert the
 # recovered digest and the recovery-time budget (CI's scale-smoke job).

@@ -27,6 +27,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/subscriber"
+	"repro/internal/trace"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -962,6 +963,41 @@ func benchCommitWAN(b *testing.B, d replication.Durability) {
 
 func BenchmarkCommitQuorum(b *testing.B)  { benchCommitWAN(b, replication.Quorum) }
 func BenchmarkCommitSyncAll(b *testing.B) { benchCommitWAN(b, replication.SyncAll) }
+
+// benchTracedCommit measures the end-to-end durable write path
+// (session → PoA → SE → store install + WAL fsync) with or without
+// the span recorder wired through every layer. At the default 1/64
+// head-sampling rate the unsampled fast path is two clock reads plus
+// one atomic load per hook, so Traced must stay within a few percent
+// of Untraced — the tracing overhead budget.
+func benchTracedCommit(b *testing.B, tracer *trace.Recorder) {
+	net, u, profiles := benchUDR(b, 1000, func(cfg *core.Config) {
+		cfg.WALDir = b.TempDir()
+		cfg.WALMode = wal.SyncEveryCommit
+		cfg.Trace = tracer
+	})
+	_ = u
+	site := u.Sites()[0]
+	sess := core.NewSession(net, simnet.MakeAddr(site, "bench-fe"), site, core.PolicyFE)
+	if tracer != nil {
+		sess.AttachTracer(tracer)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := profiles[i%len(profiles)]
+		if _, err := sess.Modify(ctx,
+			subscriber.Identity{Type: subscriber.MSISDN, Value: p.MSISDNVal},
+			store.Mod{Kind: store.ModReplace, Attr: subscriber.AttrServingNode, Vals: []string{"mme-b"}},
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTracedCommit(b *testing.B)   { benchTracedCommit(b, trace.New(trace.Config{})) }
+func BenchmarkUntracedCommit(b *testing.B) { benchTracedCommit(b, nil) }
 
 // BenchmarkReplicationApply measures slave-side ordered apply.
 func BenchmarkReplicationApply(b *testing.B) {

@@ -31,6 +31,7 @@ commands:
   repair                      run an anti-entropy repair round on every partition
   move <part> <target-el>     live-migrate a partition master to a storage element
   rebalance                   plan and execute an elastic rebalancing pass
+  trace [recent|slow|<id>]    list sampled request traces, or render one span tree
   search <filter>             subtree search, e.g. '(msisdn=34600000001)'
   get <subscriber-id>         base-object read by DN
   compare <id> <attr> <val>   LDAP compare
@@ -77,6 +78,17 @@ func main() {
 		exitOn(r, err)
 	case "rebalance":
 		text, r, err := c.Rebalance()
+		fmt.Print(text)
+		exitOn(r, err)
+	case "trace":
+		arg := "recent"
+		if len(args) > 2 {
+			usage()
+		}
+		if len(args) == 2 {
+			arg = args[1]
+		}
+		text, r, err := c.Trace(arg)
 		fmt.Print(text)
 		exitOn(r, err)
 	case "search":

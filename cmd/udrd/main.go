@@ -38,6 +38,7 @@ import (
 	"repro/internal/replication"
 	"repro/internal/simnet"
 	"repro/internal/subscriber"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -72,6 +73,9 @@ func run() error {
 		feCacheN = flag.Int("fe-cache-size", 0, "FE cache capacity in entries per site (0 = default)")
 		durab    = flag.String("durability", "async", "commit durability: async, dual-seq, quorum or sync-all")
 		quorumP  = flag.String("quorum-policy", "majority", "quorum shape under -durability quorum: majority, k=N or site:L+R")
+		trSample = flag.Float64("trace-sample", 1.0/64, "request-trace head-sampling probability in [0,1]; 0 keeps only tail samples, negative disables tracing")
+		trSlow   = flag.Duration("trace-slow", 0, "tail-sample requests slower than this (0 = default 25ms, negative disables tail sampling)")
+		trBuf    = flag.Int("trace-buf", 0, "buffered trace spans across all rings (0 = default)")
 	)
 	flag.Parse()
 
@@ -95,6 +99,15 @@ func run() error {
 	if *walSync {
 		cfg.WALMode = wal.SyncEveryCommit
 	}
+	var tracer *trace.Recorder
+	if *trSample >= 0 {
+		rate := *trSample
+		if rate == 0 {
+			rate = -1 // head sampling off; tail sampling still runs
+		}
+		tracer = trace.New(trace.Config{SampleRate: rate, SlowThreshold: *trSlow, Capacity: *trBuf})
+		cfg.Trace = tracer
+	}
 	for _, s := range siteNames {
 		cfg.Sites = append(cfg.Sites, core.SiteSpec{Name: strings.TrimSpace(s), SEs: *sesPer, PartitionsPerSE: 1})
 	}
@@ -105,6 +118,10 @@ func run() error {
 		return err
 	}
 	defer u.Stop()
+	start := time.Now()
+	// Registered after u.Stop's defer, so the summary reads the
+	// counters while the topology is still up, on every exit path.
+	defer func() { fmt.Println(summary(u, tracer, time.Since(start))) }()
 
 	gen := subscriber.NewGenerator(u.Sites()...)
 	for i := 0; i < *subs; i++ {
@@ -125,6 +142,9 @@ func run() error {
 	if c := u.PoA(served).Cache(); c != nil {
 		session.AttachCache(c)
 	}
+	if tracer != nil {
+		session.AttachTracer(tracer)
+	}
 	server := ldap.NewServer(core.NewLDAPBackend(session).WithTopology(u))
 
 	ln, err := net.Listen("tcp", *addr)
@@ -142,7 +162,7 @@ func run() error {
 	if *adminAdr != "" {
 		reg := metrics.NewRegistry()
 		u.RegisterMetrics(reg)
-		admin := obs.NewServer(obs.Config{Registry: reg, UDR: u})
+		admin := obs.NewServer(obs.Config{Registry: reg, UDR: u, Tracer: tracer})
 		adminLn, err := net.Listen("tcp", *adminAdr)
 		if err != nil {
 			return fmt.Errorf("admin listener: %w", err)
@@ -182,4 +202,29 @@ func run() error {
 	case err := <-serveErr:
 		return err
 	}
+}
+
+// summary renders the one-line shutdown report: traffic served, the
+// durability high-water mark, and what the trace recorder captured.
+func summary(u *core.UDR, tracer *trace.Recorder, up time.Duration) string {
+	var reads, writes int64
+	var lastCSN uint64
+	for _, elID := range u.Elements() {
+		el := u.Element(elID)
+		if el == nil {
+			continue
+		}
+		reads += el.Reads.Value()
+		writes += el.Writes.Value()
+		for _, partID := range el.Partitions() {
+			if pr := el.Replica(partID); pr != nil {
+				if csn := pr.Store.CSN(); csn > lastCSN {
+					lastCSN = csn
+				}
+			}
+		}
+	}
+	ts := tracer.Stats() // nil-safe: all-zero when tracing is disabled
+	return fmt.Sprintf("udrd: shutdown after %s — %d ops served (%d reads, %d writes), last CSN %d, traces flushed: %d spans from %d sampled traces (%d dropped)",
+		up.Round(time.Millisecond), reads+writes, reads, writes, lastCSN, ts.Spans, ts.Sampled, ts.Dropped)
 }

@@ -1,12 +1,15 @@
 // Observe: run a UDR with the full observability surface — the
-// metrics registry, the Prometheus /metrics exposition and the admin
-// HTTP endpoints — drive a front-end workload against it, scrape
-// /metrics twice, and read the WAL group-commit amortization and
-// replication shipping lag off the deltas, exactly the way a
-// Prometheus rate() query would.
+// metrics registry, the Prometheus /metrics exposition, the admin
+// HTTP endpoints and the request tracer — drive a front-end workload
+// against it, scrape /metrics twice, and read the WAL group-commit
+// amortization and replication shipping lag off the deltas, exactly
+// the way a Prometheus rate() query would. Then zoom from the
+// aggregate to one request: render a sampled quorum-commit trace and
+// read the fsync and quorum-ack-wait shares straight off its spans.
 //
 // This is the in-process version of what `udrd -admin :9100` serves;
-// point a real Prometheus at udrd to get the same families.
+// point a real Prometheus at udrd to get the same families and
+// /trace/{recent,slow,<id>} endpoints.
 package main
 
 import (
@@ -30,19 +33,24 @@ func main() {
 	defer cancel()
 
 	// A three-site UDR with durable WAL (fsync on every commit, group-
-	// committed) and anti-entropy repair — the subsystems whose
-	// instruments we want to watch.
+	// committed), quorum durability and anti-entropy repair — the
+	// subsystems whose instruments we want to watch. The tracer
+	// samples every request so the walkthrough below always has a
+	// quorum-commit trace to render; production rates are 1/64-ish.
 	walDir, err := os.MkdirTemp("", "udr-observe-wal-")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(walDir)
 
+	tracer := udr.NewTracer(udr.TraceConfig{SampleRate: 1})
 	network := udr.NewNetwork(udr.DefaultNetConfig())
 	cfg := udr.DefaultConfig()
 	cfg.WALDir = walDir
 	cfg.WALMode = udr.WALSyncEveryCommit
+	cfg.Durability = udr.DurabilityQuorum
 	cfg.AntiEntropy = true
+	cfg.Trace = tracer
 	u, err := udr.New(network, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -54,7 +62,7 @@ func main() {
 	// flag does.
 	reg := udr.NewMetricsRegistry()
 	u.RegisterMetrics(reg)
-	srv := udr.NewObsServer(udr.ObsConfig{Registry: reg, UDR: u})
+	srv := udr.NewObsServer(udr.ObsConfig{Registry: reg, UDR: u, Tracer: tracer})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -94,6 +102,7 @@ func main() {
 		name := fmt.Sprintf("hss-fe-%d", w+1)
 		front := udr.NewHSSFE(network, "eu-north", name)
 		front.RegisterMetrics(reg, name) // per-procedure latency families
+		front.AttachTracer(tracer)       // root spans per FE procedure
 		go func(front *udr.FE) {
 			for round := 0; round < 3; round++ {
 				for i := range imsis {
@@ -135,8 +144,45 @@ func main() {
 	fmt.Printf("  records shipped       %6.0f  to replication peers\n", shipped)
 	fmt.Printf("  current shipping lag  %6.0f  records (masters vs acked CSNs)\n", lag)
 
-	fmt.Printf("\nper-procedure latency lives in udr_fe_proc_latency_seconds{proc=...};\n")
-	fmt.Printf("scrape %s/metrics yourself, or POST %s/admin/repair to drive a repair round.\n", base, base)
+	// Zoom from the aggregates to one request: find a sampled write
+	// trace whose commit waited on the replica quorum, render its
+	// span tree, and attribute the root's latency to the durable
+	// pieces — the WAL fsync and the quorum ack wait.
+	for _, sum := range tracer.Recent(256) {
+		if sum.Root.Name != "fe.LocationUpdate" {
+			continue
+		}
+		spans := tracer.Get(sum.Trace)
+		var fsync, ackwait, sends time.Duration
+		var peers int
+		for _, sp := range spans {
+			switch sp.Name {
+			case "wal.fsync":
+				fsync += sp.Duration
+			case "repl.ackwait":
+				ackwait += sp.Duration
+			case "repl.send":
+				sends += sp.Duration
+				peers++
+			}
+		}
+		if ackwait == 0 {
+			continue // a commit that never waited; pick a better one
+		}
+		fmt.Printf("\none sampled quorum commit (trace %s, also at GET /trace/%s):\n\n", sum.Trace, sum.Trace)
+		fmt.Print(udr.RenderTrace(spans))
+		fmt.Printf("\nwhere the %v went:\n", sum.Root.Duration.Round(time.Microsecond))
+		fmt.Printf("  WAL fsync (group commit)  %8v  (%4.1f%%)\n",
+			fsync.Round(time.Microsecond), 100*float64(fsync)/float64(sum.Root.Duration))
+		fmt.Printf("  quorum ack wait           %8v  (%4.1f%%)  covering %d peer sends totalling %v\n",
+			ackwait.Round(time.Microsecond), 100*float64(ackwait)/float64(sum.Root.Duration),
+			peers, sends.Round(time.Microsecond))
+		break
+	}
+
+	fmt.Printf("\nper-procedure latency lives in udr_fe_proc_latency_seconds{proc=...},\n")
+	fmt.Printf("with trace-ID exemplars on its buckets; GET %s/trace/slow lists the\n", base)
+	fmt.Printf("tail-sampled outliers. POST %s/admin/repair drives a repair round.\n", base)
 }
 
 // scrape GETs a /metrics URL and returns every sample line keyed by

@@ -31,6 +31,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/subscriber"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -115,6 +116,11 @@ type Result struct {
 	// Diverged counts, per partition, rows still disagreeing when
 	// Converged is false.
 	Diverged map[string]int
+	// Trace is the per-hop attribution check over the run's traces
+	// (the harness records every request at sampling rate 1).
+	// Deliberately not part of the reproducer: span counts depend on
+	// wall-clock ack arrival, not on the deterministic schedule.
+	Trace TraceReport
 }
 
 // Reproducer renders the seed + schedule + history reproducer bundle.
@@ -228,6 +234,10 @@ type harness struct {
 	// failover. settleReachable skips them ("partition/element" keys);
 	// repair re-attaches them and clears the set.
 	stuck map[string]bool
+	// tracer records every request (rate 1) so the run can verify the
+	// tracing subsystem's attribution invariant. Sampling is a pure
+	// hash of the trace ID — no RNG draws — so determinism holds.
+	tracer *trace.Recorder
 }
 
 // Run executes one deterministic chaos run and checks the history.
@@ -238,8 +248,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	h := &harness{cfg: cfg, hist: NewHistory(),
 		crashed: make(map[string]bool), stuck: make(map[string]bool)}
 	h.net = simnet.New(chaosNetConfig(cfg.Seed))
+	h.tracer = trace.New(trace.Config{SampleRate: 1, Capacity: 1 << 16})
 
 	ucfg := core.DefaultConfig()
+	ucfg.Trace = h.tracer
 	ucfg.Durability = cfg.Durability
 	ucfg.QuorumPolicy = cfg.QuorumPolicy
 	ucfg.AntiEntropy = true
@@ -336,6 +348,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Session:   CheckSessions(h.hist),
 		Converged: converged,
 		Diverged:  diverged,
+		Trace:     CheckTraceAttribution(h.tracer),
 	}
 	res.Lin = CheckLinearizability(h.hist, true, true)
 	res.LinViolations = Violations(res.Lin)
@@ -367,8 +380,11 @@ func (h *harness) seed(ctx context.Context) error {
 		if h.cfg.FECache {
 			fe.AttachCache(h.u.PoA(site).Cache())
 		}
+		fe.AttachTracer(h.tracer)
+		ps := core.NewSession(h.net, from, site, core.PolicyPS)
+		ps.AttachTracer(h.tracer)
 		h.fe = append(h.fe, fe)
-		h.ps = append(h.ps, core.NewSession(h.net, from, site, core.PolicyPS))
+		h.ps = append(h.ps, ps)
 	}
 	if err := h.u.WaitReplication(ctx); err != nil {
 		return err

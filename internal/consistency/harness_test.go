@@ -179,6 +179,18 @@ func TestChaosQuorumLinearizable(t *testing.T) {
 		if !res.Converged {
 			t.Fatalf("seed %d: replicas did not converge: %v", seed, res.Diverged)
 		}
+		// Per-hop attribution invariant: every successful quorum
+		// ack-wait span must cover its slowest counted peer send.
+		if res.Trace.Traces == 0 {
+			t.Fatalf("seed %d: rate-1 recorder captured no traces", seed)
+		}
+		if res.Trace.AckWaitsChecked == 0 {
+			t.Fatalf("seed %d: no quorum ack-wait spans to check (of %d traces)", seed, res.Trace.Traces)
+		}
+		if res.Trace.AckWaitViolations != 0 {
+			t.Fatalf("seed %d: %d of %d ack-wait spans shorter than their slowest counted send",
+				seed, res.Trace.AckWaitViolations, res.Trace.AckWaitsChecked)
+		}
 	}
 }
 

@@ -1,0 +1,67 @@
+package consistency
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// TraceReport summarizes the per-hop attribution check over every
+// trace the chaos recorder captured (the harness samples at rate 1).
+type TraceReport struct {
+	// Traces counts sampled traces still buffered at run end.
+	Traces int
+	// AckWaitsChecked counts successful quorum ack-wait spans the
+	// invariant was evaluated on.
+	AckWaitsChecked int
+	// AckWaitViolations counts ack-wait spans shorter than the
+	// slowest peer send they counted — per-hop attribution broken.
+	AckWaitViolations int
+}
+
+// CheckTraceAttribution verifies the tracing subsystem's attribution
+// invariant on every buffered trace: a successful quorum ack-wait
+// span and its sibling per-peer send spans share the replication
+// enqueue instant as their start, and the wait only returns after the
+// watermark covers the commit — so the ack-wait duration must be at
+// least the duration of the slowest *counted* send. The counted set
+// is the "need" fastest sends (durations from a shared start order
+// exactly like acknowledgement times); laggard peers acknowledging
+// after quorum may legitimately exceed the wait and are not counted.
+func CheckTraceAttribution(tr *trace.Recorder) TraceReport {
+	var rep TraceReport
+	for _, sum := range tr.Recent(1 << 20) {
+		rep.Traces++
+		spans := tr.Get(sum.Trace)
+		sends := make(map[trace.ID][]float64) // parent → send durations (seconds)
+		for _, sp := range spans {
+			if sp.Name == "repl.send" {
+				sends[sp.Parent] = append(sends[sp.Parent], sp.Duration.Seconds())
+			}
+		}
+		for _, sp := range spans {
+			if sp.Name != "repl.ackwait" || sp.Err != "" {
+				continue
+			}
+			need := 0
+			for _, a := range sp.Attrs {
+				if a.Key == "need" {
+					need, _ = strconv.Atoi(a.Value)
+				}
+			}
+			sib := sends[sp.Parent]
+			if need <= 0 || len(sib) < need {
+				// Unknown requirement, or some counted sends were not
+				// recorded (watch shed under backlog): not checkable.
+				continue
+			}
+			sort.Float64s(sib)
+			rep.AckWaitsChecked++
+			if sp.Duration.Seconds() < sib[need-1] {
+				rep.AckWaitViolations++
+			}
+		}
+	}
+	return rep
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/subscriber"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -204,6 +205,13 @@ type Config struct {
 	// MigrateFreezeTimeout bounds a migration's cutover write-freeze
 	// (default 100ms): the client-visible blip ceiling E20 measures.
 	MigrateFreezeTimeout time.Duration
+	// Trace, when non-nil, wires end-to-end request tracing through
+	// every layer built by New: the network's per-hop spans, each
+	// element's transaction/commit/WAL/replication spans, each
+	// location stage's lookup spans and the PoA's exec and cache
+	// spans. Sampling policy lives in the recorder (head rate plus
+	// slow/error tail capture); a nil recorder costs nothing.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns the paper's baseline: three sites (the
@@ -294,6 +302,9 @@ func New(net *simnet.Network, cfg Config) (*UDR, error) {
 		rr:        make(map[string]int),
 		migrating: make(map[string]rebalance.Phase),
 	}
+	if cfg.Trace != nil {
+		net.SetTracer(cfg.Trace)
+	}
 	// All bootstrap sites start with ready (empty) location stages;
 	// only scale-out sites added later must sync before serving
 	// (§3.4.2).
@@ -365,6 +376,9 @@ func (u *UDR) buildSiteLocked(spec SiteSpec, primed bool) error {
 			cfg.WALDir = u.cfg.WALDir + "/" + cfg.ID
 		}
 		el := se.New(u.net, cfg)
+		if u.cfg.Trace != nil {
+			el.SetTracer(u.cfg.Trace)
+		}
 		if err := cl.HostSE(el); err != nil {
 			return err
 		}
@@ -372,6 +386,9 @@ func (u *UDR) buildSiteLocked(spec SiteSpec, primed bool) error {
 	}
 
 	stage := locator.NewStage(site, u.cfg.LocatorMode, primed)
+	if u.cfg.Trace != nil {
+		stage.SetTracer(u.cfg.Trace)
+	}
 	if u.cfg.LocatorMode == locator.Cached {
 		stage.SetMissResolver(u.missResolver(site))
 	}
@@ -558,6 +575,10 @@ func (u *UDR) Net() *simnet.Network { return u.net }
 
 // Config returns the configuration (a copy).
 func (u *UDR) Config() Config { return u.cfg }
+
+// Tracer returns the configured span recorder (nil when tracing is
+// off).
+func (u *UDR) Tracer() *trace.Recorder { return u.cfg.Trace }
 
 // Sites lists deployment sites, sorted.
 func (u *UDR) Sites() []string {

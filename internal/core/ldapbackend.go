@@ -16,6 +16,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/subscriber"
+	"repro/internal/trace"
 )
 
 // LDAPBackend adapts a UDR session to the ldap.Backend interface,
@@ -101,8 +102,52 @@ func (b *LDAPBackend) Extended(name string, value []byte) (ldap.Result, []byte) 
 				Message: fmt.Sprintf("%d of %d moves failed", res.Failed, len(res.Plan))}, text
 		}
 		return ldap.Result{Code: ldap.ResultSuccess}, text
+	case ldap.OIDTrace:
+		if b.topology == nil {
+			return ldap.Result{Code: ldap.ResultUnwillingToPerform, Message: "trace not available on this endpoint"}, nil
+		}
+		return b.traceExtended(strings.TrimSpace(string(value)))
 	default:
 		return ldap.Result{Code: ldap.ResultProtocolError, Message: "unknown extended op " + name}, nil
+	}
+}
+
+// traceExtended serves the request-trace extended operation: "recent"
+// (or an empty value) and "slow" list sampled traces, a 16-hex-digit
+// trace id renders that trace's span tree.
+func (b *LDAPBackend) traceExtended(arg string) (ldap.Result, []byte) {
+	tr := b.topology.Tracer()
+	if tr == nil {
+		return ldap.Result{Code: ldap.ResultUnwillingToPerform, Message: "tracing is disabled on this server"}, nil
+	}
+	listing := func(header string, sums []trace.TraceSummary) []byte {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d %s (sample rate %g)\n", len(sums), header, tr.SampleRate())
+		for _, s := range sums {
+			fmt.Fprintf(&sb, "%s  %-24s %12s  %d spans\n", s.Trace, s.Root.Name, s.Root.Duration, s.Spans)
+		}
+		return []byte(sb.String())
+	}
+	switch arg {
+	case "", "recent":
+		return ldap.Result{Code: ldap.ResultSuccess}, listing("recent traces", tr.Recent(20))
+	case "slow":
+		roots := tr.Slow(10)
+		sums := make([]trace.TraceSummary, 0, len(roots))
+		for _, root := range roots {
+			sums = append(sums, trace.TraceSummary{Trace: root.Trace, Root: root, Spans: len(tr.Get(root.Trace))})
+		}
+		return ldap.Result{Code: ldap.ResultSuccess}, listing("slowest traces", sums)
+	default:
+		id, err := trace.ParseID(arg)
+		if err != nil {
+			return ldap.Result{Code: ldap.ResultProtocolError, Message: "trace wants 'recent', 'slow' or a trace id: " + arg}, nil
+		}
+		spans := tr.Get(id)
+		if len(spans) == 0 {
+			return ldap.Result{Code: ldap.ResultNoSuchObject, Message: "unknown trace (never sampled, or already overwritten): " + arg}, nil
+		}
+		return ldap.Result{Code: ldap.ResultSuccess}, []byte(trace.RenderTree(spans))
 	}
 }
 

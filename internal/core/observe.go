@@ -527,4 +527,20 @@ func (u *UDR) registerCollectors(reg *metrics.Registry) {
 			emit(float64(st.FanOutQueries.Value()), site)
 		}
 	})
+
+	// Request-tracing recorder activity. Families exist (at zero)
+	// even when tracing is disabled so dashboards need not special-
+	// case; trace.Recorder.Stats tolerates a nil receiver.
+	reg.Counter("udr_trace_spans_total",
+		"Spans recorded into the trace ring (head- or tail-sampled).").Collect(func(emit metrics.Emit) {
+		emit(float64(u.cfg.Trace.Stats().Spans))
+	})
+	reg.Counter("udr_trace_sampled_total",
+		"Traces selected by the head sampler.").Collect(func(emit metrics.Emit) {
+		emit(float64(u.cfg.Trace.Stats().Sampled))
+	})
+	reg.Counter("udr_trace_dropped_total",
+		"Buffered spans overwritten before being read.").Collect(func(emit metrics.Emit) {
+		emit(float64(u.cfg.Trace.Stats().Dropped))
+	})
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/subscriber"
+	"repro/internal/trace"
 )
 
 // Messages between client sessions and a PoA.
@@ -34,11 +35,22 @@ type ExecReq struct {
 	// transaction, where the element's TxnObserver can see it (the
 	// consistency harness's server-side attribution hook).
 	Tag string
+	// Trace is the caller's trace context; the PoA's poa.exec span and
+	// everything below it (cache probe, locator lookup, the SE hop)
+	// nest under it.
+	Trace trace.Ctx
 	// cacheChecked marks that a session-side probe of the PoA's FE
 	// cache already missed for this request, so the PoA must not
 	// probe (and double-count a miss) again.
 	cacheChecked bool
 }
+
+// TraceCtx implements trace.Carrier.
+func (r ExecReq) TraceCtx() trace.Ctx { return r.Trace }
+
+// WithTraceCtx implements trace.Carrier: the network uses it to nest
+// the PoA's spans under the per-hop net.call span.
+func (r ExecReq) WithTraceCtx(tc trace.Ctx) any { r.Trace = tc; return r }
 
 // ExecResp reports the outcome.
 type ExecResp struct {
@@ -184,8 +196,12 @@ func (ap *AccessPoint) handle(ctx context.Context, from simnet.Addr, msg any) (a
 
 	start := time.Now()
 	var resp any
+	var traceID string
 	switch m := msg.(type) {
 	case ExecReq:
+		if m.Trace.Sampled {
+			traceID = m.Trace.Trace.String()
+		}
 		resp, err = ap.exec(ctx, m)
 	case ProvisionReq:
 		resp, err = ap.provision(ctx, m)
@@ -203,7 +219,14 @@ func (ap *AccessPoint) handle(ctx context.Context, from simnet.Addr, msg any) (a
 		return nil, err
 	}
 	ap.Served.Inc()
-	ap.Latency.Record(time.Since(start))
+	d := time.Since(start)
+	ap.Latency.Record(d)
+	if traceID != "" {
+		// Exemplar: link this latency bucket to the concrete trace
+		// that paid it, so a p99 spike on the scrape resolves to a
+		// span tree.
+		ap.Latency.SetExemplar(d, traceID)
+	}
 	return resp, nil
 }
 
@@ -225,10 +248,29 @@ func (ap *AccessPoint) locate(ctx context.Context, id subscriber.Identity) (loca
 //	writes          → master only (§3.2); in multi-master mode (§5)
 //	                  nearest replica.
 func (ap *AccessPoint) exec(ctx context.Context, req ExecReq) (ExecResp, error) {
+	if tr := ap.u.Tracer(); tr != nil && req.Trace.Valid() {
+		span := tr.StartChild(req.Trace, "poa.exec", string(ap.addr))
+		req.Trace = span.Ctx()
+		// In-process propagation: the locator stage reads the context
+		// to hang its lookup span under poa.exec. Sampled only — the
+		// locator records nothing otherwise, and context injection is
+		// the one allocation on this path.
+		if req.Trace.Sampled {
+			ctx = trace.NewContext(ctx, span.Ctx())
+		}
+		resp, err := ap.execInner(ctx, req)
+		span.End(err)
+		return resp, err
+	}
+	return ap.execInner(ctx, req)
+}
+
+func (ap *AccessPoint) execInner(ctx context.Context, req ExecReq) (ExecResp, error) {
 	cacheable := ap.cacheableRead(req)
 	if cacheable && !req.cacheChecked {
 		if key, ok := cacheLookupKey(ap.cache, req); ok {
-			if v, st := ap.cache.Lookup(key); st == fecache.Hit {
+			v, st := ap.cacheProbe(req.Trace, key)
+			if st == fecache.Hit {
 				return cachedResp(ap.addr, key, v), nil
 			}
 			req.cacheChecked = true
@@ -264,7 +306,8 @@ func (ap *AccessPoint) exec(ctx context.Context, req ExecReq) (ExecResp, error) 
 	if cacheable && !req.cacheChecked {
 		// The identity had no cache alias before locate resolved it;
 		// probe once more by primary key before going remote.
-		if v, st := ap.cache.Lookup(subID); st == fecache.Hit {
+		v, st := ap.cacheProbe(req.Trace, subID)
+		if st == fecache.Hit {
 			return cachedResp(ap.addr, subID, v), nil
 		}
 		req.cacheChecked = true
@@ -297,7 +340,8 @@ func (ap *AccessPoint) exec(ctx context.Context, req ExecReq) (ExecResp, error) 
 		targets := ap.orderTargets(part, req, guarded)
 		txn := se.TxnReq{Partition: partID, Iso: store.ReadCommitted,
 			Ops: req.Ops, Tag: req.Tag, Epoch: part.Epoch,
-			ReturnPostImage: ap.cache != nil && !req.ReadOnly}
+			ReturnPostImage: ap.cache != nil && !req.ReadOnly,
+			Trace:           req.Trace}
 
 		referred := false
 		for _, ref := range targets {
@@ -422,6 +466,21 @@ func (ap *AccessPoint) cacheTargets(part Partition) []ReplicaRef {
 		}
 	}
 	return out
+}
+
+// cacheProbe is Lookup plus an optional cache.probe span when the
+// request carries a sampled trace context.
+func (ap *AccessPoint) cacheProbe(tc trace.Ctx, key string) (fecache.Value, fecache.LookupState) {
+	if tc.Sampled {
+		if tr := ap.u.Tracer(); tr != nil {
+			span := tr.StartChild(tc, "cache.probe", string(ap.addr))
+			v, st := ap.cache.Lookup(key)
+			span.SetAttr("status", st.String())
+			span.End(nil)
+			return v, st
+		}
+	}
+	return ap.cache.Lookup(key)
 }
 
 // errStaleRead marks a slave response rejected for being below the

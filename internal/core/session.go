@@ -10,6 +10,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/subscriber"
+	"repro/internal/trace"
 )
 
 // Session is a client-side handle to the UDR through one point of
@@ -28,6 +29,10 @@ type Session struct {
 	// in-process — the co-located FE skips even the client→PoA hop on
 	// a hit, which is where the hot-key read multiplier comes from.
 	cache *fecache.Cache
+	// tracer, when attached, records a session.exec span per Exec —
+	// as a child when the caller's context already carries a trace
+	// (an FE procedure root), else as a new root.
+	tracer *trace.Recorder
 }
 
 // NewSession creates a session from a client address to the PoA of
@@ -47,6 +52,10 @@ func NewSession(net *simnet.Network, from simnet.Addr, poaSite string, policy Po
 // traffic — the field is not synchronized against in-flight calls.
 func (s *Session) AttachCache(c *fecache.Cache) { s.cache = c }
 
+// AttachTracer wires the span recorder. Attach before issuing
+// traffic, like AttachCache.
+func (s *Session) AttachTracer(tr *trace.Recorder) { s.tracer = tr }
+
 // Policy returns the session's client class.
 func (s *Session) Policy() Policy { return s.policy }
 
@@ -57,6 +66,22 @@ func (s *Session) PoASite() string { return s.poa.Site() }
 // with id (identity resolution at the PoA) or subID+partition from a
 // previous response.
 func (s *Session) Exec(ctx context.Context, req ExecReq) (*ExecResp, error) {
+	if s.tracer == nil {
+		return s.exec(ctx, req)
+	}
+	var span trace.SpanHandle
+	if parent := trace.FromContext(ctx); parent.Valid() {
+		span = s.tracer.StartChild(parent, "session.exec", string(s.from))
+	} else {
+		span = s.tracer.StartRoot("session.exec", string(s.from))
+	}
+	req.Trace = span.Ctx()
+	resp, err := s.exec(ctx, req)
+	span.End(err)
+	return resp, err
+}
+
+func (s *Session) exec(ctx context.Context, req ExecReq) (*ExecResp, error) {
 	req.Policy = s.policy
 	req.ReadOnly = true
 	for _, op := range req.Ops {
@@ -68,7 +93,8 @@ func (s *Session) Exec(ctx context.Context, req ExecReq) (*ExecResp, error) {
 	if s.cache != nil && s.policy == PolicyFE && req.ReadOnly &&
 		len(req.Ops) == 1 && req.Ops[0].Kind == se.TxnGet {
 		if key, ok := cacheLookupKey(s.cache, req); ok {
-			if v, st := s.cache.Lookup(key); st == fecache.Hit {
+			v, st := s.cacheProbe(req.Trace, key)
+			if st == fecache.Hit {
 				resp := cachedResp(s.poa, key, v)
 				return &resp, nil
 			}
@@ -86,6 +112,19 @@ func (s *Session) Exec(ctx context.Context, req ExecReq) (*ExecResp, error) {
 		return nil, fmt.Errorf("core: unexpected PoA response %T", raw)
 	}
 	return &resp, nil
+}
+
+// cacheProbe is the session-side fast-path probe plus an optional
+// cache.probe span for sampled traces.
+func (s *Session) cacheProbe(tc trace.Ctx, key string) (fecache.Value, fecache.LookupState) {
+	if s.tracer != nil && tc.Sampled {
+		span := s.tracer.StartChild(tc, "cache.probe", string(s.from))
+		v, st := s.cache.Lookup(key)
+		span.SetAttr("status", st.String())
+		span.End(nil)
+		return v, st
+	}
+	return s.cache.Lookup(key)
 }
 
 // ReadProfile fetches and decodes a subscriber profile by identity.

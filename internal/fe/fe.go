@@ -25,6 +25,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/subscriber"
+	"repro/internal/trace"
 )
 
 // Business outcomes (distinct from availability failures: the UDR
@@ -37,6 +38,11 @@ var (
 	ErrInactive = errors.New("fe: subscription not active")
 	// ErrNotIMS reports IMS registration by a non-IMS subscription.
 	ErrNotIMS = errors.New("fe: subscription has no IMS service")
+	// ErrShConflict reports that an ShUpdate's base version no longer
+	// matched when the write executed: a concurrent update won the
+	// race and the application should re-read and retry (the Sh
+	// interface's ETag model).
+	ErrShConflict = errors.New("fe: sh repository data version conflict")
 )
 
 // Kind distinguishes HLR and HSS front-ends.
@@ -88,6 +94,7 @@ type FE struct {
 	site    string
 	session *core.Session
 	obs     atomic.Pointer[ProcObserver]
+	tracer  *trace.Recorder
 
 	// Stats per procedure name.
 	LocationUpdateStats ProcStats
@@ -96,6 +103,7 @@ type FE struct {
 	MTCallStats         ProcStats
 	SMSStats            ProcStats
 	IMSRegisterStats    ProcStats
+	ShUpdateStats       ProcStats
 
 	// StaleReads counts reads that were detectably stale (served by
 	// a slave with a lower CSN than the caller's known write).
@@ -127,6 +135,17 @@ func (f *FE) Site() string { return f.site }
 // Session exposes the underlying session.
 func (f *FE) Session() *core.Session { return f.session }
 
+// AttachTracer wires the span recorder: every procedure invocation
+// becomes a trace root ("fe.<proc>") and the session, PoA and SE hops
+// underneath stitch into it. Also attaches the recorder to the
+// underlying session. Attach before issuing traffic, like
+// Session.AttachCache — the field is not synchronized against
+// in-flight calls.
+func (f *FE) AttachTracer(tr *trace.Recorder) {
+	f.tracer = tr
+	f.session.AttachTracer(tr)
+}
+
 // SetProcObserver installs (or, with nil, removes) the front-end's
 // procedure observer.
 func (f *FE) SetProcObserver(fn ProcObserver) {
@@ -137,14 +156,26 @@ func (f *FE) SetProcObserver(fn ProcObserver) {
 	f.obs.Store(&fn)
 }
 
-// observe wraps a procedure body with stats accounting.
-func (f *FE) observe(proc string, ps *ProcStats, ops int64, fn func() error) error {
+// observe wraps a procedure body with stats accounting and, when a
+// tracer is attached, a "fe.<proc>" root span whose context the body
+// receives via ctx — every session Exec underneath then nests into
+// one stitched trace.
+func (f *FE) observe(ctx context.Context, proc string, ps *ProcStats, ops int64, fn func(context.Context) error) error {
 	start := time.Now()
 	ps.Invocations.Inc()
-	err := fn()
+	var span trace.SpanHandle
+	if f.tracer != nil {
+		span = f.tracer.StartRoot("fe."+proc, f.site+"/"+f.kind.String())
+		ctx = trace.NewContext(ctx, span.Ctx())
+	}
+	err := fn(ctx)
 	elapsed := time.Since(start)
 	ps.Ops.Add(ops)
 	ps.Latency.Record(elapsed)
+	if tc := span.Ctx(); tc.Sampled {
+		ps.Latency.SetExemplar(elapsed, tc.Trace.String())
+	}
+	span.EndWithDuration(elapsed, err)
 	if err != nil && !isBusinessOutcome(err) {
 		ps.Failures.Inc()
 	}
@@ -155,14 +186,15 @@ func (f *FE) observe(proc string, ps *ProcStats, ops int64, fn func() error) err
 }
 
 func isBusinessOutcome(err error) bool {
-	return errors.Is(err, ErrBarred) || errors.Is(err, ErrInactive) || errors.Is(err, ErrNotIMS)
+	return errors.Is(err, ErrBarred) || errors.Is(err, ErrInactive) ||
+		errors.Is(err, ErrNotIMS) || errors.Is(err, ErrShConflict)
 }
 
 // LocationUpdate runs the location-management procedure: validate the
 // subscription, then record the new serving node and area.
 // Cost: 2 LDAP operations (read + write).
 func (f *FE) LocationUpdate(ctx context.Context, imsi, servingNode, area string, roaming bool) error {
-	return f.observe("LocationUpdate", &f.LocationUpdateStats, 2, func() error {
+	return f.observe(ctx, "LocationUpdate", &f.LocationUpdateStats, 2, func(ctx context.Context) error {
 		id := subscriber.Identity{Type: subscriber.IMSI, Value: imsi}
 		prof, _, _, err := f.session.ReadProfile(ctx, id)
 		if err != nil {
@@ -192,7 +224,7 @@ func (f *FE) LocationUpdate(ctx context.Context, imsi, servingNode, area string,
 // the front-end would hand to the MME/VLR.
 func (f *FE) Authenticate(ctx context.Context, imsi string) (*auth.Vector, error) {
 	var vec *auth.Vector
-	err := f.observe("Authenticate", &f.AuthenticateStats, 2, func() error {
+	err := f.observe(ctx, "Authenticate", &f.AuthenticateStats, 2, func(ctx context.Context) error {
 		id := subscriber.Identity{Type: subscriber.IMSI, Value: imsi}
 		prof, _, _, err := f.session.ReadProfile(ctx, id)
 		if err != nil {
@@ -233,7 +265,7 @@ func (f *FE) Authenticate(ctx context.Context, imsi string) (*auth.Vector, error
 // premium marks a call to a premium-rate number (§3.2's pay-call
 // barring example).
 func (f *FE) MOCall(ctx context.Context, msisdn string, premium bool) error {
-	return f.observe("MOCall", &f.MOCallStats, 1, func() error {
+	return f.observe(ctx, "MOCall", &f.MOCallStats, 1, func(ctx context.Context) error {
 		prof, _, _, err := f.session.ReadProfile(ctx,
 			subscriber.Identity{Type: subscriber.MSISDN, Value: msisdn})
 		if err != nil {
@@ -255,7 +287,7 @@ func (f *FE) MOCall(ctx context.Context, msisdn string, premium bool) error {
 // location and forwarding state; returns the routing target (serving
 // node or forward-to number). Cost: 1 LDAP operation.
 func (f *FE) MTCall(ctx context.Context, msisdn string) (routeTo string, err error) {
-	err = f.observe("MTCall", &f.MTCallStats, 1, func() error {
+	err = f.observe(ctx, "MTCall", &f.MTCallStats, 1, func(ctx context.Context) error {
 		prof, _, _, rerr := f.session.ReadProfile(ctx,
 			subscriber.Identity{Type: subscriber.MSISDN, Value: msisdn})
 		if rerr != nil {
@@ -277,7 +309,7 @@ func (f *FE) MTCall(ctx context.Context, msisdn string) (routeTo string, err err
 // SMSDeliver runs short-message delivery routing: read the
 // destination's serving node. Cost: 1 LDAP operation.
 func (f *FE) SMSDeliver(ctx context.Context, msisdn string) (servingNode string, err error) {
-	err = f.observe("SMSDeliver", &f.SMSStats, 1, func() error {
+	err = f.observe(ctx, "SMSDeliver", &f.SMSStats, 1, func(ctx context.Context) error {
 		prof, _, _, rerr := f.session.ReadProfile(ctx,
 			subscriber.Identity{Type: subscriber.MSISDN, Value: msisdn})
 		if rerr != nil {
@@ -307,7 +339,7 @@ func (f *FE) IMSRegister(ctx context.Context, impu, scscf string) error {
 	if f.kind != HSS {
 		return fmt.Errorf("fe: %s cannot run IMS registration", f.kind)
 	}
-	return f.observe("IMSRegister", &f.IMSRegisterStats, 5, func() error {
+	return f.observe(ctx, "IMSRegister", &f.IMSRegisterStats, 5, func(ctx context.Context) error {
 		pubID := subscriber.Identity{Type: subscriber.IMPU, Value: impu}
 		// Op 1: service profile by public identity.
 		prof, _, _, err := f.session.ReadProfile(ctx, pubID)
@@ -350,6 +382,67 @@ func (f *FE) IMSRegister(ctx context.Context, impu, scscf string) error {
 		_, _, _, err = f.session.ReadProfile(ctx, pubID)
 		return err
 	})
+}
+
+// ShUpdate runs the Sh-interface repository-data ("transparent
+// data") update of TS 29.328: read the subscriber's current blob and
+// version, then write the new blob under a compare-and-set on the
+// version attribute, all against the master. Cost: 2 LDAP operations
+// (read + CAS write). The CAS is one [compare, modify] transaction,
+// so the write always travels the full durability chain (WAL fsync,
+// synchronous replication ack wait) — this is the canonical traced
+// write for end-to-end latency attribution. The UDR's one-shot
+// transactions are READ_COMMITTED (§3.2) and do not abort on a failed
+// compare; a version mismatch therefore still applies the write and
+// reports ErrShConflict so the application re-reads and retries.
+// Returns the version the data was written at.
+func (f *FE) ShUpdate(ctx context.Context, msisdn, data string) (version uint64, err error) {
+	err = f.observe(ctx, "ShUpdate", &f.ShUpdateStats, 2, func(ctx context.Context) error {
+		id := subscriber.Identity{Type: subscriber.MSISDN, Value: msisdn}
+		// Op 1: current blob + version (may be served by a slave).
+		read, rerr := f.session.Exec(ctx, core.ExecReq{
+			Identity: id,
+			Ops:      []se.TxnOp{{Kind: se.TxnGet}},
+		})
+		if rerr != nil {
+			return rerr
+		}
+		if !read.Results[0].Found {
+			return fmt.Errorf("%w: %s", core.ErrUnknownSubscriber, id)
+		}
+		baseStr := read.Results[0].Entry.First(subscriber.AttrShDataVer)
+		var base uint64
+		if baseStr != "" {
+			base, rerr = strconv.ParseUint(baseStr, 10, 64)
+			if rerr != nil {
+				return fmt.Errorf("fe: bad %s %q: %v", subscriber.AttrShDataVer, baseStr, rerr)
+			}
+		}
+		version = base + 1
+		// Op 2: the CAS write, one transaction on the master.
+		resp, werr := f.session.Exec(ctx, core.ExecReq{
+			Identity: id,
+			Ops: []se.TxnOp{
+				{Kind: se.TxnCompare, Attr: subscriber.AttrShDataVer,
+					Value: strconv.FormatUint(base, 10)},
+				{Kind: se.TxnModify, Mods: []store.Mod{
+					{Kind: store.ModReplace, Attr: subscriber.AttrShData, Vals: []string{data}},
+					{Kind: store.ModReplace, Attr: subscriber.AttrShDataVer,
+						Vals: []string{strconv.FormatUint(version, 10)}},
+				}},
+			},
+		})
+		if werr != nil {
+			return werr
+		}
+		// A first-ever write has no stored version to compare against;
+		// only flag a conflict when the read saw one.
+		if baseStr != "" && !resp.Results[0].CompareOK {
+			return ErrShConflict
+		}
+		return nil
+	})
+	return version, err
 }
 
 func boolStr(b bool) string {

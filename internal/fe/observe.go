@@ -28,6 +28,7 @@ func (f *FE) RegisterMetrics(reg *metrics.Registry, instance string) {
 		{"MTCall", &f.MTCallStats},
 		{"SMS", &f.SMSStats},
 		{"IMSRegister", &f.IMSRegisterStats},
+		{"ShUpdate", &f.ShUpdateStats},
 	} {
 		invocations.Attach(&p.stats.Invocations, f.site, instance, kind, p.name)
 		ops.Attach(&p.stats.Ops, f.site, instance, kind, p.name)

@@ -1,0 +1,153 @@
+package fe
+
+import (
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/replication"
+	"repro/internal/simnet"
+	"repro/internal/subscriber"
+	"repro/internal/trace"
+	"repro/internal/wal"
+)
+
+// TestShUpdateEndToEndTrace is the tracing subsystem's acceptance
+// test: one CAS write under Quorum durability with the WAL in
+// sync-every-commit mode must yield one stitched trace whose span
+// tree covers the FE procedure, the PoA's locator lookup, the SE
+// commit, the WAL fsync, and the quorum ack wait with its per-peer
+// sends — and whose per-hop durations add up (the direct children of
+// the root account for the root's wall-clock within tolerance).
+func TestShUpdateEndToEndTrace(t *testing.T) {
+	rec := trace.New(trace.Config{SampleRate: 1})
+	net := simnet.New(simnet.FastConfig())
+	cfg := core.DefaultConfig()
+	cfg.Durability = replication.Quorum
+	cfg.WALDir = t.TempDir()
+	cfg.WALMode = wal.SyncEveryCommit
+	cfg.Trace = rec
+	u, err := core.New(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Stop)
+
+	gen := subscriber.NewGenerator(u.Sites()...)
+	p := gen.Profile(0)
+	if err := u.SeedDirect(p); err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t)
+	if err := u.WaitReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	f := New(net, HLR, p.HomeRegion, "hlr-fe")
+	f.AttachTracer(rec)
+	ver, err := f.ShUpdate(ctx, p.MSISDNVal, "<repository-data/>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 {
+		t.Fatalf("first ShUpdate wrote version %d, want 1", ver)
+	}
+
+	sums := rec.Recent(10)
+	if len(sums) != 1 {
+		t.Fatalf("recorder holds %d traces, want exactly 1", len(sums))
+	}
+	spans := rec.Get(sums[0].Trace)
+	byName := make(map[string][]trace.Span)
+	for _, sp := range spans {
+		byName[sp.Name] = append(byName[sp.Name], sp)
+	}
+	for _, name := range []string{
+		"fe.ShUpdate", "session.exec", "net.call", "poa.exec",
+		"locator.lookup", "se.txn", "se.commit",
+		"wal.stage", "wal.fsync", "repl.ackwait", "repl.send",
+	} {
+		if len(byName[name]) == 0 {
+			t.Errorf("stitched trace is missing a %q span", name)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("trace:\n%s", trace.RenderTree(spans))
+	}
+
+	// The procedure is two sequential LDAP operations, so the root's
+	// direct children (the two session.exec spans) must account for
+	// its duration: within 10% plus a small constant for scheduler
+	// noise on the in-between microseconds of FE body code.
+	root := byName["fe.ShUpdate"][0]
+	var childSum time.Duration
+	for _, sp := range spans {
+		if sp.Parent == root.ID {
+			childSum += sp.Duration
+		}
+	}
+	slack := root.Duration/10 + 2*time.Millisecond
+	if childSum > root.Duration || root.Duration-childSum > slack {
+		t.Fatalf("children sum to %v of root %v (slack %v)\n%s",
+			childSum, root.Duration, slack, trace.RenderTree(spans))
+	}
+
+	// The CAS write's durability chain must attribute correctly: the
+	// quorum ack wait covers its counted peer sends.
+	for _, aw := range byName["repl.ackwait"] {
+		if aw.Err != "" {
+			continue
+		}
+		need := 0
+		for _, a := range aw.Attrs {
+			if a.Key == "need" {
+				need, _ = strconv.Atoi(a.Value)
+			}
+		}
+		var sends []time.Duration
+		for _, sp := range byName["repl.send"] {
+			if sp.Parent == aw.Parent {
+				sends = append(sends, sp.Duration)
+			}
+		}
+		if need <= 0 || len(sends) < need {
+			t.Fatalf("ack wait needs %d peer acks but %d sends recorded", need, len(sends))
+		}
+		sort.Slice(sends, func(i, j int) bool { return sends[i] < sends[j] })
+		if aw.Duration < sends[need-1] {
+			t.Fatalf("ack wait %v shorter than slowest counted send %v", aw.Duration, sends[need-1])
+		}
+	}
+
+	// WAL fsync attribution names the group-commit role.
+	role := ""
+	for _, a := range byName["wal.fsync"][0].Attrs {
+		if a.Key == "role" {
+			role = a.Value
+		}
+	}
+	if role != "leader" && role != "follower" {
+		t.Fatalf("wal.fsync role = %q", role)
+	}
+}
+
+// TestShUpdateVersionsAdvance drives sequential updates and checks
+// the version counter and the 2-LDAP-op cost accounting.
+func TestShUpdateVersionsAdvance(t *testing.T) {
+	r := newRig(t, 1)
+	ctx := ctxT(t)
+	p := r.profiles[0]
+	f := r.fes[p.HomeRegion]
+
+	if _, err := f.ShUpdate(ctx, p.MSISDNVal, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := f.ShUpdate(ctx, p.MSISDNVal, "v2"); err != nil || v != 2 {
+		t.Fatalf("second update: v=%d err=%v", v, err)
+	}
+	if f.ShUpdateStats.Invocations.Value() != 2 || f.ShUpdateStats.Ops.Value() != 4 {
+		t.Fatalf("stats = %d/%d", f.ShUpdateStats.Invocations.Value(), f.ShUpdateStats.Ops.Value())
+	}
+}

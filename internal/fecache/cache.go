@@ -64,6 +64,19 @@ const (
 	Guarded
 )
 
+// String names the probe outcome (span attributes, logs).
+func (s LookupState) String() string {
+	switch s {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Guarded:
+		return "guarded"
+	}
+	return "unknown"
+}
+
 // Value is a served cache hit.
 type Value struct {
 	Part  string

@@ -229,6 +229,14 @@ func (c *Client) Rebalance() (string, Result, error) {
 	return string(value), r, err
 }
 
+// Trace queries the server's request-trace recorder (udrctl trace).
+// arg is "recent" (or empty), "slow", or a 16-hex-digit trace id;
+// the response is the server-rendered text listing or span tree.
+func (c *Client) Trace(arg string) (string, Result, error) {
+	r, value, err := c.extendedCallFull(OIDTrace, []byte(arg))
+	return string(value), r, err
+}
+
 // TxnBegin opens a write transaction on this connection: subsequent
 // Add/Modify/Delete calls are staged server-side and executed
 // atomically by TxnCommit.

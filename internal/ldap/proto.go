@@ -302,6 +302,7 @@ const (
 	OIDRepair    = "1.3.6.1.4.1.193.99.11" // OaM: anti-entropy repair round
 	OIDMove      = "1.3.6.1.4.1.193.99.12" // OaM: live partition migration
 	OIDRebalance = "1.3.6.1.4.1.193.99.13" // OaM: elastic rebalancing pass
+	OIDTrace     = "1.3.6.1.4.1.193.99.14" // OaM: request-trace listing / span tree
 )
 
 // Message is one LDAPMessage envelope.

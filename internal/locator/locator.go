@@ -26,12 +26,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/chash"
 	"repro/internal/metrics"
 	"repro/internal/simnet"
 	"repro/internal/subscriber"
+	"repro/internal/trace"
 )
 
 // Placement records where a subscription lives.
@@ -128,7 +130,15 @@ type Stage struct {
 	Hits          metrics.Counter
 	Misses        metrics.Counter
 	FanOutQueries metrics.Counter
+
+	// tracer is the optional span recorder behind locator.lookup spans.
+	tracer atomic.Pointer[trace.Recorder]
 }
+
+// SetTracer installs the span recorder; Lookup then records a
+// locator.lookup span for requests whose context carries a sampled
+// trace.
+func (s *Stage) SetTracer(tr *trace.Recorder) { s.tracer.Store(tr) }
 
 // NewStage returns a stage for the given site. Provisioned stages
 // start ready only if primed is true (the first stage of a network is
@@ -186,10 +196,33 @@ func (s *Stage) Height() int {
 
 // Lookup implements Locator.
 func (s *Stage) Lookup(ctx context.Context, id subscriber.Identity) (Placement, error) {
+	if tr := s.tracer.Load(); tr != nil {
+		if tc := trace.FromContext(ctx); tc.Sampled && tc.Valid() {
+			span := tr.StartChild(tc, "locator.lookup", s.site+"/locator")
+			span.SetAttr("mode", s.mode.String())
+			p, hit, fanout, err := s.lookup(ctx, id)
+			if hit {
+				span.SetAttr("result", "hit")
+			} else {
+				span.SetAttr("result", "miss")
+			}
+			if fanout > 0 {
+				span.SetAttr("fanout", fmt.Sprint(fanout))
+			}
+			span.End(err)
+			return p, err
+		}
+	}
+	p, _, _, err := s.lookup(ctx, id)
+	return p, err
+}
+
+// lookup is the span-free body; hit and fanout feed the span attrs.
+func (s *Stage) lookup(ctx context.Context, id subscriber.Identity) (p Placement, hit bool, fanout int, err error) {
 	s.mu.RLock()
 	if !s.ready {
 		s.mu.RUnlock()
-		return Placement{}, ErrNotReady
+		return Placement{}, false, 0, ErrNotReady
 	}
 	p, ok := s.byID.Get(id.String())
 	resolver := s.missResolver
@@ -197,21 +230,21 @@ func (s *Stage) Lookup(ctx context.Context, id subscriber.Identity) (Placement, 
 
 	if ok {
 		s.Hits.Inc()
-		return p, nil
+		return p, true, 0, nil
 	}
 	s.Misses.Inc()
 	if s.mode == Cached && resolver != nil {
 		p, queried, err := resolver(ctx, id)
 		s.FanOutQueries.Add(int64(queried))
 		if err != nil {
-			return Placement{}, err
+			return Placement{}, false, queried, err
 		}
 		s.mu.Lock()
 		s.byID.Set(id.String(), p)
 		s.mu.Unlock()
-		return p, nil
+		return p, false, queried, nil
 	}
-	return Placement{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	return Placement{}, false, 0, fmt.Errorf("%w: %s", ErrNotFound, id)
 }
 
 // PutProfile implements Locator.

@@ -32,6 +32,19 @@ type Histogram struct {
 	min     atomic.Int64 // microseconds; math.MaxInt64 when empty
 	max     atomic.Int64 // microseconds
 	once    sync.Once
+	// exemplars holds one trace-linked observation per export bucket
+	// (slot exportBucketCount is the +Inf bucket). Lock-free pointer
+	// publish, last writer wins: sampled requests overwrite the slot
+	// their latency lands in, so a scrape's p99 bucket carries the ID
+	// of a recent trace that actually paid that latency.
+	exemplars [exportBucketCount + 1]atomic.Pointer[exemplar]
+}
+
+// exemplar links one observation to the trace that produced it
+// (OpenMetrics exemplars).
+type exemplar struct {
+	traceID string
+	value   float64 // seconds
 }
 
 func (h *Histogram) init() {
@@ -73,6 +86,20 @@ func (h *Histogram) Record(d time.Duration) {
 			break
 		}
 	}
+}
+
+// SetExemplar attaches a trace ID to the export bucket d falls in.
+// Call it only for observations already Recorded and only for sampled
+// traces; the unsampled hot path never touches the slots.
+func (h *Histogram) SetExemplar(d time.Duration, traceID string) {
+	if traceID == "" {
+		return
+	}
+	b := bucketFor(d)
+	if b >= exportBucketCount {
+		b = exportBucketCount // +Inf slot
+	}
+	h.exemplars[b].Store(&exemplar{traceID: traceID, value: d.Seconds()})
 }
 
 // Count returns the number of recorded observations.
@@ -201,6 +228,11 @@ type HistogramBucket struct {
 	LE float64
 	// Count is the cumulative observation count at or below LE.
 	Count int64
+	// Exemplar is the trace ID of one observation that landed in this
+	// bucket ("" when none); ExemplarValue is that observation's
+	// latency in seconds.
+	Exemplar      string
+	ExemplarValue float64
 }
 
 // HistogramExport is a scraper-facing histogram snapshot with
@@ -211,6 +243,9 @@ type HistogramExport struct {
 	Count int64
 	// Sum is the observation sum in seconds.
 	Sum float64
+	// InfExemplar / InfExemplarValue carry the +Inf bucket's exemplar.
+	InfExemplar      string
+	InfExemplarValue float64
 }
 
 // Export snapshots the histogram with cumulative buckets in seconds.
@@ -232,9 +267,17 @@ func (h *Histogram) Export() *HistogramExport {
 				LE:    float64(int64(1)<<uint(i+1)) / 1e6,
 				Count: cum,
 			}
+			if ex := h.exemplars[i].Load(); ex != nil {
+				out.Buckets[i].Exemplar = ex.traceID
+				out.Buckets[i].ExemplarValue = ex.value
+			}
 		}
 	}
 	out.Count = cum
+	if ex := h.exemplars[exportBucketCount].Load(); ex != nil {
+		out.InfExemplar = ex.traceID
+		out.InfExemplarValue = ex.value
+	}
 	return out
 }
 

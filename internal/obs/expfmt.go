@@ -124,6 +124,7 @@ func writeHistogram(w *bufio.Writer, f metrics.FamilySnapshot, s metrics.Sample)
 		writeLabels(w, f.LabelNames, s.LabelValues, "le", formatValue(b.LE))
 		w.WriteByte(' ')
 		w.WriteString(strconv.FormatInt(b.Count, 10))
+		writeExemplar(w, b.Exemplar, b.ExemplarValue)
 		w.WriteByte('\n')
 	}
 	w.WriteString(f.Name)
@@ -131,6 +132,7 @@ func writeHistogram(w *bufio.Writer, f metrics.FamilySnapshot, s metrics.Sample)
 	writeLabels(w, f.LabelNames, s.LabelValues, "le", "+Inf")
 	w.WriteByte(' ')
 	w.WriteString(strconv.FormatInt(h.Count, 10))
+	writeExemplar(w, h.InfExemplar, h.InfExemplarValue)
 	w.WriteByte('\n')
 
 	w.WriteString(f.Name)
@@ -146,4 +148,18 @@ func writeHistogram(w *bufio.Writer, f metrics.FamilySnapshot, s metrics.Sample)
 	w.WriteByte(' ')
 	w.WriteString(strconv.FormatInt(h.Count, 10))
 	w.WriteByte('\n')
+}
+
+// writeExemplar appends an OpenMetrics-style exemplar suffix
+// (` # {trace_id="..."} <value>`) to a bucket line. Prometheus's
+// text parser ignores it; OpenMetrics scrapers link the bucket to
+// the recorded trace.
+func writeExemplar(w *bufio.Writer, traceID string, value float64) {
+	if traceID == "" {
+		return
+	}
+	w.WriteString(` # {trace_id="`)
+	w.WriteString(traceID)
+	w.WriteString(`"} `)
+	w.WriteString(formatValue(value))
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rebalance"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Config wires an admin server.
@@ -27,6 +28,9 @@ type Config struct {
 	// AdminTimeout bounds each control operation (default 15s: a
 	// rebalance pass streams partitions over the backbone).
 	AdminTimeout time.Duration
+	// Tracer, when set, backs the GET /trace/* views. Nil serves the
+	// routes with empty results (tracing disabled, not an error).
+	Tracer *trace.Recorder
 }
 
 // Server is the admin HTTP surface of one udrd process:
@@ -34,6 +38,9 @@ type Config struct {
 //	GET  /metrics           Prometheus text exposition
 //	GET  /healthz           liveness probe
 //	GET  /status            topology + placement epochs + replication lag (JSON)
+//	GET  /trace/recent      newest sampled traces (?n=)
+//	GET  /trace/slow        slowest traces since startup (?n=)
+//	GET  /trace/{id}        one trace as a span tree
 //	GET  /debug/pprof/*     net/http/pprof
 //	POST /admin/repair      anti-entropy round (all partitions or ?partition=)
 //	POST /admin/move        ?partition= &target= [&release=true]
@@ -58,6 +65,9 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/status", s.handleStatus)
+	s.mux.HandleFunc("/trace/recent", s.handleTraceRecent)
+	s.mux.HandleFunc("/trace/slow", s.handleTraceSlow)
+	s.mux.HandleFunc("/trace/", s.handleTraceGet)
 	s.mux.HandleFunc("/admin/repair", s.handleRepair)
 	s.mux.HandleFunc("/admin/move", s.handleMove)
 	s.mux.HandleFunc("/admin/rebalance", s.handleRebalance)

@@ -36,6 +36,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/simnet"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -208,7 +209,15 @@ type Node struct {
 	// link bounds its memory instead of growing without limit. Zero
 	// means unbounded (the default).
 	InFlightWindow int
+
+	// tracer is the optional span recorder; atomic so the commit path
+	// and background senders read it without locks.
+	tracer atomic.Pointer[trace.Recorder]
 }
+
+// SetTracer installs the span recorder recording repl.send and
+// repl.ackwait spans for traced commits.
+func (n *Node) SetTracer(tr *trace.Recorder) { n.tracer.Store(tr) }
 
 // NewNode returns a replication node for the storage element at addr.
 func NewNode(net *simnet.Network, addr simnet.Addr) *Node {
@@ -483,6 +492,18 @@ func (r *Replica) CommitPipeline(rec *store.CommitRecord) (wait func() error, er
 // replication round trips instead of serializing them.
 func (r *Replica) commitPipeline(rec *store.CommitRecord) (func() error, error) {
 	r.headCSN.Store(rec.CSN)
+	// Sampled commits register per-peer send watches at enqueue time.
+	// The watch start doubles as the ack-wait span start, so by
+	// construction the ack-wait span can only end at or after every
+	// counted peer's send span ends — the attribution invariant the
+	// chaos harness asserts. Unsampled commits skip all of it: the
+	// cost is one atomic load and one bool test.
+	tr := r.node.tracer.Load()
+	traced := tr != nil && rec.Trace.Sampled
+	var traceStart time.Time
+	if traced {
+		traceStart = time.Now()
+	}
 	r.mu.Lock()
 	durability := r.durability
 	mm := r.store.MultiMaster()
@@ -491,6 +512,9 @@ func (r *Replica) commitPipeline(rec *store.CommitRecord) (func() error, error) 
 	// synchronous wait below rides the same per-peer ordered queue).
 	for _, s := range r.senders {
 		s.enqueue(rec)
+		if traced && !s.standby {
+			s.addWatch(rec.CSN, rec.Trace, traceStart)
+		}
 	}
 	r.Shipped.Inc()
 	var senders []*sender
@@ -522,7 +546,7 @@ func (r *Replica) commitPipeline(rec *store.CommitRecord) (func() error, error) 
 	r.mu.Unlock()
 
 	if !mm && durability == Quorum && !quorumDone {
-		return r.quorumWait(rec.CSN), nil
+		return r.quorumWait(rec, tr, traceStart), nil
 	}
 	if len(senders) == 0 {
 		return nil, nil
@@ -537,19 +561,30 @@ func (r *Replica) commitPipeline(rec *store.CommitRecord) (func() error, error) 
 	}
 	timeout := r.node.CallTimeout
 	csn := rec.CSN
+	tc := rec.Trace
+	if !traced {
+		tr = nil
+	}
+	elem := string(r.node.addr)
+	mode := durability.String()
 	return func() error {
 		deadline := time.Now().Add(timeout)
+		var werr error
+	wait:
 		for i := 0; i < need; i++ {
 			s := senders[i]
 			for s.ackedCSN() < csn {
 				if time.Now().After(deadline) {
-					return fmt.Errorf("%w: peer %s did not confirm CSN %d (%s)",
+					werr = fmt.Errorf("%w: peer %s did not confirm CSN %d (%s)",
 						ErrDurability, s.peer, csn, durability)
+					break wait
 				}
 				time.Sleep(100 * time.Microsecond)
 			}
 		}
-		return nil
+		tr.RecordSpan(tc, "repl.ackwait", elem, traceStart,
+			time.Since(traceStart), werr, trace.Attr{Key: "mode", Value: mode})
+		return werr
 	}, nil
 }
 
@@ -559,27 +594,50 @@ func (r *Replica) commitPipeline(rec *store.CommitRecord) (func() error, error) 
 // timeout the commit returns ErrDurability but the record stays
 // applied locally and keeps shipping; a late quorum still advances the
 // watermark.
-func (r *Replica) quorumWait(csn uint64) func() error {
+func (r *Replica) quorumWait(rec *store.CommitRecord, tr *trace.Recorder, enq time.Time) func() error {
 	timeout := r.node.CallTimeout
+	csn := rec.CSN
+	tc := rec.Trace
+	if tr != nil && !tc.Sampled {
+		tr = nil
+	}
+	done := func(start time.Time, err error) error {
+		if err == nil {
+			d := time.Since(start)
+			r.AckWait.Record(d)
+			if tr != nil {
+				r.AckWait.SetExemplar(d, tc.Trace.String())
+			}
+		}
+		// The span window runs from replication enqueue (shared with the
+		// per-peer send watches) to now, so its duration dominates
+		// every counted peer's send span by construction. "need" is the
+		// peer-ack requirement, letting verifiers pick the counted set
+		// (the need fastest sends) out of the recorded siblings.
+		if tr != nil {
+			tr.RecordSpan(tc, "repl.ackwait", string(r.node.addr), enq,
+				time.Since(enq), err, trace.Attr{Key: "mode", Value: "quorum"},
+				trace.Attr{Key: "need", Value: fmt.Sprint(r.QuorumSize() - 1)})
+		}
+		return err
+	}
 	return func() error {
 		start := time.Now()
 		deadline := start.Add(timeout)
 		for {
 			if r.QuorumWatermark() >= csn {
-				r.AckWait.Record(time.Since(start))
-				return nil
+				return done(start, nil)
 			}
 			ch := r.ackSignal()
 			// Re-check after subscribing: an ack between the check and
 			// the subscription would otherwise be missed.
 			if r.QuorumWatermark() >= csn {
-				r.AckWait.Record(time.Since(start))
-				return nil
+				return done(start, nil)
 			}
 			remain := time.Until(deadline)
 			if remain <= 0 {
-				return fmt.Errorf("%w: quorum (%s) not reached for CSN %d",
-					ErrDurability, r.QuorumPolicy(), csn)
+				return done(start, fmt.Errorf("%w: quorum (%s) not reached for CSN %d",
+					ErrDurability, r.QuorumPolicy(), csn))
 			}
 			t := time.NewTimer(remain)
 			select {
@@ -835,14 +893,29 @@ const (
 	maxBatch = 256
 )
 
+// sendWatch tracks one traced commit awaiting this peer's
+// acknowledgement: the data behind a repl.send span. start is the
+// replication-enqueue instant, shared with the commit's ack-wait span.
+type sendWatch struct {
+	csn   uint64
+	tc    trace.Ctx
+	start time.Time
+}
+
+// maxSendWatches bounds the per-peer watch list; a straggling peer
+// sheds the oldest watches (losing their send spans) instead of
+// growing without limit.
+const maxSendWatches = 64
+
 // sender ships one replica's commit records to one peer, in order.
 type sender struct {
 	r    *Replica
 	peer simnet.Addr
 
-	mu    sync.Mutex
-	queue []*store.CommitRecord
-	acked uint64
+	mu      sync.Mutex
+	queue   []*store.CommitRecord
+	watches []sendWatch
+	acked   uint64
 	// standby excludes the peer from synchronous durability waits
 	// (set once at creation, before the sender is published).
 	standby bool
@@ -883,6 +956,19 @@ func (s *sender) enqueue(rec *store.CommitRecord) {
 	case s.wake <- struct{}{}:
 	default:
 	}
+}
+
+// addWatch registers a traced commit for a repl.send span when this
+// peer acknowledges its CSN. Called with r.mu held (same order as
+// SenderStats: r.mu then s.mu).
+func (s *sender) addWatch(csn uint64, tc trace.Ctx, start time.Time) {
+	s.mu.Lock()
+	if len(s.watches) >= maxSendWatches {
+		n := copy(s.watches, s.watches[1:])
+		s.watches = s.watches[:n]
+	}
+	s.watches = append(s.watches, sendWatch{csn: csn, tc: tc, start: start})
+	s.mu.Unlock()
 }
 
 func (s *sender) ackedCSN() uint64 {
@@ -981,6 +1067,21 @@ func (s *sender) run() {
 			s.acked = last.CSN
 			advanced = true
 		}
+		// Pop the watches this ack completes; their spans are recorded
+		// below, before noteAck wakes quorum waiters, so a counted
+		// peer's send span always ends before the ack-wait span does.
+		var acked []sendWatch
+		if len(s.watches) > 0 {
+			i := 0
+			for i < len(s.watches) && s.watches[i].csn <= s.acked {
+				i++
+			}
+			if i > 0 {
+				acked = append(acked, s.watches[:i]...)
+				n := copy(s.watches, s.watches[i:])
+				s.watches = s.watches[:n]
+			}
+		}
 		// Adapt the ceiling: a backlog deeper than what we just
 		// shipped means round trips are the bottleneck — grow; a
 		// batch well under the ceiling means traffic is light —
@@ -992,6 +1093,20 @@ func (s *sender) run() {
 			s.batchCap /= 2
 		}
 		s.mu.Unlock()
+		if len(acked) > 0 {
+			if tr := s.r.node.tracer.Load(); tr != nil {
+				// The ack instant is captured before noteAck broadcasts,
+				// so the commit's ack-wait span — which can only end
+				// after the broadcast — bounds every recorded send span.
+				ackTime := time.Now()
+				for _, w := range acked {
+					tr.RecordSpan(w.tc, "repl.send", string(s.r.node.addr),
+						w.start, ackTime.Sub(w.start), nil,
+						trace.Attr{Key: "peer", Value: string(s.peer)},
+						trace.Attr{Key: "csn", Value: fmt.Sprint(w.csn)})
+				}
+			}
+		}
 		if advanced {
 			// Outside s.mu: the replica takes r.mu then s.mu when it
 			// polls acked CSNs, so notifying under s.mu would invert

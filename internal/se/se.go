@@ -20,6 +20,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/antientropy"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/subscriber"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -94,7 +96,18 @@ type TxnReq struct {
 	// OpResult slot. The PoA sets it when a front-end read cache wants
 	// to write-through its own commits without a second round trip.
 	ReturnPostImage bool
+	// Trace is the caller's trace context: the element's se.txn span
+	// and the whole durability chain below it (WAL stage/fsync,
+	// replication send and ack wait) nest under it.
+	Trace trace.Ctx
 }
+
+// TraceCtx implements trace.Carrier.
+func (r TxnReq) TraceCtx() trace.Ctx { return r.Trace }
+
+// WithTraceCtx implements trace.Carrier: the network uses it to nest
+// the receiving element's spans under the per-hop net.call span.
+func (r TxnReq) WithTraceCtx(tc trace.Ctx) any { r.Trace = tc; return r }
 
 // OpResult is the per-operation outcome inside a TxnResp.
 type OpResult struct {
@@ -245,6 +258,17 @@ type Element struct {
 	Writes metrics.Counter
 	// Checkpoints counts completed checkpoint passes.
 	Checkpoints metrics.Counter
+
+	// tracer is the optional span recorder (atomic: the commit path
+	// reads it without locks).
+	tracer atomic.Pointer[trace.Recorder]
+}
+
+// SetTracer installs the span recorder for this element's se.txn /
+// se.commit / wal.* spans and its replication node's repl.* spans.
+func (e *Element) SetTracer(tr *trace.Recorder) {
+	e.tracer.Store(tr)
+	e.node.SetTracer(tr)
 }
 
 // PartitionReplica bundles one partition copy's moving parts.
@@ -408,7 +432,7 @@ func (e *Element) AddReplica(partition string, role store.Role) (*PartitionRepli
 
 	pr.Repl = e.node.AddReplica(partition, st)
 	if pr.Log != nil {
-		st.SetCommitPipeline(commitPipeline(pr.Log, pr.Repl))
+		st.SetCommitPipeline(e.commitPipeline(pr.Log, pr.Repl))
 	}
 	e.attachAntiEntropy(pr)
 	e.reb.Register(partition, st)
@@ -537,9 +561,21 @@ var _ rebalance.Host = (*Element)(nil)
 // lock is released: concurrent durable commits stage in order but
 // share one cohort fsync instead of queueing N fsyncs behind the
 // lock.
-func commitPipeline(log *wal.Log, repl *replication.Replica) func(*store.CommitRecord) (func() error, error) {
+func (e *Element) commitPipeline(log *wal.Log, repl *replication.Replica) func(*store.CommitRecord) (func() error, error) {
 	return func(rec *store.CommitRecord) (func() error, error) {
+		// Sampled commits time the WAL stage and fsync phases; the
+		// unsampled path pays one atomic load and a bool test.
+		tr := e.tracer.Load()
+		traced := tr != nil && rec.Trace.Sampled
+		var stageStart time.Time
+		if traced {
+			stageStart = time.Now()
+		}
 		ticket, needSync, err := log.AppendStage(rec)
+		if traced {
+			tr.RecordSpan(rec.Trace, "wal.stage", string(e.addr),
+				stageStart, time.Since(stageStart), err)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -550,9 +586,24 @@ func commitPipeline(log *wal.Log, repl *replication.Replica) func(*store.CommitR
 		if !needSync && replWait == nil {
 			return nil, nil
 		}
+		elem := string(e.addr)
 		return func() error {
 			if needSync {
-				if err := log.WaitDurable(ticket); err != nil {
+				if traced {
+					fsyncStart := time.Now()
+					led, werr := log.WaitDurableEx(ticket)
+					// Group commit attribution: did this commit lead the
+					// fsync cohort or ride another goroutine's flush?
+					role := "follower"
+					if led {
+						role = "leader"
+					}
+					tr.RecordSpan(rec.Trace, "wal.fsync", elem, fsyncStart,
+						time.Since(fsyncStart), werr, trace.Attr{Key: "role", Value: role})
+					if werr != nil {
+						return werr
+					}
+				} else if err := log.WaitDurable(ticket); err != nil {
 					return err
 				}
 			}
@@ -754,7 +805,7 @@ func (e *Element) Recover() (map[string]int, error) {
 		pr.Store = st
 		pr.Repl = e.node.AddReplica(part, st)
 		if pr.Log != nil {
-			st.SetCommitPipeline(commitPipeline(pr.Log, pr.Repl))
+			st.SetCommitPipeline(e.commitPipeline(pr.Log, pr.Repl))
 		}
 		if e.ae != nil {
 			e.attachAntiEntropyLocked(pr)
@@ -823,8 +874,27 @@ func (e *Element) handle(ctx context.Context, from simnet.Addr, msg any) (any, e
 	}
 }
 
-// applyTxn runs a one-shot transaction.
+// applyTxn wraps the transaction in an se.txn span when the request
+// carries a trace context and a recorder is installed.
 func (e *Element) applyTxn(from simnet.Addr, req TxnReq) (TxnResp, error) {
+	tr := e.tracer.Load()
+	if tr == nil || !req.Trace.Valid() {
+		return e.applyTxnInner(from, req)
+	}
+	span := tr.StartChild(req.Trace, "se.txn", string(e.addr))
+	req.Trace = span.Ctx()
+	resp, err := e.applyTxnInner(from, req)
+	// Sampled only: formatting the attr would otherwise be a per-op
+	// allocation on the unsampled fast path.
+	if resp.CSN != 0 && req.Trace.Sampled {
+		span.SetAttr("csn", fmt.Sprint(resp.CSN))
+	}
+	span.End(err)
+	return resp, err
+}
+
+// applyTxnInner runs a one-shot transaction.
+func (e *Element) applyTxnInner(from simnet.Addr, req TxnReq) (TxnResp, error) {
 	e.mu.RLock()
 	pr := e.replicas[req.Partition]
 	epoch := e.epochs[req.Partition]
@@ -885,7 +955,19 @@ func (e *Element) applyTxn(from simnet.Addr, req TxnReq) (TxnResp, error) {
 		resp.Results = append(resp.Results, res)
 	}
 
-	rec, err := txn.Commit()
+	var rec *store.CommitRecord
+	var err error
+	if wrote {
+		// se.commit covers install, WAL stage/fsync and the
+		// synchronous-replication wait; those phases record their own
+		// child spans under it via the record's trace context.
+		commitSpan := e.tracer.Load().StartChild(req.Trace, "se.commit", string(e.addr))
+		txn.SetTrace(commitSpan.Ctx())
+		rec, err = txn.Commit()
+		commitSpan.End(err)
+	} else {
+		rec, err = txn.Commit()
+	}
 	if rec != nil {
 		// Set even on error: a durability-wait failure (WAL fsync,
 		// synchronous replication) still installed the transaction,

@@ -23,9 +23,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Errors returned by network operations.
@@ -134,7 +136,15 @@ type Network struct {
 	// Messages counts every delivery attempt; Drops counts losses.
 	Messages metrics.Counter
 	Drops    metrics.Counter
+
+	// tracer is the optional span recorder. Tracing never touches the
+	// network's seeded rng, so enabling it cannot perturb a seeded
+	// run's loss/jitter schedule.
+	tracer atomic.Pointer[trace.Recorder]
 }
+
+// SetTracer installs the span recorder for per-hop net.call spans.
+func (n *Network) SetTracer(tr *trace.Recorder) { n.tracer.Store(tr) }
 
 // New returns a network with the given defaults.
 func New(cfg Config) *Network {
@@ -368,7 +378,28 @@ func (n *Network) lookup(from, to Addr) (h Handler, l Link, err error) {
 // one-way latency in each direction, may drop the message on lossy
 // links, and reports ErrUnreachable (after the link timeout) when the
 // destination is partitioned away, down or missing.
+//
+// When a recorder is installed and the request is a trace.Carrier
+// holding a sampled context, the hop records a net.call span and the
+// delivered message carries the span's context, so the receiving
+// element's spans nest under the hop. Unsampled requests pay one type
+// assertion; the message is never copied.
 func (n *Network) Call(ctx context.Context, from, to Addr, req any) (any, error) {
+	if tr := n.tracer.Load(); tr != nil {
+		if c, ok := req.(trace.Carrier); ok {
+			if tc := c.TraceCtx(); tc.Sampled && tc.Valid() {
+				span := tr.StartChild(tc, "net.call", string(from))
+				span.SetAttr("to", string(to))
+				resp, err := n.call(ctx, from, to, c.WithTraceCtx(span.Ctx()))
+				span.End(err)
+				return resp, err
+			}
+		}
+	}
+	return n.call(ctx, from, to, req)
+}
+
+func (n *Network) call(ctx context.Context, from, to Addr, req any) (any, error) {
 	n.Messages.Inc()
 	h, l, err := n.lookup(from, to)
 	if err != nil {

@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/btree"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -202,6 +203,11 @@ type CommitRecord struct {
 	// Origin is the replica ID that committed the transaction.
 	Origin string
 	Ops    []Op
+	// Trace is the commit span's trace context, carried in-memory to
+	// the durability pipeline (WAL, replication) so their spans nest
+	// under the commit. Never persisted or replicated: the WAL codec
+	// and anti-entropy ignore it.
+	Trace trace.Ctx
 }
 
 // Meta is per-row metadata.
@@ -747,7 +753,14 @@ type Txn struct {
 	// a linear scan.
 	idx  map[string]int
 	done bool
+	// tr is the trace context Commit stamps onto the commit record
+	// (zero when the request is untraced).
+	tr trace.Ctx
 }
+
+// SetTrace attaches a trace context to the transaction; Commit copies
+// it onto the commit record for the durability pipeline's spans.
+func (t *Txn) SetTrace(tc trace.Ctx) { t.tr = tc }
 
 // Begin starts a transaction at the given isolation level.
 func (s *Store) Begin(iso Isolation) *Txn {
@@ -904,6 +917,7 @@ func (t *Txn) Commit() (*CommitRecord, error) {
 		WallTS: nowMicro(),
 		Origin: s.replicaID,
 		Ops:    make([]Op, 0, len(t.writes)),
+		Trace:  t.tr,
 	}
 
 	// Capacity check: count net new live rows. commitMu serializes

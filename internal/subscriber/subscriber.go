@@ -165,6 +165,13 @@ const (
 	AttrArea        = "area"
 	AttrRoaming     = "roaming"
 	AttrLocUpdated  = "locUpdatedAt"
+
+	// Sh transparent (repository) data, TS 29.328: an opaque blob
+	// plus the version counter its optimistic-concurrency update
+	// guards on. Not part of Profile — FromEntry tolerates and
+	// ToEntry omits them; they ride alongside in the stored entry.
+	AttrShData    = "shData"
+	AttrShDataVer = "shDataVersion"
 )
 
 // ObjectClass is the objectClass value for subscriber entries.

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one span with its resolved children: the tree the HTTP and
+// LDAP surfaces serve.
+type Node struct {
+	Span
+	Children []*Node
+}
+
+// BuildTree assembles a trace's spans into root trees. Spans whose
+// parent was overwritten in the ring become roots of their own
+// subtree (partial traces render instead of vanishing). Siblings sort
+// by start time.
+func BuildTree(spans []Span) []*Node {
+	nodes := make(map[ID]*Node, len(spans))
+	for i := range spans {
+		nodes[spans[i].ID] = &Node{Span: spans[i]}
+	}
+	var roots []*Node
+	for _, n := range nodes {
+		if n.Parent != 0 {
+			if p, ok := nodes[n.Parent]; ok && p != n {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		roots = append(roots, n)
+	}
+	var sortNodes func([]*Node)
+	sortNodes = func(list []*Node) {
+		sort.Slice(list, func(i, j int) bool {
+			if !list[i].Start.Equal(list[j].Start) {
+				return list[i].Start.Before(list[j].Start)
+			}
+			return list[i].ID < list[j].ID
+		})
+		for _, n := range list {
+			sortNodes(n.Children)
+		}
+	}
+	sortNodes(roots)
+	return roots
+}
+
+// RenderTree renders a trace as an indented text tree — the udrctl
+// and reproducer-friendly view of the same data /trace/{id} serves as
+// JSON.
+func RenderTree(spans []Span) string {
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s (%d spans)\n", spans[0].Trace, len(spans))
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth+1))
+		fmt.Fprintf(&b, "%-24s %-20s %12v", n.Name, n.Element, n.Duration)
+		for _, a := range n.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		if n.Err != "" {
+			fmt.Fprintf(&b, " err=%q", n.Err)
+		}
+		if n.Tail {
+			b.WriteString(" [tail]")
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, root := range BuildTree(spans) {
+		walk(root, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,523 @@
+// Package trace implements zero-dependency end-to-end request
+// tracing for the UDR: every latency number the experiments report —
+// PoA routing, locator lookup, master commit, WAL fsync, replica ack
+// waits — becomes an attributable per-hop breakdown instead of an
+// aggregate histogram bucket.
+//
+// A trace is a tree of spans sharing one trace ID. The context (trace
+// ID, current span ID, sampled flag) travels two ways:
+//
+//   - inside one process, through context.Context (NewContext /
+//     FromContext), following the Go convention;
+//   - across simnet hops, as a Ctx field on the message structs
+//     themselves (the same way TxnReq.Tag threads through), because
+//     simulated-network handlers receive plain Go values.
+//
+// Sampling is two-tier. Head sampling decides at root-span creation
+// with probability Config.SampleRate whether the whole trace records;
+// the decision rides in Ctx.Sampled so every element agrees. Tail
+// sampling additionally records any individual span that errored or
+// ran longer than Config.SlowThreshold even in unsampled traces, so
+// pathological ops are never invisible — such spans are marked Tail
+// and may form partial trees.
+//
+// Spans record into lock-striped bounded ring buffers; a full stripe
+// overwrites its oldest span (counted as a drop). Recording is purely
+// passive — no randomness is drawn from any seeded source and no
+// scheduling changes — so the chaos harness's byte-identical
+// determinism holds with tracing enabled.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults. The sample rate keeps always-on tracing under the ≤5%
+// overhead budget; the slow threshold sits above the WAN quorum
+// commit path (low single-digit milliseconds at the compressed sim
+// scale) so only genuine outliers tail-sample.
+const (
+	DefaultSampleRate    = 1.0 / 64
+	DefaultSlowThreshold = 25 * time.Millisecond
+	DefaultCapacity      = 8192
+)
+
+// stripes is the ring-buffer stripe count. A whole trace lands in one
+// stripe (striped by trace ID), so reassembling a trace scans one
+// stripe while concurrent traces spread across locks.
+const stripes = 16
+
+// ID identifies a trace or a span. IDs are process-unique, non-zero,
+// and rendered as 16 hex digits.
+type ID uint64
+
+// String renders the ID the way the HTTP and LDAP surfaces print it.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// ParseID parses the 16-hex-digit form (leading zeros optional).
+func ParseID(s string) (ID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || v == 0 {
+		return 0, fmt.Errorf("trace: bad id %q", s)
+	}
+	return ID(v), nil
+}
+
+// Ctx is the propagated trace context: which trace the caller is in,
+// which span is currently open (the parent for new child spans), and
+// whether the trace was head-sampled.
+type Ctx struct {
+	Trace   ID
+	Span    ID
+	Sampled bool
+}
+
+// Valid reports whether the context belongs to a trace.
+func (c Ctx) Valid() bool { return c.Trace != 0 }
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// maxAttrs bounds attributes per span (fixed array: no allocation on
+// the hot path).
+const maxAttrs = 4
+
+// Span is one recorded operation window.
+type Span struct {
+	Trace    ID
+	ID       ID
+	Parent   ID // 0 marks a root span
+	Name     string
+	Element  string // recording endpoint, "site/process"
+	Start    time.Time
+	Duration time.Duration
+	Err      string
+	Attrs    []Attr
+	// Tail marks a span recorded by tail sampling (slow or errored)
+	// inside a trace that was not head-sampled; its tree is partial.
+	Tail bool
+}
+
+// Config parameterizes a Recorder.
+type Config struct {
+	// SampleRate is the head-sampling probability in [0,1]. Zero
+	// selects DefaultSampleRate; negative disables head sampling.
+	SampleRate float64
+	// SlowThreshold tail-samples spans slower than this. Zero selects
+	// DefaultSlowThreshold; negative disables tail sampling (errored
+	// spans still tail-sample).
+	SlowThreshold time.Duration
+	// Capacity bounds buffered spans across all stripes (0 selects
+	// DefaultCapacity).
+	Capacity int
+}
+
+// Stats counts recorder activity for the udr_trace_* metric families.
+type Stats struct {
+	// Started counts root spans begun (traces, sampled or not).
+	Started uint64
+	// Sampled counts traces the head sampler selected.
+	Sampled uint64
+	// Spans counts spans recorded into the ring (head or tail).
+	Spans uint64
+	// Dropped counts ring-buffer overwrites of unread spans.
+	Dropped uint64
+}
+
+// stripe is one lock-striped bounded span ring.
+type stripe struct {
+	mu   sync.Mutex
+	ring []Span
+	next int
+	full bool
+}
+
+// Recorder is the per-process span sink. All methods are safe for
+// concurrent use and tolerate a nil receiver (tracing disabled).
+type Recorder struct {
+	rate    float64
+	slow    time.Duration
+	perRing int
+
+	rings [stripes]stripe
+
+	ids     atomic.Uint64 // trace/span ID source
+	started atomic.Uint64
+	sampled atomic.Uint64
+	spans   atomic.Uint64
+	dropped atomic.Uint64
+
+	// slowMu guards the slowest-roots index (small, query-side).
+	slowMu    sync.Mutex
+	slowRoots []Span
+}
+
+// slowRootsMax bounds the slowest-N index.
+const slowRootsMax = 32
+
+// New builds a recorder. A nil *Recorder is a valid disabled tracer;
+// New never returns nil.
+func New(cfg Config) *Recorder {
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = DefaultSampleRate
+	}
+	if cfg.SampleRate < 0 {
+		cfg.SampleRate = 0
+	}
+	if cfg.SlowThreshold == 0 {
+		cfg.SlowThreshold = DefaultSlowThreshold
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	per := cfg.Capacity / stripes
+	if per < 1 {
+		per = 1
+	}
+	r := &Recorder{rate: cfg.SampleRate, slow: cfg.SlowThreshold, perRing: per}
+	// Seed the ID source off the clock so IDs differ across restarts;
+	// uniqueness within the process comes from the counter.
+	r.ids.Store(uint64(time.Now().UnixNano()))
+	return r
+}
+
+// SampleRate returns the configured head-sampling probability.
+func (r *Recorder) SampleRate() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.rate
+}
+
+// newID mints a process-unique non-zero ID.
+func (r *Recorder) newID() ID {
+	for {
+		if id := ID(mix(r.ids.Add(1))); id != 0 {
+			return id
+		}
+	}
+}
+
+// mix is splitmix64's finalizer: turns the sequential counter into
+// well-distributed bits (the head sampler hashes these).
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// sampleTrace decides head sampling for a new trace ID. The decision
+// is a pure function of the ID — no RNG state, no seeded source.
+func (r *Recorder) sampleTrace(id ID) bool {
+	if r.rate >= 1 {
+		return true
+	}
+	if r.rate <= 0 {
+		return false
+	}
+	return float64(uint64(id)>>11)/float64(uint64(1)<<53) < r.rate
+}
+
+// SpanHandle is an open span. The zero value is inert; End must be
+// called exactly once (calling it on the zero value is a no-op).
+type SpanHandle struct {
+	r      *Recorder
+	ctx    Ctx
+	parent ID
+	name   string
+	elem   string
+	start  time.Time
+	nattrs int
+	attrs  [maxAttrs]Attr
+}
+
+// StartRoot begins a new trace with one root span and returns its
+// handle. name is the operation ("fe.LocationUpdate", "session.exec");
+// element is the recording endpoint ("site/process").
+func (r *Recorder) StartRoot(name, element string) SpanHandle {
+	if r == nil {
+		return SpanHandle{}
+	}
+	id := r.newID()
+	r.started.Add(1)
+	sampled := r.sampleTrace(id)
+	if sampled {
+		r.sampled.Add(1)
+	}
+	return SpanHandle{
+		r:     r,
+		ctx:   Ctx{Trace: id, Span: id, Sampled: sampled},
+		name:  name,
+		elem:  element,
+		start: time.Now(),
+	}
+}
+
+// StartChild begins a child span under parent. An invalid parent
+// returns an inert handle, so call sites need no guards.
+func (r *Recorder) StartChild(parent Ctx, name, element string) SpanHandle {
+	if r == nil || !parent.Valid() {
+		return SpanHandle{}
+	}
+	return SpanHandle{
+		r:      r,
+		ctx:    Ctx{Trace: parent.Trace, Span: r.newID(), Sampled: parent.Sampled},
+		parent: parent.Span,
+		name:   name,
+		elem:   element,
+		start:  time.Now(),
+	}
+}
+
+// Ctx returns the span's context: pass it down so children nest under
+// this span.
+func (h *SpanHandle) Ctx() Ctx { return h.ctx }
+
+// Active reports whether the handle belongs to a live recorder.
+func (h *SpanHandle) Active() bool { return h.r != nil }
+
+// SetAttr attaches an attribute (bounded; extras are dropped).
+func (h *SpanHandle) SetAttr(key, value string) {
+	if h.r == nil || h.nattrs >= maxAttrs {
+		return
+	}
+	h.attrs[h.nattrs] = Attr{Key: key, Value: value}
+	h.nattrs++
+}
+
+// End closes the span. Sampled traces record unconditionally;
+// unsampled spans record only when errored or slower than the tail
+// threshold. A span that records nothing costs two clock reads.
+func (h *SpanHandle) End(err error) {
+	if h.r == nil {
+		return
+	}
+	d := time.Since(h.start)
+	if !h.ctx.Sampled {
+		if err == nil && (h.r.slow <= 0 || d < h.r.slow) {
+			return
+		}
+	}
+	h.record(d, err)
+}
+
+// EndWithDuration closes the span with an externally measured
+// duration (spans whose window was timed by the caller).
+func (h *SpanHandle) EndWithDuration(d time.Duration, err error) {
+	if h.r == nil {
+		return
+	}
+	if !h.ctx.Sampled {
+		if err == nil && (h.r.slow <= 0 || d < h.r.slow) {
+			return
+		}
+	}
+	h.record(d, err)
+}
+
+func (h *SpanHandle) record(d time.Duration, err error) {
+	sp := Span{
+		Trace:    h.ctx.Trace,
+		ID:       h.ctx.Span,
+		Parent:   h.parent,
+		Name:     h.name,
+		Element:  h.elem,
+		Start:    h.start,
+		Duration: d,
+		Tail:     !h.ctx.Sampled,
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	if h.nattrs > 0 {
+		sp.Attrs = append([]Attr(nil), h.attrs[:h.nattrs]...)
+	}
+	h.r.push(sp)
+}
+
+// RecordSpan records a span whose window the caller measured itself
+// (e.g. the per-peer replication send spans, timed from enqueue to
+// acknowledgement). Sampling follows the same head+tail policy.
+func (r *Recorder) RecordSpan(parent Ctx, name, element string, start time.Time, d time.Duration, err error, attrs ...Attr) {
+	if r == nil || !parent.Valid() {
+		return
+	}
+	if !parent.Sampled {
+		if err == nil && (r.slow <= 0 || d < r.slow) {
+			return
+		}
+	}
+	sp := Span{
+		Trace:    parent.Trace,
+		ID:       r.newID(),
+		Parent:   parent.Span,
+		Name:     name,
+		Element:  element,
+		Start:    start,
+		Duration: d,
+		Tail:     !parent.Sampled,
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	if len(attrs) > 0 {
+		if len(attrs) > maxAttrs {
+			attrs = attrs[:maxAttrs]
+		}
+		sp.Attrs = append([]Attr(nil), attrs...)
+	}
+	r.push(sp)
+}
+
+// push appends a span to its trace's stripe and maintains the
+// slowest-roots index.
+func (r *Recorder) push(sp Span) {
+	r.spans.Add(1)
+	st := &r.rings[uint64(sp.Trace)%stripes]
+	st.mu.Lock()
+	if st.ring == nil {
+		st.ring = make([]Span, r.perRing)
+	}
+	if st.full {
+		r.dropped.Add(1)
+	}
+	st.ring[st.next] = sp
+	st.next++
+	if st.next == len(st.ring) {
+		st.next = 0
+		st.full = true
+	}
+	st.mu.Unlock()
+
+	if sp.Parent == 0 {
+		r.noteRoot(sp)
+	}
+}
+
+// noteRoot feeds the slowest-N root index.
+func (r *Recorder) noteRoot(sp Span) {
+	r.slowMu.Lock()
+	defer r.slowMu.Unlock()
+	if len(r.slowRoots) < slowRootsMax {
+		r.slowRoots = append(r.slowRoots, sp)
+	} else {
+		// Replace the fastest entry if this root is slower.
+		min := 0
+		for i := 1; i < len(r.slowRoots); i++ {
+			if r.slowRoots[i].Duration < r.slowRoots[min].Duration {
+				min = i
+			}
+		}
+		if sp.Duration <= r.slowRoots[min].Duration {
+			return
+		}
+		r.slowRoots[min] = sp
+	}
+}
+
+// Stats snapshots the recorder counters.
+func (r *Recorder) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	return Stats{
+		Started: r.started.Load(),
+		Sampled: r.sampled.Load(),
+		Spans:   r.spans.Load(),
+		Dropped: r.dropped.Load(),
+	}
+}
+
+// Get returns every buffered span of a trace, parents before children
+// where start times allow (sorted by start, then ID).
+func (r *Recorder) Get(id ID) []Span {
+	if r == nil || id == 0 {
+		return nil
+	}
+	st := &r.rings[uint64(id)%stripes]
+	var out []Span
+	st.mu.Lock()
+	for i := range st.ring {
+		if st.ring[i].Trace == id {
+			out = append(out, st.ring[i])
+		}
+	}
+	st.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// TraceSummary is one trace in the recent/slow listings.
+type TraceSummary struct {
+	Trace ID
+	Root  Span
+	// Spans counts the trace's spans still buffered.
+	Spans int
+}
+
+// Recent returns up to n trace summaries, newest root first. Only
+// traces whose root span is still buffered are listed.
+func (r *Recorder) Recent(n int) []TraceSummary {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	counts := make(map[ID]int)
+	var roots []Span
+	for s := range r.rings {
+		st := &r.rings[s]
+		st.mu.Lock()
+		for i := range st.ring {
+			sp := &st.ring[i]
+			if sp.Trace == 0 {
+				continue
+			}
+			counts[sp.Trace]++
+			if sp.Parent == 0 {
+				roots = append(roots, *sp)
+			}
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Start.After(roots[j].Start) })
+	if len(roots) > n {
+		roots = roots[:n]
+	}
+	out := make([]TraceSummary, 0, len(roots))
+	for _, root := range roots {
+		out = append(out, TraceSummary{Trace: root.Trace, Root: root, Spans: counts[root.Trace]})
+	}
+	return out
+}
+
+// Slow returns up to n of the slowest root spans seen since startup,
+// slowest first. The index survives ring overwrites, so an entry's
+// child spans may already be gone.
+func (r *Recorder) Slow(n int) []Span {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.slowMu.Lock()
+	out := append([]Span(nil), r.slowRoots...)
+	r.slowMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

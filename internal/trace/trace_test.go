@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	h := r.StartRoot("op", "site/fe")
+	if h.Active() || h.Ctx().Valid() {
+		t.Fatalf("nil recorder produced an active handle")
+	}
+	h.SetAttr("k", "v")
+	h.End(nil)
+	r.RecordSpan(Ctx{Trace: 1, Span: 1, Sampled: true}, "x", "e", time.Now(), time.Second, nil)
+	if got := r.Get(1); got != nil {
+		t.Fatalf("nil recorder returned spans: %v", got)
+	}
+	if s := r.Stats(); s != (Stats{}) {
+		t.Fatalf("nil recorder stats = %+v", s)
+	}
+}
+
+func TestSampledTraceRecordsTree(t *testing.T) {
+	r := New(Config{SampleRate: 1})
+	root := r.StartRoot("fe.proc", "eu-south/fe")
+	child := r.StartChild(root.Ctx(), "session.exec", "eu-south/session")
+	grand := r.StartChild(child.Ctx(), "se.commit", "eu-south/se")
+	grand.SetAttr("csn", "42")
+	grand.End(nil)
+	child.End(nil)
+	root.End(nil)
+
+	spans := r.Get(root.Ctx().Trace)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	trees := BuildTree(spans)
+	if len(trees) != 1 {
+		t.Fatalf("got %d roots, want 1", len(trees))
+	}
+	n := trees[0]
+	if n.Name != "fe.proc" || len(n.Children) != 1 ||
+		n.Children[0].Name != "session.exec" || len(n.Children[0].Children) != 1 ||
+		n.Children[0].Children[0].Name != "se.commit" {
+		t.Fatalf("bad tree: %s", RenderTree(spans))
+	}
+	if got := n.Children[0].Children[0].Attrs[0]; got.Key != "csn" || got.Value != "42" {
+		t.Fatalf("attr = %+v", got)
+	}
+	st := r.Stats()
+	if st.Started != 1 || st.Sampled != 1 || st.Spans != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHeadSamplingOffRecordsNothingFast(t *testing.T) {
+	r := New(Config{SampleRate: -1, SlowThreshold: time.Hour})
+	root := r.StartRoot("op", "e")
+	child := r.StartChild(root.Ctx(), "child", "e")
+	child.End(nil)
+	root.End(nil)
+	if st := r.Stats(); st.Spans != 0 || st.Sampled != 0 {
+		t.Fatalf("unsampled fast ops recorded: %+v", st)
+	}
+	if got := r.Recent(10); len(got) != 0 {
+		t.Fatalf("Recent = %v", got)
+	}
+}
+
+func TestTailSamplingCapturesSlowAndErrored(t *testing.T) {
+	r := New(Config{SampleRate: -1, SlowThreshold: time.Nanosecond})
+	root := r.StartRoot("slow-op", "e")
+	time.Sleep(time.Millisecond)
+	root.End(nil)
+
+	r2 := New(Config{SampleRate: -1, SlowThreshold: time.Hour})
+	bad := r2.StartRoot("err-op", "e")
+	bad.End(errors.New("boom"))
+
+	if spans := r.Get(root.Ctx().Trace); len(spans) != 1 || !spans[0].Tail {
+		t.Fatalf("slow span not tail-sampled: %v", spans)
+	}
+	if spans := r2.Get(bad.Ctx().Trace); len(spans) != 1 || spans[0].Err != "boom" || !spans[0].Tail {
+		t.Fatalf("errored span not tail-sampled: %v", spans)
+	}
+}
+
+func TestSampleRateIsApproximate(t *testing.T) {
+	r := New(Config{SampleRate: 0.25, SlowThreshold: -1})
+	const n = 4000
+	for i := 0; i < n; i++ {
+		h := r.StartRoot("op", "e")
+		h.End(nil)
+	}
+	st := r.Stats()
+	frac := float64(st.Sampled) / n
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("sampled fraction %.3f far from 0.25", frac)
+	}
+}
+
+func TestRingBoundAndDropCounting(t *testing.T) {
+	r := New(Config{SampleRate: 1, Capacity: stripes}) // one slot per stripe
+	// All spans of one trace share a stripe: the second span evicts
+	// the first.
+	root := r.StartRoot("r", "e")
+	root.End(nil)
+	c1 := r.StartChild(root.Ctx(), "c1", "e")
+	c1.End(nil)
+	c2 := r.StartChild(root.Ctx(), "c2", "e")
+	c2.End(nil)
+	if st := r.Stats(); st.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", st.Dropped)
+	}
+	if spans := r.Get(root.Ctx().Trace); len(spans) != 1 {
+		t.Fatalf("ring holds %d spans, want 1", len(spans))
+	}
+}
+
+func TestSlowIndexKeepsSlowestRoots(t *testing.T) {
+	r := New(Config{SampleRate: 1})
+	var slowest Ctx
+	for i := 0; i < slowRootsMax+8; i++ {
+		h := r.StartRoot(fmt.Sprintf("op-%d", i), "e")
+		d := time.Duration(i+1) * time.Millisecond
+		if i == slowRootsMax+7 {
+			slowest = h.Ctx()
+		}
+		h.EndWithDuration(d, nil)
+	}
+	slow := r.Slow(4)
+	if len(slow) != 4 {
+		t.Fatalf("Slow returned %d", len(slow))
+	}
+	if slow[0].Trace != slowest.Trace {
+		t.Fatalf("slowest root missing: got %s", slow[0].Name)
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Duration > slow[i-1].Duration {
+			t.Fatalf("Slow not sorted: %v", slow)
+		}
+	}
+}
+
+func TestRecentListsNewestFirst(t *testing.T) {
+	r := New(Config{SampleRate: 1})
+	var last Ctx
+	for i := 0; i < 5; i++ {
+		h := r.StartRoot(fmt.Sprintf("op-%d", i), "e")
+		c := r.StartChild(h.Ctx(), "child", "e")
+		c.End(nil)
+		h.End(nil)
+		last = h.Ctx()
+		time.Sleep(time.Millisecond)
+	}
+	got := r.Recent(3)
+	if len(got) != 3 {
+		t.Fatalf("Recent returned %d", len(got))
+	}
+	if got[0].Trace != last.Trace {
+		t.Fatalf("newest trace not first")
+	}
+	if got[0].Spans != 2 {
+		t.Fatalf("span count = %d, want 2", got[0].Spans)
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	id := ID(0xdeadbeef12345678)
+	got, err := ParseID(id.String())
+	if err != nil || got != id {
+		t.Fatalf("ParseID(%q) = %v, %v", id.String(), got, err)
+	}
+	if _, err := ParseID("zzz"); err == nil {
+		t.Fatalf("ParseID accepted garbage")
+	}
+	if _, err := ParseID("0"); err == nil {
+		t.Fatalf("ParseID accepted zero")
+	}
+}
+
+// TestConcurrentRecording hammers the ring from many goroutines while
+// readers reassemble traces — the -race bar for the lock-striped
+// buffer (ISSUE 10 satellite).
+func TestConcurrentRecording(t *testing.T) {
+	r := New(Config{SampleRate: 1, Capacity: 512})
+	const writers = 8
+	const perWriter = 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				root := r.StartRoot(fmt.Sprintf("w%d-op%d", w, i), "e")
+				c := r.StartChild(root.Ctx(), "child", "e")
+				c.SetAttr("i", fmt.Sprint(i))
+				c.End(nil)
+				root.End(nil)
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, s := range r.Recent(16) {
+					r.Get(s.Trace)
+				}
+				r.Slow(8)
+				r.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	st := r.Stats()
+	if st.Spans != writers*perWriter*2 {
+		t.Fatalf("spans = %d, want %d", st.Spans, writers*perWriter*2)
+	}
+	if st.Dropped == 0 {
+		t.Fatalf("expected ring overwrites with capacity 512")
+	}
+}

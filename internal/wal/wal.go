@@ -297,24 +297,34 @@ const periodicSpill = 4 << 10
 // it and fsyncs once for every record in it; the rest wait on the
 // condition variable.
 func (l *Log) WaitDurable(ticket uint64) error {
+	_, err := l.WaitDurableEx(ticket)
+	return err
+}
+
+// WaitDurableEx is WaitDurable plus attribution: led reports whether
+// this caller became the group-commit cohort leader and performed the
+// fsync itself (vs riding another goroutine's flush). Tracing uses it
+// to label wal.fsync spans leader/follower.
+func (l *Log) WaitDurableEx(ticket uint64) (led bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.waitDurableLocked(ticket)
 }
 
-func (l *Log) waitDurableLocked(ticket uint64) error {
+func (l *Log) waitDurableLocked(ticket uint64) (led bool, err error) {
 	for {
 		if l.durableSeq >= ticket {
-			return nil
+			return led, nil
 		}
 		if l.failed != nil {
-			return l.failed
+			return led, l.failed
 		}
 		if l.closed {
-			return ErrClosed
+			return led, ErrClosed
 		}
 		if !l.flushing {
 			l.flushing = true
+			led = true
 			l.mu.Unlock()
 			// Leader's staging window: yield once so commits already
 			// running on other goroutines can stage into this cohort
@@ -337,7 +347,7 @@ func (l *Log) waitDurableLocked(ticket uint64) error {
 			if werr != nil {
 				l.failed = werr
 				l.cond.Broadcast()
-				return werr
+				return led, werr
 			}
 			if upTo > l.durableSeq {
 				l.durableSeq = upTo
@@ -402,7 +412,8 @@ func (l *Log) Sync() error {
 	if err := l.stateErrLocked(); err != nil {
 		return err
 	}
-	return l.waitDurableLocked(l.stagedSeq)
+	_, err := l.waitDurableLocked(l.stagedSeq)
+	return err
 }
 
 // Pending returns the number of appended-but-unsynced records: the

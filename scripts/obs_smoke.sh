@@ -77,7 +77,7 @@ fetch "http://$ADMIN_ADDR/metrics" "$WORKDIR/metrics.txt"
 # the FE/PoA read-cache counters; ISSUE 8 the quorum-durability
 # families (the daemon above runs with -durability quorum); ISSUE 9
 # the incremental-checkpoint families (the daemon above runs with
-# -checkpoint-interval).
+# -checkpoint-interval); ISSUE 10 the request-tracing counters.
 for family in \
     "udr_poa_op_latency_seconds histogram" \
     "udr_replication_queue_depth gauge" \
@@ -96,7 +96,10 @@ for family in \
     "udr_wal_checkpoint_duration_seconds gauge" \
     "udr_wal_checkpoint_bytes gauge" \
     "udr_wal_checkpoint_csn gauge" \
-    "udr_wal_segments gauge"; do
+    "udr_wal_segments gauge" \
+    "udr_trace_spans_total counter" \
+    "udr_trace_sampled_total counter" \
+    "udr_trace_dropped_total counter"; do
     if ! grep -q "^# TYPE $family\$" "$WORKDIR/metrics.txt"; then
         echo "obs-smoke: FAIL — missing family: # TYPE $family" >&2
         exit 1
@@ -125,6 +128,16 @@ if ! grep '^udr_wal_checkpoints_total{site=' "$WORKDIR/metrics2.txt" | grep -qv 
     exit 1
 fi
 echo "obs-smoke: checkpoints ticking"
+
+# The tracing surface answers even when nothing slow happened yet: a
+# 200 with a well-formed (possibly empty) listing.
+fetch "http://$ADMIN_ADDR/trace/slow" "$WORKDIR/trace_slow.json"
+grep -q '"traces"' "$WORKDIR/trace_slow.json" || {
+    echo "obs-smoke: FAIL — /trace/slow body unexpected" >&2
+    cat "$WORKDIR/trace_slow.json" >&2
+    exit 1
+}
+echo "obs-smoke: /trace/slow ok"
 
 fetch "http://$ADMIN_ADDR/status" "$WORKDIR/status.json"
 grep -q '"partitions"' "$WORKDIR/status.json" || {

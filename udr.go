@@ -42,6 +42,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/store"
 	"repro/internal/subscriber"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -199,6 +200,29 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // (*ObsServer).Serve on a listener, or mount (*ObsServer).Handler.
 func NewObsServer(cfg ObsConfig) *ObsServer { return obs.NewServer(cfg) }
 
+// Request tracing. Wire a Tracer into Config.Trace (and attach it to
+// sessions and front-ends) to get per-request latency attribution
+// across the FE → PoA → SE → WAL/replication path; serve the sampled
+// traces via ObsConfig.Tracer or udrctl trace.
+type (
+	// Tracer records sampled request traces in lock-striped rings.
+	Tracer = trace.Recorder
+	// TraceConfig sets sampling rates and buffer capacity.
+	TraceConfig = trace.Config
+	// TraceSpan is one recorded hop of a trace.
+	TraceSpan = trace.Span
+	// TraceID identifies one stitched request trace.
+	TraceID = trace.ID
+)
+
+// NewTracer creates a trace recorder. The zero TraceConfig samples
+// 1/64 of requests plus everything slower than 25ms.
+func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
+
+// RenderTrace formats one trace's spans as an indented tree with
+// per-hop durations.
+func RenderTrace(spans []TraceSpan) string { return trace.RenderTree(spans) }
+
 // Policy classes.
 const (
 	// PolicyFE marks application front-end traffic: slave reads
@@ -219,6 +243,9 @@ const (
 	DurabilityDualSeq = replication.DualSeq
 	// DurabilitySyncAll waits for every slave.
 	DurabilitySyncAll = replication.SyncAll
+	// DurabilityQuorum commits once a configurable quorum of
+	// replicas acked (Config.QuorumPolicy shapes it).
+	DurabilityQuorum = replication.Quorum
 )
 
 // Locator modes (§3.5).
